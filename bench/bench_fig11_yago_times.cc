@@ -1,0 +1,44 @@
+// Regenerates Fig. 11: execution times (ms) for YAGO queries Q2, Q3, Q4,
+// Q5, Q9 in exact / APPROX / RELAX mode. Paper shape: exact Q2/Q3 fast;
+// Q4/Q5 slow in exact mode (variable-variable conjuncts seeded from tens of
+// thousands of nodes) and out of memory under APPROX; RELAX competitive,
+// Q5/RELAX faster than its exact version (100 answers found early).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace omega;
+using namespace omega::bench;
+
+int main() {
+  const YagoDataset& d = Yago();
+  const std::vector<std::string> picks = {"Q2", "Q3", "Q4", "Q5", "Q9"};
+  std::printf("== Fig. 11: execution times (ms), YAGO data graph ==\n");
+  std::printf("   (budget %zu live tuples; '?' = budget exhausted)\n\n",
+              TupleBudget());
+  TablePrinter table(
+      {"Query", "Exact (ms)", "APPROX (ms)", "RELAX (ms)", "answers E/A/R"});
+  for (const NamedQuery& nq : YagoQuerySet()) {
+    if (std::find(picks.begin(), picks.end(), nq.name) == picks.end()) {
+      continue;
+    }
+    auto exact = RunProtocol(d.graph, d.ontology, nq.conjunct,
+                             ConjunctMode::kExact);
+    auto approx = RunProtocol(d.graph, d.ontology, nq.conjunct,
+                              ConjunctMode::kApprox);
+    auto relax = RunProtocol(d.graph, d.ontology, nq.conjunct,
+                             ConjunctMode::kRelax);
+    auto time_cell = [](const ProtocolResult& r) {
+      return r.failed ? std::string("?") : FormatMs(r.total_ms);
+    };
+    auto count = [](const ProtocolResult& r) {
+      return r.failed ? std::string("?") : std::to_string(r.answers);
+    };
+    table.AddRow({nq.name, time_cell(exact), time_cell(approx),
+                  time_cell(relax),
+                  count(exact) + "/" + count(approx) + "/" + count(relax)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Regenerates Fig. 2 (L4All class-hierarchy characteristics) and Fig. 3
+// (L4All data-graph sizes L1-L4), plus the §4.2 YAGO shape summary.
+//
+// Paper reference values:
+//   Fig. 2: Episode 2/2.67, Subject 2/8, Occupation 4/4.08,
+//           Education Qualification Level 2/3.89, Industry Sector 1/21.
+//   Fig. 3: L1 2,691/19,856; L2 15,188/118,088; L3 68,544/558,972;
+//           L4 240,519/1,861,959.
+//   §4.2:  3,110,056 nodes, 17,043,938 edges; hierarchy depth 2,
+//           fan-out 933.43; 38 properties; property hierarchies of 2 and 6.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+
+using namespace omega;
+using namespace omega::bench;
+
+int main() {
+  std::printf("== Fig. 2: characteristics of the L4All class hierarchies ==\n");
+  std::printf("   (paper: Episode 2/2.67, Subject 2/8, Occupation 4/4.08, "
+              "EQL 2/3.89, Industry Sector 1/21)\n\n");
+  const Ontology& ontology = L4All(1).ontology;
+  {
+    TablePrinter table({"Class hierarchy", "Depth", "Average fan-out"});
+    for (const char* root : {"Episode", "Subject", "Occupation",
+                             "Education Qualification Level",
+                             "Industry Sector"}) {
+      auto id = ontology.FindClass(root);
+      if (!id) continue;
+      char fanout[32];
+      std::snprintf(fanout, sizeof(fanout), "%.2f",
+                    ontology.AverageFanOut(*id));
+      table.AddRow({root, std::to_string(ontology.HierarchyDepth(*id)),
+                    fanout});
+    }
+    table.Print();
+  }
+
+  std::printf("== Fig. 3: characteristics of the L4All data graphs ==\n");
+  std::printf("   (paper: L1 2,691/19,856 ... L4 240,519/1,861,959)\n\n");
+  {
+    TablePrinter table({"Graph", "Timelines", "Nodes", "Edges",
+                        "Edges/Node"});
+    for (int level = 1; level <= MaxL4AllLevel(); ++level) {
+      const L4AllDataset& d = L4All(level);
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.2f",
+                    static_cast<double>(d.graph.NumEdges()) /
+                        static_cast<double>(d.graph.NumNodes()));
+      table.AddRow({L4AllScaleName(level),
+                    FormatWithCommas(static_cast<long long>(
+                        L4AllScalePreset(level).num_timelines)),
+                    FormatWithCommas(static_cast<long long>(
+                        d.graph.NumNodes())),
+                    FormatWithCommas(static_cast<long long>(
+                        d.graph.NumEdges())),
+                    ratio});
+    }
+    table.Print();
+  }
+
+  std::printf("== §4.2: YAGO data graph shape ==\n");
+  std::printf("   (paper: 3,110,056 nodes / 17,043,938 edges at scale 1.0; "
+              "this run uses scale %.3f)\n\n", YagoScale());
+  {
+    const YagoDataset& d = Yago();
+    TablePrinter table({"Metric", "Value", "Paper"});
+    table.AddRow({"Nodes",
+                  FormatWithCommas(static_cast<long long>(d.graph.NumNodes())),
+                  "3,110,056"});
+    table.AddRow({"Edges",
+                  FormatWithCommas(static_cast<long long>(d.graph.NumEdges())),
+                  "17,043,938"});
+    auto root = d.ontology.FindClass("yago_entity");
+    table.AddRow({"Hierarchy depth",
+                  std::to_string(d.ontology.HierarchyDepth(*root)), "2"});
+    char fanout[32];
+    std::snprintf(fanout, sizeof(fanout), "%.2f",
+                  d.ontology.AverageFanOut(*root));
+    table.AddRow({"Hierarchy fan-out", fanout, "933.43"});
+    table.AddRow({"Properties (incl. type)",
+                  std::to_string(d.graph.labels().size()), "38"});
+    auto rlbo = d.ontology.FindProperty("relationLocatedByObject");
+    auto linked = d.ontology.FindProperty("linkedTo");
+    table.AddRow({"Subproperties of relationLocatedByObject",
+                  std::to_string(d.ontology.PropertyDownSet(*rlbo).size() - 1),
+                  "6"});
+    table.AddRow({"Subproperties of linkedTo",
+                  std::to_string(d.ontology.PropertyDownSet(*linked).size() - 1),
+                  "2"});
+    table.Print();
+  }
+  return 0;
+}

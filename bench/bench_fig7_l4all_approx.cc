@@ -1,0 +1,40 @@
+// Regenerates Fig. 7: execution time (ms) of the APPROX versions of L4All
+// queries Q3, Q8, Q9, Q10, Q11, Q12 on L1..L4 — top-100 answers in batches
+// of 10 (§4.1 protocol). The paper's shape: Q3/Q10/Q11 get *faster* on
+// L3/L4 (plenty of exact answers fill the top-100 quickly), while Q8/Q9/Q12
+// blow up with intermediate results.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace omega;
+using namespace omega::bench;
+
+int main() {
+  const std::vector<std::string> picks = {"Q3", "Q8", "Q9", "Q10", "Q11",
+                                          "Q12"};
+  std::printf("== Fig. 7: execution time (ms), APPROX L4All queries "
+              "(top-100, batches of 10) ==\n\n");
+  TablePrinter table({"Query", "L1 init", "L1 batch", "L1 total", "L2 total",
+                      "L3 total", "L4 total"});
+  for (size_t q = 0; q < picks.size(); ++q) {
+    std::vector<std::string> row = {picks[q], "-", "-", "-", "-", "-", "-"};
+    for (int level = 1; level <= MaxL4AllLevel(); ++level) {
+      const L4AllDataset& d = L4All(level);
+      for (const NamedQuery& nq : L4AllQuerySet()) {
+        if (nq.name != picks[q]) continue;
+        auto r = RunProtocol(d.graph, d.ontology, nq.conjunct,
+                             ConjunctMode::kApprox);
+        if (level == 1) {
+          row[1] = r.failed ? "?" : FormatMs(r.init_ms);
+          row[2] = r.failed ? "?" : FormatMs(r.mean_batch_ms);
+        }
+        row[2 + static_cast<size_t>(level)] =
+            r.failed ? "?" : FormatMs(r.total_ms);
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Micro-benchmarks of the substrate the paper builds on (the Sparksee
+// replacement + automaton pipeline), using google-benchmark. These have no
+// counterpart figure; they quantify the access paths whose costs the Open /
+// GetNext / Succ procedures depend on.
+#include <benchmark/benchmark.h>
+
+#include "automata/approx.h"
+#include "automata/epsilon_removal.h"
+#include "automata/thompson.h"
+#include "common/rng.h"
+#include "eval/tuple_dictionary.h"
+#include "rpq/regex_parser.h"
+#include "store/bitmap.h"
+#include "store/graph_builder.h"
+#include "store/oid_set.h"
+
+namespace {
+
+using namespace omega;
+
+const GraphStore& BenchGraph() {
+  static const GraphStore* graph = [] {
+    Rng rng(99);
+    GraphBuilder builder;
+    constexpr size_t kNodes = 100000;
+    constexpr size_t kEdgesPerLabel = 400000;
+    std::vector<NodeId> nodes;
+    nodes.reserve(kNodes);
+    for (size_t i = 0; i < kNodes; ++i) {
+      nodes.push_back(builder.GetOrAddNode("n" + std::to_string(i)));
+    }
+    for (const char* label : {"a", "b", "c", "d"}) {
+      const LabelId l = *builder.InternLabel(label);
+      for (size_t e = 0; e < kEdgesPerLabel; ++e) {
+        (void)builder.AddEdge(nodes[rng.NextZipf(kNodes, 1.2)], l,
+                              nodes[rng.NextBounded(kNodes)]);
+      }
+    }
+    return new GraphStore(std::move(builder).Finalize());
+  }();
+  return *graph;
+}
+
+void BM_NeighborScan(benchmark::State& state) {
+  const GraphStore& g = BenchGraph();
+  const LabelId a = *g.labels().Find("a");
+  Rng rng(7);
+  size_t total = 0;
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    auto span = g.Neighbors(n, a, Direction::kOutgoing);
+    total += span.size();
+    benchmark::DoNotOptimize(span.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_NeighborScan);
+
+void BM_SigmaNeighborScan(benchmark::State& state) {
+  const GraphStore& g = BenchGraph();
+  Rng rng(7);
+  size_t total = 0;
+  for (auto _ : state) {
+    const NodeId n = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    auto span = g.SigmaNeighbors(n, Direction::kOutgoing);
+    total += span.size();
+    benchmark::DoNotOptimize(span.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_SigmaNeighborScan);
+
+void BM_NodeLookupByLabel(benchmark::State& state) {
+  const GraphStore& g = BenchGraph();
+  Rng rng(11);
+  for (auto _ : state) {
+    const std::string label = "n" + std::to_string(rng.NextBounded(100000));
+    benchmark::DoNotOptimize(g.FindNode(label));
+  }
+}
+BENCHMARK(BM_NodeLookupByLabel);
+
+void BM_OidSetUnion(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<NodeId> a_ids, b_ids;
+  for (int i = 0; i < state.range(0); ++i) {
+    a_ids.push_back(static_cast<NodeId>(rng.NextBounded(1u << 20)));
+    b_ids.push_back(static_cast<NodeId>(rng.NextBounded(1u << 20)));
+  }
+  const OidSet a = OidSet::FromUnsorted(a_ids);
+  const OidSet b = OidSet::FromUnsorted(b_ids);
+  for (auto _ : state) {
+    OidSet u = OidSet::Union(a, b);
+    benchmark::DoNotOptimize(u.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_OidSetUnion)->Arg(1000)->Arg(100000);
+
+void BM_BitmapTestAndSet(benchmark::State& state) {
+  Bitmap bitmap(1 << 20);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bitmap.TestAndSet(static_cast<NodeId>(rng.NextBounded(1u << 20))));
+  }
+}
+BENCHMARK(BM_BitmapTestAndSet);
+
+void BM_TupleDictionaryChurn(benchmark::State& state) {
+  Rng rng(13);
+  for (auto _ : state) {
+    TupleDictionary dict;
+    for (int i = 0; i < 1000; ++i) {
+      dict.Add({static_cast<NodeId>(i), static_cast<NodeId>(i), 0,
+                static_cast<Cost>(rng.NextBounded(4)), (i % 7) == 0});
+    }
+    while (!dict.Empty()) benchmark::DoNotOptimize(dict.Remove());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TupleDictionaryChurn);
+
+void BM_ThompsonPlusEpsRemoval(benchmark::State& state) {
+  const GraphStore& g = BenchGraph();
+  RegexPtr regex = std::move(ParseRegex("(a|b.c)*.d-.(a+|(b.c.d))")).value();
+  for (auto _ : state) {
+    Nfa nfa = RemoveEpsilons(BuildThompsonNfa(*regex, g.labels()));
+    benchmark::DoNotOptimize(nfa.NumStates());
+  }
+}
+BENCHMARK(BM_ThompsonPlusEpsRemoval);
+
+void BM_ApproxAutomatonConstruction(benchmark::State& state) {
+  const GraphStore& g = BenchGraph();
+  RegexPtr regex = std::move(ParseRegex("(a|b.c)*.d-.(a+|(b.c.d))")).value();
+  Nfa exact = RemoveEpsilons(BuildThompsonNfa(*regex, g.labels()));
+  for (auto _ : state) {
+    Nfa approx = BuildApproxAutomaton(exact, ApproxOptions{});
+    benchmark::DoNotOptimize(approx.NumStates());
+  }
+}
+BENCHMARK(BM_ApproxAutomatonConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Regenerates §4.3 "Retrieving answers by distance": APPROX queries with
+// plentiful low-distance answers run dramatically faster when evaluation is
+// capped at a growing cost ceiling ψ. Paper data points: L4All Q3 and Q9 run
+// 3-4x faster; YAGO Q3 2x; YAGO Q2 drops from 2560ms to 0.6ms.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace omega;
+using namespace omega::bench;
+
+namespace {
+
+void Compare(const GraphStore& graph, const Ontology& ontology,
+             const std::string& name, const std::string& conjunct,
+             TablePrinter* table) {
+  QueryEngineOptions baseline;
+  auto base = RunProtocol(graph, ontology, conjunct, ConjunctMode::kApprox,
+                          baseline);
+  QueryEngineOptions da = baseline;
+  da.distance_aware = true;
+  auto opt = RunProtocol(graph, ontology, conjunct, ConjunctMode::kApprox, da);
+
+  auto cell = [](const ProtocolResult& r) {
+    return r.failed ? std::string("?") : FormatMs(r.total_ms);
+  };
+  std::string speedup = "-";
+  if (!base.failed && !opt.failed && opt.total_ms > 0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.1fx",
+                  base.total_ms / opt.total_ms);
+    speedup = buffer;
+  }
+  table->AddRow({name, cell(base), cell(opt), speedup,
+                 base.failed ? "?" : std::to_string(base.stats.tuples_pushed),
+                 opt.failed ? "?" : std::to_string(opt.stats.tuples_pushed)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== §4.3(a): distance-aware retrieval, APPROX top-100 ==\n");
+  std::printf("   (paper: L4All Q3/Q9 3-4x, YAGO Q3 2x, YAGO Q2 "
+              "2560ms -> 0.6ms)\n");
+  std::printf(
+      "   Note: this engine's D_R already pops strictly by distance with\n"
+      "   final-tuple priority, which captures most of the paper's win; the\n"
+      "   remaining effect shows up as fewer tuple insertions, traded\n"
+      "   against per-round restart costs (see EXPERIMENTS.md).\n\n");
+  TablePrinter table({"Query", "Baseline (ms)", "Distance-aware (ms)",
+                      "Speedup", "Pushed (base)", "Pushed (DA)"});
+
+  const int level = std::min(4, MaxL4AllLevel());
+  const L4AllDataset& l4 = L4All(level);
+  for (const NamedQuery& nq : L4AllQuerySet()) {
+    if (nq.name == "Q3" || nq.name == "Q9") {
+      Compare(l4.graph, l4.ontology,
+              "L4All " + nq.name + " (" + L4AllScaleName(level) + ")",
+              nq.conjunct, &table);
+    }
+  }
+  const YagoDataset& yago = Yago();
+  for (const NamedQuery& nq : YagoQuerySet()) {
+    if (nq.name == "Q2" || nq.name == "Q3") {
+      Compare(yago.graph, yago.ontology, "YAGO " + nq.name, nq.conjunct,
+              &table);
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ranked-join scaling for multi-conjunct queries. The paper describes the
+// ranked join (§3) but reports no numbers for it; this bench characterises
+// top-k multi-conjunct latency vs. chain length and k on L4All data.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "rpq/query_parser.h"
+
+using namespace omega;
+using namespace omega::bench;
+
+namespace {
+
+double TimeQuery(const QueryEngine& engine, const Query& query, size_t k,
+                 size_t* answers) {
+  // Warm-up + 3 timed runs.
+  double total = 0;
+  for (int run = 0; run < 4; ++run) {
+    Timer timer;
+    auto result = engine.ExecuteTopK(query, k);
+    if (!result.ok()) {
+      *answers = 0;
+      return -1;
+    }
+    if (run > 0) total += timer.ElapsedMs();
+    *answers = result->size();
+  }
+  return total / 3;
+}
+
+}  // namespace
+
+int main() {
+  const int level = std::min(2, MaxL4AllLevel());
+  const L4AllDataset& d = L4All(level);
+  QueryEngine engine(&d.graph, &d.ontology);
+
+  std::printf("== Ranked join: multi-conjunct top-k on L4All %s ==\n\n",
+              L4AllScaleName(level).c_str());
+  TablePrinter table({"Query shape", "k", "Time (ms)", "Answers"});
+
+  const std::vector<std::pair<std::string, std::string>> shapes = {
+      {"1 conjunct", "(?A, ?B) <- (?A, next, ?B)"},
+      {"2-chain", "(?A, ?C) <- (?A, next, ?B), (?B, next, ?C)"},
+      {"3-chain",
+       "(?A, ?D) <- (?A, next, ?B), (?B, next, ?C), (?C, next, ?D)"},
+      {"2-chain + APPROX",
+       "(?A, ?C) <- (?A, next, ?B), APPROX (?B, prereq, ?C)"},
+      {"star join",
+       "(?A) <- (?A, job, ?J), (?A, next, ?B), (?B, qualif, ?Q)"},
+  };
+  for (const auto& [name, text] : shapes) {
+    Result<Query> query = ParseQuery(text);
+    if (!query.ok()) {
+      std::printf("parse error for %s: %s\n", name.c_str(),
+                  query.status().ToString().c_str());
+      continue;
+    }
+    for (size_t k : {10u, 100u, 1000u}) {
+      size_t answers = 0;
+      const double ms = TimeQuery(engine, *query, k, &answers);
+      table.AddRow({name, std::to_string(k),
+                    ms < 0 ? "?" : FormatMs(ms), std::to_string(answers)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/timer.h"
+
+namespace omega::bench {
+
+int MaxL4AllLevel() {
+  if (const char* env = std::getenv("OMEGA_L4ALL_MAX_LEVEL")) {
+    const int level = std::atoi(env);
+    if (level >= 1 && level <= 4) return level;
+  }
+  return 4;
+}
+
+double YagoScale() {
+  if (const char* env = std::getenv("OMEGA_YAGO_SCALE")) {
+    const double scale = std::atof(env);
+    if (scale > 0) return scale;
+  }
+  return 0.02;
+}
+
+size_t TupleBudget() {
+  if (const char* env = std::getenv("OMEGA_TUPLE_BUDGET")) {
+    const long long budget = std::atoll(env);
+    if (budget > 0) return static_cast<size_t>(budget);
+  }
+  return 20'000'000;
+}
+
+const L4AllDataset& L4All(int level) {
+  static std::unique_ptr<L4AllDataset> cache[5];
+  if (!cache[level]) {
+    std::fprintf(stderr, "[bench] generating L4All %s ...\n",
+                 L4AllScaleName(level).c_str());
+    cache[level] =
+        std::make_unique<L4AllDataset>(GenerateL4All(L4AllScalePreset(level)));
+    std::fprintf(stderr, "[bench]   %zu nodes, %zu edges\n",
+                 cache[level]->graph.NumNodes(),
+                 cache[level]->graph.NumEdges());
+  }
+  return *cache[level];
+}
+
+const YagoDataset& Yago() {
+  static std::unique_ptr<YagoDataset> cache;
+  if (!cache) {
+    YagoOptions options;
+    options.scale = YagoScale();
+    std::fprintf(stderr, "[bench] generating YAGO (scale %.3f) ...\n",
+                 options.scale);
+    cache = std::make_unique<YagoDataset>(GenerateYago(options));
+    std::fprintf(stderr, "[bench]   %zu nodes, %zu edges\n",
+                 cache->graph.NumNodes(), cache->graph.NumEdges());
+  }
+  return *cache;
+}
+
+ProtocolResult RunProtocol(const GraphStore& graph, const Ontology& ontology,
+                           const std::string& conjunct, ConjunctMode mode,
+                           const QueryEngineOptions& base_options,
+                           size_t top_k, int runs) {
+  ProtocolResult result;
+  Result<Query> query = MakeSingleConjunctQuery(conjunct, mode);
+  if (!query.ok()) {
+    result.failed = true;
+    result.failure = query.status().ToString();
+    return result;
+  }
+  QueryEngine engine(&graph, &ontology);
+  QueryEngineOptions options = base_options;
+  if (options.evaluator.max_live_tuples == 0) {
+    options.evaluator.max_live_tuples = TupleBudget();
+  }
+  const bool exact = mode == ConjunctMode::kExact;
+  if (!exact && options.evaluator.top_k_hint == 0) {
+    options.evaluator.top_k_hint = top_k;
+  }
+
+  double init_total = 0, batch_total = 0, run_total = 0;
+  size_t batches_counted = 0;
+  int timed_runs = 0;
+  for (int run = 0; run < runs; ++run) {
+    const bool timed = run > 0;  // run 1 is the cache warm-up
+    Timer run_timer;
+    Timer init_timer;
+    Result<std::unique_ptr<QueryResultStream>> stream =
+        engine.Execute(*query, options);
+    if (!stream.ok()) {
+      result.failed = true;
+      result.failure = stream.status().ToString();
+      return result;
+    }
+    const double init_ms = init_timer.ElapsedMs();
+
+    std::vector<QueryAnswer> answers;
+    QueryAnswer answer;
+    double run_batch_total = 0;
+    size_t run_batches = 0;
+    bool exhausted = false;
+    while (!exhausted && (exact || answers.size() < top_k)) {
+      Timer batch_timer;
+      const size_t target =
+          exact ? std::numeric_limits<size_t>::max() : answers.size() + 10;
+      while (answers.size() < target) {
+        if (!(*stream)->Next(&answer)) {
+          exhausted = true;
+          break;
+        }
+        answers.push_back(answer);
+      }
+      run_batch_total += batch_timer.ElapsedMs();
+      ++run_batches;
+    }
+    if (!(*stream)->status().ok()) {
+      result.failed = true;
+      result.failure = (*stream)->status().ToString();
+      return result;
+    }
+
+    if (run == 0) {
+      result.answers = answers.size();
+      for (const QueryAnswer& a : answers) ++result.per_distance[a.distance];
+      result.stats = (*stream)->stats();
+    }
+    if (timed) {
+      ++timed_runs;
+      init_total += init_ms;
+      batch_total += run_batch_total / static_cast<double>(
+                                           std::max<size_t>(1, run_batches));
+      batches_counted += run_batches;
+      run_total += run_timer.ElapsedMs();
+    }
+  }
+  if (timed_runs > 0) {
+    result.init_ms = init_total / timed_runs;
+    result.mean_batch_ms = batch_total / timed_runs;
+    result.total_ms = run_total / timed_runs;
+  }
+  return result;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < widths.size(); ++c) {
+    std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+std::string DistanceBreakdown(const std::map<Cost, size_t>& per_distance) {
+  std::string out;
+  for (const auto& [distance, count] : per_distance) {
+    if (distance == 0) continue;
+    if (!out.empty()) out += "  ";
+    out += std::to_string(distance) + " (" + std::to_string(count) + ")";
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string FormatMs(double ms) {
+  char buffer[64];
+  if (ms < 10) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", ms);
+  } else if (ms < 1000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", ms);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", ms);
+  }
+  return buffer;
+}
+
+}  // namespace omega::bench

@@ -1,0 +1,97 @@
+// L4All explorer: generates the paper's first case-study dataset and runs
+// any of the Fig. 4 queries in any mode.
+//
+//   $ ./build/examples/l4all_explorer                 # run the whole set
+//   $ ./build/examples/l4all_explorer Q9 APPROX 20    # one query, top-20
+//   $ ./build/examples/l4all_explorer Q10 RELAX 10 2  # ... on L2
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/timer.h"
+#include "datasets/l4all.h"
+#include "datasets/query_sets.h"
+#include "eval/query_engine.h"
+
+using namespace omega;
+
+namespace {
+
+void RunOne(const L4AllDataset& dataset, const NamedQuery& nq,
+            ConjunctMode mode, size_t top_k) {
+  Result<Query> query = MakeSingleConjunctQuery(nq.conjunct, mode);
+  if (!query.ok()) {
+    std::printf("%s: %s\n", nq.name.c_str(),
+                query.status().ToString().c_str());
+    return;
+  }
+  QueryEngine engine(&dataset.graph, &dataset.ontology);
+  QueryEngineOptions options;
+  options.evaluator.max_live_tuples = 20000000;
+
+  Timer timer;
+  Result<std::vector<QueryAnswer>> answers =
+      engine.ExecuteTopK(*query, top_k, options);
+  const double ms = timer.ElapsedMs();
+  if (!answers.ok()) {
+    std::printf("%-4s %-7s -> failed: %s\n", nq.name.c_str(),
+                ConjunctModeToString(mode),
+                answers.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-4s %-7s -> %3zu answers in %8.2f ms   %s\n",
+              nq.name.c_str(), ConjunctModeToString(mode), answers->size(),
+              ms, nq.conjunct.c_str());
+  size_t shown = 0;
+  for (const QueryAnswer& a : *answers) {
+    if (++shown > 5) {
+      std::printf("       ...\n");
+      break;
+    }
+    std::printf("       d=%d", a.distance);
+    for (NodeId n : a.bindings) {
+      std::printf("  %s", std::string(dataset.graph.NodeLabel(n)).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+ConjunctMode ParseMode(const std::string& text) {
+  if (text == "APPROX") return ConjunctMode::kApprox;
+  if (text == "RELAX") return ConjunctMode::kRelax;
+  return ConjunctMode::kExact;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int level = argc > 4 ? std::atoi(argv[4]) : 1;
+  std::printf("Generating L4All %s ...\n", L4AllScaleName(level).c_str());
+  const L4AllDataset dataset = GenerateL4All(L4AllScalePreset(level));
+  std::printf("  %zu nodes, %zu edges\n\n", dataset.graph.NumNodes(),
+              dataset.graph.NumEdges());
+
+  if (argc > 1) {
+    const std::string name = argv[1];
+    const ConjunctMode mode = ParseMode(argc > 2 ? argv[2] : "EXACT");
+    const size_t top_k = argc > 3 ? static_cast<size_t>(std::atoi(argv[3]))
+                                  : 10;
+    for (const NamedQuery& nq : L4AllQuerySet()) {
+      if (nq.name == name) {
+        RunOne(dataset, nq, mode, top_k);
+        return 0;
+      }
+    }
+    std::printf("unknown query %s (try Q1..Q12)\n", name.c_str());
+    return 1;
+  }
+
+  for (const NamedQuery& nq : L4AllQuerySet()) {
+    for (ConjunctMode mode : {ConjunctMode::kExact, ConjunctMode::kApprox,
+                              ConjunctMode::kRelax}) {
+      RunOne(dataset, nq, mode, 10);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

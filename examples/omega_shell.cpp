@@ -1,0 +1,273 @@
+// The console layer of the paper's Figure 1: an interactive shell that
+// loads or generates a dataset, accepts CRP queries with APPROX/RELAX, and
+// returns answers incrementally in batches — "results are returned
+// incrementally to the user in order of their increasing edit or relaxation
+// distance, with users being able to specify a limit on the number of
+// results returned in each phase".
+//
+//   $ ./build/examples/omega_shell                  # starts with L4All L1
+//   omega> .help
+//   omega> (?X) <- APPROX (Librarians, type-, ?X)
+//   omega> .more                                    # next batch
+//
+// Also usable non-interactively:
+//   $ echo '(?X) <- RELAX (Librarians, type-, ?X)' | ./build/examples/omega_shell
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "datasets/l4all.h"
+#include "datasets/yago.h"
+#include "eval/query_engine.h"
+#include "ontology/ontology_io.h"
+#include "rpq/query_parser.h"
+#include "store/graph_io.h"
+
+using namespace omega;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() {
+    std::fprintf(stderr, "loading default dataset (L4All L1) ...\n");
+    L4AllDataset dataset = GenerateL4All(L4AllScalePreset(1));
+    graph_ = std::make_unique<GraphStore>(std::move(dataset.graph));
+    ontology_ = std::make_unique<Ontology>(std::move(dataset.ontology));
+    RebuildEngine();
+  }
+
+  int Run() {
+    std::string line;
+    while (Prompt(), std::getline(std::cin, line)) {
+      const std::string text{StripWhitespace(line)};
+      if (text.empty()) continue;
+      if (text == ".quit" || text == ".exit") break;
+      if (text[0] == '.') {
+        Command(text);
+      } else {
+        Query(text);
+      }
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt() const {
+    if (interactive_) std::printf("omega> ");
+  }
+
+  void RebuildEngine() {
+    engine_ = std::make_unique<QueryEngine>(graph_.get(), ontology_.get());
+    stream_.reset();
+    std::fprintf(stderr, "dataset: %zu nodes, %zu edges, %zu labels\n",
+                 graph_->NumNodes(), graph_->NumEdges(),
+                 graph_->labels().size());
+  }
+
+  void Command(const std::string& text) {
+    auto words = Split(text, ' ', /*trim=*/true);
+    const std::string& cmd = words[0];
+    if (cmd == ".help") {
+      std::printf(
+          "  <query>                   e.g. (?X) <- APPROX (UK, a-.b, ?X)\n"
+          "  .more                     next batch of the current query\n"
+          "  .batch N                  answers per batch (default 10)\n"
+          "  .gen l4all LEVEL          generate L4All L1..L4\n"
+          "  .gen yago SCALE           generate the YAGO-like graph\n"
+          "  .load GRAPH [ONTOLOGY]    load omega-graph-v1 / ontology files\n"
+          "  .save GRAPH [ONTOLOGY]    save the current dataset\n"
+          "  .costs INS DEL SUB        APPROX edit costs (default 1 1 1)\n"
+          "  .opt da|disjunction on|off   toggle the §4.3 optimisations\n"
+          "  .budget N                 live-tuple budget (0 = unlimited)\n"
+          "  .stats                    evaluator counters of the last query\n"
+          "  .node LABEL               inspect a node's edges\n"
+          "  .quit\n");
+    } else if (cmd == ".more") {
+      Fetch();
+    } else if (cmd == ".batch" && words.size() == 2) {
+      batch_size_ = std::max(1, std::atoi(words[1].c_str()));
+      std::printf("batch size %zu\n", batch_size_);
+    } else if (cmd == ".gen" && words.size() >= 2 && words[1] == "l4all") {
+      const int level = words.size() > 2 ? std::atoi(words[2].c_str()) : 1;
+      if (level < 1 || level > 4) {
+        std::printf("level must be 1..4\n");
+        return;
+      }
+      L4AllDataset dataset = GenerateL4All(L4AllScalePreset(level));
+      graph_ = std::make_unique<GraphStore>(std::move(dataset.graph));
+      ontology_ = std::make_unique<Ontology>(std::move(dataset.ontology));
+      RebuildEngine();
+    } else if (cmd == ".gen" && words.size() >= 2 && words[1] == "yago") {
+      YagoOptions options;
+      if (words.size() > 2) options.scale = std::atof(words[2].c_str());
+      YagoDataset dataset = GenerateYago(options);
+      graph_ = std::make_unique<GraphStore>(std::move(dataset.graph));
+      ontology_ = std::make_unique<Ontology>(std::move(dataset.ontology));
+      RebuildEngine();
+    } else if (cmd == ".load" && words.size() >= 2) {
+      Result<GraphStore> graph = LoadGraph(words[1]);
+      if (!graph.ok()) {
+        std::printf("%s\n", graph.status().ToString().c_str());
+        return;
+      }
+      std::unique_ptr<Ontology> ontology;
+      if (words.size() > 2) {
+        Result<Ontology> loaded = LoadOntology(words[2]);
+        if (!loaded.ok()) {
+          std::printf("%s\n", loaded.status().ToString().c_str());
+          return;
+        }
+        ontology = std::make_unique<Ontology>(std::move(loaded).value());
+      } else {
+        ontology = std::make_unique<Ontology>();  // empty: RELAX unavailable
+      }
+      graph_ = std::make_unique<GraphStore>(std::move(graph).value());
+      ontology_ = std::move(ontology);
+      RebuildEngine();
+    } else if (cmd == ".save" && words.size() >= 2) {
+      Status status = SaveGraph(*graph_, words[1]);
+      if (status.ok() && words.size() > 2) {
+        status = SaveOntology(*ontology_, words[2]);
+      }
+      std::printf("%s\n", status.ToString().c_str());
+    } else if (cmd == ".costs" && words.size() == 4) {
+      options_.evaluator.approx.insertion_cost = std::atoi(words[1].c_str());
+      options_.evaluator.approx.deletion_cost = std::atoi(words[2].c_str());
+      options_.evaluator.approx.substitution_cost =
+          std::atoi(words[3].c_str());
+      std::printf("APPROX costs: ins=%d del=%d sub=%d\n",
+                  options_.evaluator.approx.insertion_cost,
+                  options_.evaluator.approx.deletion_cost,
+                  options_.evaluator.approx.substitution_cost);
+    } else if (cmd == ".opt" && words.size() == 3) {
+      const bool on = words[2] == "on";
+      if (words[1] == "da") {
+        options_.distance_aware = on;
+      } else if (words[1] == "disjunction") {
+        options_.decompose_alternation = on;
+      }
+      std::printf("distance-aware=%d decompose-alternation=%d\n",
+                  options_.distance_aware, options_.decompose_alternation);
+    } else if (cmd == ".budget" && words.size() == 2) {
+      options_.evaluator.max_live_tuples =
+          static_cast<size_t>(std::atoll(words[1].c_str()));
+      std::printf("budget %zu live tuples\n",
+                  options_.evaluator.max_live_tuples);
+    } else if (cmd == ".stats") {
+      if (stream_ == nullptr) {
+        std::printf("no active query\n");
+        return;
+      }
+      const EvaluatorStats stats = stream_->stats();
+      std::printf(
+          "tuples popped %llu, pushed %llu, expansions %llu, neighbour "
+          "fetches %llu, seeds %llu, max |D_R| %llu, rounds %llu\n",
+          static_cast<unsigned long long>(stats.tuples_popped),
+          static_cast<unsigned long long>(stats.tuples_pushed),
+          static_cast<unsigned long long>(stats.succ_expansions),
+          static_cast<unsigned long long>(stats.neighbor_group_fetches),
+          static_cast<unsigned long long>(stats.seeds_added),
+          static_cast<unsigned long long>(stats.max_dictionary_size),
+          static_cast<unsigned long long>(stats.rounds));
+    } else if (cmd == ".node" && words.size() >= 2) {
+      // Node labels may contain spaces: rejoin the remaining words.
+      std::vector<std::string> rest(words.begin() + 1, words.end());
+      InspectNode(Join(rest, " "));
+    } else {
+      std::printf("unknown command (try .help)\n");
+    }
+  }
+
+  void InspectNode(const std::string& label) {
+    auto node = graph_->FindNode(label);
+    if (!node) {
+      std::printf("no node labelled '%s'\n", label.c_str());
+      return;
+    }
+    std::printf("node #%u '%s', degree %zu\n", *node, label.c_str(),
+                graph_->Degree(*node));
+    for (LabelId l = 0; l < graph_->labels().size(); ++l) {
+      for (NodeId m : graph_->Neighbors(*node, l, Direction::kOutgoing)) {
+        std::printf("  --%s--> %s\n",
+                    std::string(graph_->labels().Name(l)).c_str(),
+                    std::string(graph_->NodeLabel(m)).c_str());
+      }
+      for (NodeId m : graph_->Neighbors(*node, l, Direction::kIncoming)) {
+        std::printf("  <--%s-- %s\n",
+                    std::string(graph_->labels().Name(l)).c_str(),
+                    std::string(graph_->NodeLabel(m)).c_str());
+      }
+    }
+  }
+
+  void Query(const std::string& text) {
+    Result<omega::Query> query = ParseQuery(text);
+    if (!query.ok()) {
+      std::printf("%s\n", query.status().ToString().c_str());
+      return;
+    }
+    Result<std::unique_ptr<QueryResultStream>> stream =
+        engine_->Execute(*query, options_);
+    if (!stream.ok()) {
+      std::printf("%s\n", stream.status().ToString().c_str());
+      return;
+    }
+    stream_ = std::move(stream).value();
+    emitted_ = 0;
+    Fetch();
+  }
+
+  void Fetch() {
+    if (stream_ == nullptr) {
+      std::printf("no active query\n");
+      return;
+    }
+    Timer timer;
+    QueryAnswer answer;
+    size_t in_batch = 0;
+    while (in_batch < batch_size_ && stream_->Next(&answer)) {
+      ++in_batch;
+      std::printf("  #%zu  d=%d ", ++emitted_, answer.distance);
+      for (size_t i = 0; i < answer.bindings.size(); ++i) {
+        std::printf(" ?%s=%s", stream_->head()[i].c_str(),
+                    std::string(graph_->NodeLabel(answer.bindings[i]))
+                        .c_str());
+      }
+      std::printf("\n");
+    }
+    if (!stream_->status().ok()) {
+      std::printf("query failed: %s\n",
+                  stream_->status().ToString().c_str());
+      stream_.reset();
+      return;
+    }
+    if (in_batch < batch_size_) {
+      std::printf("(no more answers; %zu total, %.2f ms)\n", emitted_,
+                  timer.ElapsedMs());
+      stream_.reset();
+    } else {
+      std::printf("(batch of %zu in %.2f ms; .more for the next batch)\n",
+                  in_batch, timer.ElapsedMs());
+    }
+  }
+
+  std::unique_ptr<GraphStore> graph_;
+  std::unique_ptr<Ontology> ontology_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<QueryResultStream> stream_;
+  QueryEngineOptions options_;
+  size_t batch_size_ = 10;
+  size_t emitted_ = 0;
+  bool interactive_ = isatty(0);
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

@@ -1,0 +1,69 @@
+// Ranked-join demo: multi-conjunct CRP queries with mixed exact and flexible
+// conjuncts, streaming answers in non-decreasing total distance — the
+// "ranked join for multi-conjunct queries" of §3.
+//
+//   $ ./build/examples/rankjoin_demo
+#include <cstdio>
+
+#include "datasets/l4all.h"
+#include "eval/query_engine.h"
+#include "rpq/query_parser.h"
+
+using namespace omega;
+
+namespace {
+
+void Stream(const L4AllDataset& d, const std::string& text, size_t top_k) {
+  std::printf("query: %s\n", text.c_str());
+  Result<Query> query = ParseQuery(text);
+  if (!query.ok()) {
+    std::printf("  parse error: %s\n\n", query.status().ToString().c_str());
+    return;
+  }
+  QueryEngine engine(&d.graph, &d.ontology);
+  Result<std::unique_ptr<QueryResultStream>> stream = engine.Execute(*query);
+  if (!stream.ok()) {
+    std::printf("  failed: %s\n\n", stream.status().ToString().c_str());
+    return;
+  }
+  QueryAnswer answer;
+  size_t count = 0;
+  while (count < top_k && (*stream)->Next(&answer)) {
+    std::printf("  #%zu  total distance %d:", ++count, answer.distance);
+    for (size_t i = 0; i < answer.bindings.size(); ++i) {
+      std::printf("  ?%s=%s", (*stream)->head()[i].c_str(),
+                  std::string(d.graph.NodeLabel(answer.bindings[i])).c_str());
+    }
+    std::printf("\n");
+  }
+  if (count == 0) std::printf("  (no answers)\n");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating L4All L1 ...\n");
+  const L4AllDataset dataset = GenerateL4All(L4AllScalePreset(1));
+  std::printf("  %zu nodes, %zu edges\n\n", dataset.graph.NumNodes(),
+              dataset.graph.NumEdges());
+
+  // Chains of episodes: who follows whom.
+  Stream(dataset, "(?A, ?B) <- (?A, next, ?B), (?B, qualif, ?Q)", 5);
+
+  // Join an exact conjunct with an APPROXed one: prerequisites that are
+  // *nearly* direct successors rank by how many edits were needed.
+  Stream(dataset,
+         "(?A, ?C) <- (?A, next, ?B), APPROX (?B, prereq, ?C)", 8);
+
+  // Mix RELAX in: episodes classified under (a relaxation of) Librarians
+  // that lead somewhere via next.
+  Stream(dataset,
+         "(?E, ?F) <- RELAX (Librarians, type-.job-, ?E), (?E, next, ?F)",
+         8);
+
+  // Same variable on both ends: episodes in a prereq cycle (none, in a
+  // well-formed timeline).
+  Stream(dataset, "(?X) <- (?X, prereq+, ?X)", 5);
+  return 0;
+}

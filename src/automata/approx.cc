@@ -1,0 +1,74 @@
+#include "automata/approx.h"
+
+#include <cassert>
+
+#include "automata/epsilon_removal.h"
+
+namespace omega {
+namespace {
+
+bool ConsumesEdge(const NfaTransition& t) {
+  return t.kind != TransitionKind::kEpsilon;
+}
+
+}  // namespace
+
+Nfa BuildApproxAutomaton(const Nfa& exact, const ApproxOptions& options) {
+  assert(!exact.HasEpsilonTransitions());
+
+  Nfa a;
+  for (StateId s = 0; s < exact.NumStates(); ++s) {
+    const StateId copy = a.AddState();
+    (void)copy;
+    assert(copy == s);
+    if (exact.IsFinal(s)) a.MakeFinal(s, exact.FinalWeight(s));
+  }
+  a.SetInitial(exact.initial());
+
+  for (StateId s = 0; s < exact.NumStates(); ++s) {
+    // Insertion: consume any extra edge (any label, either direction)
+    // without advancing in the query.
+    a.AddAnyBothDirs(s, s, options.insertion_cost);
+
+    for (const NfaTransition& t : exact.Out(s)) {
+      a.AddTransition(s, t);  // the exact transition, cost unchanged
+      if (!ConsumesEdge(t)) continue;
+      // Substitution: consume any one edge instead of this one.
+      a.AddAnyBothDirs(s, t.to, options.substitution_cost);
+      // Deletion: skip this query symbol without consuming an edge.
+      a.AddEpsilon(s, t.to, options.deletion_cost);
+    }
+  }
+
+  if (options.enable_transposition) {
+    // For each two-step path (s -a-> t -b-> u) in the exact automaton, allow
+    // consuming b then a at transposition cost. New intermediate states are
+    // appended after the copied ones.
+    for (StateId s = 0; s < exact.NumStates(); ++s) {
+      for (const NfaTransition& first : exact.Out(s)) {
+        if (!ConsumesEdge(first)) continue;
+        for (const NfaTransition& second : exact.Out(first.to)) {
+          if (!ConsumesEdge(second)) continue;
+          const StateId mid = a.AddState();
+          NfaTransition swapped_first = second;
+          swapped_first.to = mid;
+          swapped_first.cost = options.transposition_cost;
+          a.AddTransition(s, swapped_first);
+          NfaTransition swapped_second = first;
+          swapped_second.to = second.to;
+          swapped_second.cost = 0;
+          a.AddTransition(mid, swapped_second);
+        }
+      }
+    }
+  }
+
+  if (exact.source_constant()) a.SetSourceConstant(*exact.source_constant());
+  if (exact.target_constant()) a.SetTargetConstant(*exact.target_constant());
+  a.SetEntailmentMatching(exact.entailment_matching());
+
+  // Fold the deletion ε-transitions into weights (second ε-removal pass).
+  return RemoveEpsilons(a);
+}
+
+}  // namespace omega

@@ -1,0 +1,37 @@
+// APPROX: augments an ε-free query NFA M_R into the approximate automaton
+// A_R (Hurtado, Poulovassilis & Wood, ESWC 2009). Edit operations on the
+// regular expression become extra weighted transitions:
+//
+//   insertion     — at every state, a self-loop consuming any label in either
+//                   direction (the paper's compact `*` wildcard transition);
+//   substitution  — for every edge-consuming transition (s, a, t), a parallel
+//                   `*` transition (s, *, t), so `a` can be replaced by any
+//                   label or reversal;
+//   deletion      — for every edge-consuming transition (s, a, t), an
+//                   ε-transition (s, ε, t), folded by a second ε-removal pass
+//                   into weighted transitions and final-state weights;
+//   transposition — (optional extension, off by default as in the paper's
+//                   experiments) for consecutive (s,a,t),(t,b,u), a two-step
+//                   path consuming b then a.
+#ifndef OMEGA_AUTOMATA_APPROX_H_
+#define OMEGA_AUTOMATA_APPROX_H_
+
+#include "automata/nfa.h"
+
+namespace omega {
+
+/// Edit-operation costs (the paper's performance study uses 1 for each).
+struct ApproxOptions {
+  Cost insertion_cost = 1;
+  Cost deletion_cost = 1;
+  Cost substitution_cost = 1;
+  bool enable_transposition = false;
+  Cost transposition_cost = 1;
+};
+
+/// Builds A_R from an ε-free M_R. The result is ε-free and sorted.
+Nfa BuildApproxAutomaton(const Nfa& exact, const ApproxOptions& options);
+
+}  // namespace omega
+
+#endif  // OMEGA_AUTOMATA_APPROX_H_

@@ -1,0 +1,149 @@
+#include "automata/epsilon_removal.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+namespace omega {
+namespace {
+
+/// Dijkstra over ε-edges only: cheapest ε-cost from `from` to every state.
+std::vector<Cost> EpsilonClosure(const Nfa& nfa, StateId from) {
+  std::vector<Cost> dist(nfa.NumStates(), kInfiniteCost);
+  using Entry = std::pair<Cost, StateId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[from] = 0;
+  heap.emplace(0, from);
+  while (!heap.empty()) {
+    auto [d, s] = heap.top();
+    heap.pop();
+    if (d > dist[s]) continue;
+    for (const NfaTransition& t : nfa.Out(s)) {
+      if (t.kind != TransitionKind::kEpsilon) continue;
+      const Cost nd = d + t.cost;
+      if (nd < dist[t.to]) {
+        dist[t.to] = nd;
+        heap.emplace(nd, t.to);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Key identifying a transition's effect (everything except its cost).
+using TransitionKey =
+    std::tuple<StateId, TransitionKind, Direction, LabelId, NodeId, StateId>;
+
+TransitionKey KeyOf(StateId from, const NfaTransition& t) {
+  return {from, t.kind, t.dir, t.label, t.class_node, t.to};
+}
+
+}  // namespace
+
+Nfa RemoveEpsilons(const Nfa& input) {
+  const size_t n = input.NumStates();
+
+  // 1. For every state, fold ε-closures into direct transitions and final
+  //    weights, collapsing duplicates onto their minimum cost.
+  std::map<TransitionKey, NfaTransition> transitions;
+  std::vector<bool> is_final(n, false);
+  std::vector<Cost> final_weight(n, kInfiniteCost);
+
+  for (StateId s = 0; s < n; ++s) {
+    const std::vector<Cost> closure = EpsilonClosure(input, s);
+    for (StateId u = 0; u < n; ++u) {
+      if (closure[u] >= kInfiniteCost) continue;
+      if (input.IsFinal(u)) {
+        is_final[s] = true;
+        final_weight[s] =
+            std::min(final_weight[s], closure[u] + input.FinalWeight(u));
+      }
+      for (const NfaTransition& t : input.Out(u)) {
+        if (t.kind == TransitionKind::kEpsilon) continue;
+        NfaTransition nt = t;
+        nt.cost = closure[u] + t.cost;
+        auto [it, inserted] = transitions.try_emplace(KeyOf(s, nt), nt);
+        if (!inserted) it->second.cost = std::min(it->second.cost, nt.cost);
+      }
+    }
+  }
+
+  // 2. Forward reachability from the initial state over the new transitions.
+  std::vector<bool> reachable(n, false);
+  {
+    std::vector<StateId> stack{input.initial()};
+    reachable[input.initial()] = true;
+    // Adjacency over collapsed transitions.
+    std::vector<std::vector<StateId>> next(n);
+    for (const auto& [key, t] : transitions) {
+      next[std::get<0>(key)].push_back(t.to);
+    }
+    while (!stack.empty()) {
+      const StateId s = stack.back();
+      stack.pop_back();
+      for (StateId to : next[s]) {
+        if (!reachable[to]) {
+          reachable[to] = true;
+          stack.push_back(to);
+        }
+      }
+    }
+  }
+
+  // 3. Co-reachability: states from which some final state is reachable.
+  std::vector<bool> useful(n, false);
+  {
+    std::vector<std::vector<StateId>> prev(n);
+    for (const auto& [key, t] : transitions) {
+      prev[t.to].push_back(std::get<0>(key));
+    }
+    std::vector<StateId> stack;
+    for (StateId s = 0; s < n; ++s) {
+      if (is_final[s]) {
+        useful[s] = true;
+        stack.push_back(s);
+      }
+    }
+    while (!stack.empty()) {
+      const StateId s = stack.back();
+      stack.pop_back();
+      for (StateId from : prev[s]) {
+        if (!useful[from]) {
+          useful[from] = true;
+          stack.push_back(from);
+        }
+      }
+    }
+  }
+
+  // 4. Renumber kept states (initial always kept) and emit.
+  std::vector<StateId> remap(n, kInvalidState);
+  Nfa out;
+  for (StateId s = 0; s < n; ++s) {
+    if ((reachable[s] && useful[s]) || s == input.initial()) {
+      remap[s] = out.AddState();
+    }
+  }
+  out.SetInitial(remap[input.initial()]);
+  for (StateId s = 0; s < n; ++s) {
+    if (remap[s] == kInvalidState) continue;
+    if (is_final[s]) out.MakeFinal(remap[s], final_weight[s]);
+  }
+  for (const auto& [key, t] : transitions) {
+    const StateId from = std::get<0>(key);
+    if (remap[from] == kInvalidState || remap[t.to] == kInvalidState) continue;
+    NfaTransition nt = t;
+    nt.to = remap[t.to];
+    out.AddTransition(remap[from], nt);
+  }
+
+  if (input.source_constant()) out.SetSourceConstant(*input.source_constant());
+  if (input.target_constant()) out.SetTargetConstant(*input.target_constant());
+  out.SetEntailmentMatching(input.entailment_matching());
+  out.SortTransitions();
+  return out;
+}
+
+}  // namespace omega

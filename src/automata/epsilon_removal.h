@@ -1,0 +1,21 @@
+// Weighted ε-removal. APPROX deletion operations introduce ε-transitions
+// with positive costs, so ε-closures are computed with Dijkstra and the
+// cheapest ε-path from a state to a final state becomes that state's *final
+// weight* (§3.3: "the removal of ε-transitions may result in final states
+// having an additional, positive weight").
+#ifndef OMEGA_AUTOMATA_EPSILON_REMOVAL_H_
+#define OMEGA_AUTOMATA_EPSILON_REMOVAL_H_
+
+#include "automata/nfa.h"
+
+namespace omega {
+
+/// Returns an equivalent NFA with no ε-transitions. States unreachable from
+/// the initial state, and states from which no final state can be reached,
+/// are pruned (the initial state is always kept). Duplicate transitions keep
+/// their minimum cost. Conjunct annotations and flags are preserved.
+Nfa RemoveEpsilons(const Nfa& input);
+
+}  // namespace omega
+
+#endif  // OMEGA_AUTOMATA_EPSILON_REMOVAL_H_

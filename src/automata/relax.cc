@@ -1,0 +1,57 @@
+#include "automata/relax.h"
+
+#include <cassert>
+
+namespace omega {
+
+Nfa BuildRelaxAutomaton(const Nfa& exact, const BoundOntology& ontology,
+                        const RelaxOptions& options) {
+  assert(!exact.HasEpsilonTransitions());
+
+  Nfa relaxed;
+  for (StateId s = 0; s < exact.NumStates(); ++s) {
+    const StateId copy = relaxed.AddState();
+    (void)copy;
+    assert(copy == s);
+    if (exact.IsFinal(s)) relaxed.MakeFinal(s, exact.FinalWeight(s));
+  }
+  relaxed.SetInitial(exact.initial());
+
+  for (StateId s = 0; s < exact.NumStates(); ++s) {
+    for (const NfaTransition& t : exact.Out(s)) {
+      relaxed.AddTransition(s, t);
+      if (t.kind != TransitionKind::kLabel || t.label == kInvalidLabel ||
+          t.label == LabelDictionary::kTypeLabel) {
+        continue;
+      }
+      // sp rule: generalise p to each strict superproperty.
+      for (const auto& [ancestor, steps] : ontology.LabelAncestors(t.label)) {
+        NfaTransition generalised = t;
+        generalised.label = ancestor;
+        generalised.cost = t.cost + static_cast<Cost>(steps) * options.beta;
+        relaxed.AddTransition(s, generalised);
+      }
+      // dom/range rule: replace p by a constrained type edge.
+      if (options.enable_domain_range) {
+        const auto klass = t.dir == Direction::kOutgoing
+                               ? ontology.DomainNodeOf(t.label)
+                               : ontology.RangeNodeOf(t.label);
+        if (klass) {
+          relaxed.AddConstrainedType(s, t.to, *klass, t.cost + options.gamma);
+        }
+      }
+    }
+  }
+
+  if (exact.source_constant()) {
+    relaxed.SetSourceConstant(*exact.source_constant());
+  }
+  if (exact.target_constant()) {
+    relaxed.SetTargetConstant(*exact.target_constant());
+  }
+  relaxed.SetEntailmentMatching(true);
+  relaxed.SortTransitions();
+  return relaxed;
+}
+
+}  // namespace omega

@@ -1,0 +1,50 @@
+// RELAX: augments an ε-free query NFA M_R into M^K_R using the ontology K
+// (Poulovassilis & Wood, ISWC 2010). Three RDFS-based relaxation rules:
+//
+//   sp rule (cost β per step)  — a transition labelled with property p gains
+//       parallel transitions labelled with each strict superproperty q of p
+//       (same direction), at cost steps(p,q) * β. Evaluation then matches q
+//       under entailment: any edge whose label is in down_sp(q) satisfies it,
+//       which is how Example 3's gradFrom ~> relationLocatedByObject starts
+//       matching sibling properties such as happenedIn.
+//
+//   sc rule (cost β per step)  — relaxes *class constants*: for a conjunct
+//       (C, R, ?X) with C a class node, evaluation seeds the traversal from
+//       every ancestor class of C at distance steps * β (the GetAncestors
+//       call in the paper's Open procedure); `type`/`type-` edges match under
+//       entailment (instances of descendant classes). This rule lives in the
+//       evaluator's Open, not in the automaton — constants only occur at
+//       conjunct endpoints in this query language.
+//
+//   dom/range rule (cost γ)    — "replacing a property label by a type edge
+//       with target the property's domain or range class": a forward
+//       transition labelled p gains a constrained-`type` transition whose
+//       target class must lie in down_sc(dom(p)); a reverse transition p-
+//       gains one constrained to down_sc(range(p)). Off by default — the
+//       paper's experiments apply only rules of type (i).
+#ifndef OMEGA_AUTOMATA_RELAX_H_
+#define OMEGA_AUTOMATA_RELAX_H_
+
+#include "automata/nfa.h"
+#include "ontology/ontology.h"
+
+namespace omega {
+
+struct RelaxOptions {
+  /// Cost of one sc/sp generalisation step (the paper's β; 1 in §4).
+  Cost beta = 1;
+  /// Cost of a dom/range replacement (the paper's γ).
+  Cost gamma = 1;
+  /// Rules of type (ii); the paper implements them but benchmarks only
+  /// rule (i), so they default off.
+  bool enable_domain_range = false;
+};
+
+/// Builds M^K_R from an ε-free M_R. The result is ε-free, sorted, and has
+/// entailment matching enabled.
+Nfa BuildRelaxAutomaton(const Nfa& exact, const BoundOntology& ontology,
+                        const RelaxOptions& options);
+
+}  // namespace omega
+
+#endif  // OMEGA_AUTOMATA_RELAX_H_

@@ -1,0 +1,98 @@
+#include "automata/thompson.h"
+
+namespace omega {
+namespace {
+
+struct Fragment {
+  StateId start;
+  StateId end;
+};
+
+class Builder {
+ public:
+  Builder(Nfa* nfa, const LabelDictionary* labels,
+          const BoundOntology* ontology)
+      : nfa_(nfa), labels_(labels), ontology_(ontology) {}
+
+  Fragment Build(const RegexNode& node) {
+    switch (node.op) {
+      case RegexOp::kEpsilon: {
+        Fragment f = NewFragment();
+        nfa_->AddEpsilon(f.start, f.end);
+        return f;
+      }
+      case RegexOp::kLabel: {
+        Fragment f = NewFragment();
+        auto label = labels_->Find(node.label);
+        if (!label && ontology_ != nullptr) {
+          label = ontology_->FindSyntheticLabel(node.label);
+        }
+        nfa_->AddLabel(f.start, f.end, label.value_or(kInvalidLabel),
+                       node.dir);
+        return f;
+      }
+      case RegexOp::kWildcard: {
+        Fragment f = NewFragment();
+        nfa_->AddAnyLabel(f.start, f.end, node.dir);
+        return f;
+      }
+      case RegexOp::kConcat: {
+        Fragment whole = Build(*node.children[0]);
+        for (size_t i = 1; i < node.children.size(); ++i) {
+          Fragment next = Build(*node.children[i]);
+          nfa_->AddEpsilon(whole.end, next.start);
+          whole.end = next.end;
+        }
+        return whole;
+      }
+      case RegexOp::kAlternation: {
+        Fragment f = NewFragment();
+        for (const RegexPtr& child : node.children) {
+          Fragment branch = Build(*child);
+          nfa_->AddEpsilon(f.start, branch.start);
+          nfa_->AddEpsilon(branch.end, f.end);
+        }
+        return f;
+      }
+      case RegexOp::kStar: {
+        Fragment f = NewFragment();
+        Fragment body = Build(*node.children[0]);
+        nfa_->AddEpsilon(f.start, f.end);
+        nfa_->AddEpsilon(f.start, body.start);
+        nfa_->AddEpsilon(body.end, body.start);
+        nfa_->AddEpsilon(body.end, f.end);
+        return f;
+      }
+      case RegexOp::kPlus: {
+        Fragment f = NewFragment();
+        Fragment body = Build(*node.children[0]);
+        nfa_->AddEpsilon(f.start, body.start);
+        nfa_->AddEpsilon(body.end, body.start);
+        nfa_->AddEpsilon(body.end, f.end);
+        return f;
+      }
+    }
+    return NewFragment();  // unreachable
+  }
+
+ private:
+  Fragment NewFragment() { return {nfa_->AddState(), nfa_->AddState()}; }
+
+  Nfa* nfa_;
+  const LabelDictionary* labels_;
+  const BoundOntology* ontology_;
+};
+
+}  // namespace
+
+Nfa BuildThompsonNfa(const RegexNode& regex, const LabelDictionary& labels,
+                     const BoundOntology* ontology) {
+  Nfa nfa;
+  Builder builder(&nfa, &labels, ontology);
+  Fragment f = builder.Build(regex);
+  nfa.SetInitial(f.start);
+  nfa.MakeFinal(f.end, 0);
+  return nfa;
+}
+
+}  // namespace omega

@@ -1,0 +1,24 @@
+// Standard Thompson construction from a regex AST to an ε-NFA with a single
+// initial and a single final state (§3.3: "an automaton (NFA) M_R is first
+// constructed from regular expression R using standard techniques").
+#ifndef OMEGA_AUTOMATA_THOMPSON_H_
+#define OMEGA_AUTOMATA_THOMPSON_H_
+
+#include "automata/nfa.h"
+#include "ontology/ontology.h"
+#include "rpq/regex_ast.h"
+#include "store/label_dictionary.h"
+
+namespace omega {
+
+/// Builds the ε-NFA for `regex`. Labels are resolved against `labels`, then
+/// (if `ontology` is given) against the ontology's synthetic labels for
+/// properties absent from the graph; anything else becomes a kInvalidLabel
+/// transition — it can never match a stored edge, but APPROX edit operations
+/// still apply to it. All transitions have cost 0.
+Nfa BuildThompsonNfa(const RegexNode& regex, const LabelDictionary& labels,
+                     const BoundOntology* ontology = nullptr);
+
+}  // namespace omega
+
+#endif  // OMEGA_AUTOMATA_THOMPSON_H_

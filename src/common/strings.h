@@ -1,0 +1,33 @@
+// Small string helpers shared across modules.
+#ifndef OMEGA_COMMON_STRINGS_H_
+#define OMEGA_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omega {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, optionally trimming each piece. Empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char sep, bool trim = false);
+
+/// Splits on `sep` but only at depth 0 with respect to '(' / ')' nesting.
+/// Used by the query parser, where conjunct bodies contain commas inside
+/// parentheses.
+std::vector<std::string> SplitTopLevel(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True if `s` starts with `prefix` (ASCII case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats an integer with thousands separators: 1861959 -> "1,861,959".
+std::string FormatWithCommas(long long value);
+
+}  // namespace omega
+
+#endif  // OMEGA_COMMON_STRINGS_H_

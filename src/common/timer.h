@@ -1,0 +1,33 @@
+// Monotonic wall-clock timer used by the benchmark harnesses.
+#ifndef OMEGA_COMMON_TIMER_H_
+#define OMEGA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace omega {
+
+/// Starts on construction; `ElapsedMs()` reads without stopping.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_COMMON_TIMER_H_

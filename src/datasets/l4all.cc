@@ -1,0 +1,391 @@
+#include "datasets/l4all.h"
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/graph_builder.h"
+
+namespace omega {
+namespace {
+
+// --- Class hierarchies of Fig. 2 ---------------------------------------------
+//
+// Episode                       depth 2, avg fan-out ~2.67
+// Subject                       depth 2, avg fan-out 8
+// Occupation                    depth 4, avg fan-out ~4.08
+// Education Qualification Level depth 2, avg fan-out ~3.89
+// Industry Sector               depth 1, avg fan-out 21
+
+struct Hierarchies {
+  std::vector<std::string> episode_leaves;  // leaf Episode classes
+  std::vector<bool> episode_leaf_is_work;   // parallel: work vs educational
+  std::vector<std::string> subject_leaves;
+  std::vector<std::string> occupation_leaves;
+  std::vector<std::string> level_leaves;
+  std::vector<std::string> sector_leaves;
+  // class -> chain of ancestors up to (and including) the hierarchy root.
+  std::unordered_map<std::string, std::vector<std::string>> ancestors;
+  // class -> children of the same parent (itself included), in a fixed
+  // rotation order; drives the sibling-reclassification scaling.
+  std::unordered_map<std::string, std::vector<std::string>> sibling_ring;
+};
+
+/// Registers `child sc parent` for every child and records bookkeeping.
+void AddGroup(OntologyBuilder* builder, Hierarchies* h,
+              const std::string& parent,
+              const std::vector<std::string>& parent_ancestors,
+              const std::vector<std::string>& children,
+              std::vector<std::string>* leaf_sink) {
+  std::vector<std::string> chain;
+  chain.push_back(parent);
+  chain.insert(chain.end(), parent_ancestors.begin(), parent_ancestors.end());
+  for (const std::string& child : children) {
+    Status s = builder->AddSubclass(child, parent);
+    assert(s.ok());
+    (void)s;
+    h->ancestors[child] = chain;
+    h->sibling_ring[child] = children;
+    if (leaf_sink != nullptr) leaf_sink->push_back(child);
+  }
+}
+
+Hierarchies BuildOntology(OntologyBuilder* builder) {
+  Hierarchies h;
+
+  // Episode: root -> {Work, Educational, Personal} -> 8 leaves.
+  builder->GetOrAddClass("Episode");
+  AddGroup(builder, &h, "Episode", {},
+           {"Work Episode", "Educational Episode", "Personal Episode"},
+           nullptr);
+  AddGroup(builder, &h, "Work Episode", {"Episode"},
+           {"Full-time Work Episode", "Part-time Work Episode",
+            "Voluntary Work Episode"},
+           &h.episode_leaves);
+  AddGroup(builder, &h, "Educational Episode", {"Episode"},
+           {"College Episode", "University Episode", "Training Episode"},
+           &h.episode_leaves);
+  AddGroup(builder, &h, "Personal Episode", {"Episode"},
+           {"Travel Episode", "Family Episode"}, &h.episode_leaves);
+  for (const std::string& leaf : h.episode_leaves) {
+    h.episode_leaf_is_work.push_back(h.ancestors[leaf][0] == "Work Episode");
+  }
+
+  // Subject: root with 8 children; "Mathematical and Computer Sciences"
+  // carries 8 leaves of its own (depth 2, avg fan-out 8).
+  builder->GetOrAddClass("Subject");
+  const std::vector<std::string> subject_mid = {
+      "Mathematical and Computer Sciences",
+      "Engineering",
+      "Languages",
+      "Business",
+      "Creative Arts",
+      "Sciences",
+      "Social Studies",
+      "Education"};
+  AddGroup(builder, &h, "Subject", {}, subject_mid, nullptr);
+  AddGroup(builder, &h, "Mathematical and Computer Sciences", {"Subject"},
+           {"Information Systems", "Computer Science", "Software Engineering",
+            "Artificial Intelligence", "Mathematics", "Statistics",
+            "Operational Research", "Informatics"},
+           &h.subject_leaves);
+  // The remaining Subject children double as classification targets.
+  for (size_t i = 1; i < subject_mid.size(); ++i) {
+    h.subject_leaves.push_back(subject_mid[i]);
+  }
+
+  // Occupation: 4 levels (root -> 4 -> 16 -> 16 -> 4), depth 4,
+  // avg fan-out = 40 child edges / 10 non-leaf classes = 4.0.
+  builder->GetOrAddClass("Occupation");
+  const std::array<std::string, 4> occ_l1 = {
+      "Professional Occupations", "Technical Occupations",
+      "Service Occupations", "Administrative Occupations"};
+  AddGroup(builder, &h, "Occupation", {},
+           {occ_l1.begin(), occ_l1.end()}, nullptr);
+  const std::vector<std::vector<std::string>> occ_l2 = {
+      {"Science Professionals", "Health Professionals",
+       "Teaching Professionals", "Legal Professionals"},
+      {"IT Technicians", "Engineering Technicians", "Lab Technicians",
+       "Media Technicians"},
+      {"Care Workers", "Leisure Workers", "Protective Workers",
+       "Hospitality Workers"},
+      {"Clerks", "Secretaries", "Records Staff", "Finance Staff"}};
+  for (size_t i = 0; i < occ_l1.size(); ++i) {
+    AddGroup(builder, &h, occ_l1[i], {"Occupation"}, occ_l2[i], nullptr);
+    for (size_t j = 1; j < occ_l2[i].size(); ++j) {
+      h.occupation_leaves.push_back(occ_l2[i][j]);
+    }
+  }
+  // Level 3 under the first level-2 node of each branch.
+  const std::vector<std::vector<std::string>> occ_l3 = {
+      {"Software Professionals", "Research Scientists", "Statisticians",
+       "Analysts"},
+      {"Network Technicians", "Support Technicians", "Test Technicians",
+       "Field Technicians"},
+      {"Child Care Workers", "Elder Care Workers", "Home Care Workers",
+       "Community Care Workers"},
+      {"Data Entry Clerks", "Filing Clerks", "Accounts Clerks",
+       "Postal Clerks"}};
+  for (size_t i = 0; i < occ_l1.size(); ++i) {
+    AddGroup(builder, &h, occ_l2[i][0], {occ_l1[i], "Occupation"}, occ_l3[i],
+             nullptr);
+    for (size_t j = 1; j < occ_l3[i].size(); ++j) {
+      h.occupation_leaves.push_back(occ_l3[i][j]);
+    }
+  }
+  // Level 4 under "Software Professionals" only — the depth-4 tier where
+  // "Librarians" lives (Q10/Q11 probe a deep, low-population class).
+  AddGroup(builder, &h, "Software Professionals",
+           {"Science Professionals", "Professional Occupations", "Occupation"},
+           {"Librarians", "Web Developers", "Database Administrators",
+            "Systems Analysts"},
+           &h.occupation_leaves);
+  h.occupation_leaves.push_back("Software Professionals");
+
+  // Education Qualification Level: root -> 4 -> (4 + 4) leaves.
+  builder->GetOrAddClass("Education Qualification Level");
+  AddGroup(builder, &h, "Education Qualification Level", {},
+           {"Entry Level", "Intermediate Level", "Advanced Level",
+            "Higher Level"},
+           nullptr);
+  AddGroup(builder, &h, "Entry Level", {"Education Qualification Level"},
+           {"BTEC Introductory Diploma", "Foundation Certificate",
+            "Entry Award", "Skills for Life"},
+           &h.level_leaves);
+  AddGroup(builder, &h, "Higher Level", {"Education Qualification Level"},
+           {"Bachelors Degree", "Masters Degree", "Doctorate",
+            "Postgraduate Certificate"},
+           &h.level_leaves);
+  h.level_leaves.push_back("Intermediate Level");
+  h.level_leaves.push_back("Advanced Level");
+
+  // Industry Sector: flat, 21 children.
+  builder->GetOrAddClass("Industry Sector");
+  std::vector<std::string> sectors;
+  for (int i = 1; i <= 21; ++i) {
+    sectors.push_back("Sector " + std::to_string(i));
+  }
+  AddGroup(builder, &h, "Industry Sector", {}, sectors, &h.sector_leaves);
+
+  // Property hierarchy + domains/ranges (§4.1: 'isEpisodeLink' is the one
+  // super-property; domains and ranges are defined but unused in Fig. 5-8).
+  Status s = builder->AddSubproperty("next", "isEpisodeLink");
+  assert(s.ok());
+  s = builder->AddSubproperty("prereq", "isEpisodeLink");
+  assert(s.ok());
+  (void)s;
+  builder->SetDomain("next", "Episode");
+  builder->SetRange("next", "Episode");
+  builder->SetDomain("prereq", "Episode");
+  builder->SetRange("prereq", "Episode");
+  builder->SetDomain("job", "Work Episode");
+  builder->SetRange("job", "Occupation");
+  builder->SetDomain("qualif", "Educational Episode");
+  builder->SetRange("qualif", "Subject");
+  builder->SetDomain("level", "Subject");
+  builder->SetRange("level", "Education Qualification Level");
+  builder->SetDomain("sector", "Occupation");
+  builder->SetRange("sector", "Industry Sector");
+  return h;
+}
+
+// --- Timeline generation -----------------------------------------------------
+
+/// Structural description of one seed timeline; synthetic copies reuse the
+/// structure and rotate every classification to a sibling class.
+struct SeedTimeline {
+  struct EpisodeSpec {
+    bool is_work = false;
+    size_t episode_leaf = 0;    // into episode_leaves (kind-matched)
+    size_t classification = 0;  // into occupation_leaves / subject_leaves
+    size_t extra = 0;           // into sector_leaves / level_leaves
+    bool prereq_from_prev = false;
+    int long_prereq_from = -1;  // earlier episode index, or -1
+  };
+  std::vector<EpisodeSpec> episodes;
+};
+
+std::vector<SeedTimeline> MakeSeedTimelines(const Hierarchies& h, Rng* rng,
+                                            size_t count) {
+  std::vector<SeedTimeline> seeds;
+  seeds.reserve(count);
+  for (size_t t = 0; t < count; ++t) {
+    SeedTimeline seed;
+    const size_t episodes = static_cast<size_t>(rng->NextInRange(5, 14));
+    for (size_t e = 0; e < episodes; ++e) {
+      SeedTimeline::EpisodeSpec spec;
+      spec.is_work = rng->NextBool(0.55);
+      for (;;) {
+        spec.episode_leaf = rng->NextBounded(h.episode_leaves.size());
+        if (h.episode_leaf_is_work[spec.episode_leaf] == spec.is_work) break;
+      }
+      spec.classification = spec.is_work
+                                ? rng->NextBounded(h.occupation_leaves.size())
+                                : rng->NextBounded(h.subject_leaves.size());
+      spec.extra = spec.is_work ? rng->NextBounded(h.sector_leaves.size())
+                                : rng->NextBounded(h.level_leaves.size());
+      spec.prereq_from_prev = e > 0 && rng->NextBool(0.6);
+      spec.long_prereq_from = (e >= 2 && rng->NextBool(0.25))
+                                  ? static_cast<int>(rng->NextBounded(e - 1))
+                                  : -1;
+      seed.episodes.push_back(spec);
+    }
+    seeds.push_back(std::move(seed));
+  }
+  return seeds;
+}
+
+/// Rotates `leaf` to its shift-th sibling ("altering the classification of
+/// each episode to be a 'sibling' class of its original class").
+const std::string& RotateSibling(const Hierarchies& h, const std::string& leaf,
+                                 size_t shift) {
+  const std::vector<std::string>& ring = h.sibling_ring.at(leaf);
+  size_t base = 0;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (ring[i] == leaf) {
+      base = i;
+      break;
+    }
+  }
+  return ring[(base + shift) % ring.size()];
+}
+
+void EmitTypeEdges(GraphBuilder* builder, const Hierarchies& h,
+                   NodeId instance, const std::string& leaf,
+                   bool materialize_closure) {
+  Status s = builder->AddTypeEdge(instance, builder->GetOrAddNode(leaf));
+  assert(s.ok());
+  (void)s;
+  if (!materialize_closure) return;
+  for (const std::string& ancestor : h.ancestors.at(leaf)) {
+    s = builder->AddTypeEdge(instance, builder->GetOrAddNode(ancestor));
+    assert(s.ok());
+  }
+}
+
+}  // namespace
+
+L4AllOptions L4AllScalePreset(int level) {
+  L4AllOptions options;
+  switch (level) {
+    case 1:
+      options.num_timelines = 143;
+      break;
+    case 2:
+      options.num_timelines = 1201;
+      break;
+    case 3:
+      options.num_timelines = 5221;
+      break;
+    case 4:
+      options.num_timelines = 11416;
+      break;
+    default:
+      assert(false && "L4All scale level must be 1..4");
+  }
+  return options;
+}
+
+std::string L4AllScaleName(int level) { return "L" + std::to_string(level); }
+
+L4AllDataset GenerateL4All(const L4AllOptions& options) {
+  constexpr size_t kNumSeeds = 21;  // 5 real + 16 realistic in the paper
+
+  OntologyBuilder ontology_builder;
+  Hierarchies h = BuildOntology(&ontology_builder);
+  Result<Ontology> ontology = std::move(ontology_builder).Finalize();
+  assert(ontology.ok());
+
+  Rng rng(options.seed);
+  const std::vector<SeedTimeline> seeds =
+      MakeSeedTimelines(h, &rng, kNumSeeds);
+
+  GraphBuilder builder;
+  const LabelId next = *builder.InternLabel("next");
+  const LabelId prereq = *builder.InternLabel("prereq");
+  const LabelId job = *builder.InternLabel("job");
+  const LabelId qualif = *builder.InternLabel("qualif");
+  const LabelId level = *builder.InternLabel("level");
+  const LabelId sector = *builder.InternLabel("sector");
+
+  for (size_t t = 0; t < options.num_timelines; ++t) {
+    const SeedTimeline& seed = seeds[t % kNumSeeds];
+    const size_t shift = t / kNumSeeds;
+
+    std::vector<NodeId> episode_nodes;
+    episode_nodes.reserve(seed.episodes.size());
+    for (size_t e = 0; e < seed.episodes.size(); ++e) {
+      const auto& spec = seed.episodes[e];
+      const NodeId episode =
+          builder.GetOrAddNode("Alumni " + std::to_string(t + 1) +
+                               " Episode " + std::to_string(e + 1));
+      episode_nodes.push_back(episode);
+
+      const std::string& episode_leaf =
+          RotateSibling(h, h.episode_leaves[spec.episode_leaf], shift);
+      EmitTypeEdges(&builder, h, episode, episode_leaf,
+                    options.materialize_type_closure);
+
+      Status s = Status::OK();
+      if (spec.is_work) {
+        const NodeId record = builder.GetOrAddNode(
+            "Job " + std::to_string(t + 1) + "_" + std::to_string(e + 1));
+        s = builder.AddEdge(episode, job, record);
+        assert(s.ok());
+        const std::string& occupation =
+            RotateSibling(h, h.occupation_leaves[spec.classification], shift);
+        EmitTypeEdges(&builder, h, record, occupation,
+                      options.materialize_type_closure);
+        const std::string& sec =
+            RotateSibling(h, h.sector_leaves[spec.extra], shift);
+        s = builder.AddEdge(record, sector, builder.GetOrAddNode(sec));
+        assert(s.ok());
+      } else {
+        const NodeId record = builder.GetOrAddNode(
+            "Qualification " + std::to_string(t + 1) + "_" +
+            std::to_string(e + 1));
+        s = builder.AddEdge(episode, qualif, record);
+        assert(s.ok());
+        const std::string& subject =
+            RotateSibling(h, h.subject_leaves[spec.classification], shift);
+        EmitTypeEdges(&builder, h, record, subject,
+                      options.materialize_type_closure);
+        const std::string& lvl =
+            RotateSibling(h, h.level_leaves[spec.extra], shift);
+        s = builder.AddEdge(record, level, builder.GetOrAddNode(lvl));
+        assert(s.ok());
+      }
+
+      if (e > 0) {
+        s = builder.AddEdge(episode_nodes[e - 1], next, episode);
+        assert(s.ok());
+        if (spec.prereq_from_prev) {
+          s = builder.AddEdge(episode_nodes[e - 1], prereq, episode);
+          assert(s.ok());
+        }
+      }
+      if (spec.long_prereq_from >= 0) {
+        s = builder.AddEdge(
+            episode_nodes[static_cast<size_t>(spec.long_prereq_from)], prereq,
+            episode);
+        assert(s.ok());
+      }
+      (void)s;
+    }
+  }
+
+  // Every ontology class exists as a graph node (class nodes are V_G ∩ V_K
+  // in the paper's model), even if no instance was classified under it yet.
+  for (ClassId c = 0; c < ontology->NumClasses(); ++c) {
+    builder.GetOrAddNode(ontology->ClassName(c));
+  }
+
+  L4AllDataset dataset;
+  dataset.graph = std::move(builder).Finalize();
+  dataset.ontology = std::move(ontology).value();
+  return dataset;
+}
+
+}  // namespace omega

@@ -1,0 +1,48 @@
+// Synthetic L4All dataset (§4.1): lifelong-learner timelines of episodes
+// linked by `next`/`prereq`, classified against the five class hierarchies
+// of Fig. 2. The original 21 seed timelines (5 real + 16 realistic) are not
+// public, so seeded-random seed timelines with the published structure are
+// generated instead; scaling follows the paper exactly — synthetic timelines
+// duplicate a seed timeline and reclassify each episode to a sibling class,
+// so class-node degree grows linearly with graph size.
+//
+// Type edges are materialised up the class hierarchies (the paper's class
+// nodes grow degree "owing to transitive closure"), e.g. an episode typed
+// "Full-time Work Episode" also gets type edges to "Work Episode" and
+// "Episode".
+#ifndef OMEGA_DATASETS_L4ALL_H_
+#define OMEGA_DATASETS_L4ALL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ontology/ontology.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+struct L4AllOptions {
+  /// Number of timelines. Paper scales: L1=143, L2=1201, L3=5221, L4=11416.
+  size_t num_timelines = 143;
+  uint64_t seed = 42;
+  /// Materialise type edges to ancestor classes (see header comment).
+  bool materialize_type_closure = true;
+};
+
+struct L4AllDataset {
+  GraphStore graph;
+  Ontology ontology;
+};
+
+/// The paper's four scale presets (level 1..4 -> L1..L4 timeline counts).
+L4AllOptions L4AllScalePreset(int level);
+
+/// Human-readable name ("L1".."L4") for a preset level.
+std::string L4AllScaleName(int level);
+
+/// Generates the dataset deterministically from options.seed.
+L4AllDataset GenerateL4All(const L4AllOptions& options = {});
+
+}  // namespace omega
+
+#endif  // OMEGA_DATASETS_L4ALL_H_

@@ -1,0 +1,63 @@
+#include "datasets/query_sets.h"
+
+#include "rpq/query_parser.h"
+
+namespace omega {
+
+const std::vector<NamedQuery>& L4AllQuerySet() {
+  static const std::vector<NamedQuery> kQueries = {
+      {"Q1", "(Work Episode, type-, ?X)"},
+      {"Q2", "(Information Systems, type-.qualif-, ?X)"},
+      {"Q3", "(Software Professionals, type-.job-, ?X)"},
+      {"Q4", "(?X, job.type, ?Y)"},
+      {"Q5", "(?X, next+, ?Y)"},
+      {"Q6", "(?X, prereq+, ?Y)"},
+      {"Q7", "(?X, next+|(prereq+.next), ?Y)"},
+      {"Q8", "(Mathematical and Computer Sciences, type.prereq+, ?X)"},
+      {"Q9", "(Alumni 4 Episode 1, prereq*.next+.prereq, ?X)"},
+      {"Q10", "(Librarians, type-, ?X)"},
+      {"Q11", "(Librarians, type-.job-.next, ?X)"},
+      {"Q12", "(BTEC Introductory Diploma, level-.qualif-.prereq, ?X)"},
+  };
+  return kQueries;
+}
+
+const std::vector<NamedQuery>& YagoQuerySet() {
+  static const std::vector<NamedQuery> kQueries = {
+      {"Q1", "(Halle_Saxony-Anhalt, bornIn-.marriedTo.hasChild, ?X)"},
+      {"Q2", "(Li_Peng, hasChild.gradFrom.gradFrom-.hasWonPrize, ?X)"},
+      {"Q3", "(wordnet_ziggurat, type-.locatedIn-, ?X)"},
+      {"Q4", "(?X, directed.married.married+.playsFor, ?Y)"},
+      {"Q5", "(?X, isConnectedTo.wasBornIn, ?Y)"},
+      {"Q6", "(?X, imports.exports-, ?Y)"},
+      {"Q7", "(wordnet_city, type-.happenedIn-.participatedIn-, ?X)"},
+      {"Q8", "(Annie Haslam, type.type-.actedIn, ?X)"},
+      {"Q9", "(UK, (livesIn-.hasCurrency)|(locatedIn-.gradFrom), ?X)"},
+  };
+  return kQueries;
+}
+
+Result<Query> MakeSingleConjunctQuery(const std::string& conjunct_body,
+                                      ConjunctMode mode) {
+  std::string text = conjunct_body;
+  if (mode == ConjunctMode::kApprox) {
+    text = "APPROX " + text;
+  } else if (mode == ConjunctMode::kRelax) {
+    text = "RELAX " + text;
+  }
+  Result<Conjunct> conjunct = ParseConjunct(text);
+  if (!conjunct.ok()) return conjunct.status();
+
+  Query query;
+  query.conjuncts.push_back(std::move(conjunct).value());
+  const Conjunct& c = query.conjuncts[0];
+  if (c.source.is_variable) query.head.push_back(c.source.name);
+  if (c.target.is_variable && (!c.source.is_variable ||
+                               c.target.name != c.source.name)) {
+    query.head.push_back(c.target.name);
+  }
+  OMEGA_RETURN_NOT_OK(ValidateQuery(query));
+  return query;
+}
+
+}  // namespace omega

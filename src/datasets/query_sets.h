@@ -1,0 +1,34 @@
+// The paper's two query sets (Fig. 4 and Fig. 9), expressed in Omega's
+// query syntax against the synthetic datasets. Each entry is the conjunct
+// body; callers prepend APPROX/RELAX and wrap it into a full query with
+// MakeSingleConjunctQuery.
+#ifndef OMEGA_DATASETS_QUERY_SETS_H_
+#define OMEGA_DATASETS_QUERY_SETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rpq/query.h"
+
+namespace omega {
+
+struct NamedQuery {
+  std::string name;  // "Q1" ...
+  std::string conjunct;
+};
+
+/// Fig. 4: the L4All query set Q1-Q12.
+const std::vector<NamedQuery>& L4AllQuerySet();
+
+/// Fig. 9: the YAGO query set Q1-Q9.
+const std::vector<NamedQuery>& YagoQuerySet();
+
+/// Wraps a conjunct body into "(?X[, ?Y]) <- [MODE] (body)" and parses it.
+/// The head projects every variable occurring in the conjunct.
+Result<Query> MakeSingleConjunctQuery(const std::string& conjunct_body,
+                                      ConjunctMode mode);
+
+}  // namespace omega
+
+#endif  // OMEGA_DATASETS_QUERY_SETS_H_

@@ -1,0 +1,469 @@
+#include "datasets/yago.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/graph_builder.h"
+
+namespace omega {
+namespace {
+
+/// Entity population sizes; scale 1.0 approximates the paper's graph.
+struct Sizes {
+  size_t persons;
+  size_t cities;
+  size_t countries;
+  size_t universities;
+  size_t companies;
+  size_t clubs;
+  size_t airports;
+  size_t prizes;
+  size_t movies;
+  size_t events;
+  size_t ziggurats;
+  size_t buildings;
+  size_t artifacts;
+  size_t currencies;
+  size_t commodities;
+  size_t leaves_per_category;
+};
+
+size_t Scaled(double scale, size_t base, size_t minimum) {
+  const auto scaled = static_cast<size_t>(static_cast<double>(base) * scale);
+  return std::max(minimum, scaled);
+}
+
+Sizes ComputeSizes(double scale) {
+  Sizes s;
+  s.persons = Scaled(scale, 900000, 600);
+  s.cities = Scaled(scale, 150000, 120);
+  s.countries = Scaled(scale, 250, 25);
+  s.universities = Scaled(scale, 30000, 40);
+  s.companies = Scaled(scale, 80000, 60);
+  s.clubs = Scaled(scale, 15000, 25);
+  s.airports = Scaled(scale, 20000, 30);
+  s.prizes = Scaled(scale, 5000, 12);
+  s.movies = Scaled(scale, 100000, 80);
+  s.events = Scaled(scale, 200000, 150);
+  s.ziggurats = Scaled(scale, 2000, 8);
+  s.buildings = Scaled(scale, 60000, 50);
+  s.artifacts = Scaled(scale, 40000, 40);
+  s.currencies = Scaled(scale, 200, 15);
+  s.commodities = Scaled(scale, 2000, 20);
+  // One depth-2 hierarchy; avg fan-out approaches the paper's 933.43 as
+  // scale -> 1 (root: 13 categories, each category: this many leaves).
+  s.leaves_per_category = Scaled(scale, 1000, 6);
+  return s;
+}
+
+const char* const kCategories[] = {
+    "wordnet_person",   "wordnet_city",     "wordnet_country",
+    "wordnet_university", "wordnet_company", "wordnet_football_club",
+    "wordnet_airport",  "wordnet_prize",    "wordnet_movie",
+    "wordnet_event",    "wordnet_building", "wordnet_currency",
+    "wordnet_commodity"};
+
+/// Generator state shared by the helper lambdas below.
+struct Gen {
+  GraphBuilder builder;
+  Rng rng;
+  Sizes sizes;
+
+  explicit Gen(const YagoOptions& options)
+      : rng(options.seed), sizes(ComputeSizes(options.scale)) {}
+
+  LabelId Label(const char* name) {
+    Result<LabelId> id = builder.InternLabel(name);
+    assert(id.ok());
+    return *id;
+  }
+
+  void Edge(NodeId src, LabelId label, NodeId dst) {
+    Status s = builder.AddEdge(src, label, dst);
+    assert(s.ok());
+    (void)s;
+  }
+
+  /// Zipf-skewed pick: low indices are most popular.
+  NodeId Pick(const std::vector<NodeId>& pool) {
+    return pool[rng.NextZipf(pool.size(), 1.3)];
+  }
+  NodeId PickUniform(const std::vector<NodeId>& pool) {
+    return pool[rng.NextBounded(pool.size())];
+  }
+};
+
+std::vector<NodeId> MakeEntities(Gen* g, const char* prefix, size_t count) {
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(
+        g->builder.GetOrAddNode(std::string(prefix) + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+YagoDataset GenerateYago(const YagoOptions& options) {
+  Gen g(options);
+  const Sizes& sz = g.sizes;
+
+  // --- Ontology -------------------------------------------------------------
+  OntologyBuilder ontology_builder;
+  ontology_builder.GetOrAddClass("yago_entity");
+  std::vector<std::vector<std::string>> leaves(std::size(kCategories));
+  for (size_t c = 0; c < std::size(kCategories); ++c) {
+    Status s = ontology_builder.AddSubclass(kCategories[c], "yago_entity");
+    assert(s.ok());
+    (void)s;
+    for (size_t l = 0; l < sz.leaves_per_category; ++l) {
+      std::string leaf = std::string(kCategories[c]) + "_leaf_" +
+                         std::to_string(l);
+      // A few named leaves the query set addresses directly.
+      if (c == 0 && l == 0) leaf = "wordnet_singer";
+      if (c == 0 && l == 1) leaf = "wordnet_scientist";
+      if (c == 10 && l == 0) leaf = "wordnet_ziggurat";
+      s = ontology_builder.AddSubclass(leaf, kCategories[c]);
+      assert(s.ok());
+      leaves[c].push_back(std::move(leaf));
+    }
+  }
+
+  // Two property hierarchies: 6 sub-properties under
+  // relationLocatedByObject (Example 3) and 2 under linkedTo.
+  for (const char* p : {"gradFrom", "happenedIn", "participatedIn", "bornIn",
+                        "livesIn", "diedIn"}) {
+    Status s =
+        ontology_builder.AddSubproperty(p, "relationLocatedByObject");
+    assert(s.ok());
+    (void)s;
+  }
+  for (const char* p : {"isConnectedTo", "influences"}) {
+    Status s = ontology_builder.AddSubproperty(p, "linkedTo");
+    assert(s.ok());
+    (void)s;
+  }
+  // Domains and ranges ("the properties also have domains and ranges
+  // defined, not used in our performance study" — used here only by the
+  // optional RELAX rule (ii)).
+  ontology_builder.SetDomain("gradFrom", "wordnet_person");
+  ontology_builder.SetRange("gradFrom", "wordnet_university");
+  ontology_builder.SetDomain("bornIn", "wordnet_person");
+  ontology_builder.SetRange("bornIn", "wordnet_city");
+  ontology_builder.SetDomain("wasBornIn", "wordnet_person");
+  ontology_builder.SetRange("wasBornIn", "wordnet_city");
+  ontology_builder.SetDomain("livesIn", "wordnet_person");
+  ontology_builder.SetDomain("diedIn", "wordnet_person");
+  ontology_builder.SetRange("diedIn", "wordnet_city");
+  ontology_builder.SetDomain("happenedIn", "wordnet_event");
+  ontology_builder.SetRange("happenedIn", "wordnet_city");
+  ontology_builder.SetDomain("participatedIn", "wordnet_person");
+  ontology_builder.SetRange("participatedIn", "wordnet_event");
+  ontology_builder.SetDomain("marriedTo", "wordnet_person");
+  ontology_builder.SetRange("marriedTo", "wordnet_person");
+  ontology_builder.SetDomain("hasChild", "wordnet_person");
+  ontology_builder.SetRange("hasChild", "wordnet_person");
+  ontology_builder.SetDomain("hasWonPrize", "wordnet_person");
+  ontology_builder.SetRange("hasWonPrize", "wordnet_prize");
+  ontology_builder.SetDomain("actedIn", "wordnet_person");
+  ontology_builder.SetRange("actedIn", "wordnet_movie");
+  ontology_builder.SetDomain("playsFor", "wordnet_person");
+  ontology_builder.SetRange("playsFor", "wordnet_football_club");
+  ontology_builder.SetDomain("isConnectedTo", "wordnet_airport");
+  ontology_builder.SetRange("isConnectedTo", "wordnet_airport");
+  ontology_builder.SetDomain("hasCurrency", "wordnet_country");
+  ontology_builder.SetRange("hasCurrency", "wordnet_currency");
+  ontology_builder.SetDomain("imports", "wordnet_country");
+  ontology_builder.SetRange("imports", "wordnet_commodity");
+  ontology_builder.SetDomain("exports", "wordnet_country");
+  ontology_builder.SetRange("exports", "wordnet_commodity");
+  Result<Ontology> ontology = std::move(ontology_builder).Finalize();
+  assert(ontology.ok());
+
+  // --- Properties (38 including type) ----------------------------------------
+  const LabelId bornIn = g.Label("bornIn");
+  const LabelId wasBornIn = g.Label("wasBornIn");
+  const LabelId livesIn = g.Label("livesIn");
+  const LabelId diedIn = g.Label("diedIn");
+  const LabelId marriedTo = g.Label("marriedTo");
+  const LabelId married = g.Label("married");
+  const LabelId hasChild = g.Label("hasChild");
+  const LabelId gradFrom = g.Label("gradFrom");
+  const LabelId hasWonPrize = g.Label("hasWonPrize");
+  const LabelId locatedIn = g.Label("locatedIn");
+  const LabelId isLocatedIn = g.Label("isLocatedIn");
+  const LabelId happenedIn = g.Label("happenedIn");
+  const LabelId participatedIn = g.Label("participatedIn");
+  const LabelId actedIn = g.Label("actedIn");
+  const LabelId directed = g.Label("directed");
+  const LabelId playsFor = g.Label("playsFor");
+  const LabelId isConnectedTo = g.Label("isConnectedTo");
+  const LabelId imports = g.Label("imports");
+  const LabelId exports = g.Label("exports");
+  const LabelId hasCurrency = g.Label("hasCurrency");
+  const LabelId influences = g.Label("influences");
+  const LabelId worksAt = g.Label("worksAt");
+  const LabelId owns = g.Label("owns");
+  const LabelId created = g.Label("created");
+  const LabelId wrote = g.Label("wrote");
+  const LabelId produced = g.Label("produced");
+  const LabelId edited = g.Label("edited");
+  const LabelId hasCapital = g.Label("hasCapital");
+  const LabelId dealsWith = g.Label("dealsWith");
+  const LabelId isCitizenOf = g.Label("isCitizenOf");
+  const LabelId isLeaderOf = g.Label("isLeaderOf");
+  const LabelId holdsPosition = g.Label("holdsPosition");
+  const LabelId isAffiliatedTo = g.Label("isAffiliatedTo");
+  const LabelId hasAcademicAdvisor = g.Label("hasAcademicAdvisor");
+  const LabelId isKnownFor = g.Label("isKnownFor");
+  // The two super-properties are part of the 38 (rarely asserted directly).
+  const LabelId relationLocatedByObject = g.Label("relationLocatedByObject");
+  const LabelId linkedTo = g.Label("linkedTo");
+
+  // --- Entities ---------------------------------------------------------------
+  auto persons = MakeEntities(&g, "person_", sz.persons);
+  auto cities = MakeEntities(&g, "city_", sz.cities);
+  auto countries = MakeEntities(&g, "country_", sz.countries);
+  auto universities = MakeEntities(&g, "university_", sz.universities);
+  auto companies = MakeEntities(&g, "company_", sz.companies);
+  auto clubs = MakeEntities(&g, "club_", sz.clubs);
+  auto airports = MakeEntities(&g, "airport_", sz.airports);
+  auto prizes = MakeEntities(&g, "prize_", sz.prizes);
+  auto movies = MakeEntities(&g, "movie_", sz.movies);
+  auto events = MakeEntities(&g, "event_", sz.events);
+  auto ziggurats = MakeEntities(&g, "ziggurat_", sz.ziggurats);
+  auto buildings = MakeEntities(&g, "building_", sz.buildings);
+  auto artifacts = MakeEntities(&g, "artifact_", sz.artifacts);
+  auto currencies = MakeEntities(&g, "currency_", sz.currencies);
+  auto commodities = MakeEntities(&g, "commodity_", sz.commodities);
+
+  // Named seed entities the Fig. 9 queries reference. person_0/person_1 and
+  // city_0/country_0/... keep their generated roles under new labels by
+  // being created *before* the pools above would be (GetOrAddNode dedups on
+  // label, so instead we overlay: dedicated nodes appended to the pools).
+  const NodeId uk = g.builder.GetOrAddNode("UK");
+  const NodeId germany = g.builder.GetOrAddNode("Germany");
+  countries.insert(countries.begin(), {uk, germany});
+  const NodeId halle = g.builder.GetOrAddNode("Halle_Saxony-Anhalt");
+  cities.insert(cities.begin(), halle);
+  const NodeId li_peng = g.builder.GetOrAddNode("Li_Peng");
+  const NodeId annie = g.builder.GetOrAddNode("Annie Haslam");
+  persons.insert(persons.begin(), {li_peng, annie});
+
+  // --- Class membership (direct types only; YAGO stores direct types and
+  // the taxonomy separately, so unlike L4All no closure is materialised) ----
+  auto type_to = [&g](NodeId instance, const std::string& klass) {
+    Status s = g.builder.AddTypeEdge(instance, g.builder.GetOrAddNode(klass));
+    assert(s.ok());
+    (void)s;
+  };
+  for (size_t i = 0; i < persons.size(); ++i) {
+    // ~2% singers (Annie Haslam among them), a spread over other leaves.
+    if (i == 1 || g.rng.NextBool(0.02)) {
+      type_to(persons[i], "wordnet_singer");
+    } else {
+      type_to(persons[i], leaves[0][g.rng.NextBounded(leaves[0].size())]);
+    }
+  }
+  for (NodeId c : cities) type_to(c, "wordnet_city");
+  for (NodeId c : countries) type_to(c, "wordnet_country");
+  for (NodeId u : universities) type_to(u, "wordnet_university");
+  for (NodeId c : companies) {
+    type_to(c, leaves[4][g.rng.NextBounded(leaves[4].size())]);
+  }
+  for (NodeId c : clubs) type_to(c, "wordnet_football_club");
+  for (NodeId a : airports) type_to(a, "wordnet_airport");
+  for (NodeId p : prizes) type_to(p, "wordnet_prize");
+  for (NodeId m : movies) {
+    type_to(m, leaves[8][g.rng.NextBounded(leaves[8].size())]);
+  }
+  for (NodeId e : events) {
+    type_to(e, leaves[9][g.rng.NextBounded(leaves[9].size())]);
+  }
+  for (NodeId z : ziggurats) type_to(z, "wordnet_ziggurat");
+  for (NodeId b : buildings) {
+    // Sibling leaves of wordnet_ziggurat under wordnet_building; gives the
+    // sc-relaxation of Q3 something to find at one step up.
+    const size_t leaf =
+        leaves[10].size() > 1 ? 1 + g.rng.NextBounded(leaves[10].size() - 1)
+                              : 0;
+    type_to(b, leaves[10][leaf]);
+  }
+  for (NodeId a : artifacts) {
+    type_to(a, leaves[10][g.rng.NextBounded(leaves[10].size())]);
+  }
+  for (NodeId c : currencies) type_to(c, "wordnet_currency");
+  for (NodeId c : commodities) type_to(c, "wordnet_commodity");
+
+  // --- Places -----------------------------------------------------------------
+  for (NodeId c : cities) g.Edge(c, locatedIn, g.Pick(countries));
+  for (size_t i = 0; i < countries.size(); ++i) {
+    g.Edge(countries[i], hasCurrency,
+           currencies[i % currencies.size()]);
+    g.Edge(countries[i], hasCapital, g.Pick(cities));
+    for (int k = g.rng.NextInRange(3, 10); k > 0; --k) {
+      g.Edge(countries[i], imports, g.PickUniform(commodities));
+    }
+    for (int k = g.rng.NextInRange(2, 8); k > 0; --k) {
+      g.Edge(countries[i], exports, g.PickUniform(commodities));
+    }
+    for (int k = g.rng.NextInRange(0, 4); k > 0; --k) {
+      g.Edge(countries[i], dealsWith, g.Pick(countries));
+    }
+  }
+  for (NodeId u : universities) {
+    g.Edge(u, locatedIn, g.Pick(countries));  // direct country edges (Q9)
+    if (g.rng.NextBool(0.6)) g.Edge(u, locatedIn, g.Pick(cities));
+  }
+  for (NodeId c : companies) {
+    if (g.rng.NextBool(0.8)) g.Edge(c, locatedIn, g.Pick(cities));
+  }
+  for (NodeId cl : clubs) {
+    if (g.rng.NextBool(0.8)) g.Edge(cl, locatedIn, g.Pick(cities));
+  }
+  for (NodeId a : airports) {
+    if (g.rng.NextBool(0.9)) g.Edge(a, locatedIn, g.Pick(cities));
+    for (int k = g.rng.NextInRange(2, 8); k > 0; --k) {
+      g.Edge(a, isConnectedTo, g.Pick(airports));
+    }
+  }
+  for (NodeId z : ziggurats) g.Edge(z, locatedIn, g.Pick(cities));
+  for (NodeId b : buildings) {
+    if (g.rng.NextBool(0.9)) g.Edge(b, locatedIn, g.Pick(cities));
+  }
+  // Artifacts are located *in* buildings — things located in (relaxations
+  // of) a ziggurat exist one sc step up from wordnet_ziggurat.
+  for (NodeId a : artifacts) {
+    if (g.rng.NextBool(0.9)) g.Edge(a, locatedIn, g.PickUniform(buildings));
+  }
+
+  // Events: located in countries (Example 1: "only events and places can be
+  // located in a country") with outgoing happenedIn edges to cities — the
+  // combination Q9/RELAX exploits at distance 1.
+  for (NodeId e : events) {
+    if (g.rng.NextBool(0.8)) g.Edge(e, locatedIn, g.Pick(countries));
+    if (g.rng.NextBool(0.4)) g.Edge(e, isLocatedIn, g.Pick(countries));
+    if (g.rng.NextBool(0.7)) g.Edge(e, happenedIn, g.Pick(cities));
+  }
+
+  // --- People -----------------------------------------------------------------
+  // Role bands by index: athletes never appear in `married` chains, so
+  // Q4 (directed.married.married+.playsFor) has no exact answers.
+  auto is_athlete = [&](size_t i) {
+    return i >= persons.size() * 6 / 10 && i < persons.size() * 3 / 4;
+  };
+  auto is_actor = [&](size_t i) { return i % 10 == 3; };
+  auto is_director = [&](size_t i) { return i % 33 == 5; };
+
+  for (size_t i = 0; i < persons.size(); ++i) {
+    const NodeId p = persons[i];
+    if (g.rng.NextBool(0.9)) g.Edge(p, bornIn, g.Pick(cities));
+    if (g.rng.NextBool(0.3)) g.Edge(p, wasBornIn, g.Pick(cities));
+    if (g.rng.NextBool(0.5)) g.Edge(p, livesIn, g.Pick(cities));
+    if (g.rng.NextBool(0.15)) g.Edge(p, livesIn, g.Pick(countries));
+    if (g.rng.NextBool(0.25)) g.Edge(p, diedIn, g.Pick(cities));
+    if (g.rng.NextBool(0.8)) g.Edge(p, isCitizenOf, g.Pick(countries));
+    if (g.rng.NextBool(0.4)) g.Edge(p, marriedTo, g.PickUniform(persons));
+    if (!is_athlete(i) && g.rng.NextBool(0.25)) {
+      // `married` chains stay within the non-athlete bands.
+      for (int tries = 0; tries < 8; ++tries) {
+        const size_t j = g.rng.NextBounded(persons.size());
+        if (!is_athlete(j)) {
+          g.Edge(p, married, persons[j]);
+          break;
+        }
+      }
+    }
+    if (g.rng.NextBool(0.45)) {
+      for (int k = g.rng.NextInRange(1, 3); k > 0; --k) {
+        g.Edge(p, hasChild, g.PickUniform(persons));
+      }
+    }
+    if (g.rng.NextBool(0.35)) g.Edge(p, gradFrom, g.Pick(universities));
+    if (g.rng.NextBool(0.02)) g.Edge(p, hasWonPrize, g.Pick(prizes));
+    if (g.rng.NextBool(0.3)) g.Edge(p, participatedIn, g.Pick(events));
+    if (g.rng.NextBool(0.3)) g.Edge(p, worksAt, g.Pick(companies));
+    if (g.rng.NextBool(0.05)) g.Edge(p, influences, g.PickUniform(persons));
+    if (g.rng.NextBool(0.05)) g.Edge(p, isAffiliatedTo, g.Pick(clubs));
+    if (g.rng.NextBool(0.05)) {
+      g.Edge(p, hasAcademicAdvisor, g.PickUniform(persons));
+    }
+    if (g.rng.NextBool(0.02)) g.Edge(p, isKnownFor, g.Pick(events));
+    if (g.rng.NextBool(0.02)) g.Edge(p, owns, g.Pick(companies));
+    if (g.rng.NextBool(0.001)) g.Edge(p, isLeaderOf, g.Pick(countries));
+    if (g.rng.NextBool(0.01)) g.Edge(p, holdsPosition, g.Pick(companies));
+    if (is_actor(i)) {
+      for (int k = g.rng.NextInRange(1, 5); k > 0; --k) {
+        g.Edge(p, actedIn, g.Pick(movies));
+      }
+    }
+    if (is_director(i)) {
+      for (int k = g.rng.NextInRange(1, 3); k > 0; --k) {
+        g.Edge(p, directed, g.Pick(movies));
+      }
+      if (g.rng.NextBool(0.3)) g.Edge(p, wrote, g.Pick(movies));
+      if (g.rng.NextBool(0.3)) g.Edge(p, produced, g.Pick(movies));
+      if (g.rng.NextBool(0.2)) g.Edge(p, edited, g.Pick(movies));
+      if (g.rng.NextBool(0.2)) g.Edge(p, created, g.Pick(movies));
+    }
+    if (is_athlete(i)) {
+      g.Edge(p, playsFor, g.Pick(clubs));
+      if (g.rng.NextBool(0.2)) g.Edge(p, playsFor, g.Pick(clubs));
+    }
+  }
+
+  // Singers act too (Q8: Annie Haslam's class-mates reach >100 movies).
+  for (size_t i = 0; i < persons.size(); ++i) {
+    if ((i == 1 || i % 50 == 7) && g.rng.NextBool(0.8)) {
+      g.Edge(persons[i], actedIn, g.Pick(movies));
+    }
+  }
+
+  // A couple of direct super-property assertions so all 38 labels occur.
+  g.Edge(persons[3], relationLocatedByObject, g.Pick(cities));
+  g.Edge(airports[0], linkedTo, airports[1 % airports.size()]);
+
+  // --- Deterministic seed wiring for the Fig. 9 constants --------------------
+  // Q1: people born in Halle with spouses and children.
+  for (int k = 0; k < 3; ++k) {
+    const NodeId born = persons[10 + static_cast<size_t>(k)];
+    g.Edge(born, bornIn, halle);
+    const NodeId spouse = persons[20 + static_cast<size_t>(k)];
+    g.Edge(born, marriedTo, spouse);
+    if (k < 2) g.Edge(spouse, hasChild, persons[30 + static_cast<size_t>(k)]);
+  }
+  // Q2: Li_Peng -> child -> university_0 <- two prize-winning co-alumni.
+  const NodeId li_child = persons[40];
+  g.Edge(li_peng, hasChild, li_child);
+  g.Edge(li_child, gradFrom, universities[0]);
+  for (int k = 0; k < 2; ++k) {
+    const NodeId alum = persons[50 + static_cast<size_t>(k)];
+    g.Edge(alum, gradFrom, universities[0]);
+    g.Edge(alum, hasWonPrize, prizes[static_cast<size_t>(k) % prizes.size()]);
+  }
+  // Q9: make sure the UK has universities, events and residents.
+  for (int k = 0; k < 4; ++k) {
+    g.Edge(universities[static_cast<size_t>(k)], locatedIn, uk);
+    g.Edge(events[static_cast<size_t>(k)], locatedIn, uk);
+    g.Edge(persons[60 + static_cast<size_t>(k)], livesIn, uk);
+  }
+  g.Edge(halle, locatedIn, germany);
+
+  // Class nodes are part of the graph (V_G ∩ V_K): RELAX seeds traversals
+  // from ancestor classes, which must exist as nodes even when no instance
+  // is typed directly under them (e.g. wordnet_building).
+  for (ClassId c = 0; c < ontology->NumClasses(); ++c) {
+    g.builder.GetOrAddNode(ontology->ClassName(c));
+  }
+
+  YagoDataset dataset;
+  dataset.graph = std::move(g.builder).Finalize();
+  dataset.ontology = std::move(ontology).value();
+  return dataset;
+}
+
+}  // namespace omega

@@ -1,0 +1,46 @@
+// Synthetic YAGO-like dataset (§4.2). The 2014 SIMPLETAX+CORE dump is not
+// shipped with this repository, so a seeded generator produces a graph with
+// the published shape: one classification hierarchy of depth 2 with very
+// high fan-out, 38 properties, two property hierarchies (2 and 6
+// subproperties) with domains and ranges, and skewed connectivity. Seed
+// entities (UK, Li_Peng, Halle_Saxony-Anhalt, Annie Haslam, wordnet_ziggurat
+// instances, ...) are wired so every query of Fig. 9 reproduces its
+// qualitative behaviour from Fig. 10:
+//   - Q9 exact returns nothing (only people graduate; only events and places
+//     are located in a country — the paper's Example 1);
+//   - Q9/APPROX finds answers at distance 1 by substituting gradFrom with
+//     gradFrom- (Example 2);
+//   - Q9/RELAX finds answers at distance 1 by relaxing gradFrom to its
+//     super-property relationLocatedByObject, whose sub-properties include
+//     happenedIn (Example 3) — events located in the UK have outgoing
+//     happenedIn edges to cities;
+//   - Q4/Q5 APPROX generate huge intermediate result sets (they exhaust the
+//     evaluator's memory budget when one is configured, the paper's '?').
+//
+// `scale` ~ 1.0 approximates the paper's 3.1M nodes / 17M edges; the default
+// is laptop-quick.
+#ifndef OMEGA_DATASETS_YAGO_H_
+#define OMEGA_DATASETS_YAGO_H_
+
+#include <cstdint>
+
+#include "ontology/ontology.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+struct YagoOptions {
+  double scale = 0.02;
+  uint64_t seed = 7;
+};
+
+struct YagoDataset {
+  GraphStore graph;
+  Ontology ontology;
+};
+
+YagoDataset GenerateYago(const YagoOptions& options = {});
+
+}  // namespace omega
+
+#endif  // OMEGA_DATASETS_YAGO_H_

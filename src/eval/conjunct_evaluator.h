@@ -1,0 +1,131 @@
+// Incremental ranked evaluation of one query conjunct: the paper's Open,
+// GetNext and Succ procedures (§3.3–3.4) over the weighted product automaton
+// H_R of the (possibly APPROX/RELAX-augmented) query NFA and the data graph.
+// Answers stream out in non-decreasing distance; the product is explored
+// best-first and never materialised.
+#ifndef OMEGA_EVAL_CONJUNCT_EVALUATOR_H_
+#define OMEGA_EVAL_CONJUNCT_EVALUATOR_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "eval/answer.h"
+#include "eval/initial_node_stream.h"
+#include "eval/tuple_dictionary.h"
+#include "ontology/ontology.h"
+#include "rpq/query.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+/// A conjunct compiled to its final automaton. Case 2 of Open — a constant
+/// target with variable source — is normalised here by reversing the regex
+/// (linear on the AST), so `eval_source`/`eval_target` are the endpoints
+/// *after* any reversal: Answer.v always binds eval_source and Answer.n
+/// always binds eval_target.
+struct PreparedConjunct {
+  Nfa nfa;
+  Endpoint eval_source;
+  Endpoint eval_target;
+  ConjunctMode mode = ConjunctMode::kExact;
+  bool reversed = false;
+};
+
+/// Compiles a conjunct: Thompson construction, weighted ε-removal, then the
+/// APPROX (A_R) or RELAX (M^K_R) augmentation. `ontology` is required for
+/// RELAX conjuncts and otherwise may be null.
+Result<PreparedConjunct> PrepareConjunct(const Conjunct& conjunct,
+                                         const GraphStore& graph,
+                                         const BoundOntology* ontology,
+                                         const EvaluatorOptions& options);
+
+class ConjunctEvaluator : public AnswerStream {
+ public:
+  /// `prepared` must outlive the evaluator (distance-aware mode re-runs
+  /// fresh evaluators over one shared PreparedConjunct).
+  ConjunctEvaluator(const GraphStore* graph, const BoundOntology* ontology,
+                    const PreparedConjunct* prepared,
+                    const EvaluatorOptions& options);
+
+  /// Seeds D_R (the paper's Open). Idempotent; called lazily by Next() too.
+  void Open();
+
+  bool Next(Answer* out) override;
+  const Status& status() const override { return status_; }
+  EvaluatorStats stats() const override { return stats_; }
+
+  /// True if some tuple or answer exceeded options.max_distance — i.e. a
+  /// higher distance ceiling could still produce more answers.
+  bool truncated_by_distance() const { return truncated_by_distance_; }
+
+ private:
+  struct VisitedKey {
+    uint64_t vn;  // v << 32 | n
+    StateId s;
+    bool operator==(const VisitedKey&) const = default;
+  };
+  struct VisitedKeyHash {
+    size_t operator()(const VisitedKey& k) const {
+      uint64_t h = k.vn * 0x9e3779b97f4a7c15ULL;
+      h ^= (h >> 29) ^ (static_cast<uint64_t>(k.s) * 0xbf58476d1ce4e5b9ULL);
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  static uint64_t PackPair(NodeId v, NodeId n) {
+    return (static_cast<uint64_t>(v) << 32) | n;
+  }
+
+  /// Duplicate-answer key: answers are deduplicated on variable bindings, so
+  /// for a constant source the v component is normalised — RELAX ancestor
+  /// seeds (different v per seed class) must not re-answer the same ?X.
+  uint64_t AnswerKey(NodeId v, NodeId n) const {
+    return PackPair(prepared_->eval_source.is_variable ? v : kInvalidNode, n);
+  }
+
+  /// Adds a tuple unless it violates the distance ceiling (sets the
+  /// truncation flag) or the memory budget (fails the evaluator).
+  void AddTuple(const EvalTuple& tuple);
+
+  /// Keeps the invariant that no tuple with d > 0 is popped while unseeded
+  /// initial nodes remain (lines 14–17 of GetNext).
+  void RefillSeeds();
+
+  /// The Succ function: expands (s, n), adding successor tuples. Neighbour
+  /// sets are fetched once per SameNeighborGroup run of transitions.
+  void ExpandTuple(const EvalTuple& tuple);
+
+  /// Appends the (sorted, distinct) neighbours of `n` reachable by `t`.
+  void CollectNeighbors(NodeId n, const NfaTransition& t,
+                        std::vector<NodeId>* out) const;
+
+  bool TargetMatches(NodeId n) const;
+  void CheckBudget();
+
+  const GraphStore* graph_;
+  const BoundOntology* ontology_;
+  const PreparedConjunct* prepared_;
+  EvaluatorOptions options_;
+
+  TupleDictionary dict_;
+  std::unordered_set<VisitedKey, VisitedKeyHash> visited_;
+  std::unordered_map<uint64_t, Cost> answers_;
+  std::unique_ptr<InitialNodeStream> stream_;
+  std::vector<NodeId> scratch_neighbors_;
+
+  std::optional<NodeId> source_node_;  // resolved constant source
+  std::optional<NodeId> target_node_;  // resolved constant target
+  bool target_is_constant_ = false;
+
+  bool opened_ = false;
+  bool truncated_by_distance_ = false;
+  Status status_;
+  EvaluatorStats stats_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_EVAL_CONJUNCT_EVALUATOR_H_

@@ -1,0 +1,171 @@
+#include "eval/disjunction.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace omega {
+
+bool CanDecomposeAlternation(const Conjunct& conjunct) {
+  return conjunct.regex != nullptr &&
+         TopLevelAlternatives(*conjunct.regex).size() >= 2;
+}
+
+DisjunctionStream::DisjunctionStream(const GraphStore* graph,
+                                     const BoundOntology* ontology,
+                                     const EvaluatorOptions& options,
+                                     size_t max_fruitless_rounds)
+    : graph_(graph),
+      ontology_(ontology),
+      options_(options),
+      max_fruitless_rounds_(max_fruitless_rounds) {}
+
+Result<std::unique_ptr<DisjunctionStream>> DisjunctionStream::Create(
+    const Conjunct& conjunct, const GraphStore* graph,
+    const BoundOntology* ontology, const EvaluatorOptions& options,
+    size_t max_fruitless_rounds) {
+  if (!CanDecomposeAlternation(conjunct)) {
+    return Status::InvalidArgument(
+        "conjunct regex is not a top-level alternation");
+  }
+  auto stream = std::unique_ptr<DisjunctionStream>(new DisjunctionStream(
+      graph, ontology, options, max_fruitless_rounds));
+  for (const RegexNode* branch : TopLevelAlternatives(*conjunct.regex)) {
+    Conjunct sub;
+    sub.mode = conjunct.mode;
+    sub.source = conjunct.source;
+    sub.target = conjunct.target;
+    sub.regex = Clone(*branch);
+    Result<PreparedConjunct> prepared =
+        PrepareConjunct(sub, *graph, ontology, options);
+    if (!prepared.ok()) return prepared.status();
+    Branch b;
+    b.prepared = std::move(prepared).value();
+    stream->phi_ = std::min(stream->phi_, b.prepared.nfa.MinPositiveCost());
+    stream->branches_.push_back(std::move(b));
+  }
+  // Early stop is order-safe only when all costs are multiples of φ.
+  if (stream->phi_ > 0 && stream->phi_ < kInfiniteCost) {
+    for (const Branch& b : stream->branches_) {
+      const Nfa& nfa = b.prepared.nfa;
+      for (StateId s = 0; s < nfa.NumStates(); ++s) {
+        if (nfa.IsFinal(s) && nfa.FinalWeight(s) % stream->phi_ != 0) {
+          stream->allow_early_stop_ = false;
+        }
+        for (const NfaTransition& t : nfa.Out(s)) {
+          if (t.cost % stream->phi_ != 0) stream->allow_early_stop_ = false;
+        }
+      }
+    }
+  }
+  return stream;
+}
+
+void DisjunctionStream::RunRound() {
+  round_buffer_.clear();
+  buffer_pos_ = 0;
+
+  // Branch order: first round in default order; later rounds by increasing
+  // previous-round answer count n_{kφ,i} (ties keep the lower branch index).
+  std::vector<size_t> order(branches_.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (first_round_done_) {
+    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return branches_[a].last_round_answers < branches_[b].last_round_answers;
+    });
+  }
+  last_round_order_ = order;
+
+  // Quota for this round: once the caller's top-k is covered, remaining
+  // branches (and the rest of the current one) are skipped. Safe for
+  // ordering: a skipped answer at distance d <= ψ is re-found by a later
+  // ψ-capped re-evaluation and sorts to the front of its buffer. A caller
+  // that pulls past the hint clearly wants everything — stop hinting.
+  size_t quota = std::numeric_limits<size_t>::max();
+  if (options_.top_k_hint != 0 && allow_early_stop_ &&
+      answers_handed_out_ < options_.top_k_hint) {
+    quota = options_.top_k_hint - answers_handed_out_;
+  }
+
+  bool any_truncated = false;   // more answers may exist above ψ
+  bool any_stopped = false;     // a branch was cut short *at* this ψ
+  for (size_t index : order) {
+    Branch& branch = branches_[index];
+    if (round_buffer_.size() >= quota) {
+      branch.truncated = true;  // never ran: may hold unseen answers
+      any_stopped = true;
+      continue;
+    }
+    EvaluatorOptions round_options = options_;
+    round_options.max_distance = std::min(psi_, options_.max_distance);
+    ConjunctEvaluator evaluator(graph_, ontology_, &branch.prepared,
+                                round_options);
+    uint64_t branch_answers = 0;
+    bool stopped_early = false;
+    Answer answer;
+    while (evaluator.Next(&answer)) {
+      ++branch_answers;
+      // Cross-branch dedup on variable bindings (v normalised for constant
+      // sources, mirroring the evaluator's own duplicate check).
+      const uint64_t v_key = branch.prepared.eval_source.is_variable
+                                 ? answer.v
+                                 : static_cast<uint64_t>(kInvalidNode);
+      auto [it, inserted] = emitted_.try_emplace((v_key << 32) | answer.n,
+                                                 answer.distance);
+      if (inserted) round_buffer_.push_back(answer);
+      if (round_buffer_.size() >= quota) {
+        stopped_early = true;
+        break;
+      }
+    }
+    stats_.MergeFrom(evaluator.stats());
+    if (!evaluator.status().ok()) {
+      status_ = evaluator.status();
+      return;
+    }
+    branch.last_round_answers = branch_answers;
+    branch.truncated = stopped_early || evaluator.truncated_by_distance();
+    any_stopped = any_stopped || stopped_early;
+    any_truncated = any_truncated || evaluator.truncated_by_distance();
+  }
+  first_round_done_ = true;
+  ++stats_.rounds;
+
+  std::stable_sort(round_buffer_.begin(), round_buffer_.end(),
+                   [](const Answer& a, const Answer& b) {
+                     return a.distance < b.distance;
+                   });
+  fruitless_rounds_ = round_buffer_.empty() ? fruitless_rounds_ + 1 : 0;
+
+  if (any_stopped) {
+    // The quota cut this round short: answers at this very ψ may remain, so
+    // re-run at the *same* ceiling when the caller wants more. Progress is
+    // guaranteed — an early stop implies the buffer gained >= 1 new answer.
+    return;
+  }
+  const bool ceiling_can_grow =
+      phi_ < kInfiniteCost && psi_ < options_.max_distance;
+  if (!any_truncated || !ceiling_can_grow ||
+      fruitless_rounds_ >= max_fruitless_rounds_) {
+    done_ = true;  // no further rounds after this buffer drains
+  } else {
+    psi_ += phi_;
+  }
+}
+
+bool DisjunctionStream::Next(Answer* out) {
+  if (!status_.ok()) return false;
+  for (;;) {
+    if (buffer_pos_ < round_buffer_.size()) {
+      *out = round_buffer_[buffer_pos_++];
+      ++stats_.answers_emitted;
+      ++answers_handed_out_;
+      return true;
+    }
+    if (done_) return false;
+    RunRound();
+    if (!status_.ok()) return false;
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,82 @@
+// Alternation-decomposition optimisation (§4.3): a conjunct whose regex is a
+// top-level alternation R1|R2|...|Rk is split into one sub-automaton per
+// branch. Distance rounds are evaluated branch-by-branch, re-ordering the
+// branches each round by how few answers they returned in the previous
+// round (cheapest-first adaptive ordering — the paper's n_{kφ,i} counters).
+// Cross-branch duplicates keep their first (cheapest) emission.
+#ifndef OMEGA_EVAL_DISJUNCTION_H_
+#define OMEGA_EVAL_DISJUNCTION_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/conjunct_evaluator.h"
+
+namespace omega {
+
+/// Returns true if the optimisation applies: the conjunct regex is a
+/// top-level alternation with >= 2 branches.
+bool CanDecomposeAlternation(const Conjunct& conjunct);
+
+class DisjunctionStream : public AnswerStream {
+ public:
+  /// Builds one PreparedConjunct per branch of `conjunct` (which must
+  /// satisfy CanDecomposeAlternation). Fails like PrepareConjunct.
+  static Result<std::unique_ptr<DisjunctionStream>> Create(
+      const Conjunct& conjunct, const GraphStore* graph,
+      const BoundOntology* ontology, const EvaluatorOptions& options,
+      size_t max_fruitless_rounds = 16);
+
+  bool Next(Answer* out) override;
+  const Status& status() const override { return status_; }
+  EvaluatorStats stats() const override { return stats_; }
+
+  /// Branch evaluation order used in the most recent round (for tests).
+  const std::vector<size_t>& last_round_order() const {
+    return last_round_order_;
+  }
+
+ private:
+  struct Branch {
+    PreparedConjunct prepared;
+    uint64_t last_round_answers = 0;  // n_{kφ,i}
+    bool truncated = true;            // could a higher ψ yield more?
+  };
+
+  DisjunctionStream(const GraphStore* graph, const BoundOntology* ontology,
+                    const EvaluatorOptions& options,
+                    size_t max_fruitless_rounds);
+
+  /// Runs one full ψ-round over all branches, filling round_buffer_.
+  void RunRound();
+
+  const GraphStore* graph_;
+  const BoundOntology* ontology_;
+  EvaluatorOptions options_;
+  size_t max_fruitless_rounds_;
+
+  std::vector<Branch> branches_;
+  std::unordered_map<uint64_t, Cost> emitted_;
+  std::vector<Answer> round_buffer_;  // sorted by distance, drained from front
+  size_t buffer_pos_ = 0;
+  size_t answers_handed_out_ = 0;
+  std::vector<size_t> last_round_order_;
+
+  /// Early round termination is only order-safe when every reachable
+  /// distance is a multiple of φ (each ψ-round then holds one distance
+  /// value, so skipped answers re-sort correctly next round).
+  bool allow_early_stop_ = true;
+
+  Cost psi_ = 0;
+  Cost phi_ = kInfiniteCost;
+  size_t fruitless_rounds_ = 0;
+  bool first_round_done_ = false;
+  bool done_ = false;
+  Status status_;
+  EvaluatorStats stats_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_EVAL_DISJUNCTION_H_

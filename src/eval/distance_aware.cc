@@ -1,0 +1,80 @@
+#include "eval/distance_aware.h"
+
+namespace omega {
+
+DistanceAwareStream::DistanceAwareStream(const GraphStore* graph,
+                                         const BoundOntology* ontology,
+                                         const PreparedConjunct* prepared,
+                                         const EvaluatorOptions& options,
+                                         const DistanceAwareOptions& da_options)
+    : graph_(graph),
+      ontology_(ontology),
+      prepared_(prepared),
+      base_options_(options),
+      da_options_(da_options) {
+  phi_ = prepared_->nfa.MinPositiveCost();
+}
+
+void DistanceAwareStream::StartRound() {
+  EvaluatorOptions round_options = base_options_;
+  round_options.max_distance = std::min(psi_, base_options_.max_distance);
+  inner_ = std::make_unique<ConjunctEvaluator>(graph_, ontology_, prepared_,
+                                               round_options);
+  round_found_answer_ = false;
+  ++rounds_;
+}
+
+bool DistanceAwareStream::Next(Answer* out) {
+  if (done_ || !status_.ok()) return false;
+  if (inner_ == nullptr) StartRound();
+  for (;;) {
+    Answer answer;
+    while (inner_->Next(&answer)) {
+      // Earlier rounds were complete up to their ceiling, so anything they
+      // emitted reappears here and is skipped. Like the evaluator's own
+      // duplicate check, the key normalises v for constant sources.
+      const uint64_t v_key = prepared_->eval_source.is_variable
+                                 ? answer.v
+                                 : static_cast<uint64_t>(kInvalidNode);
+      auto [it, inserted] = emitted_.try_emplace((v_key << 32) | answer.n,
+                                                 answer.distance);
+      if (!inserted) continue;
+      round_found_answer_ = true;
+      fruitless_rounds_ = 0;
+      *out = answer;
+      return true;
+    }
+    if (!inner_->status().ok()) {
+      status_ = inner_->status();
+      return false;
+    }
+    // Round complete. Decide whether a higher ceiling could produce more.
+    finished_stats_.MergeFrom(inner_->stats());
+    finished_stats_.rounds = rounds_;
+    const bool truncated = inner_->truncated_by_distance();
+    if (!truncated || phi_ >= kInfiniteCost ||
+        psi_ >= base_options_.max_distance) {
+      done_ = true;
+      return false;
+    }
+    if (!round_found_answer_) {
+      if (++fruitless_rounds_ >= da_options_.max_fruitless_rounds) {
+        done_ = true;
+        return false;
+      }
+    }
+    psi_ += phi_;
+    StartRound();
+  }
+}
+
+EvaluatorStats DistanceAwareStream::stats() const {
+  EvaluatorStats total = finished_stats_;
+  if (inner_ != nullptr && !done_) {
+    total.MergeFrom(inner_->stats());
+    total.rounds = rounds_;
+  }
+  return total;
+}
+
+}  // namespace omega

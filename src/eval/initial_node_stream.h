@@ -1,0 +1,64 @@
+// Batched seeding of (?X, R, ?Y) conjuncts — the paper's coroutine
+// implementation of GetAllStartNodesByLabel / GetAllNodesByLabel (§3.3):
+// nodes that can take some transition out of the start state are yielded
+// first, grouped by increasing transition cost; optionally every remaining
+// node follows (needed when the start state is final with positive weight,
+// making *every* node an answer at that weight). Batches are produced on
+// demand so nodes not needed for the requested top-k are never materialised.
+#ifndef OMEGA_EVAL_INITIAL_NODE_STREAM_H_
+#define OMEGA_EVAL_INITIAL_NODE_STREAM_H_
+
+#include <span>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "ontology/ontology.h"
+#include "store/bitmap.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+class InitialNodeStream {
+ public:
+  /// `ontology` may be null (exact / APPROX conjuncts).
+  /// `include_remaining` selects GetAllNodesByLabel (true) vs
+  /// GetAllStartNodesByLabel (false) behaviour.
+  InitialNodeStream(const GraphStore* graph, const BoundOntology* ontology,
+                    const Nfa* nfa, bool include_remaining, size_t batch_size);
+
+  /// Next batch in priority order (most promising node first); empty span
+  /// when exhausted. Spans are valid until the next call.
+  std::span<const NodeId> NextBatch();
+
+  bool Exhausted() const;
+
+  size_t total_yielded() const { return total_yielded_; }
+
+ private:
+  /// Lazily materialises the next non-empty group into group_nodes_.
+  void AdvanceGroup();
+
+  /// Sorted distinct candidate nodes for one transition group.
+  std::vector<NodeId> CandidatesFor(const NfaTransition& t) const;
+
+  const GraphStore* graph_;
+  const BoundOntology* ontology_;
+  const Nfa* nfa_;
+  bool include_remaining_;
+  size_t batch_size_;
+
+  std::vector<Cost> group_costs_;  // ascending distinct costs of s0 exits
+  size_t next_group_ = 0;          // index into group_costs_; one past =
+                                   // the "remaining nodes" pseudo-group
+  bool remaining_done_ = false;
+
+  std::vector<NodeId> group_nodes_;  // current group, not yet yielded
+  size_t group_pos_ = 0;
+  std::vector<NodeId> batch_;  // storage for the last returned span
+  Bitmap yielded_;             // nodes already produced by earlier groups
+  size_t total_yielded_ = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_EVAL_INITIAL_NODE_STREAM_H_

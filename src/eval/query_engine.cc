@@ -1,0 +1,143 @@
+#include "eval/query_engine.h"
+
+#include <algorithm>
+
+namespace omega {
+namespace {
+
+/// Owns the compiled automaton alongside the evaluator borrowing it, so the
+/// engine can hand out self-contained streams.
+class OwningConjunctStream : public AnswerStream {
+ public:
+  OwningConjunctStream(std::unique_ptr<PreparedConjunct> prepared,
+                       const GraphStore* graph, const BoundOntology* ontology,
+                       const EvaluatorOptions& options, bool distance_aware,
+                       const DistanceAwareOptions& da_options)
+      : prepared_(std::move(prepared)) {
+    if (distance_aware) {
+      inner_ = std::make_unique<DistanceAwareStream>(
+          graph, ontology, prepared_.get(), options, da_options);
+    } else {
+      inner_ = std::make_unique<ConjunctEvaluator>(graph, ontology,
+                                                   prepared_.get(), options);
+    }
+  }
+
+  bool Next(Answer* out) override { return inner_->Next(out); }
+  const Status& status() const override { return inner_->status(); }
+  EvaluatorStats stats() const override { return inner_->stats(); }
+
+  const PreparedConjunct& prepared() const { return *prepared_; }
+
+ private:
+  std::unique_ptr<PreparedConjunct> prepared_;
+  std::unique_ptr<AnswerStream> inner_;
+};
+
+}  // namespace
+
+// --- QueryResultStream -------------------------------------------------------
+
+QueryResultStream::QueryResultStream(std::vector<std::string> head,
+                                     std::unique_ptr<BindingStream> bindings)
+    : head_(std::move(head)), bindings_(std::move(bindings)) {}
+
+bool QueryResultStream::Next(QueryAnswer* out) {
+  Binding binding;
+  while (bindings_->Next(&binding)) {
+    QueryAnswer answer;
+    answer.distance = binding.distance;
+    answer.bindings.reserve(head_.size());
+    for (const std::string& var : head_) {
+      answer.bindings.push_back(binding.Lookup(var));
+    }
+    if (!seen_.insert(answer.bindings).second) continue;
+    *out = std::move(answer);
+    return true;
+  }
+  return false;
+}
+
+// --- QueryEngine -------------------------------------------------------------
+
+QueryEngine::QueryEngine(const GraphStore* graph, const Ontology* ontology)
+    : graph_(graph) {
+  if (ontology != nullptr) bound_.emplace(ontology, graph);
+}
+
+Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
+    const Conjunct& conjunct, const QueryEngineOptions& options) const {
+  const BoundOntology* ontology = bound_ontology();
+  const bool flexible = conjunct.mode != ConjunctMode::kExact;
+
+  // §4.3(b): decompose a top-level alternation into sub-automata.
+  if (options.decompose_alternation && flexible &&
+      CanDecomposeAlternation(conjunct)) {
+    Result<std::unique_ptr<DisjunctionStream>> stream =
+        DisjunctionStream::Create(
+            conjunct, graph_, ontology, options.evaluator,
+            options.distance_aware_options.max_fruitless_rounds);
+    if (!stream.ok()) return stream.status();
+    return std::unique_ptr<BindingStream>(
+        std::make_unique<ConjunctBindingStream>(
+            std::move(stream).value(),
+            // DisjunctionStream normalises Case 2 internally per branch;
+            // recompute the post-reversal endpoints the same way.
+            conjunct.source.is_variable && !conjunct.target.is_variable
+                ? conjunct.target
+                : conjunct.source,
+            conjunct.source.is_variable && !conjunct.target.is_variable
+                ? conjunct.source
+                : conjunct.target));
+  }
+
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(conjunct, *graph_, ontology, options.evaluator);
+  if (!prepared.ok()) return prepared.status();
+  auto holder = std::make_unique<PreparedConjunct>(std::move(prepared).value());
+  const Endpoint eval_source = holder->eval_source;
+  const Endpoint eval_target = holder->eval_target;
+
+  // §4.3(a): distance-aware retrieval only pays off when operations have
+  // positive costs, i.e. for APPROX/RELAX conjuncts.
+  const bool use_distance_aware = options.distance_aware && flexible;
+  auto answers = std::make_unique<OwningConjunctStream>(
+      std::move(holder), graph_, ontology, options.evaluator,
+      use_distance_aware, options.distance_aware_options);
+  return std::unique_ptr<BindingStream>(
+      std::make_unique<ConjunctBindingStream>(std::move(answers), eval_source,
+                                              eval_target));
+}
+
+Result<std::unique_ptr<QueryResultStream>> QueryEngine::Execute(
+    const Query& query, const QueryEngineOptions& options) const {
+  OMEGA_RETURN_NOT_OK(ValidateQuery(query));
+  std::vector<std::unique_ptr<BindingStream>> streams;
+  streams.reserve(query.conjuncts.size());
+  for (const Conjunct& conjunct : query.conjuncts) {
+    Result<std::unique_ptr<BindingStream>> stream =
+        MakeConjunctStream(conjunct, options);
+    if (!stream.ok()) return stream.status();
+    streams.push_back(std::move(stream).value());
+  }
+  return std::make_unique<QueryResultStream>(query.head,
+                                             BuildJoinTree(std::move(streams)));
+}
+
+Result<std::vector<QueryAnswer>> QueryEngine::ExecuteTopK(
+    const Query& query, size_t limit, const QueryEngineOptions& options) const {
+  QueryEngineOptions hinted = options;
+  if (hinted.evaluator.top_k_hint == 0) hinted.evaluator.top_k_hint = limit;
+  Result<std::unique_ptr<QueryResultStream>> stream = Execute(query, hinted);
+  if (!stream.ok()) return stream.status();
+  std::vector<QueryAnswer> answers;
+  QueryAnswer answer;
+  while ((limit == 0 || answers.size() < limit) &&
+         (*stream)->Next(&answer)) {
+    answers.push_back(answer);
+  }
+  if (!(*stream)->status().ok()) return (*stream)->status();
+  return answers;
+}
+
+}  // namespace omega

@@ -1,0 +1,93 @@
+// Top-level query execution: compiles each conjunct, wraps it in the
+// requested optimisation mode (plain / distance-aware / alternation
+// decomposition), composes the ranked join tree, and projects the query
+// head with duplicate elimination — answers stream out in non-decreasing
+// total distance, matching the paper's incremental result batches.
+#ifndef OMEGA_EVAL_QUERY_ENGINE_H_
+#define OMEGA_EVAL_QUERY_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/distance_aware.h"
+#include "eval/disjunction.h"
+#include "eval/rank_join.h"
+#include "ontology/ontology.h"
+#include "rpq/query.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+struct QueryEngineOptions {
+  EvaluatorOptions evaluator;
+
+  /// §4.3 "retrieving answers by distance" (APPROX/RELAX conjuncts only).
+  bool distance_aware = false;
+  DistanceAwareOptions distance_aware_options;
+
+  /// §4.3 "replacing alternation by disjunction" (top-level alternations in
+  /// non-exact conjuncts only).
+  bool decompose_alternation = false;
+};
+
+/// One projected answer: node bound to each head variable + total distance.
+struct QueryAnswer {
+  std::vector<NodeId> bindings;  // parallel to Query::head
+  Cost distance = 0;
+
+  bool operator==(const QueryAnswer&) const = default;
+};
+
+/// Streaming query results (head projection, duplicate head bindings keep
+/// their first = cheapest emission).
+class QueryResultStream {
+ public:
+  QueryResultStream(std::vector<std::string> head,
+                    std::unique_ptr<BindingStream> bindings);
+
+  bool Next(QueryAnswer* out);
+  const Status& status() const { return bindings_->status(); }
+  const std::vector<std::string>& head() const { return head_; }
+  EvaluatorStats stats() const { return bindings_->stats(); }
+
+ private:
+  std::vector<std::string> head_;
+  std::unique_ptr<BindingStream> bindings_;
+  std::set<std::vector<NodeId>> seen_;
+};
+
+class QueryEngine {
+ public:
+  /// `ontology` may be null; RELAX queries then fail FailedPrecondition.
+  QueryEngine(const GraphStore* graph, const Ontology* ontology);
+
+  /// Compiles and opens a result stream for `query`.
+  Result<std::unique_ptr<QueryResultStream>> Execute(
+      const Query& query, const QueryEngineOptions& options = {}) const;
+
+  /// Convenience: materialises up to `limit` answers (0 = all). Returns the
+  /// stream's error (e.g. kResourceExhausted) if it failed mid-way.
+  Result<std::vector<QueryAnswer>> ExecuteTopK(
+      const Query& query, size_t limit,
+      const QueryEngineOptions& options = {}) const;
+
+  const GraphStore& graph() const { return *graph_; }
+  const BoundOntology* bound_ontology() const {
+    return bound_ ? &*bound_ : nullptr;
+  }
+
+ private:
+  /// Builds the (optimisation-wrapped) answer stream for one conjunct.
+  Result<std::unique_ptr<BindingStream>> MakeConjunctStream(
+      const Conjunct& conjunct, const QueryEngineOptions& options) const;
+
+  const GraphStore* graph_;
+  std::optional<BoundOntology> bound_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_EVAL_QUERY_ENGINE_H_

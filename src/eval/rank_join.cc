@@ -1,0 +1,172 @@
+#include "eval/rank_join.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace omega {
+
+NodeId Binding::Lookup(const std::string& name) const {
+  for (const auto& [var, value] : vars) {
+    if (var == name) return value;
+  }
+  return kInvalidNode;
+}
+
+bool Binding::Bind(const std::string& name, NodeId value) {
+  auto it = std::lower_bound(
+      vars.begin(), vars.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != vars.end() && it->first == name) return it->second == value;
+  vars.insert(it, {name, value});
+  return true;
+}
+
+// --- ConjunctBindingStream ---------------------------------------------------
+
+ConjunctBindingStream::ConjunctBindingStream(
+    std::unique_ptr<AnswerStream> answers, Endpoint eval_source,
+    Endpoint eval_target)
+    : answers_(std::move(answers)),
+      source_(std::move(eval_source)),
+      target_(std::move(eval_target)) {
+  if (source_.is_variable) variables_.push_back(source_.name);
+  if (target_.is_variable && (!source_.is_variable ||
+                              target_.name != source_.name)) {
+    variables_.push_back(target_.name);
+  }
+  std::sort(variables_.begin(), variables_.end());
+}
+
+bool ConjunctBindingStream::Next(Binding* out) {
+  Answer answer;
+  while (answers_->Next(&answer)) {
+    Binding binding;
+    binding.distance = answer.distance;
+    bool consistent = true;
+    if (source_.is_variable) consistent = binding.Bind(source_.name, answer.v);
+    if (consistent && target_.is_variable) {
+      consistent = binding.Bind(target_.name, answer.n);
+    }
+    if (!consistent) continue;  // (?X, R, ?X) with v != n
+    *out = std::move(binding);
+    return true;
+  }
+  return false;
+}
+
+// --- RankJoinStream ----------------------------------------------------------
+
+RankJoinStream::RankJoinStream(std::unique_ptr<BindingStream> left,
+                               std::unique_ptr<BindingStream> right) {
+  left_.stream = std::move(left);
+  right_.stream = std::move(right);
+  std::set_intersection(left_.stream->variables().begin(),
+                        left_.stream->variables().end(),
+                        right_.stream->variables().begin(),
+                        right_.stream->variables().end(),
+                        std::back_inserter(shared_vars_));
+  std::set_union(left_.stream->variables().begin(),
+                 left_.stream->variables().end(),
+                 right_.stream->variables().begin(),
+                 right_.stream->variables().end(),
+                 std::back_inserter(variables_));
+}
+
+std::string RankJoinStream::KeyFor(const Binding& b) const {
+  std::string key;
+  for (const std::string& var : shared_vars_) {
+    key += std::to_string(b.Lookup(var));
+    key += '|';
+  }
+  return key;
+}
+
+void RankJoinStream::Advance(Side* side, Side* other, bool side_is_left) {
+  Binding binding;
+  if (!side->stream->Next(&binding)) {
+    side->exhausted = true;
+    if (!side->stream->status().ok()) status_ = side->stream->status();
+    return;
+  }
+  if (!side->seen_any) {
+    side->seen_any = true;
+    side->bottom = binding.distance;
+  }
+  side->top = binding.distance;
+
+  const std::string key = KeyFor(binding);
+  // Join the new arrival against everything seen on the other side.
+  auto it = other->table.find(key);
+  if (it != other->table.end()) {
+    for (const Binding& match : it->second) {
+      Binding merged = side_is_left ? binding : match;
+      const Binding& addition = side_is_left ? match : binding;
+      bool ok = true;
+      for (const auto& [var, value] : addition.vars) {
+        if (!merged.Bind(var, value)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;  // only possible via shared key, so never here
+      merged.distance = binding.distance + match.distance;
+      heap_.push(Candidate{std::move(merged)});
+    }
+  }
+  side->table[key].push_back(std::move(binding));
+}
+
+Cost RankJoinStream::Threshold() const {
+  // A future pair involves a new left row (distance >= left.top) with any
+  // seen-or-future right row (>= right.bottom), or vice versa. Before a side
+  // produces anything its bottom is 0 (conservative lower bound).
+  Cost via_new_left = kInfiniteCost;
+  Cost via_new_right = kInfiniteCost;
+  if (!left_.exhausted) via_new_left = left_.top + right_.bottom;
+  if (!right_.exhausted) via_new_right = right_.top + left_.bottom;
+  return std::min(via_new_left, via_new_right);
+}
+
+bool RankJoinStream::Next(Binding* out) {
+  if (!status_.ok()) return false;
+  for (;;) {
+    if (!heap_.empty() && heap_.top().binding.distance <= Threshold()) {
+      *out = heap_.top().binding;
+      heap_.pop();
+      return true;
+    }
+    if (left_.exhausted && right_.exhausted) {
+      if (heap_.empty()) return false;
+      *out = heap_.top().binding;
+      heap_.pop();
+      return true;
+    }
+    // Alternate pulls, preferring the side that is behind (HRJN's simple
+    // round-robin policy), skipping exhausted sides.
+    const bool pick_left =
+        right_.exhausted || (!left_.exhausted && pull_left_next_);
+    pull_left_next_ = !pick_left;
+    Advance(pick_left ? &left_ : &right_, pick_left ? &right_ : &left_,
+            pick_left);
+    if (!status_.ok()) return false;
+  }
+}
+
+EvaluatorStats RankJoinStream::stats() const {
+  EvaluatorStats total = left_.stream->stats();
+  total.MergeFrom(right_.stream->stats());
+  return total;
+}
+
+std::unique_ptr<BindingStream> BuildJoinTree(
+    std::vector<std::unique_ptr<BindingStream>> streams) {
+  assert(!streams.empty());
+  std::unique_ptr<BindingStream> tree = std::move(streams[0]);
+  for (size_t i = 1; i < streams.size(); ++i) {
+    tree = std::make_unique<RankJoinStream>(std::move(tree),
+                                            std::move(streams[i]));
+  }
+  return tree;
+}
+
+}  // namespace omega

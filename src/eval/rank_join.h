@@ -1,0 +1,122 @@
+// Ranked join for multi-conjunct queries (§3: "performing a ranked join for
+// multi-conjunct queries"). Conjunct answer streams are lifted to binding
+// streams and combined with binary HRJN operators (Ilyas et al., VLDB 2004)
+// composed left-deep; outputs are emitted in non-decreasing total distance.
+#ifndef OMEGA_EVAL_RANK_JOIN_H_
+#define OMEGA_EVAL_RANK_JOIN_H_
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/answer.h"
+#include "eval/conjunct_evaluator.h"
+
+namespace omega {
+
+/// A (partial) variable assignment with an accumulated distance. Variables
+/// are kept sorted by name so equal assignments have equal representations.
+struct Binding {
+  std::vector<std::pair<std::string, NodeId>> vars;  // sorted by name
+  Cost distance = 0;
+
+  /// Value bound to `name`, or kInvalidNode.
+  NodeId Lookup(const std::string& name) const;
+  /// Inserts or checks consistency; returns false on conflicting value.
+  bool Bind(const std::string& name, NodeId value);
+};
+
+/// Pull stream of bindings in non-decreasing distance.
+class BindingStream {
+ public:
+  virtual ~BindingStream() = default;
+  virtual bool Next(Binding* out) = 0;
+  virtual const Status& status() const = 0;
+  /// Variable names this stream binds (sorted).
+  virtual const std::vector<std::string>& variables() const = 0;
+  virtual EvaluatorStats stats() const { return {}; }
+};
+
+/// Lifts a conjunct AnswerStream to bindings: Answer.v binds the evaluated
+/// source endpoint, Answer.n the target. Conjuncts like (?X, R, ?X) are
+/// filtered for endpoint agreement here.
+class ConjunctBindingStream : public BindingStream {
+ public:
+  ConjunctBindingStream(std::unique_ptr<AnswerStream> answers,
+                        Endpoint eval_source, Endpoint eval_target);
+
+  bool Next(Binding* out) override;
+  const Status& status() const override { return answers_->status(); }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  EvaluatorStats stats() const override { return answers_->stats(); }
+
+ private:
+  std::unique_ptr<AnswerStream> answers_;
+  Endpoint source_;
+  Endpoint target_;
+  std::vector<std::string> variables_;
+};
+
+/// Binary hash rank join. Maintains per-side hash tables keyed on the shared
+/// variables and a candidate min-heap; a candidate is released once its total
+/// distance is <= the HRJN threshold (the best total any future pairing
+/// could achieve). With no shared variables it degenerates to a ranked
+/// cross product.
+class RankJoinStream : public BindingStream {
+ public:
+  RankJoinStream(std::unique_ptr<BindingStream> left,
+                 std::unique_ptr<BindingStream> right);
+
+  bool Next(Binding* out) override;
+  const Status& status() const override { return status_; }
+  const std::vector<std::string>& variables() const override {
+    return variables_;
+  }
+  EvaluatorStats stats() const override;
+
+ private:
+  struct Side {
+    std::unique_ptr<BindingStream> stream;
+    std::unordered_map<std::string, std::vector<Binding>> table;  // key -> rows
+    Cost bottom = 0;      // first distance seen (0 until then: conservative)
+    Cost top = 0;         // last distance seen
+    bool seen_any = false;
+    bool exhausted = false;
+  };
+
+  /// Distance-ordered candidate heap entry.
+  struct Candidate {
+    Binding binding;
+    bool operator>(const Candidate& other) const {
+      return binding.distance > other.binding.distance;
+    }
+  };
+
+  std::string KeyFor(const Binding& b) const;
+  /// Pulls one binding into `side`, joining it against the other side.
+  void Advance(Side* side, Side* other, bool side_is_left);
+  /// Smallest total distance a not-yet-formed pair could have.
+  Cost Threshold() const;
+
+  Side left_;
+  Side right_;
+  std::vector<std::string> shared_vars_;
+  std::vector<std::string> variables_;
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
+      heap_;
+  bool pull_left_next_ = true;
+  Status status_;
+};
+
+/// Composes conjunct binding streams into a left-deep rank-join tree
+/// (a single stream is returned unchanged).
+std::unique_ptr<BindingStream> BuildJoinTree(
+    std::vector<std::unique_ptr<BindingStream>> streams);
+
+}  // namespace omega
+
+#endif  // OMEGA_EVAL_RANK_JOIN_H_

@@ -1,0 +1,61 @@
+// The D_R dictionary of §3.3: tuples keyed by (distance, final?) with O(1)
+// head insertion/removal per bucket. Removal order: lowest distance first;
+// at equal distance final tuples before non-final ones "so that answers may
+// be returned earlier"; within a list, LIFO — exactly the paper's
+// linked-list discipline (vectors replace the C5 linked lists; push/pop at
+// the back is the same head discipline with better locality).
+#ifndef OMEGA_EVAL_TUPLE_DICTIONARY_H_
+#define OMEGA_EVAL_TUPLE_DICTIONARY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "store/types.h"
+
+namespace omega {
+
+/// The traversal tuple (v, n, s, d, f) of §3.3.
+struct EvalTuple {
+  NodeId v = kInvalidNode;   ///< node the traversal started from
+  NodeId n = kInvalidNode;   ///< node currently visited
+  StateId s = kInvalidState; ///< NFA state
+  Cost d = 0;                ///< accumulated distance
+  bool is_final = false;     ///< ready to be emitted as an answer
+};
+
+class TupleDictionary {
+ public:
+  /// `prioritize_final` = the paper's final/non-final refinement; when off,
+  /// all tuples of a distance share one LIFO list (ablation mode).
+  explicit TupleDictionary(bool prioritize_final = true)
+      : prioritize_final_(prioritize_final) {}
+
+  void Add(const EvalTuple& tuple);
+
+  bool Empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// Lowest distance present. Precondition: !Empty().
+  Cost MinDistance() const { return buckets_.begin()->first; }
+
+  /// Removes per the discipline above. Precondition: !Empty().
+  EvalTuple Remove();
+
+  void Clear();
+
+ private:
+  struct Bucket {
+    std::vector<EvalTuple> final_items;
+    std::vector<EvalTuple> nonfinal_items;
+  };
+
+  std::map<Cost, Bucket> buckets_;
+  size_t size_ = 0;
+  bool prioritize_final_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_EVAL_TUPLE_DICTIONARY_H_

@@ -1,0 +1,347 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+
+namespace omega {
+namespace {
+
+/// Min-step BFS up a parents relation; returns strict ancestors ordered by
+/// (steps, id).
+std::vector<AncestorStep> AncestorsOf(
+    uint32_t start, const std::vector<std::vector<uint32_t>>& parents) {
+  std::unordered_map<uint32_t, uint32_t> steps;
+  std::deque<uint32_t> frontier{start};
+  steps[start] = 0;
+  std::vector<AncestorStep> out;
+  while (!frontier.empty()) {
+    const uint32_t cur = frontier.front();
+    frontier.pop_front();
+    for (uint32_t parent : parents[cur]) {
+      if (steps.count(parent)) continue;
+      steps[parent] = steps[cur] + 1;
+      out.push_back({parent, steps[parent]});
+      frontier.push_back(parent);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.steps != b.steps ? a.steps < b.steps : a.element < b.element;
+  });
+  return out;
+}
+
+/// True if the parents relation contains a cycle.
+bool HasCycle(const std::vector<std::vector<uint32_t>>& parents) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(parents.size(), Color::kWhite);
+  std::function<bool(uint32_t)> visit = [&](uint32_t v) {
+    color[v] = Color::kGray;
+    for (uint32_t p : parents[v]) {
+      if (color[p] == Color::kGray) return true;
+      if (color[p] == Color::kWhite && visit(p)) return true;
+    }
+    color[v] = Color::kBlack;
+    return false;
+  };
+  for (uint32_t v = 0; v < parents.size(); ++v) {
+    if (color[v] == Color::kWhite && visit(v)) return true;
+  }
+  return false;
+}
+
+/// down_sets[x] = all descendants of x including x, sorted.
+std::vector<std::vector<uint32_t>> ComputeDownSets(
+    const std::vector<std::vector<uint32_t>>& parents) {
+  const size_t n = parents.size();
+  std::vector<std::vector<uint32_t>> children(n);
+  for (uint32_t child = 0; child < n; ++child) {
+    for (uint32_t parent : parents[child]) children[parent].push_back(child);
+  }
+  std::vector<std::vector<uint32_t>> down(n);
+  for (uint32_t root = 0; root < n; ++root) {
+    std::vector<uint32_t> stack{root};
+    std::vector<bool> seen(n, false);
+    seen[root] = true;
+    while (!stack.empty()) {
+      const uint32_t cur = stack.back();
+      stack.pop_back();
+      down[root].push_back(cur);
+      for (uint32_t c : children[cur]) {
+        if (!seen[c]) {
+          seen[c] = true;
+          stack.push_back(c);
+        }
+      }
+    }
+    std::sort(down[root].begin(), down[root].end());
+  }
+  return down;
+}
+
+}  // namespace
+
+// --- Ontology ---------------------------------------------------------------
+
+std::optional<ClassId> Ontology::FindClass(std::string_view name) const {
+  auto it = class_index_.find(std::string(name));
+  if (it == class_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PropertyId> Ontology::FindProperty(std::string_view name) const {
+  auto it = property_index_.find(std::string(name));
+  if (it == property_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<AncestorStep> Ontology::ClassAncestors(ClassId c) const {
+  return AncestorsOf(c, class_parents_);
+}
+
+std::vector<AncestorStep> Ontology::PropertyAncestors(PropertyId p) const {
+  return AncestorsOf(p, property_parents_);
+}
+
+std::vector<ClassId> Ontology::ClassChildren(ClassId c) const {
+  std::vector<ClassId> out;
+  for (ClassId child = 0; child < class_parents_.size(); ++child) {
+    for (ClassId parent : class_parents_[child]) {
+      if (parent == c) out.push_back(child);
+    }
+  }
+  return out;
+}
+
+uint32_t Ontology::HierarchyDepth(ClassId root) const {
+  uint32_t best = 0;
+  for (ClassId child : ClassChildren(root)) {
+    best = std::max(best, 1 + HierarchyDepth(child));
+  }
+  return best;
+}
+
+double Ontology::AverageFanOut(ClassId root) const {
+  size_t non_leaf = 0;
+  size_t child_edges = 0;
+  std::vector<ClassId> stack{root};
+  std::vector<bool> seen(class_names_.size(), false);
+  seen[root] = true;
+  while (!stack.empty()) {
+    const ClassId cur = stack.back();
+    stack.pop_back();
+    auto children = ClassChildren(cur);
+    if (!children.empty()) {
+      ++non_leaf;
+      child_edges += children.size();
+    }
+    for (ClassId c : children) {
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  return non_leaf == 0 ? 0.0
+                       : static_cast<double>(child_edges) /
+                             static_cast<double>(non_leaf);
+}
+
+// --- OntologyBuilder --------------------------------------------------------
+
+ClassId OntologyBuilder::GetOrAddClass(std::string_view name) {
+  auto existing = ontology_.FindClass(name);
+  if (existing) return *existing;
+  const ClassId id = static_cast<ClassId>(ontology_.class_names_.size());
+  ontology_.class_names_.emplace_back(name);
+  ontology_.class_index_.emplace(std::string(name), id);
+  ontology_.class_parents_.emplace_back();
+  return id;
+}
+
+PropertyId OntologyBuilder::GetOrAddProperty(std::string_view name) {
+  auto existing = ontology_.FindProperty(name);
+  if (existing) return *existing;
+  const PropertyId id = static_cast<PropertyId>(ontology_.property_names_.size());
+  ontology_.property_names_.emplace_back(name);
+  ontology_.property_index_.emplace(std::string(name), id);
+  ontology_.property_parents_.emplace_back();
+  ontology_.domains_.push_back(kInvalidClass);
+  ontology_.ranges_.push_back(kInvalidClass);
+  return id;
+}
+
+Status OntologyBuilder::AddSubclass(std::string_view child,
+                                    std::string_view parent) {
+  if (child == parent) {
+    return Status::InvalidArgument("class cannot be its own subclass: " +
+                                   std::string(child));
+  }
+  const ClassId c = GetOrAddClass(child);
+  const ClassId p = GetOrAddClass(parent);
+  auto& parents = ontology_.class_parents_[c];
+  if (std::find(parents.begin(), parents.end(), p) != parents.end()) {
+    return Status::AlreadyExists("duplicate sc edge: " + std::string(child));
+  }
+  parents.push_back(p);
+  return Status::OK();
+}
+
+Status OntologyBuilder::AddSubproperty(std::string_view child,
+                                       std::string_view parent) {
+  if (child == parent) {
+    return Status::InvalidArgument("property cannot be its own subproperty: " +
+                                   std::string(child));
+  }
+  const PropertyId c = GetOrAddProperty(child);
+  const PropertyId p = GetOrAddProperty(parent);
+  auto& parents = ontology_.property_parents_[c];
+  if (std::find(parents.begin(), parents.end(), p) != parents.end()) {
+    return Status::AlreadyExists("duplicate sp edge: " + std::string(child));
+  }
+  parents.push_back(p);
+  return Status::OK();
+}
+
+Status OntologyBuilder::SetDomain(std::string_view property,
+                                  std::string_view klass) {
+  const PropertyId p = GetOrAddProperty(property);
+  ontology_.domains_[p] = GetOrAddClass(klass);
+  return Status::OK();
+}
+
+Status OntologyBuilder::SetRange(std::string_view property,
+                                 std::string_view klass) {
+  const PropertyId p = GetOrAddProperty(property);
+  ontology_.ranges_[p] = GetOrAddClass(klass);
+  return Status::OK();
+}
+
+Result<Ontology> OntologyBuilder::Finalize() && {
+  if (HasCycle(ontology_.class_parents_)) {
+    return Status::InvalidArgument("cycle in sc (subclass) hierarchy");
+  }
+  if (HasCycle(ontology_.property_parents_)) {
+    return Status::InvalidArgument("cycle in sp (subproperty) hierarchy");
+  }
+  ontology_.class_down_sets_ = ComputeDownSets(ontology_.class_parents_);
+  ontology_.property_down_sets_ = ComputeDownSets(ontology_.property_parents_);
+  return std::move(ontology_);
+}
+
+// --- BoundOntology ----------------------------------------------------------
+
+BoundOntology::BoundOntology(const Ontology* ontology, const GraphStore* graph)
+    : ontology_(ontology), graph_(graph) {
+  class_to_node_.assign(ontology->NumClasses(), kInvalidNode);
+  std::vector<NodeId> bound_classes;
+  for (ClassId c = 0; c < ontology->NumClasses(); ++c) {
+    if (auto n = graph->FindNode(ontology->ClassName(c))) {
+      class_to_node_[c] = *n;
+      node_to_class_.emplace(*n, c);
+      bound_classes.push_back(*n);
+    }
+  }
+  bound_class_nodes_ = OidSet::FromUnsorted(std::move(bound_classes));
+  property_to_label_.assign(ontology->NumProperties(), kInvalidLabel);
+  LabelId next_synthetic = static_cast<LabelId>(graph->labels().size());
+  for (PropertyId p = 0; p < ontology->NumProperties(); ++p) {
+    if (auto l = graph->labels().Find(ontology->PropertyName(p))) {
+      property_to_label_[p] = *l;
+      label_to_property_.emplace(*l, p);
+    } else {
+      // Synthetic id: resolvable in queries and automata, empty in the graph.
+      property_to_label_[p] = next_synthetic;
+      label_to_property_.emplace(next_synthetic, p);
+      synthetic_labels_.emplace(std::string(ontology->PropertyName(p)),
+                                next_synthetic);
+      ++next_synthetic;
+    }
+  }
+  // Precompute graph-side down sets.
+  for (const auto& [node, klass] : node_to_class_) {
+    std::vector<NodeId> members;
+    for (ClassId d : ontology->ClassDownSet(klass)) {
+      if (class_to_node_[d] != kInvalidNode) {
+        members.push_back(class_to_node_[d]);
+      }
+    }
+    node_down_sets_.emplace(node, OidSet::FromUnsorted(std::move(members)));
+  }
+  for (const auto& [label, property] : label_to_property_) {
+    std::vector<LabelId> members;
+    for (PropertyId d : ontology->PropertyDownSet(property)) {
+      members.push_back(property_to_label_[d]);
+    }
+    std::sort(members.begin(), members.end());
+    label_down_sets_.emplace(label, std::move(members));
+  }
+}
+
+std::optional<LabelId> BoundOntology::FindSyntheticLabel(
+    std::string_view name) const {
+  auto it = synthetic_labels_.find(std::string(name));
+  if (it == synthetic_labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool BoundOntology::IsClassNode(NodeId n) const {
+  return node_to_class_.count(n) > 0;
+}
+
+std::vector<std::pair<NodeId, uint32_t>> BoundOntology::NodeAncestors(
+    NodeId n) const {
+  std::vector<std::pair<NodeId, uint32_t>> out;
+  auto it = node_to_class_.find(n);
+  if (it == node_to_class_.end()) return out;
+  for (const AncestorStep& step : ontology_->ClassAncestors(it->second)) {
+    const NodeId ancestor = class_to_node_[step.element];
+    if (ancestor != kInvalidNode) out.emplace_back(ancestor, step.steps);
+  }
+  return out;
+}
+
+const OidSet& BoundOntology::NodeDownSet(NodeId n) const {
+  static const OidSet kEmpty;
+  auto it = node_down_sets_.find(n);
+  return it == node_down_sets_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::pair<LabelId, uint32_t>> BoundOntology::LabelAncestors(
+    LabelId l) const {
+  std::vector<std::pair<LabelId, uint32_t>> out;
+  auto it = label_to_property_.find(l);
+  if (it == label_to_property_.end()) return out;
+  for (const AncestorStep& step : ontology_->PropertyAncestors(it->second)) {
+    const LabelId ancestor = property_to_label_[step.element];
+    if (ancestor != kInvalidLabel) out.emplace_back(ancestor, step.steps);
+  }
+  return out;
+}
+
+const std::vector<LabelId>& BoundOntology::LabelDownSet(LabelId l) const {
+  auto it = label_down_sets_.find(l);
+  if (it != label_down_sets_.end()) return it->second;
+  auto [fit, inserted] = fallback_down_sets_.try_emplace(l);
+  if (inserted) fit->second.push_back(l);
+  return fit->second;
+}
+
+std::optional<NodeId> BoundOntology::DomainNodeOf(LabelId l) const {
+  auto it = label_to_property_.find(l);
+  if (it == label_to_property_.end()) return std::nullopt;
+  auto domain = ontology_->DomainOf(it->second);
+  if (!domain || class_to_node_[*domain] == kInvalidNode) return std::nullopt;
+  return class_to_node_[*domain];
+}
+
+std::optional<NodeId> BoundOntology::RangeNodeOf(LabelId l) const {
+  auto it = label_to_property_.find(l);
+  if (it == label_to_property_.end()) return std::nullopt;
+  auto range = ontology_->RangeOf(it->second);
+  if (!range || class_to_node_[*range] == kInvalidNode) return std::nullopt;
+  return class_to_node_[*range];
+}
+
+}  // namespace omega

@@ -1,0 +1,185 @@
+// The ontology K = (V_K, E_K): class nodes related by `sc` (subclass),
+// property nodes related by `sp` (subproperty), and `dom`/`range` edges from
+// properties to classes. RELAX consults K both when augmenting the query
+// automaton (M^K_R) and when matching under RDFS entailment.
+#ifndef OMEGA_ONTOLOGY_ONTOLOGY_H_
+#define OMEGA_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "store/graph_store.h"
+#include "store/oid_set.h"
+
+namespace omega {
+
+using ClassId = uint32_t;
+using PropertyId = uint32_t;
+inline constexpr ClassId kInvalidClass = static_cast<ClassId>(-1);
+inline constexpr PropertyId kInvalidProperty = static_cast<PropertyId>(-1);
+
+/// An ancestor (or super-property) together with its distance in `sc`/`sp`
+/// steps from the starting element; steps * beta is its relaxation cost.
+struct AncestorStep {
+  uint32_t element;  // ClassId or PropertyId depending on context
+  uint32_t steps;    // >= 1: immediate parent has steps == 1
+};
+
+/// Immutable ontology; assembled with OntologyBuilder.
+class Ontology {
+ public:
+  // --- lookup ------------------------------------------------------------
+  std::optional<ClassId> FindClass(std::string_view name) const;
+  std::optional<PropertyId> FindProperty(std::string_view name) const;
+  std::string_view ClassName(ClassId c) const { return class_names_[c]; }
+  std::string_view PropertyName(PropertyId p) const {
+    return property_names_[p];
+  }
+  size_t NumClasses() const { return class_names_.size(); }
+  size_t NumProperties() const { return property_names_.size(); }
+
+  // --- hierarchy navigation ----------------------------------------------
+  /// Immediate superclasses (multiple inheritance allowed).
+  const std::vector<ClassId>& ClassParents(ClassId c) const {
+    return class_parents_[c];
+  }
+  const std::vector<PropertyId>& PropertyParents(PropertyId p) const {
+    return property_parents_[p];
+  }
+
+  /// All strict ancestors with their minimal step count, ordered by
+  /// increasing steps (most specific first), ties by id. This is the
+  /// ordering GetAncestors needs in the paper's Open procedure.
+  std::vector<AncestorStep> ClassAncestors(ClassId c) const;
+  std::vector<AncestorStep> PropertyAncestors(PropertyId p) const;
+
+  /// Descendants *including* the element itself (the down-set used for
+  /// entailment-aware matching). Sorted ascending.
+  const std::vector<ClassId>& ClassDownSet(ClassId c) const {
+    return class_down_sets_[c];
+  }
+  const std::vector<PropertyId>& PropertyDownSet(PropertyId p) const {
+    return property_down_sets_[p];
+  }
+
+  std::optional<ClassId> DomainOf(PropertyId p) const {
+    return domains_[p] == kInvalidClass ? std::nullopt
+                                        : std::optional<ClassId>(domains_[p]);
+  }
+  std::optional<ClassId> RangeOf(PropertyId p) const {
+    return ranges_[p] == kInvalidClass ? std::nullopt
+                                       : std::optional<ClassId>(ranges_[p]);
+  }
+
+  // --- statistics (used to verify Fig. 2 shapes) --------------------------
+  /// Longest root-to-leaf path length below `root` (root itself = depth 0).
+  uint32_t HierarchyDepth(ClassId root) const;
+  /// Mean child count over non-leaf classes in the tree rooted at `root`.
+  double AverageFanOut(ClassId root) const;
+  /// Immediate subclasses.
+  std::vector<ClassId> ClassChildren(ClassId c) const;
+
+ private:
+  friend class OntologyBuilder;
+
+  std::vector<std::string> class_names_;
+  std::vector<std::string> property_names_;
+  std::unordered_map<std::string, ClassId> class_index_;
+  std::unordered_map<std::string, PropertyId> property_index_;
+  std::vector<std::vector<ClassId>> class_parents_;
+  std::vector<std::vector<PropertyId>> property_parents_;
+  std::vector<std::vector<ClassId>> class_down_sets_;
+  std::vector<std::vector<PropertyId>> property_down_sets_;
+  std::vector<ClassId> domains_;
+  std::vector<ClassId> ranges_;
+};
+
+/// Accumulates ontology statements, validates (no sc/sp cycles, no dangling
+/// references), and produces the immutable Ontology.
+class OntologyBuilder {
+ public:
+  ClassId GetOrAddClass(std::string_view name);
+  PropertyId GetOrAddProperty(std::string_view name);
+
+  /// States `child sc parent`.
+  Status AddSubclass(std::string_view child, std::string_view parent);
+  /// States `child sp parent`.
+  Status AddSubproperty(std::string_view child, std::string_view parent);
+  Status SetDomain(std::string_view property, std::string_view klass);
+  Status SetRange(std::string_view property, std::string_view klass);
+
+  /// Validates and freezes. Fails with InvalidArgument on sc/sp cycles.
+  Result<Ontology> Finalize() &&;
+
+ private:
+  Ontology ontology_;
+};
+
+/// Ontology bound to a specific data graph: translates ontology classes to
+/// graph NodeIds and ontology properties to graph LabelIds so the evaluator
+/// can consult K with graph-native identifiers.
+///
+/// Properties that never occur as edge labels in the graph (e.g. a pure
+/// super-property such as YAGO's relationLocatedByObject) receive *synthetic*
+/// label ids just past the graph's label space: graph adjacency lookups on
+/// them are safely empty, while entailment down-sets still resolve to real
+/// graph labels — so relaxing up to an unasserted super-property works.
+/// Class nodes absent from the graph have no binding (a traversal cannot
+/// start or land on a node that does not exist).
+class BoundOntology {
+ public:
+  BoundOntology(const Ontology* ontology, const GraphStore* graph);
+
+  /// Resolves a property name to its synthetic label id, if the property is
+  /// known to the ontology but absent from the graph's label dictionary.
+  std::optional<LabelId> FindSyntheticLabel(std::string_view name) const;
+
+  const Ontology& ontology() const { return *ontology_; }
+
+  /// True if the graph node is a class node of K (V_G ∩ V_K membership).
+  bool IsClassNode(NodeId n) const;
+
+  /// Strict ancestors of class node `n` as graph nodes with step counts,
+  /// most specific first. Ancestors with no graph node are skipped.
+  std::vector<std::pair<NodeId, uint32_t>> NodeAncestors(NodeId n) const;
+
+  /// Down-set of class node `n` (descendant class nodes incl. itself).
+  const OidSet& NodeDownSet(NodeId n) const;
+
+  /// Immediate superproperties of graph label `l` (empty if unbound).
+  std::vector<std::pair<LabelId, uint32_t>> LabelAncestors(LabelId l) const;
+
+  /// sp-descendant labels of `l` including `l` itself; labels that exist in
+  /// the ontology but never occur in the graph are dropped.
+  const std::vector<LabelId>& LabelDownSet(LabelId l) const;
+
+  /// Domain / range class of a property label, as a graph node.
+  std::optional<NodeId> DomainNodeOf(LabelId l) const;
+  std::optional<NodeId> RangeNodeOf(LabelId l) const;
+
+  /// All ontology classes that exist as graph nodes.
+  const OidSet& BoundClassNodes() const { return bound_class_nodes_; }
+
+ private:
+  const Ontology* ontology_;
+  const GraphStore* graph_;
+
+  std::unordered_map<NodeId, ClassId> node_to_class_;
+  std::vector<NodeId> class_to_node_;           // by ClassId; kInvalidNode if absent
+  std::vector<LabelId> property_to_label_;      // by PropertyId (may be synthetic)
+  std::unordered_map<LabelId, PropertyId> label_to_property_;
+  std::unordered_map<std::string, LabelId> synthetic_labels_;
+  std::unordered_map<NodeId, OidSet> node_down_sets_;
+  std::unordered_map<LabelId, std::vector<LabelId>> label_down_sets_;
+  mutable std::unordered_map<LabelId, std::vector<LabelId>> fallback_down_sets_;
+  OidSet bound_class_nodes_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,76 @@
+#include "ontology/ontology_io.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace omega {
+
+Status SaveOntology(const Ontology& ontology, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+  out << "# omega ontology (sc/sp/dom/range statements)\n";
+  for (ClassId c = 0; c < ontology.NumClasses(); ++c) {
+    for (ClassId parent : ontology.ClassParents(c)) {
+      out << "sc\t" << ontology.ClassName(c) << '\t'
+          << ontology.ClassName(parent) << '\n';
+    }
+  }
+  for (PropertyId p = 0; p < ontology.NumProperties(); ++p) {
+    for (PropertyId parent : ontology.PropertyParents(p)) {
+      out << "sp\t" << ontology.PropertyName(p) << '\t'
+          << ontology.PropertyName(parent) << '\n';
+    }
+    if (auto dom = ontology.DomainOf(p)) {
+      out << "dom\t" << ontology.PropertyName(p) << '\t'
+          << ontology.ClassName(*dom) << '\n';
+    }
+    if (auto range = ontology.RangeOf(p)) {
+      out << "range\t" << ontology.PropertyName(p) << '\t'
+          << ontology.ClassName(*range) << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Ontology> LoadOntology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  OntologyBuilder builder;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto fields = Split(stripped, '\t', /*trim=*/true);
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          "expected 'kind<TAB>subject<TAB>object' at " + path + ":" +
+          std::to_string(line_number));
+    }
+    Status status;
+    if (fields[0] == "sc") {
+      status = builder.AddSubclass(fields[1], fields[2]);
+    } else if (fields[0] == "sp") {
+      status = builder.AddSubproperty(fields[1], fields[2]);
+    } else if (fields[0] == "dom") {
+      status = builder.SetDomain(fields[1], fields[2]);
+    } else if (fields[0] == "range") {
+      status = builder.SetRange(fields[1], fields[2]);
+    } else {
+      return Status::InvalidArgument("unknown statement kind '" + fields[0] +
+                                     "' at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    // Duplicate statements in a hand-edited file are tolerated.
+    if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+      return status;
+    }
+  }
+  return std::move(builder).Finalize();
+}
+
+}  // namespace omega

@@ -1,0 +1,24 @@
+// Plain-text persistence for ontologies, mirroring the paper's E_K edge
+// kinds: one statement per line,
+//   sc <TAB> child class <TAB> parent class
+//   sp <TAB> child property <TAB> parent property
+//   dom <TAB> property <TAB> class
+//   range <TAB> property <TAB> class
+// with '#'-comments and blank lines ignored.
+#ifndef OMEGA_ONTOLOGY_ONTOLOGY_IO_H_
+#define OMEGA_ONTOLOGY_ONTOLOGY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ontology/ontology.h"
+
+namespace omega {
+
+Status SaveOntology(const Ontology& ontology, const std::string& path);
+
+Result<Ontology> LoadOntology(const std::string& path);
+
+}  // namespace omega
+
+#endif  // OMEGA_ONTOLOGY_ONTOLOGY_IO_H_

@@ -1,0 +1,85 @@
+#include "rpq/query.h"
+
+#include <algorithm>
+
+namespace omega {
+
+const char* ConjunctModeToString(ConjunctMode mode) {
+  switch (mode) {
+    case ConjunctMode::kExact:
+      return "EXACT";
+    case ConjunctMode::kApprox:
+      return "APPROX";
+    case ConjunctMode::kRelax:
+      return "RELAX";
+  }
+  return "?";
+}
+
+std::vector<std::string> Query::BodyVariables() const {
+  std::vector<std::string> vars;
+  auto add = [&vars](const Endpoint& e) {
+    if (e.is_variable &&
+        std::find(vars.begin(), vars.end(), e.name) == vars.end()) {
+      vars.push_back(e.name);
+    }
+  };
+  for (const Conjunct& c : conjuncts) {
+    add(c.source);
+    add(c.target);
+  }
+  return vars;
+}
+
+std::string Query::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "?" + head[i];
+  }
+  out += ") <- ";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Conjunct& c = conjuncts[i];
+    if (c.mode != ConjunctMode::kExact) {
+      out += ConjunctModeToString(c.mode);
+      out += ' ';
+    }
+    auto endpoint = [](const Endpoint& e) {
+      return e.is_variable ? "?" + e.name : e.name;
+    };
+    out += "(" + endpoint(c.source) + ", " + omega::ToString(*c.regex) + ", " +
+           endpoint(c.target) + ")";
+  }
+  return out;
+}
+
+Status ValidateQuery(const Query& query) {
+  if (query.head.empty()) {
+    return Status::InvalidArgument("query head must project >=1 variable");
+  }
+  if (query.conjuncts.empty()) {
+    return Status::InvalidArgument("query must have >=1 conjunct");
+  }
+  for (const Conjunct& c : query.conjuncts) {
+    if (c.regex == nullptr) {
+      return Status::InvalidArgument("conjunct missing regular expression");
+    }
+    for (const Endpoint* e : {&c.source, &c.target}) {
+      if (e->name.empty()) {
+        return Status::InvalidArgument("conjunct endpoint must be non-empty");
+      }
+    }
+  }
+  const std::vector<std::string> body_vars = query.BodyVariables();
+  for (const std::string& var : query.head) {
+    if (std::find(body_vars.begin(), body_vars.end(), var) ==
+        body_vars.end()) {
+      return Status::InvalidArgument("head variable ?" + var +
+                                     " does not appear in the query body");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace omega

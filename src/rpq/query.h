@@ -1,0 +1,66 @@
+// Conjunctive regular path (CRP) query model:
+//   (Z1,...,Zm) <- [APPROX|RELAX] (X1,R1,Y1), ..., (Xn,Rn,Yn)
+// where each Xi / Yi is a variable (?Name) or a constant node label and each
+// Ri is a regular expression over edge labels.
+#ifndef OMEGA_RPQ_QUERY_H_
+#define OMEGA_RPQ_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rpq/regex_ast.h"
+
+namespace omega {
+
+/// Evaluation mode of a single conjunct (§2 of the paper).
+enum class ConjunctMode {
+  kExact,
+  kApprox,
+  kRelax,
+};
+
+const char* ConjunctModeToString(ConjunctMode mode);
+
+/// A query endpoint: either a variable or a constant node label. Constants
+/// may contain spaces ("Work Episode", "BTEC Introductory Diploma").
+struct Endpoint {
+  bool is_variable = false;
+  std::string name;  // variable name without '?', or the constant label
+
+  static Endpoint Variable(std::string name) {
+    return Endpoint{true, std::move(name)};
+  }
+  static Endpoint Constant(std::string label) {
+    return Endpoint{false, std::move(label)};
+  }
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// One conjunct (X, R, Y), optionally APPROXed or RELAXed.
+struct Conjunct {
+  ConjunctMode mode = ConjunctMode::kExact;
+  Endpoint source;
+  RegexPtr regex;
+  Endpoint target;
+};
+
+/// A full CRP query. `head` lists the projected variable names (no '?').
+struct Query {
+  std::vector<std::string> head;
+  std::vector<Conjunct> conjuncts;
+
+  /// Distinct variable names across all conjuncts, in first-use order.
+  std::vector<std::string> BodyVariables() const;
+
+  /// Round-trippable text form.
+  std::string ToString() const;
+};
+
+/// Semantic checks: >=1 head var and >=1 conjunct, every head variable bound
+/// in the body, every conjunct regex present.
+Status ValidateQuery(const Query& query);
+
+}  // namespace omega
+
+#endif  // OMEGA_RPQ_QUERY_H_

@@ -1,0 +1,105 @@
+#include "rpq/query_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/strings.h"
+#include "rpq/regex_parser.h"
+
+namespace omega {
+namespace {
+
+Result<Endpoint> ParseEndpoint(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty query endpoint");
+  }
+  if (text[0] == '?') {
+    std::string_view name = text.substr(1);
+    if (name.empty()) {
+      return Status::InvalidArgument("variable name missing after '?'");
+    }
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        return Status::InvalidArgument("invalid variable name: " +
+                                       std::string(text));
+      }
+    }
+    return Endpoint::Variable(std::string(name));
+  }
+  return Endpoint::Constant(std::string(text));
+}
+
+}  // namespace
+
+Result<Conjunct> ParseConjunct(std::string_view text) {
+  std::string_view body = StripWhitespace(text);
+  ConjunctMode mode = ConjunctMode::kExact;
+  if (StartsWith(body, "APPROX")) {
+    mode = ConjunctMode::kApprox;
+    body = StripWhitespace(body.substr(6));
+  } else if (StartsWith(body, "RELAX")) {
+    mode = ConjunctMode::kRelax;
+    body = StripWhitespace(body.substr(5));
+  }
+  if (body.size() < 2 || body.front() != '(' || body.back() != ')') {
+    return Status::InvalidArgument("conjunct must be parenthesised: " +
+                                   std::string(text));
+  }
+  body = body.substr(1, body.size() - 2);
+  auto parts = SplitTopLevel(body, ',');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        "conjunct must be (source, regex, target): " + std::string(text));
+  }
+
+  Result<Endpoint> source = ParseEndpoint(parts[0]);
+  if (!source.ok()) return source.status();
+  Result<RegexPtr> regex = ParseRegex(parts[1]);
+  if (!regex.ok()) return regex.status();
+  Result<Endpoint> target = ParseEndpoint(parts[2]);
+  if (!target.ok()) return target.status();
+
+  Conjunct conjunct;
+  conjunct.mode = mode;
+  conjunct.source = std::move(source).value();
+  conjunct.regex = std::move(regex).value();
+  conjunct.target = std::move(target).value();
+  return conjunct;
+}
+
+Result<Query> ParseQuery(std::string_view text) {
+  const size_t arrow = text.find("<-");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("query must contain '<-'");
+  }
+  std::string_view head_text = StripWhitespace(text.substr(0, arrow));
+  std::string_view body_text = StripWhitespace(text.substr(arrow + 2));
+
+  if (head_text.size() < 2 || head_text.front() != '(' ||
+      head_text.back() != ')') {
+    return Status::InvalidArgument("query head must be parenthesised");
+  }
+  Query query;
+  for (const std::string& var :
+       Split(head_text.substr(1, head_text.size() - 2), ',', /*trim=*/true)) {
+    if (var.empty() || var[0] != '?') {
+      return Status::InvalidArgument("head entries must be variables: " + var);
+    }
+    query.head.push_back(var.substr(1));
+  }
+
+  for (const std::string& conjunct_text : SplitTopLevel(body_text, ',')) {
+    if (conjunct_text.empty()) {
+      return Status::InvalidArgument("empty conjunct in query body");
+    }
+    Result<Conjunct> conjunct = ParseConjunct(conjunct_text);
+    if (!conjunct.ok()) return conjunct.status();
+    query.conjuncts.push_back(std::move(conjunct).value());
+  }
+
+  OMEGA_RETURN_NOT_OK(ValidateQuery(query));
+  return query;
+}
+
+}  // namespace omega

@@ -1,0 +1,25 @@
+// Text syntax for CRP queries, matching the paper's console examples:
+//
+//   (?X) <- APPROX (UK, isLocatedIn-.gradFrom, ?X)
+//   (?X, ?Y) <- (?X, job.type, ?Y), RELAX (?Y, next+, ?X)
+//
+// Constants may contain spaces; variables start with '?'.
+#ifndef OMEGA_RPQ_QUERY_PARSER_H_
+#define OMEGA_RPQ_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rpq/query.h"
+
+namespace omega {
+
+/// Parses and validates a full CRP query.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses a single conjunct like "APPROX (UK, a-.b, ?X)".
+Result<Conjunct> ParseConjunct(std::string_view text);
+
+}  // namespace omega
+
+#endif  // OMEGA_RPQ_QUERY_PARSER_H_

@@ -1,0 +1,175 @@
+#include "rpq/regex_ast.h"
+
+#include <cassert>
+
+namespace omega {
+namespace {
+
+RegexPtr MakeNode(RegexOp op) {
+  auto node = std::make_unique<RegexNode>();
+  node->op = op;
+  return node;
+}
+
+/// Precedence for parenthesisation: alternation < concat < postfix/atom.
+int Precedence(RegexOp op) {
+  switch (op) {
+    case RegexOp::kAlternation:
+      return 0;
+    case RegexOp::kConcat:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+void AppendWithParens(const RegexNode& child, int min_precedence,
+                      std::string* out) {
+  const bool parens = Precedence(child.op) < min_precedence;
+  if (parens) out->push_back('(');
+  *out += ToString(child);
+  if (parens) out->push_back(')');
+}
+
+}  // namespace
+
+RegexPtr MakeEpsilon() { return MakeNode(RegexOp::kEpsilon); }
+
+RegexPtr MakeLabel(std::string label, Direction dir) {
+  auto node = MakeNode(RegexOp::kLabel);
+  node->label = std::move(label);
+  node->dir = dir;
+  return node;
+}
+
+RegexPtr MakeWildcard(Direction dir) {
+  auto node = MakeNode(RegexOp::kWildcard);
+  node->dir = dir;
+  return node;
+}
+
+RegexPtr MakeConcat(std::vector<RegexPtr> children) {
+  assert(children.size() >= 2);
+  auto node = MakeNode(RegexOp::kConcat);
+  node->children = std::move(children);
+  return node;
+}
+
+RegexPtr MakeAlternation(std::vector<RegexPtr> children) {
+  assert(children.size() >= 2);
+  auto node = MakeNode(RegexOp::kAlternation);
+  node->children = std::move(children);
+  return node;
+}
+
+RegexPtr MakeStar(RegexPtr child) {
+  auto node = MakeNode(RegexOp::kStar);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+RegexPtr MakePlus(RegexPtr child) {
+  auto node = MakeNode(RegexOp::kPlus);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+RegexPtr Clone(const RegexNode& node) {
+  auto copy = std::make_unique<RegexNode>();
+  copy->op = node.op;
+  copy->label = node.label;
+  copy->dir = node.dir;
+  copy->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    copy->children.push_back(Clone(*child));
+  }
+  return copy;
+}
+
+std::string ToString(const RegexNode& node) {
+  switch (node.op) {
+    case RegexOp::kEpsilon:
+      return "()";
+    case RegexOp::kLabel:
+      return node.dir == Direction::kOutgoing ? node.label : node.label + "-";
+    case RegexOp::kWildcard:
+      return node.dir == Direction::kOutgoing ? "_" : "_-";
+    case RegexOp::kConcat: {
+      std::string out;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out.push_back('.');
+        AppendWithParens(*node.children[i], Precedence(RegexOp::kConcat), &out);
+      }
+      return out;
+    }
+    case RegexOp::kAlternation: {
+      std::string out;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out.push_back('|');
+        AppendWithParens(*node.children[i], Precedence(RegexOp::kConcat), &out);
+      }
+      return out;
+    }
+    case RegexOp::kStar:
+    case RegexOp::kPlus: {
+      std::string out;
+      AppendWithParens(*node.children[0], 2, &out);
+      out.push_back(node.op == RegexOp::kStar ? '*' : '+');
+      return out;
+    }
+  }
+  return "";
+}
+
+RegexPtr ReverseRegex(const RegexNode& node) {
+  switch (node.op) {
+    case RegexOp::kEpsilon:
+      return MakeEpsilon();
+    case RegexOp::kLabel:
+      return MakeLabel(node.label, Reverse(node.dir));
+    case RegexOp::kWildcard:
+      return MakeWildcard(Reverse(node.dir));
+    case RegexOp::kConcat: {
+      std::vector<RegexPtr> reversed;
+      reversed.reserve(node.children.size());
+      for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+        reversed.push_back(ReverseRegex(**it));
+      }
+      return MakeConcat(std::move(reversed));
+    }
+    case RegexOp::kAlternation: {
+      std::vector<RegexPtr> branches;
+      branches.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        branches.push_back(ReverseRegex(*child));
+      }
+      return MakeAlternation(std::move(branches));
+    }
+    case RegexOp::kStar:
+      return MakeStar(ReverseRegex(*node.children[0]));
+    case RegexOp::kPlus:
+      return MakePlus(ReverseRegex(*node.children[0]));
+  }
+  return nullptr;
+}
+
+bool RegexEquals(const RegexNode& a, const RegexNode& b) {
+  if (a.op != b.op || a.label != b.label || a.dir != b.dir ||
+      a.children.size() != b.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!RegexEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+std::vector<const RegexNode*> TopLevelAlternatives(const RegexNode& node) {
+  if (node.op != RegexOp::kAlternation) return {&node};
+  std::vector<const RegexNode*> out;
+  out.reserve(node.children.size());
+  for (const auto& child : node.children) out.push_back(child.get());
+  return out;
+}
+
+}  // namespace omega

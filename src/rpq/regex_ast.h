@@ -1,0 +1,69 @@
+// AST for the paper's regular expressions over edge labels:
+//
+//   R ::= ε | a | a- | _ | R.R | R|R | R* | R+
+//
+// where `a` ranges over Σ ∪ {type}, `a-` traverses an edge in reverse and
+// `_` is the disjunction of all labels (one forward edge of any label).
+#ifndef OMEGA_RPQ_REGEX_AST_H_
+#define OMEGA_RPQ_REGEX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/types.h"
+
+namespace omega {
+
+enum class RegexOp {
+  kEpsilon,      ///< matches the empty path
+  kLabel,        ///< one edge with a specific label (forward or reverse)
+  kWildcard,     ///< one edge with any label (`_`), direction per `dir`
+  kConcat,       ///< R1.R2...Rk
+  kAlternation,  ///< R1|R2|...|Rk
+  kStar,         ///< R*
+  kPlus,         ///< R+
+};
+
+struct RegexNode;
+using RegexPtr = std::unique_ptr<RegexNode>;
+
+struct RegexNode {
+  RegexOp op;
+  std::string label;                        // kLabel only
+  Direction dir = Direction::kOutgoing;     // kLabel / kWildcard
+  std::vector<RegexPtr> children;           // kConcat/kAlternation: >=2;
+                                            // kStar/kPlus: exactly 1
+};
+
+// --- constructors ------------------------------------------------------------
+
+RegexPtr MakeEpsilon();
+RegexPtr MakeLabel(std::string label, Direction dir = Direction::kOutgoing);
+RegexPtr MakeWildcard(Direction dir = Direction::kOutgoing);
+RegexPtr MakeConcat(std::vector<RegexPtr> children);
+RegexPtr MakeAlternation(std::vector<RegexPtr> children);
+RegexPtr MakeStar(RegexPtr child);
+RegexPtr MakePlus(RegexPtr child);
+
+/// Deep copy.
+RegexPtr Clone(const RegexNode& node);
+
+/// Unparses with minimal parentheses; ParseRegex(ToString(r)) == r.
+std::string ToString(const RegexNode& node);
+
+/// Language reversal: paths matching Reverse(R) are exactly the reversals of
+/// paths matching R. Runs in linear time on the AST (the paper's Case 2
+/// transformation (?X, R, C) -> (C, R-, ?X)).
+RegexPtr ReverseRegex(const RegexNode& node);
+
+/// Structural equality.
+bool RegexEquals(const RegexNode& a, const RegexNode& b);
+
+/// If `node` is a top-level alternation, returns its branches; otherwise
+/// returns {&node}. Used by the alternation->disjunction optimisation.
+std::vector<const RegexNode*> TopLevelAlternatives(const RegexNode& node);
+
+}  // namespace omega
+
+#endif  // OMEGA_RPQ_REGEX_AST_H_

@@ -1,0 +1,139 @@
+#include "rpq/regex_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace {
+
+bool IsLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<RegexPtr> Parse() {
+    Result<RegexPtr> regex = ParseAlternation();
+    if (!regex.ok()) return regex;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return regex;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(pos_) + " in regex '" +
+                                   std::string(text_) + "'");
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipWhitespace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Result<RegexPtr> ParseAlternation() {
+    Result<RegexPtr> first = ParseConcat();
+    if (!first.ok()) return first;
+    std::vector<RegexPtr> branches;
+    branches.push_back(std::move(first).value());
+    while (Consume('|')) {
+      Result<RegexPtr> next = ParseConcat();
+      if (!next.ok()) return next;
+      branches.push_back(std::move(next).value());
+    }
+    if (branches.size() == 1) return std::move(branches[0]);
+    return MakeAlternation(std::move(branches));
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    Result<RegexPtr> first = ParsePostfix();
+    if (!first.ok()) return first;
+    std::vector<RegexPtr> parts;
+    parts.push_back(std::move(first).value());
+    while (Consume('.')) {
+      Result<RegexPtr> next = ParsePostfix();
+      if (!next.ok()) return next;
+      parts.push_back(std::move(next).value());
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return MakeConcat(std::move(parts));
+  }
+
+  Result<RegexPtr> ParsePostfix() {
+    Result<RegexPtr> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr node = std::move(atom).value();
+    for (;;) {
+      if (Consume('*')) {
+        node = MakeStar(std::move(node));
+      } else if (Consume('+')) {
+        node = MakePlus(std::move(node));
+      } else if (Peek('-')) {
+        // Reversal applies to label/wildcard atoms only (grammar: a-).
+        if (node->op != RegexOp::kLabel && node->op != RegexOp::kWildcard) {
+          return Error("'-' may only reverse a label or '_'");
+        }
+        if (node->dir == Direction::kIncoming) {
+          return Error("label is already reversed");
+        }
+        ++pos_;
+        node->dir = Direction::kIncoming;
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("expected label, '_' or '('");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      if (Consume(')')) return MakeEpsilon();  // "()" is the empty path
+      Result<RegexPtr> inner = ParseAlternation();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (IsLabelChar(c)) {
+      const size_t start = pos_;
+      while (pos_ < text_.size() && IsLabelChar(text_[pos_])) ++pos_;
+      std::string label(text_.substr(start, pos_ - start));
+      if (label == "_") return MakeWildcard();
+      return MakeLabel(std::move(label));
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace omega

@@ -1,0 +1,21 @@
+// Recursive-descent parser for the paper's regular-expression syntax:
+//   concatenation '.', alternation '|', closure '*' / '+', reversal suffix
+//   '-', wildcard '_', empty path '()', grouping '(...)'.
+// Example from the paper: "prereq*.next+.prereq".
+#ifndef OMEGA_RPQ_REGEX_PARSER_H_
+#define OMEGA_RPQ_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rpq/regex_ast.h"
+
+namespace omega {
+
+/// Parses `text` into an AST. Labels are [A-Za-z0-9_]+ with '_' alone
+/// denoting the wildcard. Errors carry a position-annotated message.
+Result<RegexPtr> ParseRegex(std::string_view text);
+
+}  // namespace omega
+
+#endif  // OMEGA_RPQ_REGEX_PARSER_H_

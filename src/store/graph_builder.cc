@@ -1,0 +1,143 @@
+#include "store/graph_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace omega {
+namespace {
+
+// Labels reserved for the ontology; they never appear as data-graph edges
+// (the paper assumes Σ ∩ {type, sc, sp, dom, range} = ∅, with `type` being
+// the one schema label shared with the data graph).
+bool IsReservedOntologyLabel(std::string_view name) {
+  return name == "sc" || name == "sp" || name == "dom" || name == "range";
+}
+
+// Builds one CSR from (src, dst) pairs; sorts, dedups, splits rows.
+CsrAdjacency BuildCsr(std::vector<std::pair<NodeId, NodeId>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  CsrAdjacency adj;
+  adj.neighbors.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (adj.rows.empty() || adj.rows.back() != pairs[i].first) {
+      adj.rows.push_back(pairs[i].first);
+      adj.offsets.push_back(static_cast<uint32_t>(adj.neighbors.size()));
+    }
+    adj.neighbors.push_back(pairs[i].second);
+  }
+  adj.offsets.push_back(static_cast<uint32_t>(adj.neighbors.size()));
+  return adj;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Flip(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  std::vector<std::pair<NodeId, NodeId>> flipped;
+  flipped.reserve(pairs.size());
+  for (const auto& [s, d] : pairs) flipped.emplace_back(d, s);
+  return flipped;
+}
+
+}  // namespace
+
+NodeId GraphBuilder::GetOrAddNode(std::string_view label) {
+  assert(!finalized_);
+  auto it = node_index_.find(std::string(label));
+  if (it != node_index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_labels_.size());
+  node_labels_.emplace_back(label);
+  node_index_.emplace(node_labels_.back(), id);
+  return id;
+}
+
+NodeId GraphBuilder::FindNode(std::string_view label) const {
+  auto it = node_index_.find(std::string(label));
+  return it == node_index_.end() ? kInvalidNode : it->second;
+}
+
+Result<LabelId> GraphBuilder::InternLabel(std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("edge label must be non-empty");
+  }
+  if (IsReservedOntologyLabel(name)) {
+    return Status::InvalidArgument("label '" + std::string(name) +
+                                   "' is reserved for the ontology");
+  }
+  return labels_.Intern(name);
+}
+
+Status GraphBuilder::AddEdge(NodeId src, LabelId label, NodeId dst) {
+  assert(!finalized_);
+  if (src >= node_labels_.size() || dst >= node_labels_.size()) {
+    return Status::OutOfRange("edge endpoint id out of range");
+  }
+  if (label >= labels_.size()) {
+    return Status::OutOfRange("edge label id out of range");
+  }
+  if (edges_by_label_.size() < labels_.size()) {
+    edges_by_label_.resize(labels_.size());
+  }
+  edges_by_label_[label].pairs.emplace_back(src, dst);
+  ++num_edges_added_;
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdge(std::string_view src_label,
+                             std::string_view edge_label,
+                             std::string_view dst_label) {
+  Result<LabelId> label = InternLabel(edge_label);
+  if (!label.ok()) return label.status();
+  const NodeId src = GetOrAddNode(src_label);
+  const NodeId dst = GetOrAddNode(dst_label);
+  return AddEdge(src, *label, dst);
+}
+
+Status GraphBuilder::AddTypeEdge(NodeId instance, NodeId class_node) {
+  return AddEdge(instance, LabelDictionary::kTypeLabel, class_node);
+}
+
+GraphStore GraphBuilder::Finalize() && {
+  assert(!finalized_);
+  finalized_ = true;
+
+  GraphStore store;
+  store.labels_ = std::move(labels_);
+  store.node_labels_ = std::move(node_labels_);
+  store.node_index_ = std::move(node_index_);
+
+  const size_t num_labels = store.labels_.size();
+  edges_by_label_.resize(num_labels);
+  store.adjacency_[0].resize(num_labels);
+  store.adjacency_[1].resize(num_labels);
+  store.tails_.resize(num_labels);
+  store.heads_.resize(num_labels);
+
+  std::vector<std::pair<NodeId, NodeId>> sigma_pairs;
+  size_t total_edges = 0;
+  for (LabelId l = 0; l < num_labels; ++l) {
+    auto& pairs = edges_by_label_[l].pairs;
+    CsrAdjacency out = BuildCsr(pairs);
+    CsrAdjacency in = BuildCsr(Flip(pairs));
+    total_edges += out.edge_count();
+    store.tails_[l] = out.RowSet();
+    store.heads_[l] = in.RowSet();
+    if (l != LabelDictionary::kTypeLabel) {
+      sigma_pairs.insert(sigma_pairs.end(), pairs.begin(), pairs.end());
+    }
+    store.adjacency_[0][l] = std::move(out);
+    store.adjacency_[1][l] = std::move(in);
+    pairs.clear();
+    pairs.shrink_to_fit();
+  }
+  store.num_edges_ = total_edges;
+
+  store.sigma_union_[1] = BuildCsr(Flip(sigma_pairs));
+  store.sigma_union_[0] = BuildCsr(std::move(sigma_pairs));
+  store.sigma_endpoints_[0] = store.sigma_union_[0].RowSet();
+  store.sigma_endpoints_[1] = store.sigma_union_[1].RowSet();
+  store.type_endpoints_[0] = store.tails_[LabelDictionary::kTypeLabel];
+  store.type_endpoints_[1] = store.heads_[LabelDictionary::kTypeLabel];
+  return store;
+}
+
+}  // namespace omega

@@ -1,0 +1,66 @@
+// Mutable accumulation phase for GraphStore. The paper's workloads load a
+// dataset once and then query it, so the store follows a build-then-freeze
+// lifecycle: AddNode/AddEdge in any order, then Finalize() to produce the
+// immutable CSR snapshot.
+#ifndef OMEGA_STORE_GRAPH_BUILDER_H_
+#define OMEGA_STORE_GRAPH_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "store/graph_store.h"
+#include "store/types.h"
+
+namespace omega {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Returns the node with this unique label, creating it if absent.
+  NodeId GetOrAddNode(std::string_view label);
+
+  /// Looks up a node added earlier; kInvalidNode if absent.
+  NodeId FindNode(std::string_view label) const;
+
+  /// Interns an edge label (rejecting the reserved ontology labels).
+  Result<LabelId> InternLabel(std::string_view name);
+
+  /// Adds edge (src, label, dst). Duplicate edges collapse at Finalize().
+  Status AddEdge(NodeId src, LabelId label, NodeId dst);
+
+  /// Convenience: resolves/creates endpoint nodes and the label by name.
+  Status AddEdge(std::string_view src_label, std::string_view edge_label,
+                 std::string_view dst_label);
+
+  /// Adds a `type` edge instance -> class.
+  Status AddTypeEdge(NodeId instance, NodeId class_node);
+
+  size_t NumNodes() const { return node_labels_.size(); }
+  size_t NumEdgesAdded() const { return num_edges_added_; }
+
+  const LabelDictionary& labels() const { return labels_; }
+
+  /// Freezes into an immutable GraphStore. The builder is consumed: calling
+  /// any mutator afterwards is a usage error.
+  GraphStore Finalize() &&;
+
+ private:
+  struct EdgeList {
+    std::vector<std::pair<NodeId, NodeId>> pairs;  // (src, dst)
+  };
+
+  LabelDictionary labels_;
+  std::vector<std::string> node_labels_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::vector<EdgeList> edges_by_label_;
+  size_t num_edges_added_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_STORE_GRAPH_BUILDER_H_

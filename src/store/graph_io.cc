@@ -1,0 +1,130 @@
+#include "store/graph_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "store/graph_builder.h"
+
+namespace omega {
+namespace {
+
+constexpr std::string_view kMagic = "omega-graph-v1";
+
+Result<long long> ParseCount(const std::string& line, std::string_view key) {
+  auto pieces = Split(line, ' ', /*trim=*/true);
+  if (pieces.size() != 2 || pieces[0] != key) {
+    return Status::InvalidArgument("expected '" + std::string(key) +
+                                   " <count>', got: " + line);
+  }
+  long long value = 0;
+  auto [ptr, ec] = std::from_chars(pieces[1].data(),
+                                   pieces[1].data() + pieces[1].size(), value);
+  if (ec != std::errc() || ptr != pieces[1].data() + pieces[1].size() ||
+      value < 0) {
+    return Status::InvalidArgument("bad count in: " + line);
+  }
+  return value;
+}
+
+}  // namespace
+
+Status SaveGraph(const GraphStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open for write: " + path);
+
+  out << kMagic << "\n";
+  out << "labels " << store.labels().size() << "\n";
+  for (LabelId l = 0; l < store.labels().size(); ++l) {
+    out << store.labels().Name(l) << "\n";
+  }
+  out << "nodes " << store.NumNodes() << "\n";
+  for (NodeId n = 0; n < store.NumNodes(); ++n) {
+    out << store.NodeLabel(n) << "\n";
+  }
+  out << "edges " << store.NumEdges() << "\n";
+  for (LabelId l = 0; l < store.labels().size(); ++l) {
+    for (NodeId src : store.Tails(l)) {
+      for (NodeId dst : store.Neighbors(src, l, Direction::kOutgoing)) {
+        out << src << '\t' << l << '\t' << dst << "\n";
+      }
+    }
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<GraphStore> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+    return Status::InvalidArgument("not an omega-graph-v1 file: " + path);
+  }
+
+  if (!std::getline(in, line)) return Status::InvalidArgument("truncated file");
+  Result<long long> num_labels = ParseCount(line, "labels");
+  if (!num_labels.ok()) return num_labels.status();
+
+  GraphBuilder builder;
+  std::vector<LabelId> label_ids;
+  label_ids.reserve(static_cast<size_t>(*num_labels));
+  for (long long i = 0; i < *num_labels; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated label section");
+    }
+    if (i == 0) {
+      if (StripWhitespace(line) != kTypeLabelName) {
+        return Status::InvalidArgument("label id 0 must be 'type'");
+      }
+      label_ids.push_back(LabelDictionary::kTypeLabel);
+      continue;
+    }
+    Result<LabelId> id = builder.InternLabel(StripWhitespace(line));
+    if (!id.ok()) return id.status();
+    label_ids.push_back(*id);
+  }
+
+  if (!std::getline(in, line)) return Status::InvalidArgument("truncated file");
+  Result<long long> num_nodes = ParseCount(line, "nodes");
+  if (!num_nodes.ok()) return num_nodes.status();
+  for (long long i = 0; i < *num_nodes; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated node section");
+    }
+    builder.GetOrAddNode(StripWhitespace(line));
+  }
+
+  if (!std::getline(in, line)) return Status::InvalidArgument("truncated file");
+  Result<long long> num_edges = ParseCount(line, "edges");
+  if (!num_edges.ok()) return num_edges.status();
+  for (long long i = 0; i < *num_edges; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated edge section");
+    }
+    auto fields = Split(line, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("bad edge line: " + line);
+    }
+    unsigned long src = 0, label = 0, dst = 0;
+    try {
+      src = std::stoul(fields[0]);
+      label = std::stoul(fields[1]);
+      dst = std::stoul(fields[2]);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad edge ids: " + line);
+    }
+    if (label >= label_ids.size()) {
+      return Status::InvalidArgument("edge label id out of range: " + line);
+    }
+    OMEGA_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(src),
+                                        label_ids[label],
+                                        static_cast<NodeId>(dst)));
+  }
+  return std::move(builder).Finalize();
+}
+
+}  // namespace omega

@@ -1,0 +1,25 @@
+// Plain-text persistence for graphs, so generated datasets can be cached on
+// disk and user-supplied graphs can be imported without the generators.
+#ifndef OMEGA_STORE_GRAPH_IO_H_
+#define OMEGA_STORE_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+/// File format (line-oriented, '\t'-separated where fields repeat):
+///   omega-graph-v1
+///   labels <K>          followed by K label names, one per line (id order)
+///   nodes <N>           followed by N node labels, one per line (id order)
+///   edges <M>           followed by M lines: <src_id>\t<label_id>\t<dst_id>
+Status SaveGraph(const GraphStore& store, const std::string& path);
+
+/// Parses a file written by SaveGraph (or hand-authored in the same format).
+Result<GraphStore> LoadGraph(const std::string& path);
+
+}  // namespace omega
+
+#endif  // OMEGA_STORE_GRAPH_IO_H_

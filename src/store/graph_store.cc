@@ -1,0 +1,93 @@
+#include "store/graph_store.h"
+
+#include <algorithm>
+
+namespace omega {
+
+std::span<const NodeId> CsrAdjacency::NeighborsOf(NodeId n) const {
+  auto it = std::lower_bound(rows.begin(), rows.end(), n);
+  if (it == rows.end() || *it != n) return {};
+  const size_t row = static_cast<size_t>(it - rows.begin());
+  return std::span<const NodeId>(neighbors.data() + offsets[row],
+                                 offsets[row + 1] - offsets[row]);
+}
+
+std::optional<NodeId> GraphStore::FindNode(std::string_view label) const {
+  auto it = node_index_.find(std::string(label));
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const NodeId> GraphStore::Neighbors(NodeId n, LabelId label,
+                                              Direction dir) const {
+  const auto& per_dir = adjacency_[static_cast<int>(dir)];
+  if (label >= per_dir.size()) return {};
+  return per_dir[label].NeighborsOf(n);
+}
+
+std::span<const NodeId> GraphStore::SigmaNeighbors(NodeId n,
+                                                   Direction dir) const {
+  return sigma_union_[static_cast<int>(dir)].NeighborsOf(n);
+}
+
+std::span<const NodeId> GraphStore::TypeNeighbors(NodeId n,
+                                                  Direction dir) const {
+  return Neighbors(n, LabelDictionary::kTypeLabel, dir);
+}
+
+bool GraphStore::HasEdge(NodeId src, LabelId label, NodeId dst) const {
+  auto span = Neighbors(src, label, Direction::kOutgoing);
+  return std::binary_search(span.begin(), span.end(), dst);
+}
+
+size_t GraphStore::Degree(NodeId n) const {
+  size_t total = 0;
+  for (int dir = 0; dir < 2; ++dir) {
+    total += sigma_union_[dir].NeighborsOf(n).size();
+    total += Neighbors(n, LabelDictionary::kTypeLabel,
+                       static_cast<Direction>(dir))
+                 .size();
+  }
+  return total;
+}
+
+const OidSet& GraphStore::Tails(LabelId label) const {
+  if (label >= tails_.size()) return empty_set_;
+  return tails_[label];
+}
+
+const OidSet& GraphStore::Heads(LabelId label) const {
+  if (label >= heads_.size()) return empty_set_;
+  return heads_[label];
+}
+
+OidSet GraphStore::TailsAndHeads(LabelId label) const {
+  return OidSet::Union(Tails(label), Heads(label));
+}
+
+const OidSet& GraphStore::SigmaEndpoints(Direction dir) const {
+  return sigma_endpoints_[static_cast<int>(dir)];
+}
+
+const OidSet& GraphStore::TypeEndpoints(Direction dir) const {
+  return type_endpoints_[static_cast<int>(dir)];
+}
+
+size_t GraphStore::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (int dir = 0; dir < 2; ++dir) {
+    for (const auto& adj : adjacency_[dir]) {
+      bytes += adj.rows.capacity() * sizeof(NodeId) +
+               adj.offsets.capacity() * sizeof(uint32_t) +
+               adj.neighbors.capacity() * sizeof(NodeId);
+    }
+    bytes += sigma_union_[dir].rows.capacity() * sizeof(NodeId) +
+             sigma_union_[dir].offsets.capacity() * sizeof(uint32_t) +
+             sigma_union_[dir].neighbors.capacity() * sizeof(NodeId);
+  }
+  for (const auto& label : node_labels_) bytes += label.capacity() + 32;
+  bytes += node_index_.size() * 64;
+  return bytes;
+}
+
+}  // namespace omega

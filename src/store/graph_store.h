@@ -1,0 +1,120 @@
+// The in-memory graph store standing in for Sparksee. Nodes carry a unique
+// string label (the indexed attribute of §3.2 of the paper); edges are
+// directed and typed by an interned label. After Finalize(), adjacency is
+// frozen into per-(label, direction) CSR structures plus the generic `edge`
+// union adjacency the paper introduces to fetch all Σ-labelled edges of a
+// node in one call.
+#ifndef OMEGA_STORE_GRAPH_STORE_H_
+#define OMEGA_STORE_GRAPH_STORE_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/label_dictionary.h"
+#include "store/oid_set.h"
+#include "store/types.h"
+
+namespace omega {
+
+/// Sorted-row CSR adjacency for a single (label, direction).
+///
+/// `rows` holds the source nodes (sorted ascending) that have at least one
+/// edge; `offsets[i]..offsets[i+1]` indexes into `neighbors` for rows[i].
+/// Row lookup is a binary search, so memory stays proportional to the number
+/// of distinct sources rather than to |V| per label.
+struct CsrAdjacency {
+  std::vector<NodeId> rows;
+  std::vector<uint32_t> offsets;  // size rows.size() + 1
+  std::vector<NodeId> neighbors;  // sorted within each row, deduplicated
+
+  /// Neighbour span of `n`; empty if `n` has no edges here.
+  std::span<const NodeId> NeighborsOf(NodeId n) const;
+
+  /// Sorted distinct sources as an OidSet view.
+  OidSet RowSet() const { return OidSet::FromSortedUnique(rows); }
+
+  size_t edge_count() const { return neighbors.size(); }
+};
+
+class GraphBuilder;
+
+/// Immutable graph snapshot; constructed via GraphBuilder::Finalize().
+class GraphStore {
+ public:
+  GraphStore() = default;
+
+  // --- Node access -------------------------------------------------------
+
+  size_t NumNodes() const { return node_labels_.size(); }
+  /// Logical (label-typed, deduplicated) edge count, matching Fig. 3's
+  /// accounting: each stored (x, l, y) counts once.
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Looks up a node by its unique string label (the indexed attribute).
+  std::optional<NodeId> FindNode(std::string_view label) const;
+  std::string_view NodeLabel(NodeId n) const { return node_labels_[n]; }
+
+  const LabelDictionary& labels() const { return labels_; }
+
+  // --- Neighbour access (the Sparksee Neighbors function) ----------------
+
+  /// Nodes reachable from `n` over one `label` edge in direction `dir`.
+  std::span<const NodeId> Neighbors(NodeId n, LabelId label,
+                                    Direction dir) const;
+
+  /// Neighbours of `n` over any Σ label (the generic `edge` type of §3.2).
+  std::span<const NodeId> SigmaNeighbors(NodeId n, Direction dir) const;
+
+  /// Neighbours of `n` over `type` edges.
+  std::span<const NodeId> TypeNeighbors(NodeId n, Direction dir) const;
+
+  /// True if edge (src, label, dst) exists.
+  bool HasEdge(NodeId src, LabelId label, NodeId dst) const;
+
+  /// Out-degree + in-degree of `n` counted over all labels incl. `type`.
+  size_t Degree(NodeId n) const;
+
+  // --- Node sets by incident label (the Sparksee Heads/Tails functions) --
+
+  /// Nodes that are the source of >=1 `label` edge (Sparksee Tails).
+  const OidSet& Tails(LabelId label) const;
+  /// Nodes that are the target of >=1 `label` edge (Sparksee Heads).
+  const OidSet& Heads(LabelId label) const;
+  /// Union of Heads and Tails (Sparksee TailsAndHeads).
+  OidSet TailsAndHeads(LabelId label) const;
+
+  /// Nodes with >=1 Σ edge in the given traversal direction.
+  const OidSet& SigmaEndpoints(Direction dir) const;
+  /// Nodes with >=1 `type` edge in the given traversal direction.
+  const OidSet& TypeEndpoints(Direction dir) const;
+
+  /// Rough resident-memory estimate, used by memory-budgeted evaluation.
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  // adjacency_[label][dir]: dir 0 = outgoing, 1 = incoming.
+  std::vector<CsrAdjacency> adjacency_[2];
+  CsrAdjacency sigma_union_[2];  // generic `edge` adjacency per direction
+
+  // Precomputed endpoint sets: tails_[label] / heads_[label].
+  std::vector<OidSet> tails_;
+  std::vector<OidSet> heads_;
+  OidSet sigma_endpoints_[2];
+  OidSet type_endpoints_[2];
+  OidSet empty_set_;
+
+  std::vector<std::string> node_labels_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  LabelDictionary labels_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_STORE_GRAPH_STORE_H_

@@ -1,0 +1,42 @@
+#include "store/label_dictionary.h"
+
+#include <cassert>
+
+namespace omega {
+
+LabelDictionary::LabelDictionary() {
+  const LabelId id = Intern(kTypeLabelName);
+  (void)id;
+  assert(id == kTypeLabel);
+}
+
+LabelId LabelDictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<LabelId> LabelDictionary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view LabelDictionary::Name(LabelId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+std::vector<LabelId> LabelDictionary::SigmaLabels() const {
+  std::vector<LabelId> out;
+  out.reserve(names_.size() - 1);
+  for (LabelId id = 0; id < names_.size(); ++id) {
+    if (id != kTypeLabel) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace omega

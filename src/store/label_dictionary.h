@@ -1,0 +1,53 @@
+// String interning for edge labels. The paper's alphabet is
+// Σ ∪ {type} for data edges, with {sc, sp, dom, range} reserved for the
+// ontology; `type` is interned eagerly at id 0 so the store and automata can
+// special-case it cheaply.
+#ifndef OMEGA_STORE_LABEL_DICTIONARY_H_
+#define OMEGA_STORE_LABEL_DICTIONARY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/types.h"
+
+namespace omega {
+
+/// Reserved label names (never allowed as ordinary Σ labels).
+inline constexpr std::string_view kTypeLabelName = "type";
+
+/// Bidirectional label <-> id map. Ids are dense and stable; id 0 is `type`.
+class LabelDictionary {
+ public:
+  LabelDictionary();
+
+  /// Interns `name`, returning the existing id if already present.
+  LabelId Intern(std::string_view name);
+
+  /// Looks up an existing label.
+  std::optional<LabelId> Find(std::string_view name) const;
+
+  /// Name for an interned id. Precondition: id < size().
+  std::string_view Name(LabelId id) const;
+
+  /// The eagerly interned id of the `type` label (always 0).
+  LabelId type_label() const { return kTypeLabel; }
+  bool IsType(LabelId id) const { return id == kTypeLabel; }
+
+  size_t size() const { return names_.size(); }
+
+  /// All Σ labels, i.e. every interned label except `type`.
+  std::vector<LabelId> SigmaLabels() const;
+
+  static constexpr LabelId kTypeLabel = 0;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_STORE_LABEL_DICTIONARY_H_

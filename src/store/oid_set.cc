@@ -1,0 +1,66 @@
+#include "store/oid_set.h"
+
+#include <algorithm>
+
+namespace omega {
+
+OidSet::OidSet(std::initializer_list<NodeId> ids) : ids_(ids) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+OidSet OidSet::FromUnsorted(std::vector<NodeId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  OidSet s;
+  s.ids_ = std::move(ids);
+  return s;
+}
+
+OidSet OidSet::FromSortedUnique(std::vector<NodeId> ids) {
+  OidSet s;
+  s.ids_ = std::move(ids);
+  return s;
+}
+
+void OidSet::Insert(NodeId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+bool OidSet::Contains(NodeId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+OidSet OidSet::Union(const OidSet& a, const OidSet& b) {
+  std::vector<NodeId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return FromSortedUnique(std::move(out));
+}
+
+OidSet OidSet::Intersect(const OidSet& a, const OidSet& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return FromSortedUnique(std::move(out));
+}
+
+OidSet OidSet::Difference(const OidSet& a, const OidSet& b) {
+  std::vector<NodeId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return FromSortedUnique(std::move(out));
+}
+
+void OidSet::UnionWith(std::span<const NodeId> sorted_ids) {
+  std::vector<NodeId> out;
+  out.reserve(ids_.size() + sorted_ids.size());
+  std::set_union(ids_.begin(), ids_.end(), sorted_ids.begin(),
+                 sorted_ids.end(), std::back_inserter(out));
+  ids_ = std::move(out);
+}
+
+}  // namespace omega

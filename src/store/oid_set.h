@@ -1,0 +1,58 @@
+// Sorted object-id sets with set algebra, mirroring the Sparksee "Objects"
+// sets that the paper's Open procedure manipulates ("Sparksee set operations
+// are used to maintain a distinct set of nodes").
+#ifndef OMEGA_STORE_OID_SET_H_
+#define OMEGA_STORE_OID_SET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "store/types.h"
+
+namespace omega {
+
+/// Immutable-ish sorted set of NodeIds. Mutation goes through Add/Insert which
+/// keep the ordering invariant; bulk construction sorts and dedups once.
+class OidSet {
+ public:
+  OidSet() = default;
+  OidSet(std::initializer_list<NodeId> ids);
+
+  /// Builds from arbitrary-order ids (sorts + dedups).
+  static OidSet FromUnsorted(std::vector<NodeId> ids);
+
+  /// Builds from ids already sorted ascending with no duplicates.
+  static OidSet FromSortedUnique(std::vector<NodeId> ids);
+
+  /// Inserts a single id, preserving order. O(n) worst case; intended for
+  /// small sets or append-mostly use.
+  void Insert(NodeId id);
+
+  bool Contains(NodeId id) const;
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear() { ids_.clear(); }
+
+  std::span<const NodeId> ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  /// Set algebra; all O(|a| + |b|).
+  static OidSet Union(const OidSet& a, const OidSet& b);
+  static OidSet Intersect(const OidSet& a, const OidSet& b);
+  static OidSet Difference(const OidSet& a, const OidSet& b);
+
+  /// In-place union with a sorted span (merge).
+  void UnionWith(std::span<const NodeId> sorted_ids);
+
+  bool operator==(const OidSet& other) const = default;
+
+ private:
+  std::vector<NodeId> ids_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_STORE_OID_SET_H_

@@ -1,0 +1,35 @@
+// Fundamental identifier types for the graph store.
+#ifndef OMEGA_STORE_TYPES_H_
+#define OMEGA_STORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace omega {
+
+/// Object identifier of a node (the Sparksee "oid" in the paper).
+using NodeId = uint32_t;
+
+/// Interned edge-label identifier.
+using LabelId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+
+/// Direction of traversal relative to a stored directed edge (x, l, y):
+/// kOutgoing follows x -> y (the plain label `l` in a regex), kIncoming
+/// follows y -> x (the reversed label `l-`).
+enum class Direction : uint8_t {
+  kOutgoing = 0,
+  kIncoming = 1,
+};
+
+/// Flips traversal direction (used when reversing regular expressions).
+inline Direction Reverse(Direction d) {
+  return d == Direction::kOutgoing ? Direction::kIncoming
+                                   : Direction::kOutgoing;
+}
+
+}  // namespace omega
+
+#endif  // OMEGA_STORE_TYPES_H_

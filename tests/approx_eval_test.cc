@@ -1,0 +1,170 @@
+// End-to-end APPROX scenarios, including the paper's Example 2.
+#include <gtest/gtest.h>
+
+#include "eval/conjunct_evaluator.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::Cj;
+using testing::DrainUpTo;
+using testing::MakeGraph;
+
+std::vector<Answer> RunConjunct(const GraphStore& g, const std::string& conjunct,
+                        Cost max_distance = kInfiniteCost,
+                        EvaluatorOptions options = {}) {
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(Cj(conjunct), g, nullptr, options);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ConjunctEvaluator evaluator(&g, nullptr, &*prepared, options);
+  return DrainUpTo(&evaluator, max_distance);
+}
+
+std::string Label(const GraphStore& g, NodeId n) {
+  return std::string(g.NodeLabel(n));
+}
+
+/// The Example 1/2 universe: only people graduate from institutions, and the
+/// querying user gets the gradFrom direction wrong.
+GraphStore Example2Graph() {
+  return MakeGraph({
+      {"oxford", "isLocatedIn", "UK"},
+      {"cambridge", "isLocatedIn", "UK"},
+      {"berlin_uni", "isLocatedIn", "Germany"},
+      {"alice", "gradFrom", "oxford"},
+      {"bob", "gradFrom", "oxford"},
+      {"carol", "gradFrom", "cambridge"},
+      {"dave", "gradFrom", "berlin_uni"},
+  });
+}
+
+TEST(ApproxEvalTest, Example2ExactReturnsNothing) {
+  GraphStore g = Example2Graph();
+  EXPECT_TRUE(RunConjunct(g, "(UK, isLocatedIn-.gradFrom, ?X)").empty());
+}
+
+TEST(ApproxEvalTest, Example2ApproxFindsGraduatesAtDistanceOne) {
+  GraphStore g = Example2Graph();
+  auto answers = RunConjunct(g, "APPROX (UK, isLocatedIn-.gradFrom, ?X)", 1);
+  // Substituting gradFrom by gradFrom- reaches alice, bob, carol (distance 1).
+  std::set<std::string> at_one;
+  for (const Answer& a : answers) {
+    if (a.distance == 1) at_one.insert(Label(g, a.n));
+  }
+  EXPECT_TRUE(at_one.count("alice"));
+  EXPECT_TRUE(at_one.count("bob"));
+  EXPECT_TRUE(at_one.count("carol"));
+  EXPECT_FALSE(at_one.count("dave"));  // wrong country
+}
+
+TEST(ApproxEvalTest, DeletionRecoversShorterPath) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  // Query asks e.f but only e exists: deleting f yields b at distance 1.
+  auto answers = RunConjunct(g, "APPROX (a, e.f, ?X)", 1);
+  bool found = false;
+  for (const Answer& a : answers) {
+    if (Label(g, a.n) == "b" && a.distance == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApproxEvalTest, InsertionSkipsExtraEdge) {
+  GraphStore g = MakeGraph({{"a", "x", "m"}, {"m", "e", "b"}});
+  // Query asks for e but the path is x.e: inserting x costs 1.
+  auto answers = RunConjunct(g, "APPROX (a, e, ?X)", 1);
+  bool found = false;
+  for (const Answer& a : answers) {
+    if (Label(g, a.n) == "b" && a.distance == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApproxEvalTest, ZeroDistanceAnswersComeFirst) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "f", "c"}});
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(Cj("APPROX (a, e, ?X)"), g, nullptr, {});
+  ASSERT_TRUE(prepared.ok());
+  ConjunctEvaluator evaluator(&g, nullptr, &*prepared, {});
+  Answer first;
+  ASSERT_TRUE(evaluator.Next(&first));
+  EXPECT_EQ(first.distance, 0);
+  EXPECT_EQ(Label(g, first.n), "b");
+  Answer second;
+  ASSERT_TRUE(evaluator.Next(&second));
+  EXPECT_EQ(second.distance, 1);  // c via substitution, a via deletion, ...
+}
+
+TEST(ApproxEvalTest, SelfAnswerViaFullDeletion) {
+  // `a` is isolated, so the only repair is deleting the whole expression
+  // (cost 2), leaving the empty path: answer (a, a) at distance 2.
+  GraphBuilder builder;
+  builder.GetOrAddNode("a");
+  ASSERT_TRUE(builder.AddEdge("x", "e", "y").ok());
+  GraphStore g = std::move(builder).Finalize();
+  auto answers = RunConjunct(g, "APPROX (a, e.f, ?X)", 2);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].v, answers[0].n);
+  EXPECT_EQ(Label(g, answers[0].n), "a");
+  EXPECT_EQ(answers[0].distance, 2);
+}
+
+TEST(ApproxEvalTest, VariableVariableApproxSeedsEveryNodeEventually) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"c", "f", "d"}});
+  // (?X, e, ?Y) APPROX: at distance 1 every node reaches itself by deleting
+  // e, including nodes with no e-edge at all.
+  auto answers = RunConjunct(g, "APPROX (?X, e, ?Y)", 1);
+  size_t self_pairs = 0;
+  for (const Answer& a : answers) {
+    if (a.v == a.n) {
+      EXPECT_EQ(a.distance, 1);
+      ++self_pairs;
+    }
+  }
+  EXPECT_EQ(self_pairs, g.NumNodes());
+}
+
+TEST(ApproxEvalTest, CustomCostsChangeRanking) {
+  GraphStore g = MakeGraph({{"a", "x", "b"}, {"a", "e", "m"}});
+  EvaluatorOptions options;
+  options.approx.substitution_cost = 5;
+  options.approx.deletion_cost = 1;
+  // Query (a, e.f, ?X): substitution path to b costs >= 5; deleting f after
+  // matching e reaches m at 1.
+  auto answers = RunConjunct(g, "APPROX (a, e.f, ?X)", 1, options);
+  ASSERT_FALSE(answers.empty());
+  EXPECT_EQ(Label(g, answers[0].n), "m");
+  EXPECT_EQ(answers[0].distance, 1);
+}
+
+TEST(ApproxEvalTest, TruncationFlagSetWhenDistanceCapped) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  EvaluatorOptions options;
+  options.max_distance = 0;
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(Cj("APPROX (a, e.f, ?X)"), g, nullptr, options);
+  ASSERT_TRUE(prepared.ok());
+  ConjunctEvaluator evaluator(&g, nullptr, &*prepared, options);
+  Answer a;
+  while (evaluator.Next(&a)) {
+  }
+  EXPECT_TRUE(evaluator.truncated_by_distance());
+}
+
+TEST(ApproxEvalTest, ExactModeNeverTruncates) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(Cj("(a, e, ?X)"), g, nullptr, {});
+  ASSERT_TRUE(prepared.ok());
+  EvaluatorOptions options;
+  options.max_distance = 0;
+  ConjunctEvaluator evaluator(&g, nullptr, &*prepared, options);
+  Answer a;
+  size_t count = 0;
+  while (evaluator.Next(&a)) ++count;
+  EXPECT_EQ(count, 1u);
+  EXPECT_FALSE(evaluator.truncated_by_distance());
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,90 @@
+#include "store/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace omega {
+namespace {
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(65));
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, TestOutOfUniverseIsFalse) {
+  Bitmap b(10);
+  EXPECT_FALSE(b.Test(10));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(BitmapTest, TestAndSet) {
+  Bitmap b(8);
+  EXPECT_TRUE(b.TestAndSet(3));
+  EXPECT_FALSE(b.TestAndSet(3));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitmapTest, ForEachAscending) {
+  Bitmap b(200);
+  for (NodeId id : {7u, 64u, 65u, 199u}) b.Set(id);
+  std::vector<NodeId> seen;
+  b.ForEach([&](NodeId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{7, 64, 65, 199}));
+  EXPECT_EQ(b.ToVector(), seen);
+}
+
+TEST(BitmapTest, ClearAllAndResize) {
+  Bitmap b(100);
+  b.Set(50);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+  b.Resize(10);
+  EXPECT_EQ(b.universe_size(), 10u);
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitmapTest, AlgebraMatchesReference) {
+  Rng rng(17);
+  constexpr size_t kUniverse = 257;
+  Bitmap a(kUniverse), b(kUniverse);
+  std::set<NodeId> ra, rb;
+  for (int i = 0; i < 120; ++i) {
+    NodeId x = static_cast<NodeId>(rng.NextBounded(kUniverse));
+    NodeId y = static_cast<NodeId>(rng.NextBounded(kUniverse));
+    a.Set(x);
+    ra.insert(x);
+    b.Set(y);
+    rb.insert(y);
+  }
+
+  Bitmap u = a;
+  u.UnionWith(b);
+  Bitmap i = a;
+  i.IntersectWith(b);
+  Bitmap d = a;
+  d.SubtractFrom(b);
+
+  for (NodeId x = 0; x < kUniverse; ++x) {
+    EXPECT_EQ(u.Test(x), ra.count(x) || rb.count(x));
+    EXPECT_EQ(i.Test(x), ra.count(x) && rb.count(x));
+    EXPECT_EQ(d.Test(x), ra.count(x) && !rb.count(x));
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,198 @@
+#include "eval/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rpq/query_parser.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(EngineTest, SingleConjunctProjection) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "e", "c"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X) <- (a, e, ?X)");
+  ASSERT_TRUE(q.ok());
+  auto answers = engine.ExecuteTopK(*q, 0);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);
+  for (const QueryAnswer& a : *answers) {
+    EXPECT_EQ(a.bindings.size(), 1u);
+    EXPECT_EQ(a.distance, 0);
+  }
+}
+
+TEST(EngineTest, ProjectionDeduplicates) {
+  // Both b and c lead to d: projecting only ?Z must yield d once.
+  GraphStore g = MakeGraph(
+      {{"a", "e", "b"}, {"a", "e", "c"}, {"b", "f", "d"}, {"c", "f", "d"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?Z) <- (?X, e, ?Y), (?Y, f, ?Z)");
+  ASSERT_TRUE(q.ok());
+  auto answers = engine.ExecuteTopK(*q, 0);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(g.NodeLabel((*answers)[0].bindings[0]), "d");
+}
+
+TEST(EngineTest, SameVariableBothEndpointsFiltersLoops) {
+  GraphStore g = MakeGraph({{"a", "e", "a"}, {"b", "e", "c"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X) <- (?X, e, ?X)");
+  ASSERT_TRUE(q.ok());
+  auto answers = engine.ExecuteTopK(*q, 0);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(g.NodeLabel((*answers)[0].bindings[0]), "a");
+}
+
+TEST(EngineTest, TopKLimitsResults) {
+  GraphStore g = testing::RandomGraph(15, 30, {"e"}, 3.0);
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X, ?Y) <- (?X, e, ?Y)");
+  ASSERT_TRUE(q.ok());
+  auto limited = engine.ExecuteTopK(*q, 5);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 5u);
+}
+
+TEST(EngineTest, StreamInterfaceMatchesTopK) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "c"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X, ?Y) <- (?X, e+, ?Y)");
+  ASSERT_TRUE(q.ok());
+
+  auto stream = engine.Execute(*q);
+  ASSERT_TRUE(stream.ok());
+  std::vector<QueryAnswer> from_stream;
+  QueryAnswer a;
+  while ((*stream)->Next(&a)) from_stream.push_back(a);
+
+  auto from_topk = engine.ExecuteTopK(*q, 0);
+  ASSERT_TRUE(from_topk.ok());
+  EXPECT_EQ(from_stream.size(), from_topk->size());
+}
+
+TEST(EngineTest, RelaxWithoutOntologyFails) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X) <- RELAX (a, e, ?X)");
+  ASSERT_TRUE(q.ok());
+  auto answers = engine.ExecuteTopK(*q, 0);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, InvalidQueryRejected) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  QueryEngine engine(&g, nullptr);
+  Query q;  // empty: no head, no conjuncts
+  auto answers = engine.ExecuteTopK(q, 0);
+  EXPECT_FALSE(answers.ok());
+}
+
+TEST(EngineTest, DistanceAwareOptionProducesSameAnswers) {
+  GraphStore g = testing::RandomGraph(41, 20, {"e", "f"}, 2.0);
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X) <- APPROX (n0, e.f, ?X)");
+  ASSERT_TRUE(q.ok());
+
+  QueryEngineOptions base;
+  base.evaluator.max_distance = 2;
+  auto expected = engine.ExecuteTopK(*q, 0, base);
+  ASSERT_TRUE(expected.ok());
+
+  QueryEngineOptions da = base;
+  da.distance_aware = true;
+  auto got = engine.ExecuteTopK(*q, 0, da);
+  ASSERT_TRUE(got.ok());
+
+  auto key_set = [](const std::vector<QueryAnswer>& answers) {
+    std::set<std::pair<std::vector<NodeId>, Cost>> out;
+    for (const QueryAnswer& a : answers) out.insert({a.bindings, a.distance});
+    return out;
+  };
+  EXPECT_EQ(key_set(*got), key_set(*expected));
+}
+
+TEST(EngineTest, DecomposeAlternationOptionProducesSameAnswers) {
+  GraphStore g = testing::RandomGraph(43, 20, {"e", "f", "g"}, 2.0);
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X) <- APPROX (n0, e|(f.g), ?X)");
+  ASSERT_TRUE(q.ok());
+
+  QueryEngineOptions base;
+  base.evaluator.max_distance = 1;
+  auto expected = engine.ExecuteTopK(*q, 0, base);
+  ASSERT_TRUE(expected.ok());
+
+  QueryEngineOptions dis = base;
+  dis.decompose_alternation = true;
+  auto got = engine.ExecuteTopK(*q, 0, dis);
+  ASSERT_TRUE(got.ok());
+
+  auto key_set = [](const std::vector<QueryAnswer>& answers) {
+    std::set<std::pair<std::vector<NodeId>, Cost>> out;
+    for (const QueryAnswer& a : answers) out.insert({a.bindings, a.distance});
+    return out;
+  };
+  EXPECT_EQ(key_set(*got), key_set(*expected));
+}
+
+TEST(EngineTest, ResourceExhaustionSurfacesFromTopK) {
+  GraphStore g = testing::RandomGraph(47, 40, {"e", "f"}, 3.0);
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X, ?Y) <- APPROX (?X, e.f.e, ?Y)");
+  ASSERT_TRUE(q.ok());
+  QueryEngineOptions options;
+  options.evaluator.max_live_tuples = 100;
+  auto answers = engine.ExecuteTopK(*q, 0, options);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_TRUE(answers.status().IsResourceExhausted());
+}
+
+TEST(EngineTest, AnswersOrderedByTotalDistance) {
+  GraphStore g = testing::RandomGraph(53, 25, {"e", "f"}, 2.0);
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q =
+      ParseQuery("(?X, ?Z) <- APPROX (?X, e, ?Y), APPROX (?Y, f, ?Z)");
+  ASSERT_TRUE(q.ok());
+  QueryEngineOptions options;
+  options.evaluator.max_distance = 1;
+  auto stream = engine.Execute(*q, options);
+  ASSERT_TRUE(stream.ok());
+  QueryAnswer a;
+  Cost last = 0;
+  size_t count = 0;
+  while (count < 200 && (*stream)->Next(&a)) {
+    EXPECT_GE(a.distance, last);
+    last = a.distance;
+    ++count;
+  }
+  EXPECT_GT(count, 0u);
+}
+
+TEST(EngineTest, ConstantOnlyConjunctActsAsFilter) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"x", "f", "y"}});
+  QueryEngine engine(&g, nullptr);
+  // The (a, e, b) conjunct is satisfied, so the cross product passes through.
+  Result<Query> q = ParseQuery("(?X) <- (a, e, b), (x, f, ?X)");
+  ASSERT_TRUE(q.ok());
+  auto pass = engine.ExecuteTopK(*q, 0);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_EQ(pass->size(), 1u);
+
+  // An unsatisfied constant conjunct filters everything out.
+  Result<Query> q2 = ParseQuery("(?X) <- (b, e, a), (x, f, ?X)");
+  ASSERT_TRUE(q2.ok());
+  auto blocked = engine.ExecuteTopK(*q2, 0);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_TRUE(blocked->empty());
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,302 @@
+#include "eval/conjunct_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::Cj;
+using testing::DrainUpTo;
+using testing::MakeGraph;
+using testing::RandomGraph;
+using testing::ReferenceAnswers;
+
+PreparedConjunct Prepare(const Conjunct& conjunct, const GraphStore& graph,
+                         const BoundOntology* ontology = nullptr,
+                         const EvaluatorOptions& options = {}) {
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(conjunct, graph, ontology, options);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  return std::move(prepared).value();
+}
+
+std::vector<Answer> Evaluate(const GraphStore& graph, const Conjunct& conjunct,
+                             const EvaluatorOptions& options = {},
+                             const BoundOntology* ontology = nullptr) {
+  PreparedConjunct prepared = Prepare(conjunct, graph, ontology, options);
+  ConjunctEvaluator evaluator(&graph, ontology, &prepared, options);
+  return DrainUpTo(&evaluator, kInfiniteCost);
+}
+
+std::string Label(const GraphStore& g, NodeId n) {
+  return std::string(g.NodeLabel(n));
+}
+
+TEST(EvaluatorTest, ConstantSourceSingleEdge) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "e", "c"}, {"b", "e", "c"}});
+  auto answers = Evaluate(g, Cj("(a, e, ?X)"));
+  ASSERT_EQ(answers.size(), 2u);
+  for (const Answer& a : answers) {
+    EXPECT_EQ(Label(g, a.v), "a");
+    EXPECT_EQ(a.distance, 0);
+  }
+}
+
+TEST(EvaluatorTest, ConstantSourceMissingNodeYieldsNothing) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  auto answers = Evaluate(g, Cj("(zzz, e, ?X)"));
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST(EvaluatorTest, Concatenation) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "f", "c"}});
+  auto answers = Evaluate(g, Cj("(a, e.f, ?X)"));
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(Label(g, answers[0].n), "c");
+}
+
+TEST(EvaluatorTest, ReversedLabel) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  auto answers = Evaluate(g, Cj("(b, e-, ?X)"));
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(Label(g, answers[0].n), "a");
+}
+
+TEST(EvaluatorTest, Case2ConstantTargetReversesRegex) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "f", "c"}});
+  // (?X, e.f, c) must bind X = a. After reversal, Answer.v = c, Answer.n = a.
+  Conjunct conjunct = Cj("(?X, e.f, c)");
+  PreparedConjunct prepared = Prepare(conjunct, g);
+  EXPECT_TRUE(prepared.reversed);
+  EXPECT_FALSE(prepared.eval_source.is_variable);
+  EXPECT_EQ(prepared.eval_source.name, "c");
+  ConjunctEvaluator evaluator(&g, nullptr, &prepared, {});
+  auto answers = DrainUpTo(&evaluator, kInfiniteCost);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(Label(g, answers[0].v), "c");
+  EXPECT_EQ(Label(g, answers[0].n), "a");
+}
+
+TEST(EvaluatorTest, BothEndpointsConstant) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "e", "c"}});
+  auto hit = Evaluate(g, Cj("(a, e, b)"));
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(Label(g, hit[0].n), "b");
+  auto miss = Evaluate(g, Cj("(b, e, a)"));
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST(EvaluatorTest, StarIncludesSelfPairs) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "c"}});
+  auto answers = Evaluate(g, Cj("(?X, e*, ?Y)"));
+  // Self pairs (a,a),(b,b),(c,c) at 0 plus (a,b),(b,c),(a,c).
+  EXPECT_EQ(answers.size(), 6u);
+  size_t self_pairs = 0;
+  for (const Answer& a : answers) self_pairs += (a.v == a.n);
+  EXPECT_EQ(self_pairs, 3u);
+}
+
+TEST(EvaluatorTest, PlusExcludesEmptyPath) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "c"}});
+  auto answers = Evaluate(g, Cj("(?X, e+, ?Y)"));
+  EXPECT_EQ(answers.size(), 3u);  // (a,b),(b,c),(a,c)
+  for (const Answer& a : answers) EXPECT_NE(a.v, a.n);
+}
+
+TEST(EvaluatorTest, CycleTermination) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "a"}});
+  auto answers = Evaluate(g, Cj("(?X, e+, ?Y)"));
+  // Visited-set pruning must terminate the cycle: pairs (a,b),(b,a),(a,a),(b,b).
+  EXPECT_EQ(answers.size(), 4u);
+}
+
+TEST(EvaluatorTest, WildcardMatchesAnyLabelForward) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "f", "c"}});
+  auto answers = Evaluate(g, Cj("(a, _, ?X)"));
+  EXPECT_EQ(answers.size(), 2u);
+  auto reversed = Evaluate(g, Cj("(b, _, ?X)"));
+  EXPECT_TRUE(reversed.empty());  // `_` does not traverse e backwards
+}
+
+TEST(EvaluatorTest, WildcardIncludesTypeEdges) {
+  GraphBuilder builder;
+  const NodeId x = builder.GetOrAddNode("x");
+  const NodeId k = builder.GetOrAddNode("K");
+  ASSERT_TRUE(builder.AddTypeEdge(x, k).ok());
+  GraphStore g = std::move(builder).Finalize();
+  auto answers = Evaluate(g, Cj("(x, _, ?X)"));
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].n, k);
+}
+
+TEST(EvaluatorTest, AlternationUnionsBranches) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "f", "c"}, {"a", "g", "d"}});
+  auto answers = Evaluate(g, Cj("(a, e|f, ?X)"));
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST(EvaluatorTest, UnknownLabelMatchesNothing) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  EXPECT_TRUE(Evaluate(g, Cj("(a, nosuchlabel, ?X)")).empty());
+  EXPECT_TRUE(Evaluate(g, Cj("(?X, nosuchlabel, ?Y)")).empty());
+}
+
+TEST(EvaluatorTest, EpsilonRegexPairsEveryNodeWithItself) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"c", "e", "d"}});
+  auto answers = Evaluate(g, Cj("(?X, (), ?Y)"));
+  EXPECT_EQ(answers.size(), 4u);
+  for (const Answer& a : answers) {
+    EXPECT_EQ(a.v, a.n);
+    EXPECT_EQ(a.distance, 0);
+  }
+}
+
+TEST(EvaluatorTest, NoDuplicateAnswers) {
+  // Diamond: two paths a->d; answer (a, d) must be emitted exactly once.
+  GraphStore g = MakeGraph(
+      {{"a", "e", "b"}, {"a", "e", "c"}, {"b", "f", "d"}, {"c", "f", "d"}});
+  auto answers = Evaluate(g, Cj("(a, e.f, ?X)"));
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(Label(g, answers[0].n), "d");
+}
+
+TEST(EvaluatorTest, AnswersAreNonDecreasingInDistance) {
+  GraphStore g = RandomGraph(5, 30, {"a", "b"}, 2.0);
+  Conjunct conjunct = Cj("APPROX (?X, a.b, ?Y)");
+  EvaluatorOptions options;
+  options.max_live_tuples = 500000;
+  PreparedConjunct prepared = Prepare(conjunct, g, nullptr, options);
+  ConjunctEvaluator evaluator(&g, nullptr, &prepared, options);
+  Answer answer;
+  Cost last = 0;
+  size_t count = 0;
+  while (count < 2000 && evaluator.Next(&answer)) {
+    EXPECT_GE(answer.distance, last);
+    last = answer.distance;
+    ++count;
+  }
+  EXPECT_GT(count, 0u);
+}
+
+TEST(EvaluatorTest, MemoryBudgetFailsWithResourceExhausted) {
+  GraphStore g = RandomGraph(9, 50, {"a", "b", "c"}, 4.0);
+  Conjunct conjunct = Cj("APPROX (?X, a.b.c, ?Y)");
+  EvaluatorOptions options;
+  options.max_live_tuples = 200;  // absurdly small budget
+  PreparedConjunct prepared = Prepare(conjunct, g, nullptr, options);
+  ConjunctEvaluator evaluator(&g, nullptr, &prepared, options);
+  Answer answer;
+  while (evaluator.Next(&answer)) {
+  }
+  EXPECT_TRUE(evaluator.status().IsResourceExhausted());
+}
+
+TEST(EvaluatorTest, StatsAreTracked) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "c"}});
+  Conjunct conjunct = Cj("(a, e+, ?X)");
+  PreparedConjunct prepared = Prepare(conjunct, g);
+  ConjunctEvaluator evaluator(&g, nullptr, &prepared, {});
+  DrainUpTo(&evaluator, kInfiniteCost);
+  const EvaluatorStats stats = evaluator.stats();
+  EXPECT_GT(stats.tuples_popped, 0u);
+  EXPECT_GT(stats.tuples_pushed, 0u);
+  EXPECT_GT(stats.succ_expansions, 0u);
+  EXPECT_EQ(stats.answers_emitted, 2u);
+}
+
+TEST(EvaluatorTest, BatchSizeDoesNotChangeAnswers) {
+  GraphStore g = RandomGraph(21, 40, {"a", "b"}, 2.5);
+  for (size_t batch : {1u, 3u, 100u, 10000u}) {
+    EvaluatorOptions options;
+    options.batch_size = batch;
+    auto answers = Evaluate(g, Cj("(?X, a.b-, ?Y)"), options);
+    EvaluatorOptions base;
+    auto expected = Evaluate(g, Cj("(?X, a.b-, ?Y)"), base);
+    EXPECT_EQ(answers, expected) << "batch=" << batch;
+  }
+}
+
+TEST(EvaluatorTest, FinalPriorityAblationSameAnswerSet) {
+  GraphStore g = RandomGraph(33, 40, {"a", "b"}, 2.5);
+  EvaluatorOptions no_priority;
+  no_priority.prioritize_final_tuples = false;
+  auto without = Evaluate(g, Cj("(?X, a+|b, ?Y)"), no_priority);
+  auto with = Evaluate(g, Cj("(?X, a+|b, ?Y)"), {});
+  EXPECT_EQ(without, with);
+}
+
+class ExactEvaluationPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+// The evaluator's full answer set equals an independent Dijkstra over the
+// product space, across random graphs x random regexes x endpoint shapes.
+TEST_P(ExactEvaluationPropertyTest, MatchesReferenceProductSearch) {
+  Rng rng(GetParam());
+  const std::vector<std::string> labels = {"a", "b", "c"};
+  GraphStore g = RandomGraph(GetParam() * 31 + 7, 25, labels, 2.0);
+
+  for (int round = 0; round < 8; ++round) {
+    RegexPtr regex = testing::RandomRegex(&rng, labels, 2);
+    Conjunct conjunct;
+    conjunct.mode = ConjunctMode::kExact;
+    const int shape = static_cast<int>(rng.NextBounded(3));
+    conjunct.source = shape == 1
+                          ? Endpoint::Constant("n" + std::to_string(
+                                rng.NextBounded(25)))
+                          : Endpoint::Variable("X");
+    conjunct.target = shape == 2
+                          ? Endpoint::Constant("n" + std::to_string(
+                                rng.NextBounded(25)))
+                          : Endpoint::Variable("Y");
+    conjunct.regex = Clone(*regex);
+
+    PreparedConjunct prepared = Prepare(conjunct, g);
+    ConjunctEvaluator evaluator(&g, nullptr, &prepared, {});
+    auto got = DrainUpTo(&evaluator, kInfiniteCost);
+    auto expected = ReferenceAnswers(g, nullptr, prepared, kInfiniteCost);
+    EXPECT_EQ(got, expected) << ToString(*regex) << " shape " << shape;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactEvaluationPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+class ApproxEvaluationPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+// APPROX answers up to distance 2 match the reference product search over
+// the same A_R automaton (validating dictionaries/batching/visited against
+// plain Dijkstra; A_R itself is validated against brute-force edit distance
+// in approx_automaton_test).
+TEST_P(ApproxEvaluationPropertyTest, MatchesReferenceUpToDistanceTwo) {
+  Rng rng(GetParam() * 7919);
+  const std::vector<std::string> labels = {"a", "b"};
+  GraphStore g = RandomGraph(GetParam() * 13 + 3, 15, labels, 1.5);
+
+  for (int round = 0; round < 4; ++round) {
+    RegexPtr regex = testing::RandomRegex(&rng, labels, 2);
+    Conjunct conjunct;
+    conjunct.mode = ConjunctMode::kApprox;
+    conjunct.source = Endpoint::Constant("n" + std::to_string(
+        rng.NextBounded(15)));
+    conjunct.target = Endpoint::Variable("Y");
+    conjunct.regex = Clone(*regex);
+
+    EvaluatorOptions options;
+    options.max_distance = 2;
+    PreparedConjunct prepared = Prepare(conjunct, g, nullptr, options);
+    ConjunctEvaluator evaluator(&g, nullptr, &prepared, options);
+    auto got = DrainUpTo(&evaluator, 2);
+    auto expected = ReferenceAnswers(g, nullptr, prepared, 2);
+    EXPECT_EQ(got, expected) << ToString(*regex);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxEvaluationPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace omega

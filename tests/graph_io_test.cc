@@ -1,0 +1,98 @@
+#include "store/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "store/graph_builder.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  GraphBuilder builder;
+  const NodeId a = builder.GetOrAddNode("a node with spaces");
+  const NodeId b = builder.GetOrAddNode("b");
+  const NodeId k = builder.GetOrAddNode("Klass");
+  ASSERT_TRUE(builder.AddEdge(a, *builder.InternLabel("knows"), b).ok());
+  ASSERT_TRUE(builder.AddTypeEdge(a, k).ok());
+  GraphStore original = std::move(builder).Finalize();
+
+  const std::string path = TempPath("roundtrip.graph");
+  ASSERT_TRUE(SaveGraph(original, path).ok());
+  Result<GraphStore> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->NumNodes(), original.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  const NodeId la = *loaded->FindNode("a node with spaces");
+  const NodeId lb = *loaded->FindNode("b");
+  const LabelId knows = *loaded->labels().Find("knows");
+  EXPECT_TRUE(loaded->HasEdge(la, knows, lb));
+  EXPECT_EQ(loaded->TypeNeighbors(la, Direction::kOutgoing).size(), 1u);
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  Result<GraphStore> r = LoadGraph(TempPath("does_not_exist.graph"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(GraphIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.graph");
+  std::ofstream(path) << "not-a-graph\n";
+  Result<GraphStore> r = LoadGraph(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("truncated.graph");
+  std::ofstream(path) << "omega-graph-v1\nlabels 3\ntype\n";
+  Result<GraphStore> r = LoadGraph(path);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsBadEdgeLine) {
+  const std::string path = TempPath("bad_edge.graph");
+  std::ofstream(path) << "omega-graph-v1\nlabels 1\ntype\nnodes 1\nx\n"
+                      << "edges 1\n0\tnot_a_number\t0\n";
+  Result<GraphStore> r = LoadGraph(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, RejectsEdgeLabelOutOfRange) {
+  const std::string path = TempPath("bad_label.graph");
+  std::ofstream(path) << "omega-graph-v1\nlabels 1\ntype\nnodes 2\nx\ny\n"
+                      << "edges 1\n0\t7\t1\n";
+  Result<GraphStore> r = LoadGraph(path);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RoundTripLargerRandomGraph) {
+  GraphStore original = testing::RandomGraph(99, 60, {"a", "b", "c"}, 3.0);
+  const std::string path = TempPath("random.graph");
+  ASSERT_TRUE(SaveGraph(original, path).ok());
+  Result<GraphStore> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNodes(), original.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  // Spot-check adjacency equality on every node for one label.
+  const LabelId l = *original.labels().Find("b");
+  const LabelId ll = *loaded->labels().Find("b");
+  for (NodeId n = 0; n < original.NumNodes(); ++n) {
+    auto a = original.Neighbors(n, l, Direction::kOutgoing);
+    auto b = loaded->Neighbors(n, ll, Direction::kOutgoing);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,172 @@
+#include "eval/initial_node_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/epsilon_removal.h"
+#include "automata/thompson.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::MakeGraph;
+using testing::Rx;
+
+std::vector<NodeId> DrainStream(InitialNodeStream* stream) {
+  std::vector<NodeId> out;
+  for (;;) {
+    auto batch = stream->NextBatch();
+    if (batch.empty()) break;
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  return out;
+}
+
+Nfa MakeNfa(const GraphStore& g, const std::string& regex) {
+  return RemoveEpsilons(BuildThompsonNfa(*Rx(regex), g.labels()));
+}
+
+TEST(InitialNodeStreamTest, StartNodesOnlyHaveMatchingEdges) {
+  GraphStore g = MakeGraph(
+      {{"a", "e", "b"}, {"c", "e", "d"}, {"x", "f", "y"}});
+  Nfa nfa = MakeNfa(g, "e.f");
+  InitialNodeStream stream(&g, nullptr, &nfa, /*include_remaining=*/false,
+                           100);
+  auto nodes = DrainStream(&stream);
+  // Only nodes with an outgoing e-edge qualify: a and c.
+  std::set<NodeId> got(nodes.begin(), nodes.end());
+  EXPECT_EQ(got, (std::set<NodeId>{*g.FindNode("a"), *g.FindNode("c")}));
+}
+
+TEST(InitialNodeStreamTest, ReversedLabelUsesHeads) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"c", "e", "d"}});
+  Nfa nfa = MakeNfa(g, "e-");
+  InitialNodeStream stream(&g, nullptr, &nfa, false, 100);
+  auto nodes = DrainStream(&stream);
+  std::set<NodeId> got(nodes.begin(), nodes.end());
+  EXPECT_EQ(got, (std::set<NodeId>{*g.FindNode("b"), *g.FindNode("d")}));
+}
+
+TEST(InitialNodeStreamTest, IncludeRemainingYieldsEveryNodeExactlyOnce) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"x", "f", "y"}});
+  Nfa nfa = MakeNfa(g, "e*");  // start state is final: all nodes candidates
+  InitialNodeStream stream(&g, nullptr, &nfa, /*include_remaining=*/true,
+                           100);
+  auto nodes = DrainStream(&stream);
+  EXPECT_EQ(nodes.size(), g.NumNodes());
+  std::set<NodeId> distinct(nodes.begin(), nodes.end());
+  EXPECT_EQ(distinct.size(), g.NumNodes());
+  // Nodes with a usable e-edge come before edge-less ones.
+  EXPECT_EQ(nodes.front(), *g.FindNode("a"));
+}
+
+TEST(InitialNodeStreamTest, BatchSizeControlsChunking) {
+  GraphStore g = testing::RandomGraph(3, 50, {"e"}, 2.0);
+  Nfa nfa = MakeNfa(g, "e");
+  InitialNodeStream stream(&g, nullptr, &nfa, false, 7);
+  size_t batches = 0;
+  size_t total = 0;
+  for (;;) {
+    auto batch = stream.NextBatch();
+    if (batch.empty()) break;
+    EXPECT_LE(batch.size(), 7u);
+    ++batches;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, stream.total_yielded());
+  EXPECT_GE(batches, total / 7);
+  EXPECT_TRUE(stream.Exhausted());
+}
+
+TEST(InitialNodeStreamTest, CheaperTransitionGroupsComeFirst) {
+  // Manually build an NFA whose start state has a cost-0 exit on label e
+  // and a cost-1 exit on label f: e-endpoints must precede f-endpoints.
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"x", "f", "y"}});
+  Nfa nfa;
+  const StateId s0 = nfa.AddState();
+  const StateId s1 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.MakeFinal(s1);
+  nfa.AddLabel(s0, s1, *g.labels().Find("e"), Direction::kOutgoing, 0);
+  nfa.AddLabel(s0, s1, *g.labels().Find("f"), Direction::kOutgoing, 1);
+  nfa.SortTransitions();
+
+  InitialNodeStream stream(&g, nullptr, &nfa, false, 100);
+  auto nodes = DrainStream(&stream);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], *g.FindNode("a"));  // cost-0 group first
+  EXPECT_EQ(nodes[1], *g.FindNode("x"));
+}
+
+TEST(InitialNodeStreamTest, NodeInBothGroupsYieldedOnceAtCheaperGroup) {
+  // `a` has both e (cost 0 exit) and f (cost 1 exit) edges.
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "f", "c"}, {"x", "f", "y"}});
+  Nfa nfa;
+  const StateId s0 = nfa.AddState();
+  const StateId s1 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.MakeFinal(s1);
+  nfa.AddLabel(s0, s1, *g.labels().Find("e"), Direction::kOutgoing, 0);
+  nfa.AddLabel(s0, s1, *g.labels().Find("f"), Direction::kOutgoing, 1);
+  nfa.SortTransitions();
+
+  InitialNodeStream stream(&g, nullptr, &nfa, false, 100);
+  auto nodes = DrainStream(&stream);
+  ASSERT_EQ(nodes.size(), 2u);  // a once (cheap group), then x
+  EXPECT_EQ(nodes[0], *g.FindNode("a"));
+  EXPECT_EQ(nodes[1], *g.FindNode("x"));
+}
+
+TEST(InitialNodeStreamTest, WildcardSeedsSigmaAndTypeEndpoints) {
+  GraphBuilder builder;
+  const NodeId a = builder.GetOrAddNode("a");
+  const NodeId k = builder.GetOrAddNode("K");
+  const NodeId b = builder.GetOrAddNode("b");
+  ASSERT_TRUE(builder.AddTypeEdge(a, k).ok());
+  ASSERT_TRUE(builder.AddEdge(b, *builder.InternLabel("e"), a).ok());
+  GraphStore g = std::move(builder).Finalize();
+
+  Nfa nfa = MakeNfa(g, "_");
+  InitialNodeStream stream(&g, nullptr, &nfa, false, 100);
+  auto nodes = DrainStream(&stream);
+  std::set<NodeId> got(nodes.begin(), nodes.end());
+  // `_` is a forward step over Σ ∪ {type}: a (type out) and b (e out).
+  EXPECT_EQ(got, (std::set<NodeId>{a, b}));
+}
+
+TEST(InitialNodeStreamTest, EntailmentExpandsSeedLabels) {
+  OntologyBuilder ob;
+  ASSERT_TRUE(ob.AddSubproperty("e", "parent").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  ASSERT_TRUE(o.ok());
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  BoundOntology bound(&*o, &g);
+
+  // An NFA over the synthetic `parent` label, marked for entailment.
+  Nfa nfa;
+  const StateId s0 = nfa.AddState();
+  const StateId s1 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.MakeFinal(s1);
+  nfa.AddLabel(s0, s1, *bound.FindSyntheticLabel("parent"),
+               Direction::kOutgoing, 0);
+  nfa.SetEntailmentMatching(true);
+
+  InitialNodeStream stream(&g, &bound, &nfa, false, 100);
+  auto nodes = DrainStream(&stream);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], *g.FindNode("a"));  // via down-set member e
+}
+
+TEST(InitialNodeStreamTest, EmptyGraphLabelYieldsNothing) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  Nfa nfa = MakeNfa(g, "zzz");
+  InitialNodeStream stream(&g, nullptr, &nfa, false, 100);
+  EXPECT_TRUE(DrainStream(&stream).empty());
+  EXPECT_TRUE(stream.Exhausted());
+}
+
+}  // namespace
+}  // namespace omega

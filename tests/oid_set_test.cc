@@ -1,0 +1,109 @@
+#include "store/oid_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace omega {
+namespace {
+
+TEST(OidSetTest, InitializerListSortsAndDedups) {
+  OidSet s{5, 1, 3, 1, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(2));
+}
+
+TEST(OidSetTest, FromUnsorted) {
+  OidSet s = OidSet::FromUnsorted({9, 2, 2, 7});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(*s.begin(), 2u);
+}
+
+TEST(OidSetTest, InsertKeepsOrderAndDedups) {
+  OidSet s;
+  s.Insert(4);
+  s.Insert(1);
+  s.Insert(4);
+  s.Insert(9);
+  EXPECT_EQ(s.size(), 3u);
+  std::vector<NodeId> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<NodeId>{1, 4, 9}));
+}
+
+TEST(OidSetTest, EmptySetBehaviour) {
+  OidSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(OidSet::Union(s, s).size(), 0u);
+  EXPECT_EQ(OidSet::Intersect(s, OidSet{1, 2}).size(), 0u);
+  EXPECT_EQ(OidSet::Difference(OidSet{1, 2}, s).size(), 2u);
+}
+
+TEST(OidSetTest, UnionIntersectDifference) {
+  OidSet a{1, 2, 3, 4};
+  OidSet b{3, 4, 5};
+  EXPECT_EQ(OidSet::Union(a, b), (OidSet{1, 2, 3, 4, 5}));
+  EXPECT_EQ(OidSet::Intersect(a, b), (OidSet{3, 4}));
+  EXPECT_EQ(OidSet::Difference(a, b), (OidSet{1, 2}));
+  EXPECT_EQ(OidSet::Difference(b, a), (OidSet{5}));
+}
+
+TEST(OidSetTest, UnionWithSpan) {
+  OidSet a{2, 4};
+  std::vector<NodeId> more{1, 4, 6};
+  a.UnionWith(more);
+  EXPECT_EQ(a, (OidSet{1, 2, 4, 6}));
+}
+
+class OidSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OidSetPropertyTest, AlgebraMatchesStdSet) {
+  Rng rng(GetParam());
+  std::set<NodeId> ra, rb;
+  std::vector<NodeId> va, vb;
+  for (int i = 0; i < 200; ++i) {
+    NodeId x = static_cast<NodeId>(rng.NextBounded(64));
+    NodeId y = static_cast<NodeId>(rng.NextBounded(64));
+    ra.insert(x);
+    va.push_back(x);
+    rb.insert(y);
+    vb.push_back(y);
+  }
+  OidSet a = OidSet::FromUnsorted(va);
+  OidSet b = OidSet::FromUnsorted(vb);
+
+  auto as_vector = [](const std::set<NodeId>& s) {
+    return std::vector<NodeId>(s.begin(), s.end());
+  };
+  std::set<NodeId> ru, ri, rd;
+  std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                 std::inserter(ru, ru.end()));
+  std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::inserter(ri, ri.end()));
+  std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                      std::inserter(rd, rd.end()));
+
+  const OidSet set_union = OidSet::Union(a, b);
+  const OidSet set_intersect = OidSet::Intersect(a, b);
+  const OidSet set_difference = OidSet::Difference(a, b);
+  EXPECT_EQ(std::vector<NodeId>(set_union.begin(), set_union.end()),
+            as_vector(ru));
+  EXPECT_EQ(std::vector<NodeId>(set_intersect.begin(), set_intersect.end()),
+            as_vector(ri));
+  EXPECT_EQ(std::vector<NodeId>(set_difference.begin(), set_difference.end()),
+            as_vector(rd));
+  for (NodeId x = 0; x < 64; ++x) {
+    EXPECT_EQ(a.Contains(x), ra.count(x) > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OidSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace omega

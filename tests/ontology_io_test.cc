@@ -1,0 +1,103 @@
+#include "ontology/ontology_io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace omega {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Ontology Sample() {
+  OntologyBuilder b;
+  EXPECT_TRUE(b.AddSubclass("Work", "Episode").ok());
+  EXPECT_TRUE(b.AddSubclass("FT", "Work").ok());
+  EXPECT_TRUE(b.AddSubproperty("next", "isEpisodeLink").ok());
+  EXPECT_TRUE(b.SetDomain("next", "Episode").ok());
+  EXPECT_TRUE(b.SetRange("next", "Episode").ok());
+  Result<Ontology> o = std::move(b).Finalize();
+  EXPECT_TRUE(o.ok());
+  return std::move(o).value();
+}
+
+TEST(OntologyIoTest, RoundTrip) {
+  const Ontology original = Sample();
+  const std::string path = TempPath("roundtrip.ontology");
+  ASSERT_TRUE(SaveOntology(original, path).ok());
+  Result<Ontology> loaded = LoadOntology(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->NumClasses(), original.NumClasses());
+  EXPECT_EQ(loaded->NumProperties(), original.NumProperties());
+  auto ft = loaded->FindClass("FT");
+  ASSERT_TRUE(ft.has_value());
+  auto ancestors = loaded->ClassAncestors(*ft);
+  ASSERT_EQ(ancestors.size(), 2u);
+  EXPECT_EQ(loaded->ClassName(ancestors[1].element), "Episode");
+  auto next = loaded->FindProperty("next");
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(loaded->DomainOf(*next).has_value());
+  EXPECT_EQ(loaded->ClassName(*loaded->DomainOf(*next)), "Episode");
+}
+
+TEST(OntologyIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = TempPath("comments.ontology");
+  std::ofstream(path) << "# header\n\nsc\tA\tB\n  \nsp\tp\tq\n";
+  Result<Ontology> loaded = LoadOntology(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->FindClass("A").has_value());
+  EXPECT_TRUE(loaded->FindProperty("q").has_value());
+}
+
+TEST(OntologyIoTest, ClassNamesWithSpacesSurvive) {
+  OntologyBuilder b;
+  ASSERT_TRUE(
+      b.AddSubclass("BTEC Introductory Diploma", "Entry Level").ok());
+  Result<Ontology> o = std::move(b).Finalize();
+  ASSERT_TRUE(o.ok());
+  const std::string path = TempPath("spaces.ontology");
+  ASSERT_TRUE(SaveOntology(*o, path).ok());
+  Result<Ontology> loaded = LoadOntology(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->FindClass("BTEC Introductory Diploma").has_value());
+}
+
+TEST(OntologyIoTest, MissingFile) {
+  Result<Ontology> r = LoadOntology(TempPath("missing.ontology"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(OntologyIoTest, RejectsMalformedLine) {
+  const std::string path = TempPath("bad.ontology");
+  std::ofstream(path) << "sc\tonly-two-fields\n";
+  EXPECT_FALSE(LoadOntology(path).ok());
+}
+
+TEST(OntologyIoTest, RejectsUnknownKind) {
+  const std::string path = TempPath("unknown.ontology");
+  std::ofstream(path) << "subclassof\tA\tB\n";
+  Result<Ontology> r = LoadOntology(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(OntologyIoTest, RejectsCycleInFile) {
+  const std::string path = TempPath("cycle.ontology");
+  std::ofstream(path) << "sc\tA\tB\nsc\tB\tA\n";
+  EXPECT_FALSE(LoadOntology(path).ok());
+}
+
+TEST(OntologyIoTest, DuplicateStatementsTolerated) {
+  const std::string path = TempPath("dups.ontology");
+  std::ofstream(path) << "sc\tA\tB\nsc\tA\tB\n";
+  Result<Ontology> r = LoadOntology(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->ClassAncestors(*r->FindClass("A")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace omega

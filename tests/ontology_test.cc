@@ -1,0 +1,205 @@
+#include "ontology/ontology.h"
+
+#include <gtest/gtest.h>
+
+#include "store/graph_builder.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+Ontology SmallOntology() {
+  OntologyBuilder b;
+  // Episode -> {Work, Edu}; Work -> {FT, PT}.
+  EXPECT_TRUE(b.AddSubclass("Work", "Episode").ok());
+  EXPECT_TRUE(b.AddSubclass("Edu", "Episode").ok());
+  EXPECT_TRUE(b.AddSubclass("FT", "Work").ok());
+  EXPECT_TRUE(b.AddSubclass("PT", "Work").ok());
+  EXPECT_TRUE(b.AddSubproperty("next", "isEpisodeLink").ok());
+  EXPECT_TRUE(b.AddSubproperty("prereq", "isEpisodeLink").ok());
+  EXPECT_TRUE(b.SetDomain("next", "Episode").ok());
+  EXPECT_TRUE(b.SetRange("next", "Episode").ok());
+  Result<Ontology> o = std::move(b).Finalize();
+  EXPECT_TRUE(o.ok());
+  return std::move(o).value();
+}
+
+TEST(OntologyTest, LookupAndNames) {
+  Ontology o = SmallOntology();
+  ASSERT_TRUE(o.FindClass("Work").has_value());
+  EXPECT_EQ(o.ClassName(*o.FindClass("Work")), "Work");
+  EXPECT_FALSE(o.FindClass("Nope").has_value());
+  ASSERT_TRUE(o.FindProperty("next").has_value());
+  EXPECT_FALSE(o.FindProperty("nope").has_value());
+  EXPECT_EQ(o.NumClasses(), 5u);
+  EXPECT_EQ(o.NumProperties(), 3u);
+}
+
+TEST(OntologyTest, AncestorsOrderedBySteps) {
+  Ontology o = SmallOntology();
+  auto ancestors = o.ClassAncestors(*o.FindClass("FT"));
+  ASSERT_EQ(ancestors.size(), 2u);
+  EXPECT_EQ(o.ClassName(ancestors[0].element), "Work");
+  EXPECT_EQ(ancestors[0].steps, 1u);
+  EXPECT_EQ(o.ClassName(ancestors[1].element), "Episode");
+  EXPECT_EQ(ancestors[1].steps, 2u);
+  EXPECT_TRUE(o.ClassAncestors(*o.FindClass("Episode")).empty());
+}
+
+TEST(OntologyTest, PropertyAncestors) {
+  Ontology o = SmallOntology();
+  auto ancestors = o.PropertyAncestors(*o.FindProperty("next"));
+  ASSERT_EQ(ancestors.size(), 1u);
+  EXPECT_EQ(o.PropertyName(ancestors[0].element), "isEpisodeLink");
+}
+
+TEST(OntologyTest, DownSetsIncludeSelfAndDescendants) {
+  Ontology o = SmallOntology();
+  const ClassId episode = *o.FindClass("Episode");
+  const auto& down = o.ClassDownSet(episode);
+  EXPECT_EQ(down.size(), 5u);  // all classes
+  const ClassId work = *o.FindClass("Work");
+  EXPECT_EQ(o.ClassDownSet(work).size(), 3u);  // Work, FT, PT
+  const ClassId ft = *o.FindClass("FT");
+  EXPECT_EQ(o.ClassDownSet(ft).size(), 1u);
+}
+
+TEST(OntologyTest, DomainsAndRanges) {
+  Ontology o = SmallOntology();
+  const PropertyId next = *o.FindProperty("next");
+  ASSERT_TRUE(o.DomainOf(next).has_value());
+  EXPECT_EQ(o.ClassName(*o.DomainOf(next)), "Episode");
+  const PropertyId prereq = *o.FindProperty("prereq");
+  EXPECT_FALSE(o.DomainOf(prereq).has_value());
+}
+
+TEST(OntologyTest, DepthAndFanOut) {
+  Ontology o = SmallOntology();
+  EXPECT_EQ(o.HierarchyDepth(*o.FindClass("Episode")), 2u);
+  EXPECT_EQ(o.HierarchyDepth(*o.FindClass("FT")), 0u);
+  // Non-leaves: Episode (2 children), Work (2 children) -> fan-out 2.0.
+  EXPECT_DOUBLE_EQ(o.AverageFanOut(*o.FindClass("Episode")), 2.0);
+}
+
+TEST(OntologyTest, RejectsScCycle) {
+  OntologyBuilder b;
+  EXPECT_TRUE(b.AddSubclass("A", "B").ok());
+  EXPECT_TRUE(b.AddSubclass("B", "C").ok());
+  EXPECT_TRUE(b.AddSubclass("C", "A").ok());
+  Result<Ontology> o = std::move(b).Finalize();
+  ASSERT_FALSE(o.ok());
+  EXPECT_TRUE(o.status().IsInvalidArgument());
+}
+
+TEST(OntologyTest, RejectsSpCycle) {
+  OntologyBuilder b;
+  EXPECT_TRUE(b.AddSubproperty("p", "q").ok());
+  EXPECT_TRUE(b.AddSubproperty("q", "p").ok());
+  EXPECT_FALSE(std::move(b).Finalize().ok());
+}
+
+TEST(OntologyTest, RejectsSelfSubclassAndDuplicates) {
+  OntologyBuilder b;
+  EXPECT_FALSE(b.AddSubclass("A", "A").ok());
+  EXPECT_TRUE(b.AddSubclass("A", "B").ok());
+  EXPECT_FALSE(b.AddSubclass("A", "B").ok());  // duplicate sc edge
+}
+
+TEST(OntologyTest, MultipleInheritanceAncestors) {
+  OntologyBuilder b;
+  EXPECT_TRUE(b.AddSubclass("C", "A").ok());
+  EXPECT_TRUE(b.AddSubclass("C", "B").ok());
+  EXPECT_TRUE(b.AddSubclass("A", "Root").ok());
+  EXPECT_TRUE(b.AddSubclass("B", "Root").ok());
+  Result<Ontology> o = std::move(b).Finalize();
+  ASSERT_TRUE(o.ok());
+  auto ancestors = o->ClassAncestors(*o->FindClass("C"));
+  ASSERT_EQ(ancestors.size(), 3u);  // A, B at 1 step; Root at 2 (min path)
+  EXPECT_EQ(ancestors[0].steps, 1u);
+  EXPECT_EQ(ancestors[1].steps, 1u);
+  EXPECT_EQ(ancestors[2].steps, 2u);
+  EXPECT_EQ(o->ClassName(ancestors[2].element), "Root");
+}
+
+TEST(BoundOntologyTest, BindsClassesAndProperties) {
+  Ontology o = SmallOntology();
+  GraphBuilder builder;
+  const NodeId episode_node = builder.GetOrAddNode("Episode");
+  const NodeId work_node = builder.GetOrAddNode("Work");
+  const NodeId ft_node = builder.GetOrAddNode("FT");
+  const NodeId inst = builder.GetOrAddNode("e1");
+  ASSERT_TRUE(builder.AddTypeEdge(inst, ft_node).ok());
+  ASSERT_TRUE(
+      builder.AddEdge(inst, *builder.InternLabel("next"), inst).ok());
+  ASSERT_TRUE(
+      builder.AddEdge(inst, *builder.InternLabel("isEpisodeLink"), inst).ok());
+  GraphStore g = std::move(builder).Finalize();
+
+  BoundOntology bound(&o, &g);
+  EXPECT_TRUE(bound.IsClassNode(work_node));
+  EXPECT_TRUE(bound.IsClassNode(ft_node));
+  EXPECT_FALSE(bound.IsClassNode(inst));
+
+  auto ancestors = bound.NodeAncestors(ft_node);
+  ASSERT_EQ(ancestors.size(), 2u);
+  EXPECT_EQ(ancestors[0], (std::pair<NodeId, uint32_t>{work_node, 1}));
+  EXPECT_EQ(ancestors[1], (std::pair<NodeId, uint32_t>{episode_node, 2}));
+
+  // Down-set of Work contains Work + FT (PT has no graph node).
+  const OidSet& down = bound.NodeDownSet(work_node);
+  EXPECT_TRUE(down.Contains(work_node));
+  EXPECT_TRUE(down.Contains(ft_node));
+  EXPECT_EQ(down.size(), 2u);
+
+  // Label down-set of isEpisodeLink contains itself, next, and a synthetic
+  // id standing in for prereq (which never occurs as a graph edge).
+  const LabelId link = *g.labels().Find("isEpisodeLink");
+  const LabelId next = *g.labels().Find("next");
+  const auto& label_down = bound.LabelDownSet(link);
+  EXPECT_EQ(label_down.size(), 3u);
+  EXPECT_TRUE(std::find(label_down.begin(), label_down.end(), next) !=
+              label_down.end());
+  const auto synthetic_prereq = bound.FindSyntheticLabel("prereq");
+  ASSERT_TRUE(synthetic_prereq.has_value());
+  EXPECT_GE(*synthetic_prereq, g.labels().size());
+  EXPECT_TRUE(std::find(label_down.begin(), label_down.end(),
+                        *synthetic_prereq) != label_down.end());
+  // Graph adjacency on the synthetic label is safely empty.
+  EXPECT_TRUE(g.Tails(*synthetic_prereq).empty());
+
+  // Labels unknown to graph and ontology fall back to {self}.
+  const auto& self_only = bound.LabelDownSet(next + 100);
+  EXPECT_EQ(self_only.size(), 1u);
+
+  // BoundClassNodes contains exactly the three class nodes present.
+  EXPECT_EQ(bound.BoundClassNodes().size(), 3u);
+}
+
+TEST(BoundOntologyTest, DomainRangeNodes) {
+  Ontology o = SmallOntology();
+  GraphBuilder builder;
+  builder.GetOrAddNode("Episode");
+  const NodeId inst = builder.GetOrAddNode("e1");
+  ASSERT_TRUE(builder.AddEdge(inst, *builder.InternLabel("next"), inst).ok());
+  GraphStore g = std::move(builder).Finalize();
+  BoundOntology bound(&o, &g);
+  const LabelId next = *g.labels().Find("next");
+  ASSERT_TRUE(bound.DomainNodeOf(next).has_value());
+  EXPECT_EQ(*bound.DomainNodeOf(next), *g.FindNode("Episode"));
+  EXPECT_TRUE(bound.RangeNodeOf(next).has_value());
+}
+
+TEST(BoundOntologyTest, LabelAncestorsAsGraphLabels) {
+  Ontology o = SmallOntology();
+  GraphStore g = testing::MakeGraph(
+      {{"a", "next", "b"}, {"a", "isEpisodeLink", "b"}});
+  BoundOntology bound(&o, &g);
+  const LabelId next = *g.labels().Find("next");
+  auto ancestors = bound.LabelAncestors(next);
+  ASSERT_EQ(ancestors.size(), 1u);
+  EXPECT_EQ(ancestors[0].first, *g.labels().Find("isEpisodeLink"));
+  EXPECT_EQ(ancestors[0].second, 1u);
+}
+
+}  // namespace
+}  // namespace omega

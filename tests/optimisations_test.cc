@@ -1,0 +1,228 @@
+// §4.3 optimisations: distance-aware retrieval and alternation
+// decomposition must return exactly the baseline's answers (same (v, n)
+// pairs at the same distances), only in a different amount of work.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "eval/distance_aware.h"
+#include "eval/disjunction.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::Cj;
+using testing::DrainUpTo;
+using testing::MakeGraph;
+using testing::RandomGraph;
+
+/// Normalises a stream's output to a {(v,n) -> d} map for set comparison.
+std::map<std::pair<NodeId, NodeId>, Cost> Collect(AnswerStream* stream,
+                                                  size_t limit = 100000) {
+  std::map<std::pair<NodeId, NodeId>, Cost> out;
+  Answer a;
+  while (out.size() < limit && stream->Next(&a)) {
+    auto [it, inserted] = out.try_emplace({a.v, a.n}, a.distance);
+    EXPECT_TRUE(inserted) << "duplicate (v,n) from stream";
+  }
+  return out;
+}
+
+TEST(DistanceAwareTest, SameAnswersAsBaselineOnCraftedGraph) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"b", "f", "c"},
+                            {"a", "x", "c"},
+                            {"c", "e", "d"}});
+  Conjunct conjunct = Cj("APPROX (a, e.f, ?X)");
+  EvaluatorOptions options;
+  Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                      options);
+  ASSERT_TRUE(prepared.ok());
+
+  ConjunctEvaluator baseline(&g, nullptr, &*prepared, options);
+  auto baseline_answers = DrainUpTo(&baseline, 2);
+
+  DistanceAwareStream da(&g, nullptr, &*prepared, options);
+  auto da_answers = DrainUpTo(&da, 2);
+  EXPECT_EQ(da_answers, baseline_answers);
+  EXPECT_GE(da.rounds(), 2u);
+}
+
+TEST(DistanceAwareTest, EmitsInNonDecreasingOrder) {
+  GraphStore g = RandomGraph(3, 25, {"a", "b"}, 2.0);
+  Conjunct conjunct = Cj("APPROX (n0, a.b, ?X)");
+  EvaluatorOptions options;
+  Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                      options);
+  ASSERT_TRUE(prepared.ok());
+  DistanceAwareStream da(&g, nullptr, &*prepared, options);
+  Answer a;
+  Cost last = 0;
+  size_t count = 0;
+  while (count < 500 && da.Next(&a)) {
+    EXPECT_GE(a.distance, last);
+    last = a.distance;
+    ++count;
+  }
+}
+
+TEST(DistanceAwareTest, ExactConjunctSingleRound) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  Conjunct conjunct = Cj("(a, e, ?X)");
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(conjunct, g, nullptr, {});
+  ASSERT_TRUE(prepared.ok());
+  DistanceAwareStream da(&g, nullptr, &*prepared, {});
+  Answer a;
+  size_t count = 0;
+  while (da.Next(&a)) ++count;
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(da.rounds(), 1u);  // no positive costs: ψ never grows
+}
+
+TEST(DistanceAwareTest, StopsAfterFruitlessRounds) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  Conjunct conjunct = Cj("APPROX (a, e, ?X)");
+  EvaluatorOptions options;
+  Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                      options);
+  ASSERT_TRUE(prepared.ok());
+  DistanceAwareOptions da_options;
+  da_options.max_fruitless_rounds = 3;
+  DistanceAwareStream da(&g, nullptr, &*prepared, options, da_options);
+  Answer a;
+  size_t count = 0;
+  while (count < 1000 && da.Next(&a)) ++count;
+  // 2 nodes -> at most 2x2 answers; insertion loops would allow unbounded ψ
+  // growth, the guard must terminate the stream.
+  EXPECT_LE(count, 4u);
+}
+
+class DistanceAwarePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistanceAwarePropertyTest, MatchesBaselineUpToDistanceTwo) {
+  Rng rng(GetParam() * 101);
+  const std::vector<std::string> labels = {"a", "b"};
+  GraphStore g = RandomGraph(GetParam() * 17, 20, labels, 1.8);
+
+  for (int round = 0; round < 4; ++round) {
+    RegexPtr regex = testing::RandomRegex(&rng, labels, 2);
+    Conjunct conjunct;
+    conjunct.mode = ConjunctMode::kApprox;
+    conjunct.source = Endpoint::Constant("n" + std::to_string(
+        rng.NextBounded(20)));
+    conjunct.target = Endpoint::Variable("Y");
+    conjunct.regex = Clone(*regex);
+
+    EvaluatorOptions options;
+    options.max_distance = 2;  // cap both sides at distance 2
+    Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                        options);
+    ASSERT_TRUE(prepared.ok());
+
+    ConjunctEvaluator baseline(&g, nullptr, &*prepared, options);
+    auto expected = Collect(&baseline);
+    DistanceAwareStream da(&g, nullptr, &*prepared, options);
+    auto got = Collect(&da);
+    EXPECT_EQ(got, expected) << ToString(*regex);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceAwarePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DisjunctionTest, RequiresTopLevelAlternation) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  EXPECT_FALSE(CanDecomposeAlternation(Cj("(a, e.f, ?X)")));
+  EXPECT_TRUE(CanDecomposeAlternation(Cj("(a, e|f, ?X)")));
+  auto bad = DisjunctionStream::Create(Cj("(a, e, ?X)"), &g, nullptr, {});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DisjunctionTest, SameAnswersAsMonolithicAutomaton) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"a", "f", "c"},
+                            {"c", "g", "d"},
+                            {"a", "e", "d"}});
+  Conjunct conjunct = Cj("APPROX (a, e|(f.g), ?X)");
+  EvaluatorOptions options;
+  options.max_distance = 2;
+  Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                      options);
+  ASSERT_TRUE(prepared.ok());
+  ConjunctEvaluator baseline(&g, nullptr, &*prepared, options);
+  auto expected = Collect(&baseline);
+
+  auto stream = DisjunctionStream::Create(conjunct, &g, nullptr, options);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  auto got = Collect(stream->get());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(DisjunctionTest, BranchOrderAdaptsToAnswerCounts) {
+  // Branch e has many distance-0 answers, branch f has none: after round 0
+  // the f-branch must be evaluated first.
+  GraphStore g = MakeGraph({{"a", "e", "b1"},
+                            {"a", "e", "b2"},
+                            {"a", "e", "b3"},
+                            {"x", "f", "y"}});
+  Conjunct conjunct = Cj("APPROX (a, e|f, ?X)");
+  EvaluatorOptions options;
+  auto stream = DisjunctionStream::Create(conjunct, &g, nullptr, options);
+  ASSERT_TRUE(stream.ok());
+  Answer a;
+  size_t pulled = 0;
+  std::vector<size_t> order;
+  while (pulled < 6 && (*stream)->Next(&a)) {
+    ++pulled;
+    order = (*stream)->last_round_order();
+  }
+  ASSERT_EQ(order.size(), 2u);
+  // Branch 1 (f) returned fewer answers in the previous round.
+  EXPECT_EQ(order[0], 1u);
+}
+
+class DisjunctionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DisjunctionPropertyTest, MatchesBaselineUpToDistanceTwo) {
+  Rng rng(GetParam() * 991);
+  const std::vector<std::string> labels = {"a", "b", "c"};
+  GraphStore g = RandomGraph(GetParam() * 23, 18, labels, 1.5);
+
+  for (int round = 0; round < 3; ++round) {
+    // Build a top-level alternation of 2-3 random branches.
+    std::vector<RegexPtr> branches;
+    const size_t n = 2 + rng.NextBounded(2);
+    for (size_t i = 0; i < n; ++i) {
+      branches.push_back(testing::RandomRegex(&rng, labels, 1));
+    }
+    Conjunct conjunct;
+    conjunct.mode = ConjunctMode::kApprox;
+    conjunct.source =
+        Endpoint::Constant("n" + std::to_string(rng.NextBounded(18)));
+    conjunct.target = Endpoint::Variable("Y");
+    conjunct.regex = MakeAlternation(std::move(branches));
+
+    EvaluatorOptions options;
+    options.max_distance = 2;
+    Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                        options);
+    ASSERT_TRUE(prepared.ok());
+    ConjunctEvaluator baseline(&g, nullptr, &*prepared, options);
+    auto expected = Collect(&baseline);
+
+    auto stream = DisjunctionStream::Create(conjunct, &g, nullptr, options);
+    ASSERT_TRUE(stream.ok());
+    auto got = Collect(stream->get());
+    EXPECT_EQ(got, expected) << ToString(*conjunct.regex);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjunctionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,110 @@
+#include "rpq/query_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(QueryParserTest, SingleConjunct) {
+  Result<Query> q = ParseQuery("(?X) <- (UK, isLocatedIn-.gradFrom, ?X)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->head, (std::vector<std::string>{"X"}));
+  ASSERT_EQ(q->conjuncts.size(), 1u);
+  const Conjunct& c = q->conjuncts[0];
+  EXPECT_EQ(c.mode, ConjunctMode::kExact);
+  EXPECT_FALSE(c.source.is_variable);
+  EXPECT_EQ(c.source.name, "UK");
+  EXPECT_TRUE(c.target.is_variable);
+  EXPECT_EQ(c.target.name, "X");
+  EXPECT_EQ(ToString(*c.regex), "isLocatedIn-.gradFrom");
+}
+
+TEST(QueryParserTest, ApproxAndRelaxPrefixes) {
+  Result<Query> q = ParseQuery(
+      "(?X, ?Y) <- APPROX (UK, a.b, ?X), RELAX (?X, c+, ?Y)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->conjuncts.size(), 2u);
+  EXPECT_EQ(q->conjuncts[0].mode, ConjunctMode::kApprox);
+  EXPECT_EQ(q->conjuncts[1].mode, ConjunctMode::kRelax);
+}
+
+TEST(QueryParserTest, ConstantsWithSpaces) {
+  Result<Query> q = ParseQuery(
+      "(?X) <- (Mathematical and Computer Sciences, type.prereq+, ?X)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->conjuncts[0].source.name,
+            "Mathematical and Computer Sciences");
+}
+
+TEST(QueryParserTest, ConstantTarget) {
+  Result<Query> q = ParseQuery("(?X) <- (?X, next+, Alumni 4 Episode 1)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->conjuncts[0].source.is_variable);
+  EXPECT_FALSE(q->conjuncts[0].target.is_variable);
+  EXPECT_EQ(q->conjuncts[0].target.name, "Alumni 4 Episode 1");
+}
+
+TEST(QueryParserTest, SharedVariableAcrossConjuncts) {
+  Result<Query> q = ParseQuery("(?Z) <- (?X, a, ?Y), (?Y, b, ?Z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->BodyVariables(),
+            (std::vector<std::string>{"X", "Y", "Z"}));
+}
+
+TEST(QueryParserTest, RoundTripToString) {
+  const std::string text =
+      "(?X, ?Y) <- APPROX (UK, (a.b)|c-, ?X), (?X, type-, ?Y)";
+  Result<Query> q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  Result<Query> again = ParseQuery(q->ToString());
+  ASSERT_TRUE(again.ok()) << q->ToString();
+  EXPECT_EQ(q->ToString(), again->ToString());
+}
+
+TEST(QueryParserTest, SameVariableBothEndpoints) {
+  Result<Query> q = ParseQuery("(?X) <- (?X, next+, ?X)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->BodyVariables(), (std::vector<std::string>{"X"}));
+}
+
+TEST(QueryParserTest, ErrorMissingArrow) {
+  EXPECT_FALSE(ParseQuery("(?X) (UK, a, ?X)").ok());
+}
+
+TEST(QueryParserTest, ErrorHeadNotVariable) {
+  EXPECT_FALSE(ParseQuery("(X) <- (UK, a, ?X)").ok());
+}
+
+TEST(QueryParserTest, ErrorHeadVarNotInBody) {
+  Result<Query> q = ParseQuery("(?Z) <- (UK, a, ?X)");
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(QueryParserTest, ErrorBadConjunctArity) {
+  EXPECT_FALSE(ParseQuery("(?X) <- (UK, a)").ok());
+  EXPECT_FALSE(ParseQuery("(?X) <- (UK, a, b, ?X)").ok());
+}
+
+TEST(QueryParserTest, ErrorUnparenthesisedConjunct) {
+  EXPECT_FALSE(ParseQuery("(?X) <- UK, a, ?X").ok());
+}
+
+TEST(QueryParserTest, ErrorBadRegexInsideConjunct) {
+  EXPECT_FALSE(ParseQuery("(?X) <- (UK, a..b, ?X)").ok());
+}
+
+TEST(QueryParserTest, ErrorEmptyVariableName) {
+  EXPECT_FALSE(ParseQuery("(?) <- (UK, a, ?X)").ok());
+  EXPECT_FALSE(ParseQuery("(?X) <- (UK, a, ?)").ok());
+}
+
+TEST(QueryParserTest, ValidateRejectsEmptyPieces) {
+  Query q;
+  EXPECT_FALSE(ValidateQuery(q).ok());
+  q.head.push_back("X");
+  EXPECT_FALSE(ValidateQuery(q).ok());
+}
+
+}  // namespace
+}  // namespace omega

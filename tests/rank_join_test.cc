@@ -1,0 +1,231 @@
+#include "eval/rank_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eval/query_engine.h"
+#include "rpq/query_parser.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(BindingTest, BindAndLookup) {
+  Binding b;
+  EXPECT_TRUE(b.Bind("X", 3));
+  EXPECT_TRUE(b.Bind("Y", 7));
+  EXPECT_EQ(b.Lookup("X"), 3u);
+  EXPECT_EQ(b.Lookup("Y"), 7u);
+  EXPECT_EQ(b.Lookup("Z"), kInvalidNode);
+  EXPECT_TRUE(b.Bind("X", 3));   // consistent re-bind
+  EXPECT_FALSE(b.Bind("X", 4));  // conflicting
+}
+
+/// Deterministic scripted stream for join unit tests.
+class ScriptedStream : public BindingStream {
+ public:
+  ScriptedStream(std::vector<std::string> vars,
+                 std::vector<Binding> bindings)
+      : vars_(std::move(vars)), bindings_(std::move(bindings)) {}
+
+  bool Next(Binding* out) override {
+    if (pos_ >= bindings_.size()) return false;
+    *out = bindings_[pos_++];
+    return true;
+  }
+  const Status& status() const override { return status_; }
+  const std::vector<std::string>& variables() const override { return vars_; }
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<Binding> bindings_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+Binding Bnd(std::vector<std::pair<std::string, NodeId>> vars, Cost d) {
+  Binding b;
+  for (auto& [name, value] : vars) EXPECT_TRUE(b.Bind(name, value));
+  b.distance = d;
+  return b;
+}
+
+TEST(RankJoinTest, JoinsOnSharedVariable) {
+  auto left = std::make_unique<ScriptedStream>(
+      std::vector<std::string>{"X", "Y"},
+      std::vector<Binding>{Bnd({{"X", 1}, {"Y", 2}}, 0),
+                           Bnd({{"X", 1}, {"Y", 3}}, 1)});
+  auto right = std::make_unique<ScriptedStream>(
+      std::vector<std::string>{"Y", "Z"},
+      std::vector<Binding>{Bnd({{"Y", 2}, {"Z", 9}}, 0),
+                           Bnd({{"Y", 3}, {"Z", 8}}, 2)});
+  RankJoinStream join(std::move(left), std::move(right));
+  EXPECT_EQ(join.variables(), (std::vector<std::string>{"X", "Y", "Z"}));
+
+  Binding out;
+  ASSERT_TRUE(join.Next(&out));
+  EXPECT_EQ(out.distance, 0);
+  EXPECT_EQ(out.Lookup("Z"), 9u);
+  ASSERT_TRUE(join.Next(&out));
+  EXPECT_EQ(out.distance, 3);  // (X1,Y3)@1 + (Y3,Z8)@2
+  EXPECT_FALSE(join.Next(&out));
+}
+
+TEST(RankJoinTest, EmitsInNonDecreasingTotalDistance) {
+  std::vector<Binding> lefts, rights;
+  for (Cost d = 0; d < 5; ++d) {
+    lefts.push_back(Bnd({{"X", static_cast<NodeId>(d)}, {"Y", 1}}, d));
+    rights.push_back(Bnd({{"Y", 1}, {"Z", static_cast<NodeId>(d)}}, d));
+  }
+  RankJoinStream join(
+      std::make_unique<ScriptedStream>(std::vector<std::string>{"X", "Y"},
+                                       lefts),
+      std::make_unique<ScriptedStream>(std::vector<std::string>{"Y", "Z"},
+                                       rights));
+  Binding out;
+  Cost last = 0;
+  size_t count = 0;
+  while (join.Next(&out)) {
+    EXPECT_GE(out.distance, last);
+    last = out.distance;
+    ++count;
+  }
+  EXPECT_EQ(count, 25u);  // full cross on the shared Y=1
+}
+
+TEST(RankJoinTest, NoSharedVariablesIsCrossProduct) {
+  RankJoinStream join(
+      std::make_unique<ScriptedStream>(
+          std::vector<std::string>{"X"},
+          std::vector<Binding>{Bnd({{"X", 1}}, 0), Bnd({{"X", 2}}, 1)}),
+      std::make_unique<ScriptedStream>(
+          std::vector<std::string>{"Y"},
+          std::vector<Binding>{Bnd({{"Y", 5}}, 0), Bnd({{"Y", 6}}, 3)}));
+  Binding out;
+  size_t count = 0;
+  Cost last = 0;
+  while (join.Next(&out)) {
+    EXPECT_GE(out.distance, last);
+    last = out.distance;
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(RankJoinTest, EmptySideYieldsNothing) {
+  RankJoinStream join(
+      std::make_unique<ScriptedStream>(std::vector<std::string>{"X"},
+                                       std::vector<Binding>{}),
+      std::make_unique<ScriptedStream>(
+          std::vector<std::string>{"X"},
+          std::vector<Binding>{Bnd({{"X", 1}}, 0)}));
+  Binding out;
+  EXPECT_FALSE(join.Next(&out));
+}
+
+TEST(RankJoinTest, MultiSharedVariableKey) {
+  auto left = std::make_unique<ScriptedStream>(
+      std::vector<std::string>{"X", "Y"},
+      std::vector<Binding>{Bnd({{"X", 1}, {"Y", 2}}, 0)});
+  auto right = std::make_unique<ScriptedStream>(
+      std::vector<std::string>{"X", "Y", "Z"},
+      std::vector<Binding>{Bnd({{"X", 1}, {"Y", 2}, {"Z", 3}}, 1),
+                           Bnd({{"X", 1}, {"Y", 9}, {"Z", 4}}, 0)});
+  RankJoinStream join(std::move(left), std::move(right));
+  Binding out;
+  ASSERT_TRUE(join.Next(&out));
+  EXPECT_EQ(out.Lookup("Z"), 3u);  // only the (1,2) row joins
+  EXPECT_FALSE(join.Next(&out));
+}
+
+// --- End-to-end multi-conjunct queries through the engine -------------------
+
+TEST(RankJoinEngineTest, TwoConjunctPathJoin) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"b", "f", "c"},
+                            {"a", "e", "x"},
+                            {"x", "f", "d"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> query = ParseQuery("(?X, ?Z) <- (?X, e, ?Y), (?Y, f, ?Z)");
+  ASSERT_TRUE(query.ok());
+  Result<std::vector<QueryAnswer>> answers = engine.ExecuteTopK(*query, 0);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 2u);
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const QueryAnswer& a : *answers) {
+    pairs.emplace(std::string(g.NodeLabel(a.bindings[0])),
+                  std::string(g.NodeLabel(a.bindings[1])));
+  }
+  EXPECT_TRUE(pairs.count({"a", "c"}));
+  EXPECT_TRUE(pairs.count({"a", "d"}));
+}
+
+TEST(RankJoinEngineTest, JoinAgreesWithSingleConjunctComposition) {
+  GraphStore g = testing::RandomGraph(77, 25, {"e", "f"}, 2.0);
+  QueryEngine engine(&g, nullptr);
+
+  // Reference: compose (?X,e,?Y) and (?Y,f,?Z) by brute force.
+  Result<Query> left = ParseQuery("(?X, ?Y) <- (?X, e, ?Y)");
+  Result<Query> right = ParseQuery("(?Y, ?Z) <- (?Y, f, ?Z)");
+  ASSERT_TRUE(left.ok() && right.ok());
+  auto left_rows = engine.ExecuteTopK(*left, 0);
+  auto right_rows = engine.ExecuteTopK(*right, 0);
+  ASSERT_TRUE(left_rows.ok() && right_rows.ok());
+  std::set<std::vector<NodeId>> expected;
+  for (const QueryAnswer& l : *left_rows) {
+    for (const QueryAnswer& r : *right_rows) {
+      if (l.bindings[1] == r.bindings[0]) {
+        expected.insert({l.bindings[0], r.bindings[1]});
+      }
+    }
+  }
+
+  Result<Query> join = ParseQuery("(?X, ?Z) <- (?X, e, ?Y), (?Y, f, ?Z)");
+  ASSERT_TRUE(join.ok());
+  auto got_rows = engine.ExecuteTopK(*join, 0);
+  ASSERT_TRUE(got_rows.ok());
+  std::set<std::vector<NodeId>> got;
+  for (const QueryAnswer& a : *got_rows) got.insert(a.bindings);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RankJoinEngineTest, ThreeConjunctChain) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"b", "f", "c"},
+                            {"c", "g", "d"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> query = ParseQuery(
+      "(?A, ?D) <- (?A, e, ?B), (?B, f, ?C), (?C, g, ?D)");
+  ASSERT_TRUE(query.ok());
+  auto answers = engine.ExecuteTopK(*query, 0);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(g.NodeLabel((*answers)[0].bindings[0]), "a");
+  EXPECT_EQ(g.NodeLabel((*answers)[0].bindings[1]), "d");
+}
+
+TEST(RankJoinEngineTest, ApproxConjunctDistancesAddUp) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "x", "c"}});
+  QueryEngine engine(&g, nullptr);
+  // Second conjunct needs one substitution (f -> x): total distance 1.
+  Result<Query> query = ParseQuery(
+      "(?X, ?Z) <- (?X, e, ?Y), APPROX (?Y, f, ?Z)");
+  ASSERT_TRUE(query.ok());
+  // Distance-1 candidates: Z=c (substitute f by x) and Z=b (delete f).
+  auto answers = engine.ExecuteTopK(*query, 2);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 2u);
+  bool found_c = false;
+  for (const QueryAnswer& a : *answers) {
+    EXPECT_EQ(a.distance, 1);
+    EXPECT_EQ(g.NodeLabel(a.bindings[0]), "a");
+    if (g.NodeLabel(a.bindings[1]) == "c") found_c = true;
+  }
+  EXPECT_TRUE(found_c);
+}
+
+}  // namespace
+}  // namespace omega

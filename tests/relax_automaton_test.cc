@@ -1,0 +1,230 @@
+#include "automata/relax.h"
+
+#include <gtest/gtest.h>
+
+#include "automata/epsilon_removal.h"
+#include "automata/thompson.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::Rx;
+
+/// YAGO-style fixture: gradFrom/happenedIn under relationLocatedByObject.
+struct RelaxFixture {
+  GraphStore graph;
+  Ontology ontology;
+  std::unique_ptr<BoundOntology> bound;
+
+  RelaxFixture() {
+    OntologyBuilder ob;
+    EXPECT_TRUE(ob.AddSubproperty("gradFrom", "relationLocatedByObject").ok());
+    EXPECT_TRUE(
+        ob.AddSubproperty("happenedIn", "relationLocatedByObject").ok());
+    EXPECT_TRUE(ob.AddSubclass("wordnet_university", "yago_entity").ok());
+    EXPECT_TRUE(ob.AddSubclass("wordnet_person", "yago_entity").ok());
+    EXPECT_TRUE(ob.SetDomain("gradFrom", "wordnet_person").ok());
+    EXPECT_TRUE(ob.SetRange("gradFrom", "wordnet_university").ok());
+    Result<Ontology> o = std::move(ob).Finalize();
+    EXPECT_TRUE(o.ok());
+    ontology = std::move(o).value();
+
+    GraphBuilder gb;
+    const NodeId person = gb.GetOrAddNode("alice");
+    const NodeId uni = gb.GetOrAddNode("mit");
+    const NodeId event = gb.GetOrAddNode("war");
+    const NodeId city = gb.GetOrAddNode("london");
+    const NodeId person_class = gb.GetOrAddNode("wordnet_person");
+    const NodeId uni_class = gb.GetOrAddNode("wordnet_university");
+    EXPECT_TRUE(gb.AddEdge(person, *gb.InternLabel("gradFrom"), uni).ok());
+    EXPECT_TRUE(gb.AddEdge(event, *gb.InternLabel("happenedIn"), city).ok());
+    EXPECT_TRUE(gb.AddTypeEdge(person, person_class).ok());
+    EXPECT_TRUE(gb.AddTypeEdge(uni, uni_class).ok());
+    graph = std::move(gb).Finalize();
+    bound = std::make_unique<BoundOntology>(&ontology, &graph);
+  }
+};
+
+Nfa BuildRelax(const std::string& regex, const RelaxFixture& fx,
+               const RelaxOptions& options = {}) {
+  return BuildRelaxAutomaton(
+      RemoveEpsilons(BuildThompsonNfa(*Rx(regex), fx.graph.labels())),
+      *fx.bound, options);
+}
+
+size_t CountTransitionsWithLabel(const Nfa& nfa, LabelId label, Cost cost) {
+  size_t count = 0;
+  for (StateId s = 0; s < nfa.NumStates(); ++s) {
+    for (const NfaTransition& t : nfa.Out(s)) {
+      if (t.kind == TransitionKind::kLabel && t.label == label &&
+          t.cost == cost) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(RelaxAutomatonTest, UnassertedSuperpropertyGetsSyntheticLabel) {
+  RelaxFixture fx;
+  Nfa relaxed = BuildRelax("gradFrom", fx);
+  EXPECT_TRUE(relaxed.entailment_matching());
+  // relationLocatedByObject never occurs as a graph edge label; the sp rule
+  // must still add a transition for it, via a synthetic label id whose
+  // down-set contains the *graph* labels gradFrom and happenedIn.
+  ASSERT_EQ(relaxed.NumTransitions(), 2u);
+  ASSERT_FALSE(fx.graph.labels().Find("relationLocatedByObject").has_value());
+  const auto synthetic =
+      fx.bound->FindSyntheticLabel("relationLocatedByObject");
+  ASSERT_TRUE(synthetic.has_value());
+  bool found = false;
+  for (StateId s = 0; s < relaxed.NumStates(); ++s) {
+    for (const NfaTransition& t : relaxed.Out(s)) {
+      if (t.cost == 1) {
+        EXPECT_EQ(t.label, *synthetic);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+  const auto& down = fx.bound->LabelDownSet(*synthetic);
+  EXPECT_TRUE(std::find(down.begin(), down.end(),
+                        *fx.graph.labels().Find("happenedIn")) != down.end());
+  EXPECT_TRUE(std::find(down.begin(), down.end(),
+                        *fx.graph.labels().Find("gradFrom")) != down.end());
+  // Graph lookups on the synthetic label are safely empty.
+  EXPECT_TRUE(fx.graph.Tails(*synthetic).empty());
+}
+
+TEST(RelaxAutomatonTest, SuperpropertyBoundThroughGraphLabels) {
+  // Intern the parent label by asserting one direct edge with it.
+  OntologyBuilder ob;
+  ASSERT_TRUE(ob.AddSubproperty("gradFrom", "relationLocatedByObject").ok());
+  ASSERT_TRUE(
+      ob.AddSubproperty("happenedIn", "relationLocatedByObject").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  ASSERT_TRUE(o.ok());
+  GraphStore g = testing::MakeGraph(
+      {{"alice", "gradFrom", "mit"},
+       {"war", "happenedIn", "london"},
+       {"x", "relationLocatedByObject", "y"}});
+  BoundOntology bound(&*o, &g);
+
+  Nfa relaxed = BuildRelaxAutomaton(
+      RemoveEpsilons(BuildThompsonNfa(*Rx("gradFrom"), g.labels())), bound,
+      RelaxOptions{});
+  const LabelId parent = *g.labels().Find("relationLocatedByObject");
+  EXPECT_EQ(CountTransitionsWithLabel(relaxed, parent, 1), 1u);
+  // The exact transition is retained at cost 0.
+  const LabelId grad = *g.labels().Find("gradFrom");
+  EXPECT_EQ(CountTransitionsWithLabel(relaxed, grad, 0), 1u);
+}
+
+TEST(RelaxAutomatonTest, ChainedSuperpropertiesAccumulateBeta) {
+  OntologyBuilder ob;
+  ASSERT_TRUE(ob.AddSubproperty("p", "q").ok());
+  ASSERT_TRUE(ob.AddSubproperty("q", "r").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  ASSERT_TRUE(o.ok());
+  GraphStore g = testing::MakeGraph(
+      {{"a", "p", "b"}, {"a", "q", "b"}, {"a", "r", "b"}});
+  BoundOntology bound(&*o, &g);
+  RelaxOptions options;
+  options.beta = 2;
+  Nfa relaxed = BuildRelaxAutomaton(
+      RemoveEpsilons(BuildThompsonNfa(*Rx("p"), g.labels())), bound, options);
+  EXPECT_EQ(CountTransitionsWithLabel(relaxed, *g.labels().Find("q"), 2), 1u);
+  EXPECT_EQ(CountTransitionsWithLabel(relaxed, *g.labels().Find("r"), 4), 1u);
+}
+
+TEST(RelaxAutomatonTest, ReversedTransitionsAlsoRelax) {
+  OntologyBuilder ob;
+  ASSERT_TRUE(ob.AddSubproperty("p", "q").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  ASSERT_TRUE(o.ok());
+  GraphStore g = testing::MakeGraph({{"a", "p", "b"}, {"a", "q", "b"}});
+  BoundOntology bound(&*o, &g);
+  Nfa relaxed = BuildRelaxAutomaton(
+      RemoveEpsilons(BuildThompsonNfa(*Rx("p-"), g.labels())), bound,
+      RelaxOptions{});
+  bool found = false;
+  for (StateId s = 0; s < relaxed.NumStates(); ++s) {
+    for (const NfaTransition& t : relaxed.Out(s)) {
+      if (t.kind == TransitionKind::kLabel &&
+          t.label == *g.labels().Find("q") &&
+          t.dir == Direction::kIncoming && t.cost == 1) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RelaxAutomatonTest, TypeTransitionsAreNotRelaxedBysp) {
+  RelaxFixture fx;
+  Nfa relaxed = BuildRelax("type", fx);
+  // No extra transitions beyond the original type edge.
+  EXPECT_EQ(relaxed.NumTransitions(), 1u);
+}
+
+TEST(RelaxAutomatonTest, DomainRangeRuleOffByDefault) {
+  RelaxFixture fx;
+  Nfa relaxed = BuildRelax("gradFrom", fx);
+  for (StateId s = 0; s < relaxed.NumStates(); ++s) {
+    for (const NfaTransition& t : relaxed.Out(s)) {
+      EXPECT_NE(t.kind, TransitionKind::kConstrainedType);
+    }
+  }
+}
+
+TEST(RelaxAutomatonTest, DomainRangeRuleAddsConstrainedType) {
+  RelaxFixture fx;
+  RelaxOptions options;
+  options.enable_domain_range = true;
+  options.gamma = 4;
+
+  // Forward gradFrom: constrained type into dom(gradFrom) = wordnet_person.
+  Nfa forward = BuildRelax("gradFrom", fx, options);
+  bool found_dom = false;
+  for (StateId s = 0; s < forward.NumStates(); ++s) {
+    for (const NfaTransition& t : forward.Out(s)) {
+      if (t.kind == TransitionKind::kConstrainedType) {
+        EXPECT_EQ(t.cost, 4);
+        EXPECT_EQ(t.class_node, *fx.graph.FindNode("wordnet_person"));
+        found_dom = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_dom);
+
+  // Reversed gradFrom-: constrained type into range = wordnet_university.
+  Nfa backward = BuildRelax("gradFrom-", fx, options);
+  bool found_range = false;
+  for (StateId s = 0; s < backward.NumStates(); ++s) {
+    for (const NfaTransition& t : backward.Out(s)) {
+      if (t.kind == TransitionKind::kConstrainedType) {
+        EXPECT_EQ(t.class_node, *fx.graph.FindNode("wordnet_university"));
+        found_range = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_range);
+}
+
+TEST(RelaxAutomatonTest, MinPositiveCostReflectsBeta) {
+  OntologyBuilder ob;
+  ASSERT_TRUE(ob.AddSubproperty("p", "q").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  ASSERT_TRUE(o.ok());
+  GraphStore g = testing::MakeGraph({{"a", "p", "b"}, {"a", "q", "b"}});
+  BoundOntology bound(&*o, &g);
+  RelaxOptions options;
+  options.beta = 3;
+  Nfa relaxed = BuildRelaxAutomaton(
+      RemoveEpsilons(BuildThompsonNfa(*Rx("p"), g.labels())), bound, options);
+  EXPECT_EQ(relaxed.MinPositiveCost(), 3);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,226 @@
+// End-to-end RELAX scenarios: Example 3, class-constant relaxation (the
+// Q10 pattern), entailment-aware matching, and the dom/range rule.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "eval/conjunct_evaluator.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::Cj;
+using testing::DrainUpTo;
+using testing::MakeGraph;
+
+struct Fixture {
+  GraphStore graph;
+  Ontology ontology;
+  std::unique_ptr<BoundOntology> bound;
+};
+
+std::vector<Answer> RunConjunct(const Fixture& fx, const std::string& conjunct,
+                        Cost max_distance = kInfiniteCost,
+                        EvaluatorOptions options = {}) {
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(Cj(conjunct), fx.graph, fx.bound.get(), options);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  ConjunctEvaluator evaluator(&fx.graph, fx.bound.get(), &*prepared, options);
+  return DrainUpTo(&evaluator, max_distance);
+}
+
+std::set<std::string> NamesAt(const Fixture& fx,
+                              const std::vector<Answer>& answers, Cost d) {
+  std::set<std::string> out;
+  for (const Answer& a : answers) {
+    if (a.distance == d) out.insert(std::string(fx.graph.NodeLabel(a.n)));
+  }
+  return out;
+}
+
+/// Example 3's universe: gradFrom and happenedIn share the super-property
+/// relationLocatedByObject; events and universities are located in the UK.
+Fixture Example3Fixture() {
+  Fixture fx;
+  OntologyBuilder ob;
+  EXPECT_TRUE(ob.AddSubproperty("gradFrom", "relationLocatedByObject").ok());
+  EXPECT_TRUE(ob.AddSubproperty("happenedIn", "relationLocatedByObject").ok());
+  EXPECT_TRUE(
+      ob.AddSubproperty("participatedIn", "relationLocatedByObject").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  EXPECT_TRUE(o.ok());
+  fx.ontology = std::move(o).value();
+  fx.graph = MakeGraph({
+      {"oxford", "locatedIn", "UK"},
+      {"battle_of_hastings", "locatedIn", "UK"},
+      {"alice", "gradFrom", "oxford"},
+      {"battle_of_hastings", "happenedIn", "hastings"},
+      {"harold", "participatedIn", "normandy_landing"},
+  });
+  fx.bound = std::make_unique<BoundOntology>(&fx.ontology, &fx.graph);
+  return fx;
+}
+
+TEST(RelaxEvalTest, Example1ExactReturnsNothing) {
+  // The paper's Example 1: "this query returns no results since it requires
+  // that there is some entity y, located in the UK, which has graduated" —
+  // things located in the UK have no outgoing gradFrom edges.
+  Fixture fx = Example3Fixture();
+  auto answers = RunConjunct(fx, "(UK, locatedIn-.gradFrom, ?X)");
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST(RelaxEvalTest, Example3RelaxMatchesSiblingProperties) {
+  Fixture fx = Example3Fixture();
+  auto answers = RunConjunct(fx, "RELAX (UK, locatedIn-.gradFrom, ?X)");
+  // Relaxing gradFrom ~> relationLocatedByObject (β=1) lets the battle's
+  // happenedIn edge match: hastings appears at distance 1 where the exact
+  // query had nothing.
+  EXPECT_EQ(NamesAt(fx, answers, 0), (std::set<std::string>{}));
+  EXPECT_EQ(NamesAt(fx, answers, 1), (std::set<std::string>{"hastings"}));
+}
+
+TEST(RelaxEvalTest, RelaxNeverLosesExactAnswers) {
+  Fixture fx = Example3Fixture();
+  auto exact = RunConjunct(fx, "(alice, gradFrom, ?X)");
+  ASSERT_EQ(exact.size(), 1u);  // oxford at distance 0
+  auto relaxed = RunConjunct(fx, "RELAX (alice, gradFrom, ?X)");
+  for (const Answer& e : exact) {
+    bool found = false;
+    for (const Answer& r : relaxed) {
+      if (r.v == e.v && r.n == e.n && r.distance == e.distance) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+/// The Q10 pattern: a deep class constant relaxes to ancestors, matching
+/// instances of sibling classes at increasing cost.
+Fixture ClassRelaxFixture() {
+  Fixture fx;
+  OntologyBuilder ob;
+  EXPECT_TRUE(ob.AddSubclass("Software Professionals", "Professionals").ok());
+  EXPECT_TRUE(ob.AddSubclass("Librarians", "Software Professionals").ok());
+  EXPECT_TRUE(ob.AddSubclass("Web Developers", "Software Professionals").ok());
+  EXPECT_TRUE(ob.AddSubclass("Doctors", "Professionals").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  EXPECT_TRUE(o.ok());
+  fx.ontology = std::move(o).value();
+
+  GraphBuilder gb;
+  auto type_edge = [&gb](const std::string& inst, const std::string& cls) {
+    Status s =
+        gb.AddTypeEdge(gb.GetOrAddNode(inst), gb.GetOrAddNode(cls));
+    EXPECT_TRUE(s.ok());
+  };
+  type_edge("lib1", "Librarians");
+  type_edge("web1", "Web Developers");
+  type_edge("web2", "Web Developers");
+  type_edge("doc1", "Doctors");
+  gb.GetOrAddNode("Professionals");
+  gb.GetOrAddNode("Software Professionals");
+  fx.graph = std::move(gb).Finalize();
+  fx.bound = std::make_unique<BoundOntology>(&fx.ontology, &fx.graph);
+  return fx;
+}
+
+TEST(RelaxEvalTest, ClassConstantExactMatchesDirectInstancesOnly) {
+  Fixture fx = ClassRelaxFixture();
+  auto answers = RunConjunct(fx, "(Librarians, type-, ?X)");
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(fx.graph.NodeLabel(answers[0].n), "lib1");
+}
+
+TEST(RelaxEvalTest, ClassConstantRelaxesThroughAncestors) {
+  Fixture fx = ClassRelaxFixture();
+  auto answers = RunConjunct(fx, "RELAX (Librarians, type-, ?X)");
+  // d=0: lib1. d=1 (parent Software Professionals, entailment over its
+  // down-set): web1, web2 — and lib1 already answered at 0, not repeated.
+  // d=2 (grandparent Professionals): doc1.
+  EXPECT_EQ(NamesAt(fx, answers, 0), (std::set<std::string>{"lib1"}));
+  EXPECT_EQ(NamesAt(fx, answers, 1),
+            (std::set<std::string>{"web1", "web2"}));
+  EXPECT_EQ(NamesAt(fx, answers, 2), (std::set<std::string>{"doc1"}));
+  // Each node answers exactly once, at its cheapest distance.
+  std::set<NodeId> seen;
+  for (const Answer& a : answers) EXPECT_TRUE(seen.insert(a.n).second);
+}
+
+TEST(RelaxEvalTest, BetaScalesAncestorSeedDistances) {
+  Fixture fx = ClassRelaxFixture();
+  EvaluatorOptions options;
+  options.relax.beta = 5;
+  auto answers = RunConjunct(fx, "RELAX (Librarians, type-, ?X)", kInfiniteCost,
+                     options);
+  EXPECT_EQ(NamesAt(fx, answers, 5),
+            (std::set<std::string>{"web1", "web2"}));
+  EXPECT_EQ(NamesAt(fx, answers, 10), (std::set<std::string>{"doc1"}));
+}
+
+TEST(RelaxEvalTest, EntailedTypeForwardReturnsAncestorClasses) {
+  Fixture fx = ClassRelaxFixture();
+  auto answers = RunConjunct(fx, "RELAX (lib1, type, ?X)");
+  // Stored: Librarians at 0. Entailment: the ancestor classes also hold
+  // at no extra relaxation cost.
+  auto at0 = NamesAt(fx, answers, 0);
+  EXPECT_TRUE(at0.count("Librarians"));
+  EXPECT_TRUE(at0.count("Software Professionals"));
+  EXPECT_TRUE(at0.count("Professionals"));
+}
+
+TEST(RelaxEvalTest, ExactTypeForwardReturnsDirectClassOnly) {
+  Fixture fx = ClassRelaxFixture();
+  auto answers = RunConjunct(fx, "(lib1, type, ?X)");
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(fx.graph.NodeLabel(answers[0].n), "Librarians");
+}
+
+TEST(RelaxEvalTest, RelaxRequiresOntology) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(Cj("RELAX (a, e, ?X)"), g, nullptr, {});
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RelaxEvalTest, DomainRangeRuleReachesClassNode) {
+  Fixture fx;
+  OntologyBuilder ob;
+  EXPECT_TRUE(ob.AddSubclass("Person", "Agent").ok());
+  EXPECT_TRUE(ob.SetDomain("knows", "Person").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  EXPECT_TRUE(o.ok());
+  fx.ontology = std::move(o).value();
+  GraphBuilder gb;
+  const NodeId alice = gb.GetOrAddNode("alice");
+  const NodeId person = gb.GetOrAddNode("Person");
+  EXPECT_TRUE(
+      gb.AddEdge(alice, *gb.InternLabel("knows"), gb.GetOrAddNode("bob")).ok());
+  EXPECT_TRUE(gb.AddTypeEdge(alice, person).ok());
+  fx.graph = std::move(gb).Finalize();
+  fx.bound = std::make_unique<BoundOntology>(&fx.ontology, &fx.graph);
+
+  EvaluatorOptions options;
+  options.relax.enable_domain_range = true;
+  options.relax.gamma = 2;
+  auto answers = RunConjunct(fx, "RELAX (alice, knows, ?X)", kInfiniteCost, options);
+  // bob at 0 (exact); Person at 2 (the type edge replacing `knows`).
+  EXPECT_EQ(NamesAt(fx, answers, 0), (std::set<std::string>{"bob"}));
+  EXPECT_EQ(NamesAt(fx, answers, 2), (std::set<std::string>{"Person"}));
+}
+
+TEST(RelaxEvalTest, RelaxedQueryOnSuperpropertyLabelMatchesDescendants) {
+  Fixture fx = Example3Fixture();
+  // The user queries the super-property directly: exact finds nothing (no
+  // stored relationLocatedByObject edges), RELAX matches all descendants
+  // at distance 0 via entailment.
+  auto exact = RunConjunct(fx, "(alice, relationLocatedByObject, ?X)");
+  EXPECT_TRUE(exact.empty());
+  auto relaxed = RunConjunct(fx, "RELAX (alice, relationLocatedByObject, ?X)");
+  EXPECT_EQ(NamesAt(fx, relaxed, 0), (std::set<std::string>{"oxford"}));
+}
+
+}  // namespace
+}  // namespace omega

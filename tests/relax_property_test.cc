@@ -1,0 +1,198 @@
+// Randomized end-to-end RELAX sweeps: the engine's evaluator against the
+// independent reference product search, over random graphs, random
+// ontologies and random regexes; plus disjunction early-stop ordering and
+// empty-graph robustness.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/disjunction.h"
+#include "eval/query_engine.h"
+#include "rpq/query_parser.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::DrainUpTo;
+using testing::ReferenceAnswers;
+
+struct RandomWorld {
+  GraphStore graph;
+  Ontology ontology;
+  std::unique_ptr<BoundOntology> bound;
+};
+
+/// Random world: properties p0..p3 with a random sp forest, classes c0..c3
+/// with a random sc forest, instances typed randomly, edges over properties.
+RandomWorld MakeWorld(uint64_t seed) {
+  Rng rng(seed);
+  RandomWorld world;
+
+  OntologyBuilder ob;
+  const std::vector<std::string> properties = {"p0", "p1", "p2", "p3"};
+  // Random forest: pi may be a subproperty of some pj with j > i.
+  for (size_t i = 0; i + 1 < properties.size(); ++i) {
+    if (rng.NextBool(0.6)) {
+      const size_t parent = i + 1 + rng.NextBounded(properties.size() - i - 1);
+      EXPECT_TRUE(ob.AddSubproperty(properties[i], properties[parent]).ok());
+    }
+  }
+  const std::vector<std::string> classes = {"c0", "c1", "c2", "c3"};
+  for (size_t i = 0; i + 1 < classes.size(); ++i) {
+    if (rng.NextBool(0.6)) {
+      const size_t parent = i + 1 + rng.NextBounded(classes.size() - i - 1);
+      EXPECT_TRUE(ob.AddSubclass(classes[i], classes[parent]).ok());
+    }
+  }
+  Result<Ontology> ontology = std::move(ob).Finalize();
+  EXPECT_TRUE(ontology.ok());
+  world.ontology = std::move(ontology).value();
+
+  GraphBuilder gb;
+  constexpr size_t kInstances = 14;
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < kInstances; ++i) {
+    nodes.push_back(gb.GetOrAddNode("n" + std::to_string(i)));
+  }
+  std::vector<NodeId> class_nodes;
+  for (const std::string& c : classes) {
+    class_nodes.push_back(gb.GetOrAddNode(c));
+  }
+  for (NodeId n : nodes) {
+    if (rng.NextBool(0.7)) {
+      EXPECT_TRUE(
+          gb.AddTypeEdge(n, class_nodes[rng.NextBounded(class_nodes.size())])
+              .ok());
+    }
+  }
+  for (const std::string& p : properties) {
+    Result<LabelId> l = gb.InternLabel(p);
+    for (int e = 0; e < 16; ++e) {
+      EXPECT_TRUE(gb.AddEdge(nodes[rng.NextBounded(kInstances)], *l,
+                             nodes[rng.NextBounded(kInstances)])
+                      .ok());
+    }
+  }
+  world.graph = std::move(gb).Finalize();
+  world.bound = std::make_unique<BoundOntology>(&world.ontology, &world.graph);
+  return world;
+}
+
+class RelaxPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelaxPropertyTest, EvaluatorMatchesReferenceUpToDistanceThree) {
+  Rng rng(GetParam() * 6151);
+  RandomWorld world = MakeWorld(GetParam());
+  const std::vector<std::string> labels = {"p0", "p1", "p2", "type"};
+
+  for (int round = 0; round < 6; ++round) {
+    RegexPtr regex = testing::RandomRegex(&rng, labels, 2);
+    Conjunct conjunct;
+    conjunct.mode = ConjunctMode::kRelax;
+    // Mix constant instance, constant class, and variable sources.
+    const int shape = static_cast<int>(rng.NextBounded(3));
+    conjunct.source =
+        shape == 0 ? Endpoint::Constant("n" + std::to_string(
+                         rng.NextBounded(14)))
+        : shape == 1
+            ? Endpoint::Constant("c" + std::to_string(rng.NextBounded(4)))
+            : Endpoint::Variable("X");
+    conjunct.target = Endpoint::Variable("Y");
+    conjunct.regex = Clone(*regex);
+
+    EvaluatorOptions options;
+    options.max_distance = 3;
+    Result<PreparedConjunct> prepared =
+        PrepareConjunct(conjunct, world.graph, world.bound.get(), options);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ConjunctEvaluator evaluator(&world.graph, world.bound.get(), &*prepared,
+                                options);
+    auto got = DrainUpTo(&evaluator, 3);
+    auto expected =
+        ReferenceAnswers(world.graph, world.bound.get(), *prepared, 3);
+
+    // With a constant source, duplicate-answer suppression is on variable
+    // bindings (n only): compare per-n minimum distances.
+    if (!conjunct.source.is_variable) {
+      std::map<NodeId, Cost> got_min, expected_min;
+      for (const Answer& a : got) {
+        auto [it, inserted] = got_min.try_emplace(a.n, a.distance);
+        EXPECT_TRUE(inserted) << "duplicate ?Y binding";
+      }
+      for (const Answer& a : expected) {
+        auto [it, inserted] = expected_min.try_emplace(a.n, a.distance);
+        if (!inserted) it->second = std::min(it->second, a.distance);
+      }
+      EXPECT_EQ(got_min, expected_min) << ToString(*regex);
+    } else {
+      EXPECT_EQ(got, expected) << ToString(*regex);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelaxPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DisjunctionEarlyStopTest, HintedStreamStaysCorrectBeyondHint) {
+  GraphStore g = testing::RandomGraph(61, 20, {"a", "b", "c"}, 2.0);
+  Conjunct conjunct = testing::Cj("APPROX (n0, a|(b.c), ?X)");
+
+  EvaluatorOptions base;
+  base.max_distance = 2;
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(conjunct, g, nullptr, base);
+  ASSERT_TRUE(prepared.ok());
+  ConjunctEvaluator baseline(&g, nullptr, &*prepared, base);
+  auto expected = DrainUpTo(&baseline, 2);
+
+  // Hint 3, but drain everything: early-stopped rounds must re-discover the
+  // skipped answers later, with the stream staying sorted and complete.
+  EvaluatorOptions hinted = base;
+  hinted.top_k_hint = 3;
+  auto stream = DisjunctionStream::Create(conjunct, &g, nullptr, hinted);
+  ASSERT_TRUE(stream.ok());
+  auto got = DrainUpTo(stream->get(), 2);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(EmptyGraphTest, AllModesBehave) {
+  GraphBuilder builder;
+  builder.GetOrAddNode("lonely");
+  GraphStore g = std::move(builder).Finalize();
+  QueryEngine engine(&g, nullptr);
+
+  Result<Query> q = ParseQuery("(?X, ?Y) <- (?X, e, ?Y)");
+  ASSERT_TRUE(q.ok());
+  auto exact = engine.ExecuteTopK(*q, 0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->empty());
+
+  Result<Query> qa = ParseQuery("(?X, ?Y) <- APPROX (?X, e, ?Y)");
+  ASSERT_TRUE(qa.ok());
+  auto approx = engine.ExecuteTopK(*qa, 0);
+  ASSERT_TRUE(approx.ok());
+  // Deleting `e` pairs the lonely node with itself at distance 1.
+  ASSERT_EQ(approx->size(), 1u);
+  EXPECT_EQ((*approx)[0].distance, 1);
+
+  Result<Query> qs = ParseQuery("(?X, ?Y) <- (?X, e*, ?Y)");
+  ASSERT_TRUE(qs.ok());
+  auto star = engine.ExecuteTopK(*qs, 0);
+  ASSERT_TRUE(star.ok());
+  ASSERT_EQ(star->size(), 1u);  // (lonely, lonely) at 0
+  EXPECT_EQ((*star)[0].distance, 0);
+}
+
+TEST(EmptyGraphTest, TrulyEmptyGraph) {
+  GraphBuilder builder;
+  GraphStore g = std::move(builder).Finalize();
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X, ?Y) <- APPROX (?X, e+, ?Y)");
+  ASSERT_TRUE(q.ok());
+  auto answers = engine.ExecuteTopK(*q, 0);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+}  // namespace
+}  // namespace omega

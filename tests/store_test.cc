@@ -1,0 +1,205 @@
+#include "store/graph_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "store/graph_builder.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(LabelDictionaryTest, TypeIsAlwaysIdZero) {
+  LabelDictionary dict;
+  EXPECT_EQ(dict.type_label(), 0u);
+  EXPECT_EQ(dict.Name(0), "type");
+  EXPECT_TRUE(dict.IsType(0));
+  EXPECT_EQ(*dict.Find("type"), 0u);
+}
+
+TEST(LabelDictionaryTest, InternIsIdempotent) {
+  LabelDictionary dict;
+  const LabelId a = dict.Intern("knows");
+  EXPECT_EQ(dict.Intern("knows"), a);
+  EXPECT_EQ(dict.Name(a), "knows");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(LabelDictionaryTest, SigmaLabelsExcludeType) {
+  LabelDictionary dict;
+  dict.Intern("a");
+  dict.Intern("b");
+  const auto sigma = dict.SigmaLabels();
+  EXPECT_EQ(sigma.size(), 2u);
+  for (LabelId l : sigma) EXPECT_NE(l, LabelDictionary::kTypeLabel);
+}
+
+TEST(GraphBuilderTest, RejectsReservedOntologyLabels) {
+  GraphBuilder builder;
+  for (const char* name : {"sc", "sp", "dom", "range"}) {
+    EXPECT_FALSE(builder.InternLabel(name).ok()) << name;
+  }
+  EXPECT_FALSE(builder.InternLabel("").ok());
+  EXPECT_TRUE(builder.InternLabel("type").ok());  // type is a data label
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeIds) {
+  GraphBuilder builder;
+  const NodeId a = builder.GetOrAddNode("a");
+  Result<LabelId> l = builder.InternLabel("e");
+  EXPECT_FALSE(builder.AddEdge(a, *l, 999).ok());
+  EXPECT_FALSE(builder.AddEdge(999, *l, a).ok());
+  EXPECT_FALSE(builder.AddEdge(a, 999, a).ok());
+}
+
+TEST(GraphStoreTest, BasicNeighbors) {
+  GraphStore g = MakeGraph({{"a", "knows", "b"},
+                            {"a", "knows", "c"},
+                            {"b", "likes", "c"}});
+  const NodeId a = *g.FindNode("a");
+  const NodeId b = *g.FindNode("b");
+  const NodeId c = *g.FindNode("c");
+  const LabelId knows = *g.labels().Find("knows");
+  const LabelId likes = *g.labels().Find("likes");
+
+  auto out = g.Neighbors(a, knows, Direction::kOutgoing);
+  EXPECT_EQ(std::set<NodeId>(out.begin(), out.end()),
+            (std::set<NodeId>{b, c}));
+  EXPECT_TRUE(g.Neighbors(a, likes, Direction::kOutgoing).empty());
+  auto in = g.Neighbors(c, knows, Direction::kIncoming);
+  EXPECT_EQ(std::set<NodeId>(in.begin(), in.end()), (std::set<NodeId>{a}));
+  EXPECT_TRUE(g.HasEdge(a, knows, b));
+  EXPECT_FALSE(g.HasEdge(b, knows, a));
+}
+
+TEST(GraphStoreTest, DuplicateEdgesCollapse) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "e", "b"}});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Neighbors(*g.FindNode("a"), *g.labels().Find("e"),
+                        Direction::kOutgoing)
+                .size(),
+            1u);
+}
+
+TEST(GraphStoreTest, NodeLabelLookups) {
+  GraphStore g = MakeGraph({{"Work Episode", "e", "b"}});
+  ASSERT_TRUE(g.FindNode("Work Episode").has_value());
+  EXPECT_EQ(g.NodeLabel(*g.FindNode("Work Episode")), "Work Episode");
+  EXPECT_FALSE(g.FindNode("missing").has_value());
+}
+
+TEST(GraphStoreTest, SigmaNeighborsExcludeType) {
+  GraphBuilder builder;
+  const NodeId x = builder.GetOrAddNode("x");
+  const NodeId y = builder.GetOrAddNode("y");
+  const NodeId k = builder.GetOrAddNode("k");
+  ASSERT_TRUE(builder.AddEdge(x, *builder.InternLabel("e"), y).ok());
+  ASSERT_TRUE(builder.AddTypeEdge(x, k).ok());
+  GraphStore g = std::move(builder).Finalize();
+
+  auto sigma = g.SigmaNeighbors(x, Direction::kOutgoing);
+  EXPECT_EQ(std::set<NodeId>(sigma.begin(), sigma.end()),
+            (std::set<NodeId>{y}));
+  auto types = g.TypeNeighbors(x, Direction::kOutgoing);
+  EXPECT_EQ(std::set<NodeId>(types.begin(), types.end()),
+            (std::set<NodeId>{k}));
+}
+
+TEST(GraphStoreTest, HeadsTailsSets) {
+  GraphStore g = MakeGraph(
+      {{"a", "e", "b"}, {"c", "e", "b"}, {"b", "f", "a"}});
+  const LabelId e = *g.labels().Find("e");
+  const NodeId a = *g.FindNode("a");
+  const NodeId b = *g.FindNode("b");
+  const NodeId c = *g.FindNode("c");
+  EXPECT_EQ(g.Tails(e), (OidSet{a, c}));
+  EXPECT_EQ(g.Heads(e), (OidSet{b}));
+  EXPECT_EQ(g.TailsAndHeads(e), (OidSet{a, b, c}));
+  EXPECT_TRUE(g.Tails(999).empty());
+}
+
+TEST(GraphStoreTest, DegreeCountsBothDirectionsAllLabels) {
+  GraphBuilder builder;
+  const NodeId x = builder.GetOrAddNode("x");
+  const NodeId y = builder.GetOrAddNode("y");
+  ASSERT_TRUE(builder.AddEdge(x, *builder.InternLabel("e"), y).ok());
+  ASSERT_TRUE(builder.AddEdge(y, *builder.InternLabel("f"), x).ok());
+  ASSERT_TRUE(builder.AddTypeEdge(x, y).ok());
+  GraphStore g = std::move(builder).Finalize();
+  EXPECT_EQ(g.Degree(x), 3u);  // e out, f in, type out
+  EXPECT_EQ(g.Degree(y), 3u);
+}
+
+TEST(GraphStoreTest, ApproxMemoryIsPositive) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  EXPECT_GT(g.ApproxMemoryBytes(), 0u);
+}
+
+class StoreRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreRandomizedTest, MatchesAdjacencyMapReference) {
+  Rng rng(GetParam());
+  constexpr size_t kNodes = 40;
+  const std::vector<std::string> labels = {"a", "b", "c"};
+
+  GraphBuilder builder;
+  std::vector<NodeId> nodes;
+  for (size_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(builder.GetOrAddNode("n" + std::to_string(i)));
+  }
+  // Reference: label -> (src -> set of dst).
+  std::map<std::string, std::map<NodeId, std::set<NodeId>>> ref;
+  for (int i = 0; i < 400; ++i) {
+    const std::string& label = labels[rng.NextBounded(labels.size())];
+    const NodeId src = nodes[rng.NextBounded(kNodes)];
+    const NodeId dst = nodes[rng.NextBounded(kNodes)];
+    ASSERT_TRUE(builder.AddEdge(src, *builder.InternLabel(label), dst).ok());
+    ref[label][src].insert(dst);
+  }
+  GraphStore g = std::move(builder).Finalize();
+
+  size_t total = 0;
+  for (const auto& [label, adj] : ref) {
+    const LabelId l = *g.labels().Find(label);
+    std::map<NodeId, std::set<NodeId>> rev;
+    for (const auto& [src, dsts] : adj) {
+      total += dsts.size();
+      auto got = g.Neighbors(src, l, Direction::kOutgoing);
+      EXPECT_EQ(std::set<NodeId>(got.begin(), got.end()), dsts);
+      for (NodeId dst : dsts) rev[dst].insert(src);
+    }
+    for (const auto& [dst, srcs] : rev) {
+      auto got = g.Neighbors(dst, l, Direction::kIncoming);
+      EXPECT_EQ(std::set<NodeId>(got.begin(), got.end()), srcs);
+    }
+    // Tails/Heads agree with the reference row sets.
+    std::vector<NodeId> tails, heads;
+    for (const auto& [src, dsts] : adj) tails.push_back(src);
+    for (const auto& [dst, srcs] : rev) heads.push_back(dst);
+    EXPECT_EQ(g.Tails(l), OidSet::FromUnsorted(tails));
+    EXPECT_EQ(g.Heads(l), OidSet::FromUnsorted(heads));
+  }
+  EXPECT_EQ(g.NumEdges(), total);
+
+  // Sigma union equals the union over all labels.
+  for (NodeId n : nodes) {
+    std::set<NodeId> expected;
+    for (const auto& [label, adj] : ref) {
+      auto it = adj.find(n);
+      if (it != adj.end()) expected.insert(it->second.begin(), it->second.end());
+    }
+    auto got = g.SigmaNeighbors(n, Direction::kOutgoing);
+    EXPECT_EQ(std::set<NodeId>(got.begin(), got.end()), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreRandomizedTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,101 @@
+#include "eval/tuple_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+EvalTuple T(NodeId v, Cost d, bool is_final) {
+  return EvalTuple{v, v, 0, d, is_final};
+}
+
+TEST(TupleDictionaryTest, EmptyInitially) {
+  TupleDictionary dict;
+  EXPECT_TRUE(dict.Empty());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(TupleDictionaryTest, RemovesLowestDistanceFirst) {
+  TupleDictionary dict;
+  dict.Add(T(1, 5, false));
+  dict.Add(T(2, 0, false));
+  dict.Add(T(3, 2, false));
+  EXPECT_EQ(dict.MinDistance(), 0);
+  EXPECT_EQ(dict.Remove().v, 2u);
+  EXPECT_EQ(dict.Remove().v, 3u);
+  EXPECT_EQ(dict.Remove().v, 1u);
+  EXPECT_TRUE(dict.Empty());
+}
+
+TEST(TupleDictionaryTest, FinalTuplesPoppedBeforeNonFinalAtSameDistance) {
+  TupleDictionary dict(/*prioritize_final=*/true);
+  dict.Add(T(1, 1, false));
+  dict.Add(T(2, 1, true));
+  dict.Add(T(3, 1, false));
+  dict.Add(T(4, 1, true));
+  EXPECT_TRUE(dict.Remove().is_final);
+  EXPECT_TRUE(dict.Remove().is_final);
+  EXPECT_FALSE(dict.Remove().is_final);
+  EXPECT_FALSE(dict.Remove().is_final);
+}
+
+TEST(TupleDictionaryTest, LifoWithinAList) {
+  TupleDictionary dict;
+  dict.Add(T(1, 0, false));
+  dict.Add(T(2, 0, false));
+  dict.Add(T(3, 0, false));
+  // "Tuples are always added to, and removed from, the head of a linked
+  // list" — last in, first out.
+  EXPECT_EQ(dict.Remove().v, 3u);
+  EXPECT_EQ(dict.Remove().v, 2u);
+  EXPECT_EQ(dict.Remove().v, 1u);
+}
+
+TEST(TupleDictionaryTest, AblationModeIgnoresFinalFlag) {
+  TupleDictionary dict(/*prioritize_final=*/false);
+  dict.Add(T(1, 1, false));
+  dict.Add(T(2, 1, true));
+  // Single list, LIFO: the final tuple comes out first because it was added
+  // last, not because of prioritisation.
+  EXPECT_EQ(dict.Remove().v, 2u);
+  EXPECT_EQ(dict.Remove().v, 1u);
+}
+
+TEST(TupleDictionaryTest, DistanceBucketsDrainCompletelyBeforeNext) {
+  TupleDictionary dict;
+  for (int i = 0; i < 5; ++i) dict.Add(T(static_cast<NodeId>(i), 2, i % 2));
+  for (int i = 0; i < 3; ++i)
+    dict.Add(T(static_cast<NodeId>(10 + i), 7, false));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dict.Remove().d, 2);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(dict.Remove().d, 7);
+}
+
+TEST(TupleDictionaryTest, ClearEmpties) {
+  TupleDictionary dict;
+  dict.Add(T(1, 0, false));
+  dict.Add(T(2, 3, true));
+  dict.Clear();
+  EXPECT_TRUE(dict.Empty());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(TupleDictionaryTest, SizeTracksAddsAndRemoves) {
+  TupleDictionary dict;
+  for (int i = 0; i < 10; ++i) dict.Add(T(static_cast<NodeId>(i), i % 3, false));
+  EXPECT_EQ(dict.size(), 10u);
+  for (int i = 0; i < 4; ++i) dict.Remove();
+  EXPECT_EQ(dict.size(), 6u);
+}
+
+TEST(TupleDictionaryTest, MinDistanceTracksFront) {
+  TupleDictionary dict;
+  dict.Add(T(1, 4, false));
+  EXPECT_EQ(dict.MinDistance(), 4);
+  dict.Add(T(2, 1, false));
+  EXPECT_EQ(dict.MinDistance(), 1);
+  dict.Remove();
+  EXPECT_EQ(dict.MinDistance(), 4);
+}
+
+}  // namespace
+}  // namespace omega
