@@ -4,11 +4,16 @@
 // GetNext / Succ procedures depend on.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "automata/approx.h"
 #include "automata/epsilon_removal.h"
 #include "automata/thompson.h"
+#include "common/flat_hash.h"
 #include "common/rng.h"
 #include "eval/tuple_dictionary.h"
+#include "eval/tuple_dictionary_reference.h"
 #include "rpq/regex_parser.h"
 #include "store/bitmap.h"
 #include "store/graph_builder.h"
@@ -120,6 +125,155 @@ void BM_TupleDictionaryChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_TupleDictionaryChurn);
+
+// ---------------------------------------------------------------------------
+// Substrate regression gate. Each BM_Substrate* pair races the bucket-queue /
+// flat-hash structure against the seed's std::map / std::unordered_* one on
+// the same GetNext-shaped workload; tools/check_substrate_gate.py reads the
+// --benchmark_out JSON (BENCH_substrate.json) and fails if the new side is
+// slower. Keep the workload of each pair byte-identical.
+// ---------------------------------------------------------------------------
+
+// Dijkstra-shaped dictionary traffic: every add is at (popped distance +
+// small cost), the distance frontier creeps upward, and bursts of same-cost
+// tuples model Succ fan-out.
+template <typename Dict>
+void DictionaryFrontierWorkload(benchmark::State& state) {
+  const int kOps = 20000;
+  for (auto _ : state) {
+    Rng rng(21);
+    Dict dict;
+    dict.Add({0, 0, 0, 0, false});
+    Cost frontier = 0;
+    int pushed = 1;
+    while (!dict.Empty()) {
+      const EvalTuple t = dict.Remove();
+      frontier = t.d;
+      benchmark::DoNotOptimize(&t);
+      if (pushed >= kOps) continue;
+      const int fanout = static_cast<int>(rng.NextBounded(4));
+      for (int k = 0; k < fanout && pushed < kOps; ++k, ++pushed) {
+        dict.Add({static_cast<NodeId>(pushed), static_cast<NodeId>(pushed), 0,
+                  frontier + static_cast<Cost>(rng.NextBounded(3)),
+                  rng.NextBool(0.15)});
+      }
+    }
+    benchmark::DoNotOptimize(frontier);
+  }
+  state.SetItemsProcessed(state.iterations() * kOps);
+}
+
+void BM_SubstrateDictionary_BucketQueue(benchmark::State& state) {
+  DictionaryFrontierWorkload<TupleDictionary>(state);
+}
+BENCHMARK(BM_SubstrateDictionary_BucketQueue);
+
+void BM_SubstrateDictionary_StdMapReference(benchmark::State& state) {
+  DictionaryFrontierWorkload<ReferenceTupleDictionary>(state);
+}
+BENCHMARK(BM_SubstrateDictionary_StdMapReference);
+
+// The evaluator's visited-set discipline: one membership probe per generated
+// tuple (ExpandTuple) and one insert-if-absent per popped tuple (GetNext).
+struct BenchVisitedKey {
+  uint64_t vn;
+  StateId s;
+  bool operator==(const BenchVisitedKey&) const = default;
+};
+struct BenchVisitedKeyHash {
+  size_t operator()(const BenchVisitedKey& k) const {
+    uint64_t h = k.vn * 0x9e3779b97f4a7c15ULL;
+    h ^= (h >> 29) ^ (static_cast<uint64_t>(k.s) * 0xbf58476d1ce4e5b9ULL);
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+BenchVisitedKey VisitedKeyAt(Rng& rng) {
+  const uint64_t vn = rng.NextBounded(1u << 18);
+  return {vn << 32 | rng.NextBounded(1u << 18), static_cast<StateId>(rng.NextBounded(8))};
+}
+
+template <typename Set>
+void VisitedSetWorkload(benchmark::State& state, Set& set,
+                        auto insert, auto contains) {
+  const int kOps = 50000;
+  size_t hits = 0;
+  for (auto _ : state) {
+    Rng rng(31);
+    set.clear();
+    for (int i = 0; i < kOps; ++i) {
+      // ~3 probes (generated successors) per insert (popped tuple).
+      hits += contains(set, VisitedKeyAt(rng));
+      hits += contains(set, VisitedKeyAt(rng));
+      hits += contains(set, VisitedKeyAt(rng));
+      insert(set, VisitedKeyAt(rng));
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * kOps * 4);
+}
+
+void BM_SubstrateVisited_FlatHash(benchmark::State& state) {
+  struct Wrapper {
+    FlatHashSet<BenchVisitedKey, BenchVisitedKeyHash> set;
+    void clear() { set.Clear(); }
+  } w;
+  VisitedSetWorkload(
+      state, w,
+      [](Wrapper& w, const BenchVisitedKey& k) { w.set.Insert(k); },
+      [](Wrapper& w, const BenchVisitedKey& k) { return w.set.Contains(k); });
+}
+BENCHMARK(BM_SubstrateVisited_FlatHash);
+
+void BM_SubstrateVisited_StdUnordered(benchmark::State& state) {
+  std::unordered_set<BenchVisitedKey, BenchVisitedKeyHash> set;
+  VisitedSetWorkload(
+      state, set,
+      [](auto& s, const BenchVisitedKey& k) { s.insert(k); },
+      [](auto& s, const BenchVisitedKey& k) { return s.count(k) > 0; });
+}
+BENCHMARK(BM_SubstrateVisited_StdUnordered);
+
+// The answer map: duplicate check per final-state tuple, then
+// insert-if-absent when the answer is emitted.
+template <typename MapAdaptor>
+void AnswerMapWorkload(benchmark::State& state, MapAdaptor& map,
+                       auto insert, auto contains) {
+  const int kOps = 50000;
+  size_t hits = 0;
+  for (auto _ : state) {
+    Rng rng(41);
+    map.clear();
+    for (int i = 0; i < kOps; ++i) {
+      const uint64_t key = rng.NextBounded(1u << 16);
+      hits += contains(map, key);
+      insert(map, key, static_cast<Cost>(i & 1023));
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * kOps * 2);
+}
+
+void BM_SubstrateAnswers_FlatHash(benchmark::State& state) {
+  struct Wrapper {
+    FlatHashMap<uint64_t, Cost> map;
+    void clear() { map.Clear(); }
+  } w;
+  AnswerMapWorkload(
+      state, w,
+      [](Wrapper& w, uint64_t k, Cost d) { w.map.Insert(k, d); },
+      [](Wrapper& w, uint64_t k) { return w.map.Contains(k); });
+}
+BENCHMARK(BM_SubstrateAnswers_FlatHash);
+
+void BM_SubstrateAnswers_StdUnordered(benchmark::State& state) {
+  std::unordered_map<uint64_t, Cost> map;
+  AnswerMapWorkload(
+      state, map,
+      [](auto& m, uint64_t k, Cost d) { m.try_emplace(k, d); },
+      [](auto& m, uint64_t k) { return m.find(k) != m.end(); });
+}
+BENCHMARK(BM_SubstrateAnswers_StdUnordered);
 
 void BM_ThompsonPlusEpsRemoval(benchmark::State& state) {
   const GraphStore& g = BenchGraph();

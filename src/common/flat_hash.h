@@ -1,0 +1,192 @@
+// Open-addressing hash containers for the evaluation hot path. The visited
+// set and answer map of GetNext (§3.4) are probed once per generated tuple,
+// so the node-based std::unordered_* (one heap allocation + pointer chase
+// per element) is replaced by flat storage: power-of-two capacity, linear
+// probing, a Fibonacci finaliser on the user hash, and a per-slot occupancy
+// flag (no reserved sentinel key, so any key value is storable). Erase is
+// deliberately unsupported — the evaluator only ever inserts and probes —
+// which keeps probe chains tombstone-free.
+#ifndef OMEGA_COMMON_FLAT_HASH_H_
+#define OMEGA_COMMON_FLAT_HASH_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace omega {
+
+namespace internal {
+
+/// Multiplicative finaliser: spreads whatever entropy the user hash left
+/// into the high bits, then the table takes the low bits via mask. Keeps
+/// identity std::hash (libstdc++ integers) safe for linear probing.
+inline size_t MixHash(size_t h) {
+  uint64_t x = static_cast<uint64_t>(h) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>(x ^ (x >> 32));
+}
+
+}  // namespace internal
+
+/// Insert-only flat hash set. Grows at 1/2 load — linear probing degrades
+/// sharply on missed lookups past that, and the evaluator workload is
+/// probe-heavy (several membership misses per insert).
+template <typename Key, typename Hash = std::hash<Key>>
+class FlatHashSet {
+ public:
+  size_t size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  /// Ensures capacity for `n` elements without rehashing.
+  void Reserve(size_t n) {
+    const size_t needed = std::bit_ceil(2 * n + 1);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// True if `key` was newly inserted, false if already present.
+  bool Insert(const Key& key) {
+    GrowIfNeeded();
+    const size_t idx = FindSlot(slots_, key);
+    if (slots_[idx].occupied) return false;
+    slots_[idx].key = key;
+    slots_[idx].occupied = true;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(const Key& key) const {
+    if (slots_.empty()) return false;
+    return slots_[FindSlot(slots_, key)].occupied;
+  }
+
+  /// Removes every element but keeps the slot array (like
+  /// std::unordered_set::clear keeps its buckets), so a reused table does
+  /// not re-grow from scratch.
+  void Clear() {
+    for (Slot& slot : slots_) slot.occupied = false;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    bool occupied = false;
+  };
+
+  /// First slot holding `key`, or the empty slot where it belongs.
+  static size_t FindSlot(const std::vector<Slot>& slots, const Key& key) {
+    const size_t mask = slots.size() - 1;
+    size_t idx = internal::MixHash(Hash{}(key)) & mask;
+    while (slots[idx].occupied && !(slots[idx].key == key)) {
+      idx = (idx + 1) & mask;
+    }
+    return idx;
+  }
+
+  void GrowIfNeeded() {
+    if (slots_.empty()) {
+      Rehash(16);
+    } else if ((size_ + 1) * 2 > slots_.size()) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> fresh(new_capacity);
+    for (const Slot& slot : slots_) {
+      if (!slot.occupied) continue;
+      const size_t idx = FindSlot(fresh, slot.key);
+      fresh[idx].key = slot.key;
+      fresh[idx].occupied = true;
+    }
+    slots_ = std::move(fresh);
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+/// Insert-only flat hash map (insert-if-absent + lookup; no erase).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class FlatHashMap {
+ public:
+  size_t size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  void Reserve(size_t n) {
+    const size_t needed = std::bit_ceil(2 * n + 1);
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// try_emplace semantics: true if `key` was absent and (key, value) was
+  /// inserted; false (leaving the stored value untouched) otherwise.
+  bool Insert(const Key& key, const Value& value) {
+    GrowIfNeeded();
+    const size_t idx = FindSlot(slots_, key);
+    if (slots_[idx].occupied) return false;
+    slots_[idx].key = key;
+    slots_[idx].value = value;
+    slots_[idx].occupied = true;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// Pointer to the stored value, or nullptr when absent. Invalidated by the
+  /// next Insert/Reserve.
+  const Value* Find(const Key& key) const {
+    if (slots_.empty()) return nullptr;
+    const Slot& slot = slots_[FindSlot(slots_, key)];
+    return slot.occupied ? &slot.value : nullptr;
+  }
+
+  /// Removes every element but keeps the slot array (see FlatHashSet::Clear).
+  void Clear() {
+    for (Slot& slot : slots_) slot.occupied = false;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    bool occupied = false;
+  };
+
+  static size_t FindSlot(const std::vector<Slot>& slots, const Key& key) {
+    const size_t mask = slots.size() - 1;
+    size_t idx = internal::MixHash(Hash{}(key)) & mask;
+    while (slots[idx].occupied && !(slots[idx].key == key)) {
+      idx = (idx + 1) & mask;
+    }
+    return idx;
+  }
+
+  void GrowIfNeeded() {
+    if (slots_.empty()) {
+      Rehash(16);
+    } else if ((size_ + 1) * 2 > slots_.size()) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> fresh(new_capacity);
+    for (Slot& slot : slots_) {
+      if (!slot.occupied) continue;
+      const size_t idx = FindSlot(fresh, slot.key);
+      fresh[idx] = std::move(slot);
+    }
+    slots_ = std::move(fresh);
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_COMMON_FLAT_HASH_H_

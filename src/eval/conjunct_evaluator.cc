@@ -111,7 +111,16 @@ void ConjunctEvaluator::Open() {
   // Case 3: (?X, R, ?Y) — batched seeding. When s0 is final, every node of G
   // is a candidate answer at weight(s0), so the stream must eventually yield
   // all nodes (GetAllNodesByLabel); otherwise only nodes with a usable first
-  // edge are seeded (GetAllStartNodesByLabel).
+  // edge are seeded (GetAllStartNodesByLabel). The visited set and answer
+  // map will see on the order of one entry per seed node, so size them from
+  // the graph up front instead of rehashing on the way there — capped, so a
+  // huge graph queried for a handful of answers doesn't pay gigabytes of
+  // upfront table for entries it will never insert.
+  constexpr size_t kMaxUpfrontReserve = size_t{1} << 20;
+  const size_t reserve_n =
+      std::min(static_cast<size_t>(graph_->NumNodes()), kMaxUpfrontReserve);
+  if (options_.use_visited_set) visited_.Reserve(reserve_n);
+  answers_.Reserve(reserve_n);
   const bool include_remaining = nfa.IsFinal(s0);
   stream_ = std::make_unique<InitialNodeStream>(
       graph_, ontology_, &nfa, include_remaining, options_.batch_size);
@@ -251,7 +260,7 @@ void ConjunctEvaluator::ExpandTuple(const EvalTuple& tuple) {
       const NfaTransition& t = transitions[j];
       for (NodeId m : scratch_neighbors_) {
         if (options_.use_visited_set &&
-            visited_.count({PackPair(tuple.v, m), t.to})) {
+            visited_.Contains({PackPair(tuple.v, m), t.to})) {
           continue;
         }
         AddTuple({tuple.v, m, t.to, tuple.d + t.cost, false});
@@ -262,7 +271,7 @@ void ConjunctEvaluator::ExpandTuple(const EvalTuple& tuple) {
 
   // Lines 12–13 of GetNext: re-enqueue as a final tuple, adding weight(s).
   if (nfa.IsFinal(tuple.s) && TargetMatches(tuple.n) &&
-      answers_.find(AnswerKey(tuple.v, tuple.n)) == answers_.end()) {
+      !answers_.Contains(AnswerKey(tuple.v, tuple.n))) {
     AddTuple({tuple.v, tuple.n, tuple.s,
               tuple.d + nfa.FinalWeight(tuple.s), true});
   }
@@ -278,18 +287,17 @@ bool ConjunctEvaluator::Next(Answer* out) {
     ++stats_.tuples_popped;
 
     if (tuple.is_final) {
-      auto [it, inserted] =
-          answers_.try_emplace(AnswerKey(tuple.v, tuple.n), tuple.d);
-      if (!inserted) continue;  // answer already generated at some d'
+      if (!answers_.Insert(AnswerKey(tuple.v, tuple.n), tuple.d)) {
+        continue;  // answer already generated at some d'
+      }
       ++stats_.answers_emitted;
       *out = Answer{tuple.v, tuple.n, tuple.d};
       return true;
     }
 
-    if (options_.use_visited_set) {
-      auto [it, inserted] =
-          visited_.insert({PackPair(tuple.v, tuple.n), tuple.s});
-      if (!inserted) continue;  // processed before at a lower-or-equal d
+    if (options_.use_visited_set &&
+        !visited_.Insert({PackPair(tuple.v, tuple.n), tuple.s})) {
+      continue;  // processed before at a lower-or-equal d
     }
     ExpandTuple(tuple);
     CheckBudget();

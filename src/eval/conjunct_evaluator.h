@@ -8,10 +8,9 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "eval/answer.h"
 #include "eval/initial_node_stream.h"
 #include "eval/tuple_dictionary.h"
@@ -76,6 +75,9 @@ class ConjunctEvaluator : public AnswerStream {
   };
 
   static uint64_t PackPair(NodeId v, NodeId n) {
+    static_assert(sizeof(NodeId) <= 4,
+                  "PackPair packs two NodeIds into one 64-bit word; widening "
+                  "NodeId past 32 bits would silently truncate here");
     return (static_cast<uint64_t>(v) << 32) | n;
   }
 
@@ -111,8 +113,8 @@ class ConjunctEvaluator : public AnswerStream {
   EvaluatorOptions options_;
 
   TupleDictionary dict_;
-  std::unordered_set<VisitedKey, VisitedKeyHash> visited_;
-  std::unordered_map<uint64_t, Cost> answers_;
+  FlatHashSet<VisitedKey, VisitedKeyHash> visited_;
+  FlatHashMap<uint64_t, Cost> answers_;
   std::unique_ptr<InitialNodeStream> stream_;
   std::vector<NodeId> scratch_neighbors_;
 

@@ -1,11 +1,14 @@
 #include "eval/tuple_dictionary.h"
 
 #include <cassert>
+#include <cstdint>
+#include <utility>
 
 namespace omega {
 
 void TupleDictionary::Add(const EvalTuple& tuple) {
-  Bucket& bucket = buckets_[tuple.d];
+  assert(tuple.d >= 0 && "distances are non-negative edit/relaxation costs");
+  Bucket& bucket = BucketFor(tuple.d);
   if (prioritize_final_ && tuple.is_final) {
     bucket.final_items.push_back(tuple);
   } else {
@@ -14,10 +17,65 @@ void TupleDictionary::Add(const EvalTuple& tuple) {
   ++size_;
 }
 
+TupleDictionary::Bucket& TupleDictionary::BucketFor(Cost d) {
+  if (d < base_) {
+    // Non-monotone add below the window. Unreachable from GetNext (Succ only
+    // adds at d + cost >= d), but kept correct for arbitrary use.
+    Rebase(d);
+  }
+  const size_t idx = static_cast<size_t>(d - base_);
+  if (idx < kDenseSpan) {
+    if (idx >= dense_.size()) {
+      // min_pos_ == dense_.size() is the drained-window sentinel; growing
+      // the window must not leave it pointing at a newly created empty
+      // bucket, so re-aim it at the bucket this add is about to fill.
+      const bool window_drained = min_pos_ >= dense_.size();
+      dense_.resize(idx + 1);
+      if (window_drained) min_pos_ = idx;
+    }
+    if (idx < min_pos_) min_pos_ = idx;
+    return dense_[idx];
+  }
+  return overflow_[d];
+}
+
+void TupleDictionary::Rebase(Cost new_base) {
+  // Spill whatever the window still holds (nothing, on the common
+  // drained-window path), re-anchor, and pull every overflow bucket that
+  // falls inside the new window. Buckets move wholesale, so each per-cost
+  // LIFO list survives intact.
+  for (size_t i = 0; i < dense_.size(); ++i) {
+    if (!dense_[i].IsEmpty()) {
+      overflow_[base_ + static_cast<Cost>(i)] = std::move(dense_[i]);
+    }
+  }
+  dense_.clear();
+  base_ = new_base;
+  min_pos_ = 0;
+  auto it = overflow_.lower_bound(new_base);
+  while (it != overflow_.end() &&
+         static_cast<int64_t>(it->first) - new_base <
+             static_cast<int64_t>(kDenseSpan)) {
+    const size_t idx = static_cast<size_t>(it->first - new_base);
+    if (idx >= dense_.size()) dense_.resize(idx + 1);
+    dense_[idx] = std::move(it->second);
+    it = overflow_.erase(it);
+  }
+}
+
+void TupleDictionary::AdvanceCursor() {
+  while (min_pos_ < dense_.size() && dense_[min_pos_].IsEmpty()) {
+    ++min_pos_;
+  }
+}
+
 EvalTuple TupleDictionary::Remove() {
-  assert(!Empty());
-  auto it = buckets_.begin();
-  Bucket& bucket = it->second;
+  assert(!Empty() && "Remove() called on an empty TupleDictionary");
+  if (min_pos_ >= dense_.size()) {
+    // The window drained; every remaining tuple sits in overflow.
+    Rebase(overflow_.begin()->first);
+  }
+  Bucket& bucket = dense_[min_pos_];
   EvalTuple out;
   if (!bucket.final_items.empty()) {
     out = bucket.final_items.back();
@@ -26,16 +84,17 @@ EvalTuple TupleDictionary::Remove() {
     out = bucket.nonfinal_items.back();
     bucket.nonfinal_items.pop_back();
   }
-  if (bucket.final_items.empty() && bucket.nonfinal_items.empty()) {
-    buckets_.erase(it);
-  }
   --size_;
+  if (bucket.IsEmpty()) AdvanceCursor();
   return out;
 }
 
 void TupleDictionary::Clear() {
-  buckets_.clear();
+  dense_.clear();
+  overflow_.clear();
   size_ = 0;
+  base_ = 0;
+  min_pos_ = 0;
 }
 
 }  // namespace omega

@@ -4,9 +4,19 @@
 // be returned earlier"; within a list, LIFO — exactly the paper's
 // linked-list discipline (vectors replace the C5 linked lists; push/pop at
 // the back is the same head discipline with better locality).
+//
+// Implementation: a monotone bucket queue. GetNext pops in non-decreasing
+// distance and Succ only ever adds tuples at d + cost >= d, so the minimum
+// distance is (in steady state) non-decreasing; a dense window of buckets
+// indexed by (d - base) plus a forward-moving cursor makes Add and Remove
+// O(1) amortised, versus the O(log #distances) std::map the seed shipped.
+// Distances past the dense window land in a std::map overflow and are
+// swapped into the window when the cursor reaches them, so arbitrarily
+// large (even non-monotone) cost patterns stay correct.
 #ifndef OMEGA_EVAL_TUPLE_DICTIONARY_H_
 #define OMEGA_EVAL_TUPLE_DICTIONARY_H_
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -38,7 +48,11 @@ class TupleDictionary {
   size_t size() const { return size_; }
 
   /// Lowest distance present. Precondition: !Empty().
-  Cost MinDistance() const { return buckets_.begin()->first; }
+  Cost MinDistance() const {
+    assert(!Empty() && "MinDistance() called on an empty TupleDictionary");
+    if (min_pos_ < dense_.size()) return base_ + static_cast<Cost>(min_pos_);
+    return overflow_.begin()->first;
+  }
 
   /// Removes per the discipline above. Precondition: !Empty().
   EvalTuple Remove();
@@ -49,10 +63,32 @@ class TupleDictionary {
   struct Bucket {
     std::vector<EvalTuple> final_items;
     std::vector<EvalTuple> nonfinal_items;
+
+    bool IsEmpty() const { return final_items.empty() && nonfinal_items.empty(); }
   };
 
-  std::map<Cost, Bucket> buckets_;
+  /// Width of the dense window. Distances in [base_, base_ + kDenseSpan)
+  /// index dense_ directly; anything further lands in overflow_.
+  static constexpr size_t kDenseSpan = 4096;
+
+  Bucket& BucketFor(Cost d);
+
+  /// Re-anchors the dense window at `new_base`: spills any live dense
+  /// buckets to overflow, then pulls every overflow bucket that falls inside
+  /// the new window back in. Called when the window drains (new base = the
+  /// overflow minimum) and on the pathological non-monotone add below the
+  /// current base.
+  void Rebase(Cost new_base);
+
+  /// Advances min_pos_ past empty buckets so it lands on the first non-empty
+  /// dense bucket, or dense_.size() when the window has drained.
+  void AdvanceCursor();
+
+  std::vector<Bucket> dense_;      // dense_[i] holds distance base_ + i
+  std::map<Cost, Bucket> overflow_;
   size_t size_ = 0;
+  Cost base_ = 0;
+  size_t min_pos_ = 0;             // first possibly-non-empty dense bucket
   bool prioritize_final_;
 };
 

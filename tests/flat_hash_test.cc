@@ -1,0 +1,131 @@
+#include "common/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace omega {
+namespace {
+
+TEST(FlatHashSetTest, EmptyInitially) {
+  FlatHashSet<uint64_t> set;
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(42));
+}
+
+TEST(FlatHashSetTest, InsertReportsNewness) {
+  FlatHashSet<uint64_t> set;
+  EXPECT_TRUE(set.Insert(7));
+  EXPECT_FALSE(set.Insert(7));
+  EXPECT_TRUE(set.Insert(8));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(7));
+  EXPECT_TRUE(set.Contains(8));
+  EXPECT_FALSE(set.Contains(9));
+}
+
+TEST(FlatHashSetTest, ZeroAndMaxKeysAreStorable) {
+  // No sentinel key: the full key domain, including 0 and ~0, is usable.
+  FlatHashSet<uint64_t> set;
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_TRUE(set.Insert(~uint64_t{0}));
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_TRUE(set.Contains(~uint64_t{0}));
+  EXPECT_FALSE(set.Insert(0));
+}
+
+TEST(FlatHashSetTest, GrowsThroughManyRehashes) {
+  FlatHashSet<uint64_t> set;
+  for (uint64_t i = 0; i < 10000; ++i) EXPECT_TRUE(set.Insert(i * 977));
+  EXPECT_EQ(set.size(), 10000u);
+  for (uint64_t i = 0; i < 10000; ++i) EXPECT_TRUE(set.Contains(i * 977));
+  EXPECT_FALSE(set.Contains(1));
+}
+
+TEST(FlatHashSetTest, ClearResets) {
+  FlatHashSet<uint64_t> set;
+  set.Insert(1);
+  set.Insert(2);
+  set.Clear();
+  EXPECT_TRUE(set.Empty());
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Insert(1));
+}
+
+TEST(FlatHashSetTest, ReserveAvoidsLaterGrowth) {
+  FlatHashSet<uint64_t> set;
+  set.Reserve(5000);
+  for (uint64_t i = 0; i < 5000; ++i) set.Insert(i);
+  EXPECT_EQ(set.size(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) EXPECT_TRUE(set.Contains(i));
+}
+
+struct CollidingHash {
+  size_t operator()(uint64_t) const { return 17; }  // worst case: one chain
+};
+
+TEST(FlatHashSetTest, SurvivesPathologicalHash) {
+  FlatHashSet<uint64_t, CollidingHash> set;
+  for (uint64_t i = 0; i < 200; ++i) EXPECT_TRUE(set.Insert(i));
+  for (uint64_t i = 0; i < 200; ++i) EXPECT_TRUE(set.Contains(i));
+  EXPECT_FALSE(set.Contains(200));
+}
+
+TEST(FlatHashSetTest, MatchesUnorderedSetUnderRandomOps) {
+  Rng rng(1234);
+  FlatHashSet<uint64_t> set;
+  std::unordered_set<uint64_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(4096);  // force collisions
+    EXPECT_EQ(set.Insert(key), model.insert(key).second);
+    EXPECT_EQ(set.size(), model.size());
+  }
+  for (uint64_t key = 0; key < 4096; ++key) {
+    EXPECT_EQ(set.Contains(key), model.count(key) > 0);
+  }
+}
+
+TEST(FlatHashMapTest, InsertIsTryEmplace) {
+  FlatHashMap<uint64_t, int> map;
+  EXPECT_TRUE(map.Insert(5, 100));
+  EXPECT_FALSE(map.Insert(5, 999));  // first value wins
+  ASSERT_NE(map.Find(5), nullptr);
+  EXPECT_EQ(*map.Find(5), 100);
+  EXPECT_EQ(map.Find(6), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, ContainsAndClear) {
+  FlatHashMap<uint64_t, int> map;
+  map.Insert(1, 10);
+  EXPECT_TRUE(map.Contains(1));
+  EXPECT_FALSE(map.Contains(2));
+  map.Clear();
+  EXPECT_TRUE(map.Empty());
+  EXPECT_FALSE(map.Contains(1));
+}
+
+TEST(FlatHashMapTest, MatchesUnorderedMapUnderRandomOps) {
+  Rng rng(99);
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(3000);
+    const uint64_t value = rng.Next();
+    EXPECT_EQ(map.Insert(key, value), model.try_emplace(key, value).second);
+  }
+  EXPECT_EQ(map.size(), model.size());
+  for (const auto& [key, value] : model) {
+    ASSERT_NE(map.Find(key), nullptr) << key;
+    EXPECT_EQ(*map.Find(key), value);
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Substrate perf regression gate.
+
+Reads the google-benchmark JSON written by
+
+    bench_micro_substrate --benchmark_filter=Substrate \
+        --benchmark_out=BENCH_substrate.json --benchmark_out_format=json
+
+pairs each new-substrate bench with its seed-substrate baseline by name
+suffix, and fails (exit 1) if any new implementation is slower than its
+baseline beyond a noise tolerance. Run via the `substrate_gate` CMake target.
+"""
+import json
+import sys
+
+# new-implementation suffix -> baseline suffix
+PAIRINGS = {
+    "_BucketQueue": "_StdMapReference",
+    "_FlatHash": "_StdUnordered",
+}
+
+# Generous noise floor so the gate trips on real regressions, not scheduler
+# jitter; the structures win by integer factors when healthy.
+TOLERANCE = 1.10
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} BENCH_substrate.json", file=sys.stderr)
+        return 2
+
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    times = {
+        b["name"]: b["cpu_time"]
+        for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+    checked = 0
+    failures = []
+    missing = []
+    for name, cpu_time in sorted(times.items()):
+        for new_suffix, base_suffix in PAIRINGS.items():
+            if not name.endswith(new_suffix):
+                continue
+            base_name = name[: -len(new_suffix)] + base_suffix
+            if base_name not in times:
+                # A vanished baseline would otherwise silently disable the
+                # pair's regression check.
+                print(f"ERROR: no baseline {base_name} for {name}",
+                      file=sys.stderr)
+                missing.append(name)
+                continue
+            checked += 1
+            base_time = times[base_name]
+            ratio = cpu_time / base_time if base_time > 0 else float("inf")
+            verdict = "OK" if ratio <= TOLERANCE else "REGRESSION"
+            print(
+                f"{verdict:>10}  {name}: {cpu_time:.0f} ns  vs  "
+                f"{base_name}: {base_time:.0f} ns  "
+                f"(ratio {ratio:.3f}, speedup {1 / ratio:.2f}x)"
+            )
+            if ratio > TOLERANCE:
+                failures.append(name)
+
+    if missing:
+        print(f"\nFAIL: {len(missing)} bench(es) without a baseline: "
+              + ", ".join(missing), file=sys.stderr)
+        return 2
+    if checked == 0:
+        print("ERROR: no substrate pairs found in the report", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nFAIL: {len(failures)} substrate regression(s): "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nPASS: {checked} substrate pair(s) at or above baseline speed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
