@@ -4,14 +4,22 @@
 // GetNext / Succ procedures depend on.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "automata/approx.h"
 #include "automata/epsilon_removal.h"
 #include "automata/thompson.h"
+#include "bench_util.h"
 #include "common/flat_hash.h"
+#include "common/pack.h"
 #include "common/rng.h"
+#include "eval/rank_join.h"
+#include "eval/rank_join_reference.h"
 #include "eval/tuple_dictionary.h"
 #include "eval/tuple_dictionary_reference.h"
 #include "rpq/regex_parser.h"
@@ -274,6 +282,111 @@ void BM_SubstrateAnswers_StdUnordered(benchmark::State& state) {
       [](auto& m, uint64_t k) { return m.find(k) != m.end(); });
 }
 BENCHMARK(BM_SubstrateAnswers_StdUnordered);
+
+// The rank-join data plane: a two-conjunct chain join (X,Y) |><| (Y,Z) on a
+// shared Y drawn from a small domain, rows arriving in non-decreasing
+// distance (bench_util's shared synthetic workload). The compiled side runs
+// slot bindings + packed-integer keys, the reference side is the seed
+// string-keyed join kept in rank_join_reference.h. Both drain the identical
+// row script to exhaustion.
+const std::vector<bench::SyntheticJoinRow>& JoinWorkload(bool left) {
+  static const auto* left_rows = new std::vector<bench::SyntheticJoinRow>(
+      bench::SyntheticJoinRows(61, 2000, 128));
+  static const auto* right_rows = new std::vector<bench::SyntheticJoinRow>(
+      bench::SyntheticJoinRows(62, 2000, 128));
+  return left ? *left_rows : *right_rows;
+}
+
+void BM_SubstrateRankJoin_CompiledSlots(benchmark::State& state) {
+  size_t total = 0;
+  for (auto _ : state) {
+    RankJoinStream join(std::make_unique<bench::SyntheticBindingStream>(
+                            &JoinWorkload(true), true),
+                        std::make_unique<bench::SyntheticBindingStream>(
+                            &JoinWorkload(false), false));
+    Binding out;
+    size_t rows = 0;
+    Cost sum = 0;
+    while (join.Next(&out)) {
+      ++rows;
+      sum += out.distance;
+    }
+    benchmark::DoNotOptimize(sum);
+    total += rows;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_SubstrateRankJoin_CompiledSlots);
+
+const std::vector<ReferenceBinding>& ReferenceJoinWorkload(bool left) {
+  // Materialised once, like JoinWorkload: the pair must time the two joins,
+  // not row conversion on one side.
+  static const auto* left_rows = new std::vector<ReferenceBinding>(
+      bench::SyntheticReferenceRows(JoinWorkload(true), true));
+  static const auto* right_rows = new std::vector<ReferenceBinding>(
+      bench::SyntheticReferenceRows(JoinWorkload(false), false));
+  return left ? *left_rows : *right_rows;
+}
+
+void BM_SubstrateRankJoin_StringKeyReference(benchmark::State& state) {
+  size_t total = 0;
+  for (auto _ : state) {
+    ReferenceRankJoinStream join(
+        std::make_unique<VectorReferenceBindingStream>(
+            bench::SyntheticReferenceVars(true), &ReferenceJoinWorkload(true)),
+        std::make_unique<VectorReferenceBindingStream>(
+            bench::SyntheticReferenceVars(false),
+            &ReferenceJoinWorkload(false)));
+    ReferenceBinding out;
+    size_t rows = 0;
+    Cost sum = 0;
+    while (join.Next(&out)) {
+      ++rows;
+      sum += out.distance;
+    }
+    benchmark::DoNotOptimize(sum);
+    total += rows;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_SubstrateRankJoin_StringKeyReference);
+
+// Head-binding dedup in QueryResultStream: one membership-or-insert per
+// joined row. The seed kept a std::set<std::vector<NodeId>>; the compiled
+// plane packs two-variable heads into one word probed through FlatHashSet.
+void BM_SubstrateHeadDedup_FlatPacked(benchmark::State& state) {
+  const int kOps = 50000;
+  size_t fresh = 0;
+  for (auto _ : state) {
+    Rng rng(71);
+    FlatHashSet<uint64_t> seen;
+    for (int i = 0; i < kOps; ++i) {
+      const NodeId a = static_cast<NodeId>(rng.NextBounded(1u << 12));
+      const NodeId b = static_cast<NodeId>(rng.NextBounded(1u << 12));
+      fresh += seen.Insert(PackPair(a, b));
+    }
+  }
+  benchmark::DoNotOptimize(fresh);
+  state.SetItemsProcessed(state.iterations() * kOps);
+}
+BENCHMARK(BM_SubstrateHeadDedup_FlatPacked);
+
+void BM_SubstrateHeadDedup_StdSetReference(benchmark::State& state) {
+  const int kOps = 50000;
+  size_t fresh = 0;
+  for (auto _ : state) {
+    Rng rng(71);
+    std::set<std::vector<NodeId>> seen;
+    for (int i = 0; i < kOps; ++i) {
+      const NodeId a = static_cast<NodeId>(rng.NextBounded(1u << 12));
+      const NodeId b = static_cast<NodeId>(rng.NextBounded(1u << 12));
+      fresh += seen.insert({a, b}).second;
+    }
+  }
+  benchmark::DoNotOptimize(fresh);
+  state.SetItemsProcessed(state.iterations() * kOps);
+}
+BENCHMARK(BM_SubstrateHeadDedup_StdSetReference);
 
 void BM_ThompsonPlusEpsRemoval(benchmark::State& state) {
   const GraphStore& g = BenchGraph();

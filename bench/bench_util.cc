@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/rng.h"
 #include "common/timer.h"
 
 namespace omega::bench {
@@ -185,6 +186,34 @@ std::string DistanceBreakdown(const std::map<Cost, size_t>& per_distance) {
     out += std::to_string(distance) + " (" + std::to_string(count) + ")";
   }
   return out.empty() ? "-" : out;
+}
+
+std::vector<SyntheticJoinRow> SyntheticJoinRows(uint64_t seed, size_t n,
+                                                NodeId y_domain) {
+  Rng rng(seed);
+  std::vector<SyntheticJoinRow> rows;
+  rows.reserve(n);
+  Cost d = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.25)) ++d;
+    rows.push_back({static_cast<NodeId>(rng.NextBounded(1u << 20)),
+                    static_cast<NodeId>(rng.NextBounded(y_domain)), d});
+  }
+  return rows;
+}
+
+std::vector<ReferenceBinding> SyntheticReferenceRows(
+    const std::vector<SyntheticJoinRow>& rows, bool left) {
+  std::vector<ReferenceBinding> out;
+  out.reserve(rows.size());
+  for (const SyntheticJoinRow& row : rows) {
+    ReferenceBinding b;
+    b.distance = row.d;
+    b.Bind(left ? "X" : "Z", row.a);
+    b.Bind("Y", row.y);
+    out.push_back(std::move(b));
+  }
+  return out;
 }
 
 std::string FormatMs(double ms) {

@@ -4,6 +4,7 @@
 #define OMEGA_BENCH_BENCH_UTIL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "datasets/query_sets.h"
 #include "datasets/yago.h"
 #include "eval/query_engine.h"
+#include "eval/rank_join_reference.h"
 
 namespace omega::bench {
 
@@ -63,6 +65,66 @@ class TablePrinter {
 /// "1 (42) 2 (100)" — the Fig. 5 / Fig. 10 distance-breakdown notation:
 /// count of answers at each non-zero distance.
 std::string DistanceBreakdown(const std::map<Cost, size_t>& per_distance);
+
+// --- Synthetic rank-join workload (bench_rank_join, bench_micro_substrate) --
+
+/// One scripted join row: `a` is the private variable (X on the left side,
+/// Z on the right), `y` the shared one, `d` the non-decreasing distance.
+struct SyntheticJoinRow {
+  NodeId a;
+  NodeId y;
+  Cost d;
+};
+
+/// Deterministic row script: `a` uniform over 2^20, `y` over `y_domain`,
+/// distances bump by one with probability 1/4 per row.
+std::vector<SyntheticJoinRow> SyntheticJoinRows(uint64_t seed, size_t n,
+                                                NodeId y_domain);
+
+/// Compiled-slot stream over a synthetic row script, catalogue width 3:
+/// the left side binds (X=0, Y=1), the right (Y=1, Z=2).
+class SyntheticBindingStream : public BindingStream {
+ public:
+  /// `rows` must outlive the stream.
+  SyntheticBindingStream(const std::vector<SyntheticJoinRow>* rows, bool left)
+      : rows_(rows),
+        vars_(left ? std::vector<VarId>{0, 1} : std::vector<VarId>{1, 2}),
+        left_(left) {}
+
+  bool Next(Binding* out) override {
+    if (pos_ >= rows_->size()) return false;
+    const SyntheticJoinRow& row = (*rows_)[pos_++];
+    Binding b(3);
+    b.distance = row.d;
+    b.Bind(left_ ? 0 : 2, row.a);
+    b.Bind(1, row.y);
+    *out = std::move(b);
+    return true;
+  }
+  const Status& status() const override { return status_; }
+  const std::vector<VarId>& variables() const override { return vars_; }
+
+ private:
+  const std::vector<SyntheticJoinRow>* rows_;
+  std::vector<VarId> vars_;
+  bool left_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+/// The same script lifted to the seed string data plane of
+/// rank_join_reference.h (slot X/Y/Z become names "X"/"Y"/"Z"). Convert
+/// once, outside any timed region, then replay through the borrowing
+/// VectorReferenceBindingStream constructor — otherwise the paired bench
+/// times string-row materialisation on the reference side only.
+std::vector<ReferenceBinding> SyntheticReferenceRows(
+    const std::vector<SyntheticJoinRow>& rows, bool left);
+
+/// Variable names of one synthetic side on the seed data plane.
+inline std::vector<std::string> SyntheticReferenceVars(bool left) {
+  return left ? std::vector<std::string>{"X", "Y"}
+              : std::vector<std::string>{"Y", "Z"};
+}
 
 std::string FormatMs(double ms);
 

@@ -135,8 +135,25 @@ class FlatHashMap {
 
   bool Contains(const Key& key) const { return Find(key) != nullptr; }
 
+  /// Mutable reference to the value stored under `key`, default-constructing
+  /// it on first access (unordered_map::operator[] semantics). The rank-join
+  /// side tables append rows through this. Invalidated like Find.
+  Value& FindOrInsert(const Key& key) {
+    GrowIfNeeded();
+    const size_t idx = FindSlot(slots_, key);
+    if (!slots_[idx].occupied) {
+      slots_[idx].key = key;
+      // Clear() only flips occupancy, so a reclaimed slot may still hold a
+      // pre-Clear value; reset it to keep operator[] semantics.
+      slots_[idx].value = Value{};
+      slots_[idx].occupied = true;
+      ++size_;
+    }
+    return slots_[idx].value;
+  }
+
   /// Pointer to the stored value, or nullptr when absent. Invalidated by the
-  /// next Insert/Reserve.
+  /// next Insert/FindOrInsert/Reserve.
   const Value* Find(const Key& key) const {
     if (slots_.empty()) return nullptr;
     const Slot& slot = slots_[FindSlot(slots_, key)];

@@ -1,0 +1,38 @@
+// Packed integer keys shared by the evaluation layers: the conjunct
+// evaluator's visited/answer keys, the optimisation streams' cross-round
+// dedup keys, and the rank-join layer's join/head keys all pack two NodeIds
+// into one 64-bit word probed through the flat-hash tables.
+#ifndef OMEGA_COMMON_PACK_H_
+#define OMEGA_COMMON_PACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "store/types.h"
+
+namespace omega {
+
+/// Packs (v, n) into one 64-bit word, v in the high half.
+inline uint64_t PackPair(NodeId v, NodeId n) {
+  static_assert(sizeof(NodeId) <= 4,
+                "PackPair packs two NodeIds into one 64-bit word; widening "
+                "NodeId past 32 bits would silently truncate here");
+  return (static_cast<uint64_t>(v) << 32) | n;
+}
+
+/// Hash for NodeId vectors that do not fit a packed word (e.g. query heads
+/// projecting more than two variables). FNV-1a over the elements; the
+/// flat-hash tables add their own finaliser on top.
+struct NodeVecHash {
+  size_t operator()(const std::vector<NodeId>& v) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const NodeId n : v) {
+      h = (h ^ n) * 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_COMMON_PACK_H_

@@ -33,6 +33,7 @@ struct EvaluatorStats {
   uint64_t answers_emitted = 0;
   uint64_t seeds_added = 0;
   uint64_t max_dictionary_size = 0;
+  uint64_t max_join_live = 0;          ///< rank-join tables + heap high-water
   uint64_t rounds = 0;                 ///< distance-aware restarts
 
   void MergeFrom(const EvaluatorStats& other) {
@@ -44,6 +45,9 @@ struct EvaluatorStats {
     seeds_added += other.seeds_added;
     if (other.max_dictionary_size > max_dictionary_size) {
       max_dictionary_size = other.max_dictionary_size;
+    }
+    if (other.max_join_live > max_join_live) {
+      max_join_live = other.max_join_live;
     }
     rounds += other.rounds;
   }

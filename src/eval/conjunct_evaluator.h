@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/flat_hash.h"
+#include "common/pack.h"
 #include "eval/answer.h"
 #include "eval/initial_node_stream.h"
 #include "eval/tuple_dictionary.h"
@@ -73,13 +74,6 @@ class ConjunctEvaluator : public AnswerStream {
       return static_cast<size_t>(h ^ (h >> 32));
     }
   };
-
-  static uint64_t PackPair(NodeId v, NodeId n) {
-    static_assert(sizeof(NodeId) <= 4,
-                  "PackPair packs two NodeIds into one 64-bit word; widening "
-                  "NodeId past 32 bits would silently truncate here");
-    return (static_cast<uint64_t>(v) << 32) | n;
-  }
 
   /// Duplicate-answer key: answers are deduplicated on variable bindings, so
   /// for a constant source the v component is normalised — RELAX ancestor

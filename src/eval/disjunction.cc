@@ -107,12 +107,11 @@ void DisjunctionStream::RunRound() {
       ++branch_answers;
       // Cross-branch dedup on variable bindings (v normalised for constant
       // sources, mirroring the evaluator's own duplicate check).
-      const uint64_t v_key = branch.prepared.eval_source.is_variable
-                                 ? answer.v
-                                 : static_cast<uint64_t>(kInvalidNode);
-      auto [it, inserted] = emitted_.try_emplace((v_key << 32) | answer.n,
-                                                 answer.distance);
-      if (inserted) round_buffer_.push_back(answer);
+      const NodeId v_key =
+          branch.prepared.eval_source.is_variable ? answer.v : kInvalidNode;
+      if (emitted_.Insert(PackPair(v_key, answer.n))) {
+        round_buffer_.push_back(answer);
+      }
       if (round_buffer_.size() >= quota) {
         stopped_early = true;
         break;

@@ -8,9 +8,10 @@
 #define OMEGA_EVAL_DISJUNCTION_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/pack.h"
 #include "eval/conjunct_evaluator.h"
 
 namespace omega {
@@ -57,7 +58,7 @@ class DisjunctionStream : public AnswerStream {
   size_t max_fruitless_rounds_;
 
   std::vector<Branch> branches_;
-  std::unordered_map<uint64_t, Cost> emitted_;
+  FlatHashSet<uint64_t> emitted_;  // PackPair(v, n) across branches and rounds
   std::vector<Answer> round_buffer_;  // sorted by distance, drained from front
   size_t buffer_pos_ = 0;
   size_t answers_handed_out_ = 0;

@@ -33,12 +33,9 @@ bool DistanceAwareStream::Next(Answer* out) {
       // Earlier rounds were complete up to their ceiling, so anything they
       // emitted reappears here and is skipped. Like the evaluator's own
       // duplicate check, the key normalises v for constant sources.
-      const uint64_t v_key = prepared_->eval_source.is_variable
-                                 ? answer.v
-                                 : static_cast<uint64_t>(kInvalidNode);
-      auto [it, inserted] = emitted_.try_emplace((v_key << 32) | answer.n,
-                                                 answer.distance);
-      if (!inserted) continue;
+      const NodeId v_key =
+          prepared_->eval_source.is_variable ? answer.v : kInvalidNode;
+      if (!emitted_.Insert(PackPair(v_key, answer.n))) continue;
       round_found_answer_ = true;
       fruitless_rounds_ = 0;
       *out = answer;

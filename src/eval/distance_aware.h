@@ -9,8 +9,9 @@
 #define OMEGA_EVAL_DISTANCE_AWARE_H_
 
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
+#include "common/pack.h"
 #include "eval/conjunct_evaluator.h"
 
 namespace omega {
@@ -47,7 +48,7 @@ class DistanceAwareStream : public AnswerStream {
   DistanceAwareOptions da_options_;
 
   std::unique_ptr<ConjunctEvaluator> inner_;
-  std::unordered_map<uint64_t, Cost> emitted_;  // (v,n) -> d
+  FlatHashSet<uint64_t> emitted_;  // PackPair(v, n) of every handed-out answer
   Cost psi_ = 0;
   Cost phi_ = kInfiniteCost;
   size_t rounds_ = 0;

@@ -34,24 +34,42 @@ class OwningConjunctStream : public AnswerStream {
   std::unique_ptr<AnswerStream> inner_;
 };
 
+/// Slot of an endpoint: its compiled VarId, or kInvalidVar for a constant.
+VarId SlotOf(const Endpoint& endpoint, const VarCatalog& catalog) {
+  return endpoint.is_variable ? catalog.Find(endpoint.name) : kInvalidVar;
+}
+
 }  // namespace
 
 // --- QueryResultStream -------------------------------------------------------
 
 QueryResultStream::QueryResultStream(std::vector<std::string> head,
+                                     std::vector<VarId> head_slots,
                                      std::unique_ptr<BindingStream> bindings)
-    : head_(std::move(head)), bindings_(std::move(bindings)) {}
+    : head_(std::move(head)),
+      head_slots_(std::move(head_slots)),
+      bindings_(std::move(bindings)) {}
 
 bool QueryResultStream::Next(QueryAnswer* out) {
   Binding binding;
   while (bindings_->Next(&binding)) {
     QueryAnswer answer;
     answer.distance = binding.distance;
-    answer.bindings.reserve(head_.size());
-    for (const std::string& var : head_) {
-      answer.bindings.push_back(binding.Lookup(var));
+    answer.bindings.reserve(head_slots_.size());
+    for (const VarId slot : head_slots_) {
+      answer.bindings.push_back(binding.Get(slot));
     }
-    if (!seen_.insert(answer.bindings).second) continue;
+    // Head variables are always bound (ValidateQuery requires them in the
+    // body), so kInvalidNode never appears in a real second component and
+    // the packed one-variable key cannot collide with a two-variable one.
+    const bool fresh =
+        head_slots_.size() <= 2
+            ? seen_packed_.Insert(PackPair(
+                  answer.bindings[0], head_slots_.size() == 2
+                                          ? answer.bindings[1]
+                                          : kInvalidNode))
+            : seen_wide_.Insert(answer.bindings);
+    if (!fresh) continue;
     *out = std::move(answer);
     return true;
   }
@@ -66,9 +84,11 @@ QueryEngine::QueryEngine(const GraphStore* graph, const Ontology* ontology)
 }
 
 Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
-    const Conjunct& conjunct, const QueryEngineOptions& options) const {
+    const Conjunct& conjunct, const QueryEngineOptions& options,
+    const VarCatalog& catalog) const {
   const BoundOntology* ontology = bound_ontology();
   const bool flexible = conjunct.mode != ConjunctMode::kExact;
+  const size_t width = catalog.size();
 
   // §4.3(b): decompose a top-level alternation into sub-automata.
   if (options.decompose_alternation && flexible &&
@@ -78,25 +98,23 @@ Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
             conjunct, graph_, ontology, options.evaluator,
             options.distance_aware_options.max_fruitless_rounds);
     if (!stream.ok()) return stream.status();
+    // DisjunctionStream normalises Case 2 internally per branch; recompute
+    // the post-reversal endpoints the same way.
+    const bool reversed =
+        conjunct.source.is_variable && !conjunct.target.is_variable;
     return std::unique_ptr<BindingStream>(
         std::make_unique<ConjunctBindingStream>(
-            std::move(stream).value(),
-            // DisjunctionStream normalises Case 2 internally per branch;
-            // recompute the post-reversal endpoints the same way.
-            conjunct.source.is_variable && !conjunct.target.is_variable
-                ? conjunct.target
-                : conjunct.source,
-            conjunct.source.is_variable && !conjunct.target.is_variable
-                ? conjunct.source
-                : conjunct.target));
+            std::move(stream).value(), width,
+            SlotOf(reversed ? conjunct.target : conjunct.source, catalog),
+            SlotOf(reversed ? conjunct.source : conjunct.target, catalog)));
   }
 
   Result<PreparedConjunct> prepared =
       PrepareConjunct(conjunct, *graph_, ontology, options.evaluator);
   if (!prepared.ok()) return prepared.status();
   auto holder = std::make_unique<PreparedConjunct>(std::move(prepared).value());
-  const Endpoint eval_source = holder->eval_source;
-  const Endpoint eval_target = holder->eval_target;
+  const VarId source_slot = SlotOf(holder->eval_source, catalog);
+  const VarId target_slot = SlotOf(holder->eval_target, catalog);
 
   // §4.3(a): distance-aware retrieval only pays off when operations have
   // positive costs, i.e. for APPROX/RELAX conjuncts.
@@ -105,23 +123,37 @@ Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
       std::move(holder), graph_, ontology, options.evaluator,
       use_distance_aware, options.distance_aware_options);
   return std::unique_ptr<BindingStream>(
-      std::make_unique<ConjunctBindingStream>(std::move(answers), eval_source,
-                                              eval_target));
+      std::make_unique<ConjunctBindingStream>(std::move(answers), width,
+                                              source_slot, target_slot));
 }
 
 Result<std::unique_ptr<QueryResultStream>> QueryEngine::Execute(
     const Query& query, const QueryEngineOptions& options) const {
   OMEGA_RETURN_NOT_OK(ValidateQuery(query));
+  // Compile the per-query variable catalogue: every body variable gets a
+  // dense slot (first-use order, matching Query::BodyVariables), so the
+  // streams below speak integer slots only.
+  VarCatalog catalog;
+  for (const Conjunct& conjunct : query.conjuncts) {
+    if (conjunct.source.is_variable) catalog.GetOrAdd(conjunct.source.name);
+    if (conjunct.target.is_variable) catalog.GetOrAdd(conjunct.target.name);
+  }
+  std::vector<VarId> head_slots;
+  head_slots.reserve(query.head.size());
+  for (const std::string& var : query.head) {
+    head_slots.push_back(catalog.Find(var));  // bound: ValidateQuery checked
+  }
   std::vector<std::unique_ptr<BindingStream>> streams;
   streams.reserve(query.conjuncts.size());
   for (const Conjunct& conjunct : query.conjuncts) {
     Result<std::unique_ptr<BindingStream>> stream =
-        MakeConjunctStream(conjunct, options);
+        MakeConjunctStream(conjunct, options, catalog);
     if (!stream.ok()) return stream.status();
     streams.push_back(std::move(stream).value());
   }
-  return std::make_unique<QueryResultStream>(query.head,
-                                             BuildJoinTree(std::move(streams)));
+  return std::make_unique<QueryResultStream>(
+      query.head, std::move(head_slots),
+      BuildJoinTree(std::move(streams), options.evaluator.max_live_tuples));
 }
 
 Result<std::vector<QueryAnswer>> QueryEngine::ExecuteTopK(

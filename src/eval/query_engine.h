@@ -8,10 +8,11 @@
 
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/pack.h"
 #include "eval/distance_aware.h"
 #include "eval/disjunction.h"
 #include "eval/rank_join.h"
@@ -42,10 +43,15 @@ struct QueryAnswer {
 };
 
 /// Streaming query results (head projection, duplicate head bindings keep
-/// their first = cheapest emission).
+/// their first = cheapest emission). Dedup runs on packed head bindings in a
+/// flat-hash set: heads of one or two variables pack exactly into a 64-bit
+/// key, wider heads fall back to a flat set of NodeId vectors.
 class QueryResultStream {
  public:
+  /// `head_slots` holds the compiled VarId of each head variable, parallel
+  /// to `head`.
   QueryResultStream(std::vector<std::string> head,
+                    std::vector<VarId> head_slots,
                     std::unique_ptr<BindingStream> bindings);
 
   bool Next(QueryAnswer* out);
@@ -55,8 +61,10 @@ class QueryResultStream {
 
  private:
   std::vector<std::string> head_;
+  std::vector<VarId> head_slots_;
   std::unique_ptr<BindingStream> bindings_;
-  std::set<std::vector<NodeId>> seen_;
+  FlatHashSet<uint64_t> seen_packed_;                      // heads of <= 2 vars
+  FlatHashSet<std::vector<NodeId>, NodeVecHash> seen_wide_;  // wider heads
 };
 
 class QueryEngine {
@@ -80,9 +88,12 @@ class QueryEngine {
   }
 
  private:
-  /// Builds the (optimisation-wrapped) answer stream for one conjunct.
+  /// Builds the (optimisation-wrapped) answer stream for one conjunct;
+  /// `catalog` is the per-query variable catalogue Execute compiled (every
+  /// variable of `conjunct` is already interned).
   Result<std::unique_ptr<BindingStream>> MakeConjunctStream(
-      const Conjunct& conjunct, const QueryEngineOptions& options) const;
+      const Conjunct& conjunct, const QueryEngineOptions& options,
+      const VarCatalog& catalog) const;
 
   const GraphStore* graph_;
   std::optional<BoundOntology> bound_;

@@ -4,35 +4,45 @@
 #include <cassert>
 
 namespace omega {
+namespace {
 
-NodeId Binding::Lookup(const std::string& name) const {
-  for (const auto& [var, value] : vars) {
-    if (var == name) return value;
+/// Min-heap comparator for std::push_heap / std::pop_heap over candidates.
+struct HeapGreater {
+  bool operator()(const Binding& a, const Binding& b) const {
+    return a.distance > b.distance;
   }
-  return kInvalidNode;
+};
+
+}  // namespace
+
+// --- VarCatalog --------------------------------------------------------------
+
+VarId VarCatalog::GetOrAdd(std::string_view name) {
+  const VarId found = Find(name);
+  if (found != kInvalidVar) return found;
+  names_.emplace_back(name);
+  return static_cast<VarId>(names_.size() - 1);
 }
 
-bool Binding::Bind(const std::string& name, NodeId value) {
-  auto it = std::lower_bound(
-      vars.begin(), vars.end(), name,
-      [](const auto& entry, const std::string& key) { return entry.first < key; });
-  if (it != vars.end() && it->first == name) return it->second == value;
-  vars.insert(it, {name, value});
-  return true;
+VarId VarCatalog::Find(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<VarId>(i);
+  }
+  return kInvalidVar;
 }
 
 // --- ConjunctBindingStream ---------------------------------------------------
 
 ConjunctBindingStream::ConjunctBindingStream(
-    std::unique_ptr<AnswerStream> answers, Endpoint eval_source,
-    Endpoint eval_target)
+    std::unique_ptr<AnswerStream> answers, size_t width, VarId source_slot,
+    VarId target_slot)
     : answers_(std::move(answers)),
-      source_(std::move(eval_source)),
-      target_(std::move(eval_target)) {
-  if (source_.is_variable) variables_.push_back(source_.name);
-  if (target_.is_variable && (!source_.is_variable ||
-                              target_.name != source_.name)) {
-    variables_.push_back(target_.name);
+      width_(width),
+      source_slot_(source_slot),
+      target_slot_(target_slot) {
+  if (source_slot_ != kInvalidVar) variables_.push_back(source_slot_);
+  if (target_slot_ != kInvalidVar && target_slot_ != source_slot_) {
+    variables_.push_back(target_slot_);
   }
   std::sort(variables_.begin(), variables_.end());
 }
@@ -40,12 +50,14 @@ ConjunctBindingStream::ConjunctBindingStream(
 bool ConjunctBindingStream::Next(Binding* out) {
   Answer answer;
   while (answers_->Next(&answer)) {
-    Binding binding;
+    Binding binding(width_);
     binding.distance = answer.distance;
     bool consistent = true;
-    if (source_.is_variable) consistent = binding.Bind(source_.name, answer.v);
-    if (consistent && target_.is_variable) {
-      consistent = binding.Bind(target_.name, answer.n);
+    if (source_slot_ != kInvalidVar) {
+      consistent = binding.Bind(source_slot_, answer.v);
+    }
+    if (consistent && target_slot_ != kInvalidVar) {
+      consistent = binding.Bind(target_slot_, answer.n);
     }
     if (!consistent) continue;  // (?X, R, ?X) with v != n
     *out = std::move(binding);
@@ -57,7 +69,9 @@ bool ConjunctBindingStream::Next(Binding* out) {
 // --- RankJoinStream ----------------------------------------------------------
 
 RankJoinStream::RankJoinStream(std::unique_ptr<BindingStream> left,
-                               std::unique_ptr<BindingStream> right) {
+                               std::unique_ptr<BindingStream> right,
+                               size_t max_live_tuples)
+    : max_live_tuples_(max_live_tuples) {
   left_.stream = std::move(left);
   right_.stream = std::move(right);
   std::set_intersection(left_.stream->variables().begin(),
@@ -72,13 +86,22 @@ RankJoinStream::RankJoinStream(std::unique_ptr<BindingStream> left,
                  std::back_inserter(variables_));
 }
 
-std::string RankJoinStream::KeyFor(const Binding& b) const {
-  std::string key;
-  for (const std::string& var : shared_vars_) {
-    key += std::to_string(b.Lookup(var));
-    key += '|';
+uint64_t RankJoinStream::KeyFor(const Binding& b) const {
+  // Exact for the engine's left-deep plans (the right side is one conjunct,
+  // so at most two variables are shared); wider shared sets fold FNV-style,
+  // which can only over-group — the merge in Advance re-checks per-variable
+  // consistency, so a folded collision costs a wasted probe, never a wrong
+  // row.
+  if (shared_vars_.size() <= 2) {
+    return PackPair(
+        shared_vars_.empty() ? kInvalidNode : b.Get(shared_vars_[0]),
+        shared_vars_.size() < 2 ? kInvalidNode : b.Get(shared_vars_[1]));
   }
-  return key;
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const VarId var : shared_vars_) {
+    h = (h ^ b.Get(var)) * 0x100000001b3ULL;
+  }
+  return h;
 }
 
 void RankJoinStream::Advance(Side* side, Side* other, bool side_is_left) {
@@ -94,26 +117,37 @@ void RankJoinStream::Advance(Side* side, Side* other, bool side_is_left) {
   }
   side->top = binding.distance;
 
-  const std::string key = KeyFor(binding);
-  // Join the new arrival against everything seen on the other side.
-  auto it = other->table.find(key);
-  if (it != other->table.end()) {
-    for (const Binding& match : it->second) {
-      Binding merged = side_is_left ? binding : match;
-      const Binding& addition = side_is_left ? match : binding;
+  const uint64_t key = KeyFor(binding);
+  // Join the new arrival against everything stored on the other side. The
+  // merged row copies the (wide) left row and binds the right conjunct's few
+  // variables on top.
+  const std::vector<VarId>& right_vars = right_.stream->variables();
+  if (const std::vector<Binding>* matches = other->table.Find(key)) {
+    for (const Binding& match : *matches) {
+      const Binding& left_row = side_is_left ? binding : match;
+      const Binding& right_row = side_is_left ? match : binding;
+      Binding merged = left_row;
       bool ok = true;
-      for (const auto& [var, value] : addition.vars) {
-        if (!merged.Bind(var, value)) {
+      for (const VarId var : right_vars) {
+        if (!merged.Bind(var, right_row.Get(var))) {
           ok = false;
           break;
         }
       }
-      if (!ok) continue;  // only possible via shared key, so never here
+      if (!ok) continue;  // folded-key collision (see KeyFor)
       merged.distance = binding.distance + match.distance;
-      heap_.push(Candidate{std::move(merged)});
+      heap_.push_back(std::move(merged));
+      std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
     }
   }
-  side->table[key].push_back(std::move(binding));
+  // A stored row is only ever probed by future arrivals on the other side;
+  // once that side is exhausted the row can never match again, so the copy
+  // into the table is skipped entirely.
+  if (!other->exhausted) {
+    side->table.FindOrInsert(key).push_back(std::move(binding));
+    ++side->rows;
+  }
+  CheckBudget();
 }
 
 Cost RankJoinStream::Threshold() const {
@@ -127,18 +161,34 @@ Cost RankJoinStream::Threshold() const {
   return std::min(via_new_left, via_new_right);
 }
 
+void RankJoinStream::CheckBudget() {
+  const size_t live = left_.rows + right_.rows + heap_.size();
+  if (live > peak_live_) peak_live_ = live;
+  if (max_live_tuples_ == 0 || !status_.ok()) return;
+  if (live > max_live_tuples_) {
+    status_ = Status::ResourceExhausted(
+        "rank join exceeded max_live_tuples=" +
+        std::to_string(max_live_tuples_));
+  }
+}
+
+Binding RankJoinStream::PopCandidate() {
+  std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  Binding out = std::move(heap_.back());
+  heap_.pop_back();
+  return out;
+}
+
 bool RankJoinStream::Next(Binding* out) {
   if (!status_.ok()) return false;
   for (;;) {
-    if (!heap_.empty() && heap_.top().binding.distance <= Threshold()) {
-      *out = heap_.top().binding;
-      heap_.pop();
+    if (!heap_.empty() && heap_.front().distance <= Threshold()) {
+      *out = PopCandidate();
       return true;
     }
     if (left_.exhausted && right_.exhausted) {
       if (heap_.empty()) return false;
-      *out = heap_.top().binding;
-      heap_.pop();
+      *out = PopCandidate();
       return true;
     }
     // Alternate pulls, preferring the side that is behind (HRJN's simple
@@ -155,16 +205,19 @@ bool RankJoinStream::Next(Binding* out) {
 EvaluatorStats RankJoinStream::stats() const {
   EvaluatorStats total = left_.stream->stats();
   total.MergeFrom(right_.stream->stats());
+  if (peak_live_ > total.max_join_live) total.max_join_live = peak_live_;
   return total;
 }
 
 std::unique_ptr<BindingStream> BuildJoinTree(
-    std::vector<std::unique_ptr<BindingStream>> streams) {
+    std::vector<std::unique_ptr<BindingStream>> streams,
+    size_t max_live_tuples) {
   assert(!streams.empty());
   std::unique_ptr<BindingStream> tree = std::move(streams[0]);
   for (size_t i = 1; i < streams.size(); ++i) {
     tree = std::make_unique<RankJoinStream>(std::move(tree),
-                                            std::move(streams[i]));
+                                            std::move(streams[i]),
+                                            max_live_tuples);
   }
   return tree;
 }

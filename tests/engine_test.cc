@@ -39,6 +39,26 @@ TEST(EngineTest, ProjectionDeduplicates) {
   EXPECT_EQ(g.NodeLabel((*answers)[0].bindings[0]), "d");
 }
 
+TEST(EngineTest, WideHeadProjectionDeduplicates) {
+  // Three head variables exceed the packed 64-bit dedup key, exercising the
+  // wide flat-set fallback; the diamond still reaches d along two ?Y paths,
+  // so each (?X, ?Y, ?Z) triple is distinct but (?X, ?Z) pairs collapse.
+  GraphStore g = MakeGraph(
+      {{"a", "e", "b"}, {"a", "e", "c"}, {"b", "f", "d"}, {"c", "f", "d"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> wide = ParseQuery("(?X, ?Y, ?Z) <- (?X, e, ?Y), (?Y, f, ?Z)");
+  ASSERT_TRUE(wide.ok());
+  auto triples = engine.ExecuteTopK(*wide, 0);
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(triples->size(), 2u);  // (a,b,d) and (a,c,d)
+  std::set<std::vector<NodeId>> distinct;
+  for (const QueryAnswer& a : *triples) {
+    ASSERT_EQ(a.bindings.size(), 3u);
+    distinct.insert(a.bindings);
+  }
+  EXPECT_EQ(distinct.size(), triples->size());
+}
+
 TEST(EngineTest, SameVariableBothEndpointsFiltersLoops) {
   GraphStore g = MakeGraph({{"a", "e", "a"}, {"b", "e", "c"}});
   QueryEngine engine(&g, nullptr);

@@ -101,6 +101,44 @@ TEST(FlatHashMapTest, InsertIsTryEmplace) {
   EXPECT_EQ(map.size(), 1u);
 }
 
+TEST(FlatHashMapTest, FindOrInsertDefaultConstructsOnce) {
+  FlatHashMap<uint64_t, std::vector<int>> map;
+  map.FindOrInsert(3).push_back(1);
+  map.FindOrInsert(3).push_back(2);  // same group, no reset
+  map.FindOrInsert(4);               // empty group still counts as present
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(3), nullptr);
+  EXPECT_EQ(*map.Find(3), (std::vector<int>{1, 2}));
+  ASSERT_NE(map.Find(4), nullptr);
+  EXPECT_TRUE(map.Find(4)->empty());
+}
+
+TEST(FlatHashMapTest, FindOrInsertAfterClearIsFreshlyConstructed) {
+  // Clear keeps the slot array; reclaiming a slot must not resurrect the
+  // value it held before the Clear.
+  FlatHashMap<uint64_t, std::vector<int>> map;
+  map.FindOrInsert(3).push_back(7);
+  map.Clear();
+  EXPECT_TRUE(map.FindOrInsert(3).empty());
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, FindOrInsertMatchesUnorderedMapUnderRandomOps) {
+  Rng rng(99);
+  FlatHashMap<uint64_t, std::vector<int>> map;
+  std::unordered_map<uint64_t, std::vector<int>> model;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(512);  // force growth + collisions
+    map.FindOrInsert(key).push_back(i);
+    model[key].push_back(i);
+  }
+  EXPECT_EQ(map.size(), model.size());
+  for (const auto& [key, rows] : model) {
+    ASSERT_NE(map.Find(key), nullptr);
+    EXPECT_EQ(*map.Find(key), rows);
+  }
+}
+
 TEST(FlatHashMapTest, ContainsAndClear) {
   FlatHashMap<uint64_t, int> map;
   map.Insert(1, 10);

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
-#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/query_engine.h"
 #include "rpq/query_parser.h"
@@ -13,78 +16,73 @@ namespace {
 
 using testing::MakeGraph;
 
-TEST(BindingTest, BindAndLookup) {
-  Binding b;
-  EXPECT_TRUE(b.Bind("X", 3));
-  EXPECT_TRUE(b.Bind("Y", 7));
-  EXPECT_EQ(b.Lookup("X"), 3u);
-  EXPECT_EQ(b.Lookup("Y"), 7u);
-  EXPECT_EQ(b.Lookup("Z"), kInvalidNode);
-  EXPECT_TRUE(b.Bind("X", 3));   // consistent re-bind
-  EXPECT_FALSE(b.Bind("X", 4));  // conflicting
+// Slot aliases used throughout: X=0, Y=1, Z=2.
+constexpr VarId kX = 0;
+constexpr VarId kY = 1;
+constexpr VarId kZ = 2;
+
+TEST(VarCatalogTest, InternsDenseSlotsInFirstUseOrder) {
+  VarCatalog catalog;
+  EXPECT_EQ(catalog.GetOrAdd("X"), 0u);
+  EXPECT_EQ(catalog.GetOrAdd("Y"), 1u);
+  EXPECT_EQ(catalog.GetOrAdd("X"), 0u);  // already interned
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.Find("Y"), 1u);
+  EXPECT_EQ(catalog.Find("Z"), kInvalidVar);
+  EXPECT_EQ(catalog.NameOf(0), "X");
 }
 
-/// Deterministic scripted stream for join unit tests.
-class ScriptedStream : public BindingStream {
- public:
-  ScriptedStream(std::vector<std::string> vars,
-                 std::vector<Binding> bindings)
-      : vars_(std::move(vars)), bindings_(std::move(bindings)) {}
+TEST(BindingTest, BindAndGet) {
+  Binding b(3);
+  EXPECT_TRUE(b.Bind(kX, 3));
+  EXPECT_TRUE(b.Bind(kY, 7));
+  EXPECT_EQ(b.Get(kX), 3u);
+  EXPECT_EQ(b.Get(kY), 7u);
+  EXPECT_EQ(b.Get(kZ), kInvalidNode);  // unbound slot
+  EXPECT_TRUE(b.Bind(kX, 3));          // consistent re-bind
+  EXPECT_FALSE(b.Bind(kX, 4));         // conflicting
+}
 
-  bool Next(Binding* out) override {
-    if (pos_ >= bindings_.size()) return false;
-    *out = bindings_[pos_++];
-    return true;
-  }
-  const Status& status() const override { return status_; }
-  const std::vector<std::string>& variables() const override { return vars_; }
+using ScriptedStream = testing::ScriptedBindingStream;
 
- private:
-  std::vector<std::string> vars_;
-  std::vector<Binding> bindings_;
-  size_t pos_ = 0;
-  Status status_;
-};
-
-Binding Bnd(std::vector<std::pair<std::string, NodeId>> vars, Cost d) {
-  Binding b;
-  for (auto& [name, value] : vars) EXPECT_TRUE(b.Bind(name, value));
+Binding Bnd(size_t width, std::vector<std::pair<VarId, NodeId>> vars, Cost d) {
+  Binding b(width);
+  for (auto& [slot, value] : vars) EXPECT_TRUE(b.Bind(slot, value));
   b.distance = d;
   return b;
 }
 
 TEST(RankJoinTest, JoinsOnSharedVariable) {
   auto left = std::make_unique<ScriptedStream>(
-      std::vector<std::string>{"X", "Y"},
-      std::vector<Binding>{Bnd({{"X", 1}, {"Y", 2}}, 0),
-                           Bnd({{"X", 1}, {"Y", 3}}, 1)});
+      std::vector<VarId>{kX, kY},
+      std::vector<Binding>{Bnd(3, {{kX, 1}, {kY, 2}}, 0),
+                           Bnd(3, {{kX, 1}, {kY, 3}}, 1)});
   auto right = std::make_unique<ScriptedStream>(
-      std::vector<std::string>{"Y", "Z"},
-      std::vector<Binding>{Bnd({{"Y", 2}, {"Z", 9}}, 0),
-                           Bnd({{"Y", 3}, {"Z", 8}}, 2)});
+      std::vector<VarId>{kY, kZ},
+      std::vector<Binding>{Bnd(3, {{kY, 2}, {kZ, 9}}, 0),
+                           Bnd(3, {{kY, 3}, {kZ, 8}}, 2)});
   RankJoinStream join(std::move(left), std::move(right));
-  EXPECT_EQ(join.variables(), (std::vector<std::string>{"X", "Y", "Z"}));
+  EXPECT_EQ(join.variables(), (std::vector<VarId>{kX, kY, kZ}));
 
   Binding out;
   ASSERT_TRUE(join.Next(&out));
   EXPECT_EQ(out.distance, 0);
-  EXPECT_EQ(out.Lookup("Z"), 9u);
+  EXPECT_EQ(out.Get(kZ), 9u);
   ASSERT_TRUE(join.Next(&out));
   EXPECT_EQ(out.distance, 3);  // (X1,Y3)@1 + (Y3,Z8)@2
   EXPECT_FALSE(join.Next(&out));
+  EXPECT_TRUE(join.status().ok());
 }
 
 TEST(RankJoinTest, EmitsInNonDecreasingTotalDistance) {
   std::vector<Binding> lefts, rights;
   for (Cost d = 0; d < 5; ++d) {
-    lefts.push_back(Bnd({{"X", static_cast<NodeId>(d)}, {"Y", 1}}, d));
-    rights.push_back(Bnd({{"Y", 1}, {"Z", static_cast<NodeId>(d)}}, d));
+    lefts.push_back(Bnd(3, {{kX, static_cast<NodeId>(d)}, {kY, 1}}, d));
+    rights.push_back(Bnd(3, {{kY, 1}, {kZ, static_cast<NodeId>(d)}}, d));
   }
   RankJoinStream join(
-      std::make_unique<ScriptedStream>(std::vector<std::string>{"X", "Y"},
-                                       lefts),
-      std::make_unique<ScriptedStream>(std::vector<std::string>{"Y", "Z"},
-                                       rights));
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kX, kY}, lefts),
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kY, kZ}, rights));
   Binding out;
   Cost last = 0;
   size_t count = 0;
@@ -99,11 +97,11 @@ TEST(RankJoinTest, EmitsInNonDecreasingTotalDistance) {
 TEST(RankJoinTest, NoSharedVariablesIsCrossProduct) {
   RankJoinStream join(
       std::make_unique<ScriptedStream>(
-          std::vector<std::string>{"X"},
-          std::vector<Binding>{Bnd({{"X", 1}}, 0), Bnd({{"X", 2}}, 1)}),
+          std::vector<VarId>{kX},
+          std::vector<Binding>{Bnd(2, {{kX, 1}}, 0), Bnd(2, {{kX, 2}}, 1)}),
       std::make_unique<ScriptedStream>(
-          std::vector<std::string>{"Y"},
-          std::vector<Binding>{Bnd({{"Y", 5}}, 0), Bnd({{"Y", 6}}, 3)}));
+          std::vector<VarId>{kY},
+          std::vector<Binding>{Bnd(2, {{kY, 5}}, 0), Bnd(2, {{kY, 6}}, 3)}));
   Binding out;
   size_t count = 0;
   Cost last = 0;
@@ -117,28 +115,85 @@ TEST(RankJoinTest, NoSharedVariablesIsCrossProduct) {
 
 TEST(RankJoinTest, EmptySideYieldsNothing) {
   RankJoinStream join(
-      std::make_unique<ScriptedStream>(std::vector<std::string>{"X"},
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kX},
                                        std::vector<Binding>{}),
       std::make_unique<ScriptedStream>(
-          std::vector<std::string>{"X"},
-          std::vector<Binding>{Bnd({{"X", 1}}, 0)}));
+          std::vector<VarId>{kX},
+          std::vector<Binding>{Bnd(1, {{kX, 1}}, 0)}));
   Binding out;
   EXPECT_FALSE(join.Next(&out));
 }
 
 TEST(RankJoinTest, MultiSharedVariableKey) {
   auto left = std::make_unique<ScriptedStream>(
-      std::vector<std::string>{"X", "Y"},
-      std::vector<Binding>{Bnd({{"X", 1}, {"Y", 2}}, 0)});
+      std::vector<VarId>{kX, kY},
+      std::vector<Binding>{Bnd(3, {{kX, 1}, {kY, 2}}, 0)});
   auto right = std::make_unique<ScriptedStream>(
-      std::vector<std::string>{"X", "Y", "Z"},
-      std::vector<Binding>{Bnd({{"X", 1}, {"Y", 2}, {"Z", 3}}, 1),
-                           Bnd({{"X", 1}, {"Y", 9}, {"Z", 4}}, 0)});
+      std::vector<VarId>{kX, kY, kZ},
+      std::vector<Binding>{Bnd(3, {{kX, 1}, {kY, 2}, {kZ, 3}}, 1),
+                           Bnd(3, {{kX, 1}, {kY, 9}, {kZ, 4}}, 0)});
   RankJoinStream join(std::move(left), std::move(right));
   Binding out;
   ASSERT_TRUE(join.Next(&out));
-  EXPECT_EQ(out.Lookup("Z"), 3u);  // only the (1,2) row joins
+  EXPECT_EQ(out.Get(kZ), 3u);  // only the (1,2) row joins
   EXPECT_FALSE(join.Next(&out));
+}
+
+// --- Memory budget (regression: the seed join ignored max_live_tuples) -----
+
+/// Rows with increasing distances: the HRJN threshold then rises slowly, so
+/// formed candidates legitimately accumulate in the heap (the seed join let
+/// them accumulate without bound).
+std::vector<Binding> CrossRows(VarId slot, size_t n) {
+  std::vector<Binding> rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(
+        Bnd(2, {{slot, static_cast<NodeId>(i)}}, static_cast<Cost>(i)));
+  }
+  return rows;
+}
+
+TEST(RankJoinTest, BudgetExceededFailsWithResourceExhausted) {
+  // 40x40 cross product: side tables hold 80 rows, the heap grows toward
+  // 1600 candidates. A budget of 100 must fail instead of materialising it.
+  RankJoinStream join(
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kX},
+                                       CrossRows(kX, 40)),
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kY},
+                                       CrossRows(kY, 40)),
+      /*max_live_tuples=*/100);
+  Binding out;
+  while (join.Next(&out)) {
+  }
+  EXPECT_TRUE(join.status().IsResourceExhausted())
+      << join.status().ToString();
+}
+
+TEST(RankJoinTest, BudgetGenerousEnoughSucceeds) {
+  RankJoinStream join(
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kX},
+                                       CrossRows(kX, 10)),
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kY},
+                                       CrossRows(kY, 10)),
+      /*max_live_tuples=*/1000);
+  Binding out;
+  size_t count = 0;
+  while (join.Next(&out)) ++count;
+  EXPECT_TRUE(join.status().ok()) << join.status().ToString();
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(RankJoinTest, ZeroBudgetMeansUnlimited) {
+  RankJoinStream join(
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kX},
+                                       CrossRows(kX, 40)),
+      std::make_unique<ScriptedStream>(std::vector<VarId>{kY},
+                                       CrossRows(kY, 40)));
+  Binding out;
+  size_t count = 0;
+  while (join.Next(&out)) ++count;
+  EXPECT_TRUE(join.status().ok());
+  EXPECT_EQ(count, 1600u);
 }
 
 // --- End-to-end multi-conjunct queries through the engine -------------------
@@ -225,6 +280,58 @@ TEST(RankJoinEngineTest, ApproxConjunctDistancesAddUp) {
     if (g.NodeLabel(a.bindings[1]) == "c") found_c = true;
   }
   EXPECT_TRUE(found_c);
+}
+
+TEST(RankJoinEngineTest, JoinBudgetSurfacesThroughResultStream) {
+  // Chain graph; APPROX answers come at a spread of edit distances, so the
+  // no-shared-variable join of the two conjuncts legitimately accumulates
+  // candidates in the HRJN heap while the threshold creeps up. The budget is
+  // chosen so each conjunct alone fits comfortably (asserted below — this is
+  // what proves the failure comes from the join layer, where the seed join
+  // ignored max_live_tuples and grew without bound).
+  std::vector<std::tuple<std::string, std::string, std::string>> triples;
+  for (int i = 0; i < 12; ++i) {
+    triples.emplace_back("n" + std::to_string(i), "e",
+                         "n" + std::to_string(i + 1));
+  }
+  GraphStore g = MakeGraph(triples);
+  QueryEngine engine(&g, nullptr);
+
+  QueryEngineOptions options;
+  options.evaluator.max_live_tuples = 600;
+  options.evaluator.max_distance = 3;  // keep APPROX blow-up finite
+
+  // Control: each conjunct alone stays within the budget.
+  for (const char* text :
+       {"(?A, ?B) <- APPROX (?A, f, ?B)", "(?C, ?D) <- APPROX (?C, f, ?D)"}) {
+    Result<Query> single = ParseQuery(text);
+    ASSERT_TRUE(single.ok());
+    auto alone = engine.ExecuteTopK(*single, 0, options);
+    ASSERT_TRUE(alone.ok()) << alone.status().ToString();
+  }
+
+  Result<Query> query = ParseQuery(
+      "(?A, ?C) <- APPROX (?A, f, ?B), APPROX (?C, f, ?D)");
+  ASSERT_TRUE(query.ok());
+  Result<std::unique_ptr<QueryResultStream>> stream =
+      engine.Execute(*query, options);
+  ASSERT_TRUE(stream.ok());
+  QueryAnswer answer;
+  while ((*stream)->Next(&answer)) {
+  }
+  EXPECT_TRUE((*stream)->status().IsResourceExhausted())
+      << (*stream)->status().ToString();
+  // The failure must come from the join layer, not a conjunct evaluator.
+  EXPECT_NE((*stream)->status().message().find("rank join"),
+            std::string::npos)
+      << (*stream)->status().ToString();
+
+  // The same query completes when the budget is lifted.
+  QueryEngineOptions unlimited_options = options;
+  unlimited_options.evaluator.max_live_tuples = 0;
+  auto unlimited = engine.ExecuteTopK(*query, 0, unlimited_options);
+  ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+  EXPECT_GT(unlimited->size(), 0u);
 }
 
 }  // namespace

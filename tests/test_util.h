@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "eval/conjunct_evaluator.h"
+#include "eval/rank_join.h"
 #include "ontology/ontology.h"
 #include "rpq/query_parser.h"
 #include "rpq/regex_parser.h"
@@ -33,6 +34,29 @@ inline GraphStore MakeGraph(
   }
   return std::move(builder).Finalize();
 }
+
+/// Deterministic scripted binding stream for join tests: replays a fixed
+/// row vector (rows must have the full catalogue width, like real conjunct
+/// streams).
+class ScriptedBindingStream : public BindingStream {
+ public:
+  ScriptedBindingStream(std::vector<VarId> vars, std::vector<Binding> rows)
+      : vars_(std::move(vars)), rows_(std::move(rows)) {}
+
+  bool Next(Binding* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+  const Status& status() const override { return status_; }
+  const std::vector<VarId>& variables() const override { return vars_; }
+
+ private:
+  std::vector<VarId> vars_;
+  std::vector<Binding> rows_;
+  size_t pos_ = 0;
+  Status status_;
+};
 
 /// Parses a regex or aborts the test.
 inline RegexPtr Rx(const std::string& text) {

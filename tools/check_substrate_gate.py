@@ -17,6 +17,11 @@ import sys
 PAIRINGS = {
     "_BucketQueue": "_StdMapReference",
     "_FlatHash": "_StdUnordered",
+    # Rank-join substrate (PR 2): compiled slot bindings + packed-integer
+    # keys vs the seed string-keyed join; packed flat-hash head dedup vs the
+    # seed std::set of NodeId vectors.
+    "_CompiledSlots": "_StringKeyReference",
+    "_FlatPacked": "_StdSetReference",
 }
 
 # Generous noise floor so the gate trips on real regressions, not scheduler
