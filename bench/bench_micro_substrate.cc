@@ -190,9 +190,11 @@ struct BenchVisitedKey {
 };
 struct BenchVisitedKeyHash {
   size_t operator()(const BenchVisitedKey& k) const {
-    uint64_t h = k.vn * 0x9e3779b97f4a7c15ULL;
-    h ^= (h >> 29) ^ (static_cast<uint64_t>(k.s) * 0xbf58476d1ce4e5b9ULL);
-    return static_cast<size_t>(h ^ (h >> 32));
+    // Mirrors ConjunctEvaluator::VisitedKeyHash (the shared HashMix64 path)
+    // so both sides of the pair run the evaluator's real hash.
+    return static_cast<size_t>(
+        HashMix64(k.vn ^ (static_cast<uint64_t>(k.s) *
+                          0x9e3779b97f4a7c15ULL)));
   }
 };
 

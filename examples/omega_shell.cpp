@@ -85,10 +85,26 @@ class Shell {
           "  .save GRAPH [ONTOLOGY]    save the current dataset\n"
           "  .costs INS DEL SUB        APPROX edit costs (default 1 1 1)\n"
           "  .opt da|disjunction on|off   toggle the §4.3 optimisations\n"
+          "  .plan bushy|textual       join-order planning mode\n"
+          "  .explain QUERY            show the chosen plan with estimates\n"
           "  .budget N                 live-tuple budget (0 = unlimited)\n"
-          "  .stats                    evaluator counters of the last query\n"
+          "  .stats                    per-operator counters of the last query\n"
           "  .node LABEL               inspect a node's edges\n"
           "  .quit\n");
+    } else if (cmd == ".explain" && words.size() >= 2) {
+      // Query text may contain spaces: rejoin the remaining words.
+      std::vector<std::string> rest(words.begin() + 1, words.end());
+      Explain(Join(rest, " "));
+    } else if (cmd == ".plan" && words.size() == 2) {
+      if (words[1] == "textual") {
+        options_.plan_mode = PlanMode::kTextual;
+      } else if (words[1] == "bushy") {
+        options_.plan_mode = PlanMode::kGreedyBushy;
+      } else {
+        std::printf("plan mode must be 'bushy' or 'textual'\n");
+        return;
+      }
+      std::printf("plan mode: %s\n", words[1].c_str());
     } else if (cmd == ".more") {
       Fetch();
     } else if (cmd == ".batch" && words.size() == 2) {
@@ -165,16 +181,21 @@ class Shell {
         std::printf("no active query\n");
         return;
       }
+      if (stream_->plan() != nullptr) {
+        std::printf("%s", stream_->ExplainString().c_str());
+      }
       const EvaluatorStats stats = stream_->stats();
       std::printf(
           "tuples popped %llu, pushed %llu, expansions %llu, neighbour "
-          "fetches %llu, seeds %llu, max |D_R| %llu, rounds %llu\n",
+          "fetches %llu, seeds %llu, max |D_R| %llu, max join live %llu, "
+          "rounds %llu\n",
           static_cast<unsigned long long>(stats.tuples_popped),
           static_cast<unsigned long long>(stats.tuples_pushed),
           static_cast<unsigned long long>(stats.succ_expansions),
           static_cast<unsigned long long>(stats.neighbor_group_fetches),
           static_cast<unsigned long long>(stats.seeds_added),
           static_cast<unsigned long long>(stats.max_dictionary_size),
+          static_cast<unsigned long long>(stats.max_join_live),
           static_cast<unsigned long long>(stats.rounds));
     } else if (cmd == ".node" && words.size() >= 2) {
       // Node labels may contain spaces: rejoin the remaining words.
@@ -207,6 +228,20 @@ class Shell {
     }
   }
 
+  void Explain(const std::string& text) {
+    Result<omega::Query> query = ParseQuery(text);
+    if (!query.ok()) {
+      std::printf("%s\n", query.status().ToString().c_str());
+      return;
+    }
+    Result<std::string> rendered = engine_->ExplainQuery(*query, options_);
+    if (!rendered.ok()) {
+      std::printf("%s\n", rendered.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", rendered->c_str());
+  }
+
   void Query(const std::string& text) {
     Result<omega::Query> query = ParseQuery(text);
     if (!query.ok()) {
@@ -221,12 +256,17 @@ class Shell {
     }
     stream_ = std::move(stream).value();
     emitted_ = 0;
+    finished_ = false;
     Fetch();
   }
 
   void Fetch() {
     if (stream_ == nullptr) {
       std::printf("no active query\n");
+      return;
+    }
+    if (finished_) {
+      std::printf("(no more answers; %zu total)\n", emitted_);
       return;
     }
     Timer timer;
@@ -249,9 +289,11 @@ class Shell {
       return;
     }
     if (in_batch < batch_size_) {
+      // Keep the drained stream around: .stats still renders its plan tree
+      // with the per-operator counters of the completed run.
+      finished_ = true;
       std::printf("(no more answers; %zu total, %.2f ms)\n", emitted_,
                   timer.ElapsedMs());
-      stream_.reset();
     } else {
       std::printf("(batch of %zu in %.2f ms; .more for the next batch)\n",
                   in_batch, timer.ElapsedMs());
@@ -265,6 +307,7 @@ class Shell {
   QueryEngineOptions options_;
   size_t batch_size_ = 10;
   size_t emitted_ = 0;
+  bool finished_ = false;
   bool interactive_ = isatty(0);
 };
 

@@ -20,6 +20,21 @@ inline uint64_t PackPair(NodeId v, NodeId n) {
   return (static_cast<uint64_t>(v) << 32) | n;
 }
 
+/// Finaliser-quality 64-bit mixer (splitmix64): every input bit affects every
+/// output bit, so combined keys whose entropy sits in a few fields (a NodeId
+/// pair plus a state id) spread over the whole word. Shared by the
+/// evaluator's visited-set hash and its bench twin. Pre-packed keys going
+/// straight into the flat-hash tables do NOT need it — those tables run
+/// their own finaliser on every probe.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Hash for NodeId vectors that do not fit a packed word (e.g. query heads
 /// projecting more than two variables). FNV-1a over the elements; the
 /// flat-hash tables add their own finaliser on top.

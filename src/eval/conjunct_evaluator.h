@@ -69,9 +69,9 @@ class ConjunctEvaluator : public AnswerStream {
   };
   struct VisitedKeyHash {
     size_t operator()(const VisitedKey& k) const {
-      uint64_t h = k.vn * 0x9e3779b97f4a7c15ULL;
-      h ^= (h >> 29) ^ (static_cast<uint64_t>(k.s) * 0xbf58476d1ce4e5b9ULL);
-      return static_cast<size_t>(h ^ (h >> 32));
+      return static_cast<size_t>(
+          HashMix64(k.vn ^ (static_cast<uint64_t>(k.s) *
+                            0x9e3779b97f4a7c15ULL)));
     }
   };
 

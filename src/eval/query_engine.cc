@@ -39,16 +39,34 @@ VarId SlotOf(const Endpoint& endpoint, const VarCatalog& catalog) {
   return endpoint.is_variable ? catalog.Find(endpoint.name) : kInvalidVar;
 }
 
+/// True if `order` is a permutation of [0, n).
+bool IsPermutation(const std::vector<size_t>& order, size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const size_t i : order) {
+    if (i >= n || seen[i]) return false;
+    seen[i] = true;
+  }
+  return true;
+}
+
 }  // namespace
 
 // --- QueryResultStream -------------------------------------------------------
 
 QueryResultStream::QueryResultStream(std::vector<std::string> head,
                                      std::vector<VarId> head_slots,
-                                     std::unique_ptr<BindingStream> bindings)
+                                     std::unique_ptr<BindingStream> bindings,
+                                     std::unique_ptr<QueryPlan> plan)
     : head_(std::move(head)),
       head_slots_(std::move(head_slots)),
-      bindings_(std::move(bindings)) {}
+      bindings_(std::move(bindings)),
+      plan_(std::move(plan)) {}
+
+std::string QueryResultStream::ExplainString() const {
+  return plan_ == nullptr ? std::string()
+                          : RenderPlanTree(*plan_, /*with_stats=*/true);
+}
 
 bool QueryResultStream::Next(QueryAnswer* out) {
   Binding binding;
@@ -84,13 +102,15 @@ QueryEngine::QueryEngine(const GraphStore* graph, const Ontology* ontology)
 }
 
 Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
-    const Conjunct& conjunct, const QueryEngineOptions& options,
-    const VarCatalog& catalog) const {
+    const Conjunct& conjunct, std::unique_ptr<PreparedConjunct> prepared,
+    const QueryEngineOptions& options, const VarCatalog& catalog) const {
   const BoundOntology* ontology = bound_ontology();
   const bool flexible = conjunct.mode != ConjunctMode::kExact;
   const size_t width = catalog.size();
 
-  // §4.3(b): decompose a top-level alternation into sub-automata.
+  // §4.3(b): decompose a top-level alternation into sub-automata. The
+  // decomposition recompiles each branch internally, so the whole-conjunct
+  // automaton prepared for planning is not used here.
   if (options.decompose_alternation && flexible &&
       CanDecomposeAlternation(conjunct)) {
     Result<std::unique_ptr<DisjunctionStream>> stream =
@@ -109,51 +129,111 @@ Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
             SlotOf(reversed ? conjunct.source : conjunct.target, catalog)));
   }
 
-  Result<PreparedConjunct> prepared =
-      PrepareConjunct(conjunct, *graph_, ontology, options.evaluator);
-  if (!prepared.ok()) return prepared.status();
-  auto holder = std::make_unique<PreparedConjunct>(std::move(prepared).value());
-  const VarId source_slot = SlotOf(holder->eval_source, catalog);
-  const VarId target_slot = SlotOf(holder->eval_target, catalog);
+  const VarId source_slot = SlotOf(prepared->eval_source, catalog);
+  const VarId target_slot = SlotOf(prepared->eval_target, catalog);
 
   // §4.3(a): distance-aware retrieval only pays off when operations have
   // positive costs, i.e. for APPROX/RELAX conjuncts.
   const bool use_distance_aware = options.distance_aware && flexible;
   auto answers = std::make_unique<OwningConjunctStream>(
-      std::move(holder), graph_, ontology, options.evaluator,
+      std::move(prepared), graph_, ontology, options.evaluator,
       use_distance_aware, options.distance_aware_options);
   return std::unique_ptr<BindingStream>(
       std::make_unique<ConjunctBindingStream>(std::move(answers), width,
                                               source_slot, target_slot));
 }
 
-Result<std::unique_ptr<QueryResultStream>> QueryEngine::Execute(
-    const Query& query, const QueryEngineOptions& options) const {
+Result<std::unique_ptr<QueryPlan>> QueryEngine::PlanFor(
+    const Query& query, const QueryEngineOptions& options,
+    std::vector<std::unique_ptr<PreparedConjunct>>* prepared) const {
   OMEGA_RETURN_NOT_OK(ValidateQuery(query));
+  auto plan = std::make_unique<QueryPlan>();
   // Compile the per-query variable catalogue: every body variable gets a
   // dense slot (first-use order, matching Query::BodyVariables), so the
-  // streams below speak integer slots only.
-  VarCatalog catalog;
+  // streams speak integer slots only.
   for (const Conjunct& conjunct : query.conjuncts) {
-    if (conjunct.source.is_variable) catalog.GetOrAdd(conjunct.source.name);
-    if (conjunct.target.is_variable) catalog.GetOrAdd(conjunct.target.name);
+    if (conjunct.source.is_variable) {
+      plan->catalog.GetOrAdd(conjunct.source.name);
+    }
+    if (conjunct.target.is_variable) {
+      plan->catalog.GetOrAdd(conjunct.target.name);
+    }
   }
+  // Prepare and estimate every conjunct up front: the planner needs the
+  // automaton-level estimates before any stream exists.
+  std::vector<PlanLeaf> leaves;
+  leaves.reserve(query.conjuncts.size());
+  prepared->clear();
+  prepared->reserve(query.conjuncts.size());
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    const Conjunct& conjunct = query.conjuncts[i];
+    Result<PreparedConjunct> p =
+        PrepareConjunct(conjunct, *graph_, bound_ontology(), options.evaluator);
+    if (!p.ok()) return p.status();
+    auto holder = std::make_unique<PreparedConjunct>(std::move(p).value());
+    PlanLeaf leaf;
+    leaf.conjunct_index = i;
+    leaf.description = ToString(conjunct);
+    const VarId source_slot = SlotOf(conjunct.source, plan->catalog);
+    const VarId target_slot = SlotOf(conjunct.target, plan->catalog);
+    if (source_slot != kInvalidVar) leaf.variables.push_back(source_slot);
+    if (target_slot != kInvalidVar && target_slot != source_slot) {
+      leaf.variables.push_back(target_slot);
+    }
+    std::sort(leaf.variables.begin(), leaf.variables.end());
+    leaf.estimate = EstimateConjunct(*holder, *graph_);
+    leaves.push_back(std::move(leaf));
+    prepared->push_back(std::move(holder));
+  }
+
+  if (!options.forced_join_order.empty()) {
+    if (!IsPermutation(options.forced_join_order, leaves.size())) {
+      return Status::InvalidArgument(
+          "forced_join_order must be a permutation of the conjunct indices");
+    }
+    plan->root = PlanLeftDeep(std::move(leaves), options.forced_join_order,
+                              graph_->NumNodes());
+  } else if (options.plan_mode == PlanMode::kTextual) {
+    std::vector<size_t> order(leaves.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    plan->root = PlanLeftDeep(std::move(leaves), order, graph_->NumNodes());
+  } else {
+    plan->root = PlanGreedyBushy(std::move(leaves), graph_->NumNodes());
+  }
+  return plan;
+}
+
+Result<std::unique_ptr<QueryResultStream>> QueryEngine::Execute(
+    const Query& query, const QueryEngineOptions& options) const {
+  std::vector<std::unique_ptr<PreparedConjunct>> prepared;
+  Result<std::unique_ptr<QueryPlan>> plan = PlanFor(query, options, &prepared);
+  if (!plan.ok()) return plan.status();
+  const VarCatalog& catalog = (*plan)->catalog;
   std::vector<VarId> head_slots;
   head_slots.reserve(query.head.size());
   for (const std::string& var : query.head) {
     head_slots.push_back(catalog.Find(var));  // bound: ValidateQuery checked
   }
-  std::vector<std::unique_ptr<BindingStream>> streams;
-  streams.reserve(query.conjuncts.size());
-  for (const Conjunct& conjunct : query.conjuncts) {
-    Result<std::unique_ptr<BindingStream>> stream =
-        MakeConjunctStream(conjunct, options, catalog);
+  std::vector<std::unique_ptr<BindingStream>> streams(query.conjuncts.size());
+  for (size_t i = 0; i < query.conjuncts.size(); ++i) {
+    Result<std::unique_ptr<BindingStream>> stream = MakeConjunctStream(
+        query.conjuncts[i], std::move(prepared[i]), options, catalog);
     if (!stream.ok()) return stream.status();
-    streams.push_back(std::move(stream).value());
+    streams[i] = std::move(stream).value();
   }
-  return std::make_unique<QueryResultStream>(
-      query.head, std::move(head_slots),
-      BuildJoinTree(std::move(streams), options.evaluator.max_live_tuples));
+  std::unique_ptr<BindingStream> tree = CompilePlan(
+      (*plan)->root.get(), &streams, options.evaluator.max_live_tuples);
+  return std::make_unique<QueryResultStream>(query.head, std::move(head_slots),
+                                             std::move(tree),
+                                             std::move(*plan));
+}
+
+Result<std::string> QueryEngine::ExplainQuery(
+    const Query& query, const QueryEngineOptions& options) const {
+  std::vector<std::unique_ptr<PreparedConjunct>> prepared;
+  Result<std::unique_ptr<QueryPlan>> plan = PlanFor(query, options, &prepared);
+  if (!plan.ok()) return plan.status();
+  return RenderPlanTree(**plan, /*with_stats=*/false);
 }
 
 Result<std::vector<QueryAnswer>> QueryEngine::ExecuteTopK(

@@ -1,6 +1,9 @@
 // Top-level query execution: compiles each conjunct, wraps it in the
 // requested optimisation mode (plain / distance-aware / alternation
-// decomposition), composes the ranked join tree, and projects the query
+// decomposition), plans the join order cost-based (greedy
+// selectivity-ordered bushy trees over the shared-variable connectivity
+// graph; the seed's textual left-deep order is kept behind plan_mode as the
+// reference), compiles the planned rank-join tree, and projects the query
 // head with duplicate elimination — answers stream out in non-decreasing
 // total distance, matching the paper's incremental result batches.
 #ifndef OMEGA_EVAL_QUERY_ENGINE_H_
@@ -17,10 +20,20 @@
 #include "eval/disjunction.h"
 #include "eval/rank_join.h"
 #include "ontology/ontology.h"
+#include "plan/planner.h"
 #include "rpq/query.h"
 #include "store/graph_store.h"
 
 namespace omega {
+
+/// How QueryEngine::Execute orders the rank-join tree.
+enum class PlanMode {
+  /// Cost-based: greedy selectivity-ordered bushy construction.
+  kGreedyBushy,
+  /// The seed behaviour: left-deep in textual conjunct order. Kept as the
+  /// reference for tests/benches and as an escape hatch.
+  kTextual,
+};
 
 struct QueryEngineOptions {
   EvaluatorOptions evaluator;
@@ -32,6 +45,15 @@ struct QueryEngineOptions {
   /// §4.3 "replacing alternation by disjunction" (top-level alternations in
   /// non-exact conjuncts only).
   bool decompose_alternation = false;
+
+  /// Join-order planning mode.
+  PlanMode plan_mode = PlanMode::kGreedyBushy;
+
+  /// Testing/EXPLAIN hook: when non-empty, overrides plan_mode with a
+  /// left-deep tree in this conjunct order (a permutation of
+  /// [0, conjuncts.size())). The plan-equivalence property tests replay
+  /// random permutations through this.
+  std::vector<size_t> forced_join_order;
 };
 
 /// One projected answer: node bound to each head variable + total distance.
@@ -49,20 +71,30 @@ struct QueryAnswer {
 class QueryResultStream {
  public:
   /// `head_slots` holds the compiled VarId of each head variable, parallel
-  /// to `head`.
+  /// to `head`. `plan` is the annotated operator tree the bindings were
+  /// compiled from (its nodes observe the stream tree owned here); may be
+  /// null for streams assembled outside the engine.
   QueryResultStream(std::vector<std::string> head,
                     std::vector<VarId> head_slots,
-                    std::unique_ptr<BindingStream> bindings);
+                    std::unique_ptr<BindingStream> bindings,
+                    std::unique_ptr<QueryPlan> plan = nullptr);
 
   bool Next(QueryAnswer* out);
   const Status& status() const { return bindings_->status(); }
   const std::vector<std::string>& head() const { return head_; }
   EvaluatorStats stats() const { return bindings_->stats(); }
 
+  /// The chosen plan, or null.
+  const QueryPlan* plan() const { return plan_.get(); }
+  /// EXPLAIN ANALYZE-style rendering: the plan tree with estimates and the
+  /// per-operator counters accumulated so far. Empty string without a plan.
+  std::string ExplainString() const;
+
  private:
   std::vector<std::string> head_;
   std::vector<VarId> head_slots_;
   std::unique_ptr<BindingStream> bindings_;
+  std::unique_ptr<QueryPlan> plan_;
   FlatHashSet<uint64_t> seen_packed_;                      // heads of <= 2 vars
   FlatHashSet<std::vector<NodeId>, NodeVecHash> seen_wide_;  // wider heads
 };
@@ -82,18 +114,33 @@ class QueryEngine {
       const Query& query, size_t limit,
       const QueryEngineOptions& options = {}) const;
 
+  /// EXPLAIN: plans `query` without evaluating it and renders the chosen
+  /// tree with per-conjunct cardinality/selectivity estimates. (Per-operator
+  /// runtime counters appear in QueryResultStream::ExplainString after
+  /// execution.)
+  Result<std::string> ExplainQuery(const Query& query,
+                                   const QueryEngineOptions& options = {}) const;
+
   const GraphStore& graph() const { return *graph_; }
   const BoundOntology* bound_ontology() const {
     return bound_ ? &*bound_ : nullptr;
   }
 
  private:
-  /// Builds the (optimisation-wrapped) answer stream for one conjunct;
-  /// `catalog` is the per-query variable catalogue Execute compiled (every
-  /// variable of `conjunct` is already interned).
+  /// Compiles the per-query variable catalogue, prepares every conjunct,
+  /// estimates it, and builds the operator tree for the requested plan mode.
+  Result<std::unique_ptr<QueryPlan>> PlanFor(
+      const Query& query, const QueryEngineOptions& options,
+      std::vector<std::unique_ptr<PreparedConjunct>>* prepared) const;
+
+  /// Builds the (optimisation-wrapped) binding stream for one conjunct from
+  /// its already-prepared automaton; `catalog` is the per-query variable
+  /// catalogue (every variable of `conjunct` is already interned). The
+  /// decompose-alternation path recompiles per branch and ignores
+  /// `prepared`.
   Result<std::unique_ptr<BindingStream>> MakeConjunctStream(
-      const Conjunct& conjunct, const QueryEngineOptions& options,
-      const VarCatalog& catalog) const;
+      const Conjunct& conjunct, std::unique_ptr<PreparedConjunct> prepared,
+      const QueryEngineOptions& options, const VarCatalog& catalog) const;
 
   const GraphStore* graph_;
   std::optional<BoundOntology> bound_;

@@ -87,11 +87,11 @@ RankJoinStream::RankJoinStream(std::unique_ptr<BindingStream> left,
 }
 
 uint64_t RankJoinStream::KeyFor(const Binding& b) const {
-  // Exact for the engine's left-deep plans (the right side is one conjunct,
-  // so at most two variables are shared); wider shared sets fold FNV-style,
-  // which can only over-group — the merge in Advance re-checks per-variable
-  // consistency, so a folded collision costs a wasted probe, never a wrong
-  // row.
+  // Exact for joins sharing at most two variables (every join with a
+  // single-conjunct input); bushy plans can join two subtrees on wider
+  // shared sets, which fold FNV-style. Folding can only over-group — the
+  // merge in Advance re-checks per-variable consistency, so a folded
+  // collision costs a wasted probe, never a wrong row.
   if (shared_vars_.size() <= 2) {
     return PackPair(
         shared_vars_.empty() ? kInvalidNode : b.Get(shared_vars_[0]),
@@ -182,13 +182,28 @@ Binding RankJoinStream::PopCandidate() {
 bool RankJoinStream::Next(Binding* out) {
   if (!status_.ok()) return false;
   for (;;) {
+    // A side that is exhausted with nothing stored can never pair with a
+    // future arrival, so the candidate set is final: drain the heap and stop
+    // without pulling the sibling any further (the zero-answer
+    // short-circuit — an empty most-selective input must not make the join
+    // drain its live side to exhaustion).
+    const bool left_dead = left_.exhausted && left_.rows == 0;
+    const bool right_dead = right_.exhausted && right_.rows == 0;
+    if (left_dead || right_dead) {
+      if (heap_.empty()) return false;
+      *out = PopCandidate();
+      ++emitted_;
+      return true;
+    }
     if (!heap_.empty() && heap_.front().distance <= Threshold()) {
       *out = PopCandidate();
+      ++emitted_;
       return true;
     }
     if (left_.exhausted && right_.exhausted) {
       if (heap_.empty()) return false;
       *out = PopCandidate();
+      ++emitted_;
       return true;
     }
     // Alternate pulls, preferring the side that is behind (HRJN's simple
@@ -207,6 +222,13 @@ EvaluatorStats RankJoinStream::stats() const {
   total.MergeFrom(right_.stream->stats());
   if (peak_live_ > total.max_join_live) total.max_join_live = peak_live_;
   return total;
+}
+
+EvaluatorStats RankJoinStream::OperatorStats() const {
+  EvaluatorStats own;
+  own.answers_emitted = emitted_;
+  own.max_join_live = peak_live_;
+  return own;
 }
 
 std::unique_ptr<BindingStream> BuildJoinTree(

@@ -1,7 +1,8 @@
 // Ranked join for multi-conjunct queries (§3: "performing a ranked join for
 // multi-conjunct queries"). Conjunct answer streams are lifted to binding
 // streams and combined with binary HRJN operators (Ilyas et al., VLDB 2004)
-// composed left-deep; outputs are emitted in non-decreasing total distance.
+// composed into the tree shape the cost-based planner chose (src/plan/);
+// outputs are emitted in non-decreasing total distance.
 //
 // The data plane is compiled: QueryEngine::Execute numbers the query's
 // variables into dense VarId slots once at compile time, a Binding is a
@@ -78,6 +79,9 @@ class BindingStream {
   /// Variable slots this stream binds (sorted ascending).
   virtual const std::vector<VarId>& variables() const = 0;
   virtual EvaluatorStats stats() const { return {}; }
+  /// Counters of this operator alone, children excluded (EXPLAIN renders a
+  /// per-operator breakdown; stats() merges the whole subtree).
+  virtual EvaluatorStats OperatorStats() const { return stats(); }
 };
 
 /// Lifts a conjunct AnswerStream to bindings: Answer.v binds `source_slot`,
@@ -120,6 +124,9 @@ class RankJoinStream : public BindingStream {
   const Status& status() const override { return status_; }
   const std::vector<VarId>& variables() const override { return variables_; }
   EvaluatorStats stats() const override;
+  /// This operator's own counters: rows emitted (answers_emitted) and the
+  /// tables + heap high-water (max_join_live).
+  EvaluatorStats OperatorStats() const override;
 
  private:
   struct Side {
@@ -149,13 +156,17 @@ class RankJoinStream : public BindingStream {
   std::vector<Binding> heap_;  // min-heap on distance via std::*_heap
   size_t max_live_tuples_ = 0;
   size_t peak_live_ = 0;  // high-water mark of stored rows + heap candidates
+  size_t emitted_ = 0;    // rows this operator released
   bool pull_left_next_ = true;
   Status status_;
 };
 
-/// Composes conjunct binding streams into a left-deep rank-join tree (a
-/// single stream is returned unchanged). Each join operator in the tree
-/// enforces `max_live_tuples` on its own tables and heap.
+/// Composes conjunct binding streams into a left-deep rank-join tree in the
+/// given order (a single stream is returned unchanged) — the seed behaviour,
+/// kept for direct stream composition; the engine goes through
+/// plan::CompilePlan, which executes arbitrary tree shapes. Each join
+/// operator in the tree enforces `max_live_tuples` on its own tables and
+/// heap.
 std::unique_ptr<BindingStream> BuildJoinTree(
     std::vector<std::unique_ptr<BindingStream>> streams,
     size_t max_live_tuples = 0);

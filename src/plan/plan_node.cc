@@ -1,0 +1,70 @@
+#include "plan/plan_node.h"
+
+#include <cstdio>
+
+namespace omega {
+namespace {
+
+std::string FormatEstimate(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", value);
+  return buf;
+}
+
+std::string VarList(const std::vector<VarId>& vars,
+                    const VarCatalog& catalog) {
+  std::string out;
+  for (const VarId v : vars) {
+    if (!out.empty()) out += ", ";
+    out += "?" + catalog.NameOf(v);
+  }
+  return out;
+}
+
+void AppendNode(const PlanNode& node, const VarCatalog& catalog,
+                bool with_stats, const std::string& prefix,
+                const std::string& child_prefix, std::string* out) {
+  *out += prefix;
+  if (node.is_leaf()) {
+    *out += "#" + std::to_string(node.conjunct_index) + " " +
+            node.description;
+    *out += "  est=" + FormatEstimate(node.est_cardinality) + " rows";
+    *out += "  sel=" + FormatEstimate(node.estimate.selectivity);
+    if (node.estimate.provably_empty) *out += "  [provably empty]";
+    if (with_stats && node.stream != nullptr) {
+      const EvaluatorStats stats = node.stream->stats();
+      *out += "  {popped=" + std::to_string(stats.tuples_popped) +
+              " answers=" + std::to_string(stats.answers_emitted) +
+              " fetches=" + std::to_string(stats.neighbor_group_fetches) +
+              "}";
+    }
+    *out += "\n";
+    return;
+  }
+
+  *out += node.join_vars.empty()
+              ? std::string("CrossProduct")
+              : "RankJoin [" + VarList(node.join_vars, catalog) + "]";
+  *out += "  est=" + FormatEstimate(node.est_cardinality) + " rows";
+  if (with_stats && node.stream != nullptr) {
+    const EvaluatorStats stats = node.stream->OperatorStats();
+    *out += "  {emitted=" + std::to_string(stats.answers_emitted) +
+            " live-peak=" + std::to_string(stats.max_join_live) + "}";
+  }
+  *out += "\n";
+  AppendNode(*node.left, catalog, with_stats, child_prefix + "|-- ",
+             child_prefix + "|   ", out);
+  AppendNode(*node.right, catalog, with_stats, child_prefix + "`-- ",
+             child_prefix + "    ", out);
+}
+
+}  // namespace
+
+std::string RenderPlanTree(const QueryPlan& plan, bool with_stats) {
+  std::string out;
+  if (plan.root == nullptr) return out;
+  AppendNode(*plan.root, plan.catalog, with_stats, "", "", &out);
+  return out;
+}
+
+}  // namespace omega

@@ -1,0 +1,58 @@
+// The planner's intermediate representation: a binary tree whose leaves are
+// prepared conjuncts and whose inner nodes are rank joins. QueryEngine
+// compiles a plan into the matching BindingStream tree (any shape, not just
+// left-deep) and keeps the annotated plan alive alongside the stream so
+// EXPLAIN can render the chosen tree with estimates and, after execution,
+// per-operator EvaluatorStats.
+#ifndef OMEGA_PLAN_PLAN_NODE_H_
+#define OMEGA_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/rank_join.h"
+#include "plan/statistics.h"
+
+namespace omega {
+
+/// One operator of a query plan. Leaves (left == nullptr) evaluate a single
+/// conjunct; inner nodes rank-join their children on `join_vars` (empty:
+/// ranked cross product).
+struct PlanNode {
+  // --- leaf fields ---------------------------------------------------------
+  size_t conjunct_index = 0;  ///< index into Query::conjuncts
+  std::string description;    ///< conjunct text, e.g. "(?X, a.b-, ?Y)"
+  ConjunctEstimate estimate;  ///< leaf-level estimate
+
+  // --- inner fields --------------------------------------------------------
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  std::vector<VarId> join_vars;  ///< shared slots joined on (sorted)
+
+  // --- common --------------------------------------------------------------
+  std::vector<VarId> variables;   ///< slots bound below this node (sorted)
+  double est_cardinality = 0;     ///< estimated rows this operator emits
+  /// Observer into the compiled stream tree (owned by the root stream);
+  /// set by CompilePlan, null until then. Lets EXPLAIN pull per-operator
+  /// EvaluatorStats after execution.
+  const BindingStream* stream = nullptr;
+
+  bool is_leaf() const { return left == nullptr; }
+};
+
+/// A planned query: the operator tree plus the variable catalogue needed to
+/// print slot names.
+struct QueryPlan {
+  VarCatalog catalog;
+  std::unique_ptr<PlanNode> root;
+};
+
+/// Multi-line rendering of the plan tree. With `with_stats`, nodes that have
+/// a compiled stream also print their EvaluatorStats counters (tuples
+/// popped, answers emitted, join high-water) — zeros before execution.
+std::string RenderPlanTree(const QueryPlan& plan, bool with_stats);
+
+}  // namespace omega
+
+#endif  // OMEGA_PLAN_PLAN_NODE_H_

@@ -1,0 +1,56 @@
+// Join-order planning for multi-conjunct queries. The planner enumerates
+// join orders over the query's shared-variable connectivity graph: greedy
+// selectivity-ordered bushy construction (repeatedly join the pair of
+// components with the cheapest estimated output, cross products deferred to
+// last) or a caller-given left-deep order (the seed's textual order, kept as
+// the reference behind QueryEngineOptions::plan_mode). CompilePlan turns any
+// tree shape into the matching RankJoinStream tree — the generalisation of
+// the old left-deep-only BuildJoinTree.
+#ifndef OMEGA_PLAN_PLANNER_H_
+#define OMEGA_PLAN_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/plan_node.h"
+
+namespace omega {
+
+/// Planner input: one prepared conjunct reduced to what ordering needs.
+struct PlanLeaf {
+  size_t conjunct_index = 0;      ///< index into Query::conjuncts
+  std::string description;        ///< conjunct text for EXPLAIN
+  std::vector<VarId> variables;   ///< slots the conjunct binds (sorted)
+  ConjunctEstimate estimate;
+};
+
+/// Greedy selectivity-ordered bushy construction: while more than one
+/// component remains, join the pair with the smallest estimated output
+/// cardinality among pairs that share a variable (or where one side is
+/// provably empty — joining against it is free and short-circuits the rest);
+/// once no such pair exists, the cheapest ranked cross product. Within a
+/// join, the smaller-estimate side becomes the left child, so the operator's
+/// first pull lands on the most selective input. Deterministic: ties break
+/// on leaf positions.
+std::unique_ptr<PlanNode> PlanGreedyBushy(std::vector<PlanLeaf> leaves,
+                                          size_t num_graph_nodes);
+
+/// Left-deep tree in the given order over `leaves` positions (identity order
+/// == the seed's textual-order BuildJoinTree). `order` must be a permutation
+/// of [0, leaves.size()).
+std::unique_ptr<PlanNode> PlanLeftDeep(std::vector<PlanLeaf> leaves,
+                                       const std::vector<size_t>& order,
+                                       size_t num_graph_nodes);
+
+/// Compiles `root` into the matching BindingStream tree, moving each leaf's
+/// stream out of `leaf_streams` (indexed by conjunct_index) and recording
+/// observer pointers on the plan nodes for EXPLAIN. Every join operator
+/// enforces `max_live_tuples` on its own tables and heap.
+std::unique_ptr<BindingStream> CompilePlan(
+    PlanNode* root, std::vector<std::unique_ptr<BindingStream>>* leaf_streams,
+    size_t max_live_tuples);
+
+}  // namespace omega
+
+#endif  // OMEGA_PLAN_PLANNER_H_

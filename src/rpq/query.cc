@@ -31,6 +31,20 @@ std::vector<std::string> Query::BodyVariables() const {
   return vars;
 }
 
+std::string ToString(const Conjunct& conjunct) {
+  auto endpoint = [](const Endpoint& e) {
+    return e.is_variable ? "?" + e.name : e.name;
+  };
+  std::string out;
+  if (conjunct.mode != ConjunctMode::kExact) {
+    out += ConjunctModeToString(conjunct.mode);
+    out += ' ';
+  }
+  out += "(" + endpoint(conjunct.source) + ", " + ToString(*conjunct.regex) +
+         ", " + endpoint(conjunct.target) + ")";
+  return out;
+}
+
 std::string Query::ToString() const {
   std::string out = "(";
   for (size_t i = 0; i < head.size(); ++i) {
@@ -40,16 +54,7 @@ std::string Query::ToString() const {
   out += ") <- ";
   for (size_t i = 0; i < conjuncts.size(); ++i) {
     if (i > 0) out += ", ";
-    const Conjunct& c = conjuncts[i];
-    if (c.mode != ConjunctMode::kExact) {
-      out += ConjunctModeToString(c.mode);
-      out += ' ';
-    }
-    auto endpoint = [](const Endpoint& e) {
-      return e.is_variable ? "?" + e.name : e.name;
-    };
-    out += "(" + endpoint(c.source) + ", " + omega::ToString(*c.regex) + ", " +
-           endpoint(c.target) + ")";
+    out += omega::ToString(conjuncts[i]);
   }
   return out;
 }

@@ -45,6 +45,10 @@ struct Conjunct {
   Endpoint target;
 };
 
+/// Round-trippable text of one conjunct, e.g. "APPROX (?X, a.b-, ?Y)" —
+/// the fragment Query::ToString prints and the EXPLAIN leaf label.
+std::string ToString(const Conjunct& conjunct);
+
 /// A full CRP query. `head` lists the projected variable names (no '?').
 struct Query {
   std::vector<std::string> head;

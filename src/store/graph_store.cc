@@ -73,6 +73,29 @@ const OidSet& GraphStore::TypeEndpoints(Direction dir) const {
   return type_endpoints_[static_cast<int>(dir)];
 }
 
+LabelStats GraphStore::StatsForLabel(LabelId label) const {
+  LabelStats stats;
+  const auto& out = adjacency_[static_cast<int>(Direction::kOutgoing)];
+  if (label < out.size()) {
+    stats.edge_count = out[label].edge_count();
+    stats.num_tails = out[label].rows.size();
+  }
+  const auto& in = adjacency_[static_cast<int>(Direction::kIncoming)];
+  if (label < in.size()) stats.num_heads = in[label].rows.size();
+  return stats;
+}
+
+LabelStats GraphStore::SigmaStats() const {
+  LabelStats stats;
+  stats.edge_count =
+      sigma_union_[static_cast<int>(Direction::kOutgoing)].edge_count();
+  stats.num_tails =
+      sigma_union_[static_cast<int>(Direction::kOutgoing)].rows.size();
+  stats.num_heads =
+      sigma_union_[static_cast<int>(Direction::kIncoming)].rows.size();
+  return stats;
+}
+
 size_t GraphStore::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (int dir = 0; dir < 2; ++dir) {

@@ -42,6 +42,27 @@ struct CsrAdjacency {
 
 class GraphBuilder;
 
+/// Cheap per-label statistics, exposed for the cost-based planner. All of it
+/// is already known to the frozen CSR structures — no extra store state.
+struct LabelStats {
+  size_t edge_count = 0;  ///< distinct (x, label, y) triples
+  size_t num_tails = 0;   ///< nodes with >=1 outgoing `label` edge
+  size_t num_heads = 0;   ///< nodes with >=1 incoming `label` edge
+
+  /// Mean fan-out of a tail node (0 when the label has no edges).
+  double AvgOutDegree() const {
+    return num_tails == 0 ? 0.0
+                          : static_cast<double>(edge_count) /
+                                static_cast<double>(num_tails);
+  }
+  /// Mean fan-in of a head node (0 when the label has no edges).
+  double AvgInDegree() const {
+    return num_heads == 0 ? 0.0
+                          : static_cast<double>(edge_count) /
+                                static_cast<double>(num_heads);
+  }
+};
+
 /// Immutable graph snapshot; constructed via GraphBuilder::Finalize().
 class GraphStore {
  public:
@@ -91,6 +112,13 @@ class GraphStore {
   const OidSet& SigmaEndpoints(Direction dir) const;
   /// Nodes with >=1 `type` edge in the given traversal direction.
   const OidSet& TypeEndpoints(Direction dir) const;
+
+  // --- Per-label statistics (the planner's cost-model inputs) ------------
+
+  /// Statistics of `label` (zeros for labels with no stored edges).
+  LabelStats StatsForLabel(LabelId label) const;
+  /// Statistics of the generic Σ `edge` union adjacency.
+  LabelStats SigmaStats() const;
 
   /// Rough resident-memory estimate, used by memory-budgeted evaluation.
   size_t ApproxMemoryBytes() const;

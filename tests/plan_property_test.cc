@@ -1,0 +1,161 @@
+// Plan-equivalence property tests: every plan shape — the seed's textual
+// left-deep order, the greedy bushy plan, and random left-deep permutations
+// (through QueryEngineOptions::forced_join_order) — must yield the same
+// ranked answer multiset with non-decreasing distances, on random graphs and
+// random chain/star-ish queries including cross-product and self-join
+// conjuncts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/query_engine.h"
+#include "rpq/query_parser.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using Row = std::pair<std::vector<NodeId>, Cost>;
+
+/// Drains a query under `options`, asserting the stream succeeds and emits
+/// in non-decreasing distance; rows come back sorted for multiset
+/// comparison.
+std::vector<Row> RunSorted(const QueryEngine& engine, const Query& query,
+                           const QueryEngineOptions& options,
+                           const std::string& what) {
+  auto stream = engine.Execute(query, options);
+  EXPECT_TRUE(stream.ok()) << what << ": " << stream.status().ToString();
+  std::vector<Row> rows;
+  if (!stream.ok()) return rows;
+  QueryAnswer answer;
+  Cost last = 0;
+  while ((*stream)->Next(&answer)) {
+    EXPECT_GE(answer.distance, last)
+        << what << ": emission order must be non-decreasing";
+    last = answer.distance;
+    rows.emplace_back(answer.bindings, answer.distance);
+  }
+  EXPECT_TRUE((*stream)->status().ok())
+      << what << ": " << (*stream)->status().ToString();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Checks textual vs greedy vs `permutations` random forced orders.
+void CheckAllShapesAgree(const QueryEngine& engine, const Query& query,
+                         QueryEngineOptions base, Rng& rng,
+                         int permutations, const std::string& what) {
+  QueryEngineOptions textual = base;
+  textual.plan_mode = PlanMode::kTextual;
+  const std::vector<Row> expected =
+      RunSorted(engine, query, textual, what + " [textual]");
+
+  QueryEngineOptions greedy = base;
+  greedy.plan_mode = PlanMode::kGreedyBushy;
+  EXPECT_EQ(RunSorted(engine, query, greedy, what + " [greedy]"), expected)
+      << what << ": greedy bushy plan diverged from textual order";
+
+  std::vector<size_t> order(query.conjuncts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (int p = 0; p < permutations; ++p) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    QueryEngineOptions forced = base;
+    forced.forced_join_order = order;
+    EXPECT_EQ(RunSorted(engine, query, forced, what + " [permutation]"),
+              expected)
+        << what << ": permuted left-deep plan diverged";
+  }
+}
+
+/// Random conjunct over a small variable pool: chain-biased endpoints with
+/// occasional self-joins and constants (sometimes absent from the graph).
+Conjunct RandomConjunct(Rng& rng, size_t position, size_t num_nodes,
+                        const std::vector<std::string>& labels, bool approx) {
+  static const char* kVars[] = {"A", "B", "C", "D"};
+  Conjunct c;
+  c.mode = approx ? ConjunctMode::kApprox : ConjunctMode::kExact;
+  c.source = Endpoint::Variable(kVars[position % 4]);
+  const uint64_t pick = rng.NextBounded(10);
+  if (pick < 6) {
+    c.target = Endpoint::Variable(kVars[(position + 1) % 4]);
+  } else if (pick < 7) {
+    c.target = c.source;  // self-join (?X, R, ?X)
+  } else if (pick < 8) {
+    // Unrelated variable: can disconnect the query into a cross product.
+    c.target = Endpoint::Variable(kVars[rng.NextBounded(4)]);
+  } else {
+    // Constant, occasionally absent ("n<num_nodes>" does not exist).
+    c.target = Endpoint::Constant(
+        "n" + std::to_string(rng.NextBounded(num_nodes + 1)));
+  }
+  c.regex = testing::RandomRegex(&rng, labels, 1);
+  return c;
+}
+
+TEST(PlanPropertyTest, AllPlanShapesAgreeOnRandomGraphs) {
+  const std::vector<std::string> labels = {"e", "f", "g"};
+  Rng rng(20260731);
+  for (int round = 0; round < 40; ++round) {
+    const size_t num_nodes = 8 + rng.NextBounded(8);
+    GraphStore g =
+        testing::RandomGraph(rng.NextBounded(1u << 30), num_nodes, labels,
+                             1.2);
+    QueryEngine engine(&g, nullptr);
+
+    const bool approx = round % 5 == 4;
+    Query query;
+    const size_t num_conjuncts = 2 + rng.NextBounded(2);
+    for (size_t i = 0; i < num_conjuncts; ++i) {
+      query.conjuncts.push_back(
+          RandomConjunct(rng, i, num_nodes, labels, approx));
+    }
+    query.head = query.BodyVariables();
+    if (query.head.empty()) continue;  // all-constant body: nothing to test
+    ASSERT_TRUE(ValidateQuery(query).ok()) << query.ToString();
+
+    QueryEngineOptions base;
+    if (approx) base.evaluator.max_distance = 1;
+    CheckAllShapesAgree(engine, query, base, rng, /*permutations=*/2,
+                        "round " + std::to_string(round) + " " +
+                            query.ToString());
+  }
+}
+
+TEST(PlanPropertyTest, CrossProductQueryAgreesAcrossShapes) {
+  // Two disconnected components joined only by the ranked cross product.
+  GraphStore g = testing::MakeGraph({{"a", "e", "b"},
+                                     {"b", "e", "c"},
+                                     {"x", "f", "y"},
+                                     {"y", "f", "z"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q =
+      ParseQuery("(?A, ?B, ?C) <- (?A, e+, ?B), (?C, f, ?D), (a, e, b)");
+  ASSERT_TRUE(q.ok());
+  Rng rng(7);
+  CheckAllShapesAgree(engine, *q, {}, rng, /*permutations=*/3,
+                      "cross product");
+}
+
+TEST(PlanPropertyTest, SelfJoinQueryAgreesAcrossShapes) {
+  GraphStore g = testing::MakeGraph({{"a", "e", "a"},
+                                     {"a", "f", "b"},
+                                     {"b", "e", "b"},
+                                     {"b", "f", "a"},
+                                     {"c", "e", "c"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q =
+      ParseQuery("(?X, ?Y) <- (?X, e, ?X), (?X, f, ?Y), (?Y, e, ?Y)");
+  ASSERT_TRUE(q.ok());
+  Rng rng(11);
+  CheckAllShapesAgree(engine, *q, {}, rng, /*permutations=*/3, "self join");
+}
+
+}  // namespace
+}  // namespace omega

@@ -206,9 +206,8 @@ TEST(RankJoinPropertyTest, JoinTreeMatchesNaiveReference) {
 TEST(RankJoinPropertyTest, FoldedKeyWithThreeSharedVariables) {
   // More than two shared variables fall off the exact PackPair key onto the
   // FNV fold, whose grouping collisions must be caught by the merge-time
-  // consistency re-check. Wide sides never come out of the engine's
-  // left-deep plans, but RankJoinStream is a public operator (bushy trees
-  // are a ROADMAP candidate), so the branch is pinned here.
+  // consistency re-check. The planner's bushy trees can join two subtrees
+  // on wide shared sets, so this branch is live engine behaviour now.
   Rng rng(7331);
   for (int round = 0; round < 100; ++round) {
     const size_t width = 4;

@@ -124,6 +124,65 @@ TEST(RankJoinTest, EmptySideYieldsNothing) {
   EXPECT_FALSE(join.Next(&out));
 }
 
+/// Counts how often the join pulls from the wrapped stream (reported as
+/// tuples_popped so the engine-level merged stats see it too).
+class PullCountingStream : public BindingStream {
+ public:
+  explicit PullCountingStream(std::unique_ptr<BindingStream> inner)
+      : inner_(std::move(inner)) {}
+
+  bool Next(Binding* out) override {
+    ++pulls_;
+    return inner_->Next(out);
+  }
+  const Status& status() const override { return inner_->status(); }
+  const std::vector<VarId>& variables() const override {
+    return inner_->variables();
+  }
+  EvaluatorStats stats() const override {
+    EvaluatorStats stats = inner_->stats();
+    stats.tuples_popped = pulls_;
+    return stats;
+  }
+  size_t pulls() const { return pulls_; }
+
+ private:
+  std::unique_ptr<BindingStream> inner_;
+  size_t pulls_ = 0;
+};
+
+// Regression for the zero-answer short-circuit: a side that finishes with
+// zero rows must stop the join without the sibling being drained (the old
+// behaviour kept pulling the live side to exhaustion to raise the
+// threshold).
+TEST(RankJoinTest, ZeroRowSideDoesNotDrainSibling) {
+  for (const bool empty_left : {true, false}) {
+    std::vector<Binding> big_rows;
+    for (NodeId i = 0; i < 10000; ++i) {
+      big_rows.push_back(
+          Bnd(2, {{kX, i}, {kY, i}}, static_cast<Cost>(i / 100)));
+    }
+    auto empty = std::make_unique<ScriptedStream>(std::vector<VarId>{kY},
+                                                  std::vector<Binding>{});
+    auto big = std::make_unique<PullCountingStream>(
+        std::make_unique<ScriptedStream>(std::vector<VarId>{kX, kY},
+                                         std::move(big_rows)));
+    PullCountingStream* big_observer = big.get();
+    RankJoinStream join(
+        empty_left ? std::unique_ptr<BindingStream>(std::move(empty))
+                   : std::unique_ptr<BindingStream>(std::move(big)),
+        empty_left ? std::unique_ptr<BindingStream>(std::move(big))
+                   : std::unique_ptr<BindingStream>(std::move(empty)));
+    Binding out;
+    EXPECT_FALSE(join.Next(&out));
+    EXPECT_TRUE(join.status().ok());
+    EXPECT_LE(big_observer->pulls(), 2u)
+        << (empty_left ? "empty left" : "empty right")
+        << ": sibling of an empty side must stay bounded";
+    EXPECT_LE(join.stats().tuples_popped, 2u);
+  }
+}
+
 TEST(RankJoinTest, MultiSharedVariableKey) {
   auto left = std::make_unique<ScriptedStream>(
       std::vector<VarId>{kX, kY},

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Substrate perf regression gate.
 
-Reads the google-benchmark JSON written by
+Reads one or more google-benchmark JSON reports written by
 
     bench_micro_substrate --benchmark_filter=Substrate \
         --benchmark_out=BENCH_substrate.json --benchmark_out_format=json
+    bench_plan --benchmark_filter=Substrate \
+        --benchmark_out=BENCH_plan.json --benchmark_out_format=json
 
-pairs each new-substrate bench with its seed-substrate baseline by name
-suffix, and fails (exit 1) if any new implementation is slower than its
-baseline beyond a noise tolerance. Run via the `substrate_gate` CMake target.
+merges their timings, pairs each new-substrate bench with its baseline by
+name suffix, and fails (exit 1) if any new implementation is slower than its
+baseline beyond a noise tolerance — or, for pairs with a required minimum
+speedup, not faster by at least that factor. Run via the `substrate_gate`
+CMake target.
 """
 import json
 import sys
@@ -22,6 +26,17 @@ PAIRINGS = {
     # seed std::set of NodeId vectors.
     "_CompiledSlots": "_StringKeyReference",
     "_FlatPacked": "_StdSetReference",
+    # Cost-based planner (PR 3): greedy bushy join order vs the seed's
+    # textual left-deep order on bench_plan's skewed-selectivity workload.
+    "_PlannedOrder": "_TextualOrder",
+}
+
+# Pairs that must not merely avoid regressing but beat their baseline by a
+# factor: the planner exists to dodge intermediate-result blow-ups, so a
+# planned order that is not clearly faster on the skewed workload means the
+# cost model or the greedy construction broke.
+MIN_SPEEDUP = {
+    "_PlannedOrder": 1.5,
 }
 
 # Generous noise floor so the gate trips on real regressions, not scheduler
@@ -30,18 +45,18 @@ TOLERANCE = 1.10
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} BENCH_substrate.json", file=sys.stderr)
+    if len(sys.argv) < 2:
+        print(f"usage: {sys.argv[0]} BENCH_JSON [BENCH_JSON ...]",
+              file=sys.stderr)
         return 2
 
-    with open(sys.argv[1]) as f:
-        report = json.load(f)
-
-    times = {
-        b["name"]: b["cpu_time"]
-        for b in report.get("benchmarks", [])
-        if b.get("run_type", "iteration") == "iteration"
-    }
+    times = {}
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            report = json.load(f)
+        for b in report.get("benchmarks", []):
+            if b.get("run_type", "iteration") == "iteration":
+                times[b["name"]] = b["cpu_time"]
 
     checked = 0
     failures = []
@@ -61,13 +76,25 @@ def main() -> int:
             checked += 1
             base_time = times[base_name]
             ratio = cpu_time / base_time if base_time > 0 else float("inf")
-            verdict = "OK" if ratio <= TOLERANCE else "REGRESSION"
+            max_ratio = TOLERANCE
+            if new_suffix in MIN_SPEEDUP:
+                max_ratio = 1.0 / MIN_SPEEDUP[new_suffix]
+            if ratio <= max_ratio:
+                verdict = "OK"
+            elif new_suffix in MIN_SPEEDUP and ratio <= TOLERANCE:
+                # Not slower than its baseline, just short of the required
+                # factor — a different failure than a regression.
+                verdict = "TOO SLOW"
+            else:
+                verdict = "REGRESSION"
+            required = (f", requires >= {MIN_SPEEDUP[new_suffix]:.1f}x"
+                        if new_suffix in MIN_SPEEDUP else "")
             print(
                 f"{verdict:>10}  {name}: {cpu_time:.0f} ns  vs  "
                 f"{base_name}: {base_time:.0f} ns  "
-                f"(ratio {ratio:.3f}, speedup {1 / ratio:.2f}x)"
+                f"(ratio {ratio:.3f}, speedup {1 / ratio:.2f}x{required})"
             )
-            if ratio > TOLERANCE:
+            if ratio > max_ratio:
                 failures.append(name)
 
     if missing:
@@ -78,10 +105,10 @@ def main() -> int:
         print("ERROR: no substrate pairs found in the report", file=sys.stderr)
         return 2
     if failures:
-        print(f"\nFAIL: {len(failures)} substrate regression(s): "
+        print(f"\nFAIL: {len(failures)} pair(s) below required speed: "
               + ", ".join(failures), file=sys.stderr)
         return 1
-    print(f"\nPASS: {checked} substrate pair(s) at or above baseline speed")
+    print(f"\nPASS: {checked} substrate pair(s) at or above required speed")
     return 0
 
 
