@@ -1,0 +1,254 @@
+// Serving-layer throughput gate: drives a QueryService with a mixed
+// (exact / APPROX / RELAX, single- and multi-conjunct) workload over a
+// hub-skewed graph and emits two gate pairs for
+// tools/check_substrate_gate.py (via the `substrate_gate` CMake target):
+//
+//   BM_SubstrateService_RepeatedMix_CacheHit  vs  ..._CacheMiss
+//     the same repeated-query mix answered from the ranked-result cache vs
+//     re-evaluated with bypass_cache — the cache must be >= 20x faster.
+//
+//   BM_SubstrateService_ColdMix_ServiceParallel  vs  ..._ServiceSerial
+//     cache-cold throughput of an 8-worker pool vs a 1-worker pool, driven
+//     by 8 client threads — required >= 3x. Only registered when the host
+//     has >= 4 hardware threads: on fewer cores the workers serialise on
+//     the CPU and the pair would measure the scheduler, not the service.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "rpq/query_parser.h"
+#include "service/query_service.h"
+#include "store/graph_builder.h"
+
+namespace {
+
+using namespace omega;
+
+/// Mid-sized social-ish graph: enough fan-out that APPROX queries do real
+/// automaton work, plus a type hierarchy for RELAX.
+const GraphStore& ServingGraph() {
+  static const GraphStore* graph = [] {
+    Rng rng(4242);
+    GraphBuilder builder;
+    constexpr size_t kPeople = 600;
+    constexpr size_t kOrgs = 30;
+    std::vector<std::string> people;
+    std::vector<std::string> orgs;
+    people.reserve(kPeople);
+    for (size_t i = 0; i < kPeople; ++i) {
+      people.push_back("p" + std::to_string(i));
+    }
+    for (size_t i = 0; i < kOrgs; ++i) {
+      orgs.push_back("o" + std::to_string(i));
+      (void)builder.AddEdge(orgs.back(), "type",
+                            i % 2 == 0 ? "University" : "Company");
+    }
+    for (size_t i = 0; i < kPeople; ++i) {
+      for (int e = 0; e < 3; ++e) {
+        (void)builder.AddEdge(people[i], "knows",
+                              people[rng.NextBounded(kPeople)]);
+      }
+      (void)builder.AddEdge(people[i],
+                            rng.NextBounded(2) == 0 ? "worksAt" : "studiesAt",
+                            orgs[rng.NextBounded(kOrgs)]);
+    }
+    return new GraphStore(std::move(builder).Finalize());
+  }();
+  return *graph;
+}
+
+const Ontology& ServingOntology() {
+  static const Ontology* ontology = [] {
+    OntologyBuilder ob;
+    (void)ob.AddSubproperty("worksAt", "affiliatedWith");
+    (void)ob.AddSubproperty("studiesAt", "affiliatedWith");
+    (void)ob.AddSubclass("University", "Institution");
+    (void)ob.AddSubclass("Company", "Institution");
+    Result<Ontology> o = std::move(ob).Finalize();
+    if (!o.ok()) {
+      std::fprintf(stderr, "bench_service: %s\n", o.status().ToString().c_str());
+      std::abort();
+    }
+    return new Ontology(std::move(o).value());
+  }();
+  return *ontology;
+}
+
+const std::vector<Query>& Workload() {
+  static const std::vector<Query>* workload = [] {
+    auto* queries = new std::vector<Query>();
+    for (const char* text : {
+             "(?X) <- (?X, knows, ?Y)",
+             "(?X, ?Z) <- (?X, knows, ?Y), (?Y, knows, ?Z)",
+             "(?X, ?O) <- (?X, knows, ?Y), (?Y, worksAt, ?O)",
+             "(?X) <- APPROX (?X, knows.worksAt, ?Y)",
+             "(?X) <- RELAX (?X, worksAt, ?Y)",
+             "(?X) <- RELAX (?X, worksAt.type, ?Y)",
+             "(?X, ?Y) <- (?X, knows, ?Y), RELAX (?X, studiesAt, ?O)",
+             "(?X) <- APPROX (?X, worksAt, ?Y), (?X, knows, ?Z)",
+         }) {
+      Result<Query> q = ParseQuery(text);
+      if (!q.ok()) {
+        std::fprintf(stderr, "bench_service: %s\n",
+                     q.status().ToString().c_str());
+        std::abort();
+      }
+      queries->push_back(std::move(q).value());
+    }
+    return queries;
+  }();
+  return *workload;
+}
+
+constexpr size_t kTopK = 20;
+constexpr size_t kClientThreads = 8;
+constexpr size_t kRequestsPerClient = 16;
+
+QueryServiceOptions ServiceOptions(size_t workers) {
+  QueryServiceOptions options;
+  options.num_workers = workers;
+  options.max_queue = 1024;  // admission never skews the throughput pair
+  return options;
+}
+
+/// Fires the mixed workload from kClientThreads blocking clients; returns
+/// the number of successful responses. `bypass_cache` keeps the run
+/// cache-cold for the throughput pair.
+size_t DriveClients(QueryService* service, bool bypass_cache) {
+  std::vector<std::thread> clients;
+  std::atomic<size_t> ok{0};
+  clients.reserve(kClientThreads);
+  for (size_t c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([service, bypass_cache, c, &ok] {
+      const std::vector<Query>& workload = Workload();
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        QueryRequest request;
+        request.query = Clone(workload[(c * 5 + r) % workload.size()]);
+        request.top_k = kTopK;
+        request.bypass_cache = bypass_cache;
+        if (service->Execute(std::move(request)).status.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  return ok.load();
+}
+
+void ThroughputBench(benchmark::State& state, size_t workers) {
+  QueryService service(&ServingGraph(), &ServingOntology(),
+                       ServiceOptions(workers));
+  size_t total_ok = 0;
+  for (auto _ : state) {
+    total_ok += DriveClients(&service, /*bypass_cache=*/true);
+  }
+  if (total_ok !=
+      state.iterations() * kClientThreads * kRequestsPerClient) {
+    state.SkipWithError("some requests failed");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_ok));
+}
+
+void BM_SubstrateService_ColdMix_ServiceParallel(benchmark::State& state) {
+  ThroughputBench(state, /*workers=*/8);
+}
+
+void BM_SubstrateService_ColdMix_ServiceSerial(benchmark::State& state) {
+  ThroughputBench(state, /*workers=*/1);
+}
+
+/// Cache-hit latency: every iteration answers the whole mix from the cache
+/// (warmed once outside the timed region).
+void BM_SubstrateService_RepeatedMix_CacheHit(benchmark::State& state) {
+  QueryService service(&ServingGraph(), &ServingOntology(),
+                       ServiceOptions(2));
+  const std::vector<Query>& workload = Workload();
+  for (const Query& query : workload) {  // warm
+    QueryRequest request;
+    request.query = Clone(query);
+    request.top_k = kTopK;
+    if (!service.Execute(std::move(request)).status.ok()) {
+      state.SkipWithError("warmup failed");
+      return;
+    }
+  }
+  size_t answers = 0;
+  for (auto _ : state) {
+    for (const Query& query : workload) {
+      QueryRequest request;
+      request.query = Clone(query);
+      request.top_k = kTopK;
+      QueryResponse response = service.Execute(std::move(request));
+      if (!response.cache_hit) {
+        state.SkipWithError("expected a cache hit");
+        return;
+      }
+      answers += response.answers.size();
+    }
+  }
+  benchmark::DoNotOptimize(answers);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * Workload().size()));
+}
+
+/// Cache-miss latency twin: identical requests forced through evaluation.
+void BM_SubstrateService_RepeatedMix_CacheMiss(benchmark::State& state) {
+  QueryService service(&ServingGraph(), &ServingOntology(),
+                       ServiceOptions(2));
+  size_t answers = 0;
+  for (auto _ : state) {
+    for (const Query& query : Workload()) {
+      QueryRequest request;
+      request.query = Clone(query);
+      request.top_k = kTopK;
+      request.bypass_cache = true;
+      QueryResponse response = service.Execute(std::move(request));
+      if (!response.status.ok()) {
+        state.SkipWithError("query failed");
+        return;
+      }
+      answers += response.answers.size();
+    }
+  }
+  benchmark::DoNotOptimize(answers);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * Workload().size()));
+}
+
+// Service latencies accrue on worker threads while the driving thread
+// blocks in Wait(), so wall clock — not the driver's CPU time — is the
+// honest metric (the gate script reads real_time for these pairs).
+BENCHMARK(BM_SubstrateService_RepeatedMix_CacheHit)->UseRealTime();
+BENCHMARK(BM_SubstrateService_RepeatedMix_CacheMiss)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The parallel-vs-serial pair measures worker scaling, which needs real
+  // cores: on a 1-2 core host 8 workers just time-slice one CPU and the
+  // pair would gate on scheduler behaviour. The gate script skips pairs
+  // that are absent from the report, so registration is conditional.
+  if (std::thread::hardware_concurrency() >= 4) {
+    benchmark::RegisterBenchmark("BM_SubstrateService_ColdMix_ServiceParallel",
+                                 BM_SubstrateService_ColdMix_ServiceParallel)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark("BM_SubstrateService_ColdMix_ServiceSerial",
+                                 BM_SubstrateService_ColdMix_ServiceSerial)
+        ->UseRealTime();
+  } else {
+    std::fprintf(stderr,
+                 "bench_service: < 4 hardware threads; the "
+                 "ServiceParallel/ServiceSerial pair is not registered\n");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,11 +14,16 @@
 //   $ echo '(?X) <- RELAX (Librarians, type-, ?X)' | ./build/examples/omega_shell
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_service.h"
 
 #include "common/strings.h"
 #include "common/timer.h"
@@ -66,6 +71,7 @@ class Shell {
   void RebuildEngine() {
     engine_ = std::make_unique<QueryEngine>(graph_.get(), ontology_.get());
     stream_.reset();
+    history_.clear();  // .serve replays are per-dataset
     std::fprintf(stderr, "dataset: %zu nodes, %zu edges, %zu labels\n",
                  graph_->NumNodes(), graph_->NumEdges(),
                  graph_->labels().size());
@@ -88,6 +94,9 @@ class Shell {
           "  .plan bushy|textual       join-order planning mode\n"
           "  .explain QUERY            show the chosen plan with estimates\n"
           "  .budget N                 live-tuple budget (0 = unlimited)\n"
+          "  .serve [W [C [R]]]        replay this session's queries through a\n"
+          "                            QueryService: W workers, C client\n"
+          "                            threads, R requests each (default 4 4 25)\n"
           "  .stats                    per-operator counters of the last query\n"
           "  .node LABEL               inspect a node's edges\n"
           "  .quit\n");
@@ -176,6 +185,14 @@ class Shell {
           static_cast<size_t>(std::atoll(words[1].c_str()));
       std::printf("budget %zu live tuples\n",
                   options_.evaluator.max_live_tuples);
+    } else if (cmd == ".serve") {
+      const size_t workers =
+          words.size() > 1 ? std::max(1, std::atoi(words[1].c_str())) : 4;
+      const size_t clients =
+          words.size() > 2 ? std::max(1, std::atoi(words[2].c_str())) : 4;
+      const size_t repeat =
+          words.size() > 3 ? std::max(1, std::atoi(words[3].c_str())) : 25;
+      Serve(workers, clients, repeat);
     } else if (cmd == ".stats") {
       if (stream_ == nullptr) {
         std::printf("no active query\n");
@@ -242,11 +259,76 @@ class Shell {
     std::printf("%s", rendered->c_str());
   }
 
+  /// The Figure-1 console serves one user; `.serve` shows the same engine
+  /// behind the new serving layer: it replays this session's queries from
+  /// `clients` concurrent threads against a QueryService sharing the
+  /// current (frozen) graph + ontology, then prints throughput and the
+  /// per-class serving statistics.
+  void Serve(size_t workers, size_t clients, size_t repeat) {
+    if (history_.empty()) {
+      std::printf(
+          "no queries to replay yet — run a few queries first, then .serve\n");
+      return;
+    }
+    QueryServiceOptions service_options;
+    service_options.num_workers = workers;
+    service_options.max_queue = std::max<size_t>(64, clients * 2);
+    service_options.engine = options_;
+    QueryService service(graph_.get(), ontology_.get(), service_options);
+
+    std::atomic<size_t> ok{0}, errors{0};
+    Timer timer;
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        for (size_t r = 0; r < repeat; ++r) {
+          QueryRequest request;
+          request.query = Clone(history_[(c + r) % history_.size()]);
+          request.top_k = batch_size_;
+          // Every fourth request skips the cache so the engine keeps
+          // seeing concurrent load even once everything is cached.
+          request.bypass_cache = (c + r) % 4 == 0;
+          if (service.Execute(std::move(request)).status.ok()) {
+            ++ok;
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (std::thread& t : client_threads) t.join();
+    const double elapsed_ms = timer.ElapsedMs();
+
+    const size_t total = clients * repeat;
+    std::printf(
+        "%zu requests (%zu distinct queries) on %zu workers in %.1f ms "
+        "=> %.0f qps; %zu ok, %zu failed\n",
+        total, history_.size(), service.num_workers(), elapsed_ms,
+        elapsed_ms > 0 ? 1000.0 * static_cast<double>(total) / elapsed_ms
+                       : 0.0,
+        ok.load(), errors.load());
+    std::printf("%s", service.stats().ToString().c_str());
+  }
+
   void Query(const std::string& text) {
     Result<omega::Query> query = ParseQuery(text);
     if (!query.ok()) {
       std::printf("%s\n", query.status().ToString().c_str());
       return;
+    }
+    // Remember the query for `.serve` replay (bounded, deduplicated on the
+    // cache key so replays mix distinct queries, not one repeated line).
+    if (history_.size() < 32) {
+      const std::string key = query->CanonicalKey();
+      bool known = false;
+      for (const omega::Query& q : history_) {
+        if (q.CanonicalKey() == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) history_.push_back(Clone(*query));
     }
     Result<std::unique_ptr<QueryResultStream>> stream =
         engine_->Execute(*query, options_);
@@ -304,6 +386,7 @@ class Shell {
   std::unique_ptr<Ontology> ontology_;
   std::unique_ptr<QueryEngine> engine_;
   std::unique_ptr<QueryResultStream> stream_;
+  std::vector<omega::Query> history_;  // session queries replayed by .serve
   QueryEngineOptions options_;
   size_t batch_size_ = 10;
   size_t emitted_ = 0;

@@ -1,0 +1,125 @@
+// Cooperative cancellation and deadlines for query evaluation.
+//
+// A CancelSource owns the shared cancellation state (an atomic flag plus an
+// optional steady-clock deadline fixed at construction); CancelTokens are
+// cheap copyable views handed to evaluators. Evaluators poll the token at
+// stream-pull granularity: the flag is one relaxed atomic load per pull,
+// the deadline clock read is strided (see kDeadlineCheckStride) so the hot
+// path never pays a clock syscall per tuple.
+#ifndef OMEGA_COMMON_CANCEL_H_
+#define OMEGA_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace omega {
+
+namespace internal {
+
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  /// Fixed before the state is shared (CancelSource construction), so
+  /// readers need no synchronisation; time_point::max() means no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+}  // namespace internal
+
+/// How many CheckStrided calls elapse between deadline clock reads. The
+/// cancellation flag is still consulted on every call.
+inline constexpr uint32_t kDeadlineCheckStride = 64;
+
+/// Read-only view of a cancellation state. A default-constructed token is
+/// "null": never cancelled, no deadline, zero check cost beyond one branch.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Flag-only fast path: one relaxed atomic load, no clock read.
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return state_ != nullptr &&
+           state_->deadline != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// Full check (flag + deadline clock read). Explicit cancellation wins
+  /// over an expired deadline. `where` names the operator for the error
+  /// message ("conjunct evaluation", "rank join", ...).
+  Status Check(const char* where) const {
+    if (state_ == nullptr) return Status::OK();
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      return Status::Cancelled(std::string(where) + " was cancelled");
+    }
+    // Deadline-free tokens never pay the clock read (the branch is fixed at
+    // construction, so it predicts perfectly).
+    if (state_->deadline != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      return Status::DeadlineExceeded(std::string(where) +
+                                      " passed the query deadline");
+    }
+    return Status::OK();
+  }
+
+  /// Hot-loop check: the flag on every call, the deadline clock on the
+  /// first call (so an already-expired deadline fails fast) and then every
+  /// kDeadlineCheckStride-th call. `tick` is a caller-owned counter.
+  Status CheckStrided(uint32_t* tick, const char* where) const {
+    if (state_ == nullptr) return Status::OK();
+    if (!cancelled() && (++*tick % kDeadlineCheckStride) != 1) {
+      return Status::OK();
+    }
+    return Check(where);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const internal::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const internal::CancelState> state_;
+};
+
+/// Owns a cancellation state: the serving layer constructs one per query,
+/// threads its token through EvaluatorOptions, and flips it on Cancel().
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<internal::CancelState>()) {}
+
+  static CancelSource WithDeadline(
+      std::chrono::steady_clock::time_point deadline) {
+    CancelSource source;
+    source.state_->deadline = deadline;
+    return source;
+  }
+
+  static CancelSource WithTimeout(std::chrono::nanoseconds timeout) {
+    return WithDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  void Cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_COMMON_CANCEL_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kResourceExhausted, ///< evaluator exceeded its configured memory budget
   kFailedPrecondition,///< API called in the wrong state (e.g. unfinalized store)
   kInternal,          ///< invariant violation (a bug in omega itself)
+  kDeadlineExceeded,  ///< per-query deadline expired during evaluation
+  kCancelled,         ///< query was cooperatively cancelled by its caller
 };
 
 /// Returns a stable human-readable name for a code ("InvalidArgument", ...).
@@ -56,6 +58,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -66,6 +74,10 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -8,6 +8,7 @@
 #include "automata/approx.h"
 #include "automata/nfa.h"
 #include "automata/relax.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "store/types.h"
 
@@ -98,6 +99,13 @@ struct EvaluatorOptions {
   /// the disjunction optimisation's reason for adaptive branch ordering:
   /// cheap branches fill the quota so expensive ones are never evaluated.
   size_t top_k_hint = 0;
+
+  /// Cooperative cancellation / deadline token, polled at stream-pull
+  /// granularity by ConjunctEvaluator and RankJoinStream. A null (default)
+  /// token costs one branch per pull. Expiry fails the stream with
+  /// kDeadlineExceeded / kCancelled — distinct from the kResourceExhausted
+  /// budget failures above.
+  CancelToken cancel;
 
   ApproxOptions approx;
   RelaxOptions relax;

@@ -281,6 +281,17 @@ bool ConjunctEvaluator::Next(Answer* out) {
   if (!status_.ok()) return false;
   Open();
   for (;;) {
+    // Cooperative cancellation at pop granularity: a null token costs one
+    // branch, a live one a relaxed flag load per pop plus a strided
+    // deadline clock read (see common/cancel.h).
+    if (options_.cancel.valid()) {
+      Status s = options_.cancel.CheckStrided(&cancel_tick_,
+                                              "conjunct evaluation");
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return false;
+      }
+    }
     RefillSeeds();
     if (dict_.Empty()) return false;  // exhausted
     const EvalTuple tuple = dict_.Remove();

@@ -117,6 +117,7 @@ class ConjunctEvaluator : public AnswerStream {
   bool target_is_constant_ = false;
 
   bool opened_ = false;
+  uint32_t cancel_tick_ = 0;  // strided-deadline-check counter
   bool truncated_by_distance_ = false;
   Status status_;
   EvaluatorStats stats_;

@@ -221,8 +221,9 @@ Result<std::unique_ptr<QueryResultStream>> QueryEngine::Execute(
     if (!stream.ok()) return stream.status();
     streams[i] = std::move(stream).value();
   }
-  std::unique_ptr<BindingStream> tree = CompilePlan(
-      (*plan)->root.get(), &streams, options.evaluator.max_live_tuples);
+  std::unique_ptr<BindingStream> tree =
+      CompilePlan((*plan)->root.get(), &streams,
+                  options.evaluator.max_live_tuples, options.evaluator.cancel);
   return std::make_unique<QueryResultStream>(query.head, std::move(head_slots),
                                              std::move(tree),
                                              std::move(*plan));

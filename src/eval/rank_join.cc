@@ -70,8 +70,8 @@ bool ConjunctBindingStream::Next(Binding* out) {
 
 RankJoinStream::RankJoinStream(std::unique_ptr<BindingStream> left,
                                std::unique_ptr<BindingStream> right,
-                               size_t max_live_tuples)
-    : max_live_tuples_(max_live_tuples) {
+                               size_t max_live_tuples, CancelToken cancel)
+    : max_live_tuples_(max_live_tuples), cancel_(std::move(cancel)) {
   left_.stream = std::move(left);
   right_.stream = std::move(right);
   std::set_intersection(left_.stream->variables().begin(),
@@ -182,6 +182,16 @@ Binding RankJoinStream::PopCandidate() {
 bool RankJoinStream::Next(Binding* out) {
   if (!status_.ok()) return false;
   for (;;) {
+    // Polled per child pull: children check their own token too, but a join
+    // over already-exhausted-table probes must also notice expiry itself.
+    // Null tokens (every non-service caller) cost one branch.
+    if (cancel_.valid()) {
+      Status s = cancel_.CheckStrided(&cancel_tick_, "rank join");
+      if (!s.ok()) {
+        status_ = std::move(s);
+        return false;
+      }
+    }
     // A side that is exhausted with nothing stored can never pair with a
     // future arrival, so the candidate set is final: drain the heap and stop
     // without pulling the sibling any further (the zero-answer
@@ -233,13 +243,13 @@ EvaluatorStats RankJoinStream::OperatorStats() const {
 
 std::unique_ptr<BindingStream> BuildJoinTree(
     std::vector<std::unique_ptr<BindingStream>> streams,
-    size_t max_live_tuples) {
+    size_t max_live_tuples, CancelToken cancel) {
   assert(!streams.empty());
   std::unique_ptr<BindingStream> tree = std::move(streams[0]);
   for (size_t i = 1; i < streams.size(); ++i) {
     tree = std::make_unique<RankJoinStream>(std::move(tree),
                                             std::move(streams[i]),
-                                            max_live_tuples);
+                                            max_live_tuples, cancel);
   }
   return tree;
 }

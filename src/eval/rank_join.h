@@ -115,10 +115,12 @@ class RankJoinStream : public BindingStream {
  public:
   /// `max_live_tuples` bounds stored side-table rows + heap candidates for
   /// this operator (0 = unlimited); exceeding it fails the stream with
-  /// kResourceExhausted, mirroring ConjunctEvaluator::CheckBudget.
+  /// kResourceExhausted, mirroring ConjunctEvaluator::CheckBudget. `cancel`
+  /// is polled once per child pull, failing the stream with
+  /// kDeadlineExceeded / kCancelled (distinct from the budget failure).
   RankJoinStream(std::unique_ptr<BindingStream> left,
                  std::unique_ptr<BindingStream> right,
-                 size_t max_live_tuples = 0);
+                 size_t max_live_tuples = 0, CancelToken cancel = {});
 
   bool Next(Binding* out) override;
   const Status& status() const override { return status_; }
@@ -155,6 +157,8 @@ class RankJoinStream : public BindingStream {
   std::vector<VarId> variables_;
   std::vector<Binding> heap_;  // min-heap on distance via std::*_heap
   size_t max_live_tuples_ = 0;
+  CancelToken cancel_;
+  uint32_t cancel_tick_ = 0;  // strided-deadline-check counter
   size_t peak_live_ = 0;  // high-water mark of stored rows + heap candidates
   size_t emitted_ = 0;    // rows this operator released
   bool pull_left_next_ = true;
@@ -169,7 +173,7 @@ class RankJoinStream : public BindingStream {
 /// heap.
 std::unique_ptr<BindingStream> BuildJoinTree(
     std::vector<std::unique_ptr<BindingStream>> streams,
-    size_t max_live_tuples = 0);
+    size_t max_live_tuples = 0, CancelToken cancel = {});
 
 }  // namespace omega
 

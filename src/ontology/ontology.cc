@@ -277,6 +277,14 @@ BoundOntology::BoundOntology(const Ontology* ontology, const GraphStore* graph)
     std::sort(members.begin(), members.end());
     label_down_sets_.emplace(label, std::move(members));
   }
+  // Labels with no ontology property have the trivial down-set {l}.
+  // Precomputing them for the whole dictionary keeps LabelDownSet a pure
+  // lookup: every label an automaton can carry (graph-interned or synthetic)
+  // resolves without a const-path insert, so concurrent RELAX evaluation
+  // over one shared BoundOntology is race-free.
+  for (LabelId l = 0; l < graph->labels().size(); ++l) {
+    label_down_sets_.try_emplace(l, std::vector<LabelId>{l});
+  }
 }
 
 std::optional<LabelId> BoundOntology::FindSyntheticLabel(
@@ -321,11 +329,12 @@ std::vector<std::pair<LabelId, uint32_t>> BoundOntology::LabelAncestors(
 }
 
 const std::vector<LabelId>& BoundOntology::LabelDownSet(LabelId l) const {
+  // Every graph and synthetic label is precomputed in the constructor; a
+  // miss can only be a label id the binding has never seen, which by
+  // construction has no graph edges either.
+  static const std::vector<LabelId> kEmpty;
   auto it = label_down_sets_.find(l);
-  if (it != label_down_sets_.end()) return it->second;
-  auto [fit, inserted] = fallback_down_sets_.try_emplace(l);
-  if (inserted) fit->second.push_back(l);
-  return fit->second;
+  return it == label_down_sets_.end() ? kEmpty : it->second;
 }
 
 std::optional<NodeId> BoundOntology::DomainNodeOf(LabelId l) const {

@@ -124,6 +124,11 @@ class OntologyBuilder {
 /// graph NodeIds and ontology properties to graph LabelIds so the evaluator
 /// can consult K with graph-native identifiers.
 ///
+/// Thread-safety: fully constructed in the constructor and immutable
+/// afterwards (no mutable members, no lazy caches); any number of threads
+/// may call the const read API concurrently. This is part of the frozen
+/// dataset contract QueryService relies on — see store/graph_store.h.
+///
 /// Properties that never occur as edge labels in the graph (e.g. a pure
 /// super-property such as YAGO's relationLocatedByObject) receive *synthetic*
 /// label ids just past the graph's label space: graph adjacency lookups on
@@ -175,8 +180,10 @@ class BoundOntology {
   std::unordered_map<LabelId, PropertyId> label_to_property_;
   std::unordered_map<std::string, LabelId> synthetic_labels_;
   std::unordered_map<NodeId, OidSet> node_down_sets_;
+  // Covers every graph label and every synthetic label (precomputed in the
+  // constructor), so const read paths never insert — a lazily-filled mutable
+  // cache here would race under concurrent evaluation.
   std::unordered_map<LabelId, std::vector<LabelId>> label_down_sets_;
-  mutable std::unordered_map<LabelId, std::vector<LabelId>> fallback_down_sets_;
   OidSet bound_class_nodes_;
 };
 

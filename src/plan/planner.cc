@@ -114,7 +114,7 @@ std::unique_ptr<PlanNode> PlanLeftDeep(std::vector<PlanLeaf> leaves,
 
 std::unique_ptr<BindingStream> CompilePlan(
     PlanNode* root, std::vector<std::unique_ptr<BindingStream>>* leaf_streams,
-    size_t max_live_tuples) {
+    size_t max_live_tuples, CancelToken cancel) {
   if (root->is_leaf()) {
     std::unique_ptr<BindingStream> stream =
         std::move((*leaf_streams)[root->conjunct_index]);
@@ -123,9 +123,9 @@ std::unique_ptr<BindingStream> CompilePlan(
     return stream;
   }
   auto join = std::make_unique<RankJoinStream>(
-      CompilePlan(root->left.get(), leaf_streams, max_live_tuples),
-      CompilePlan(root->right.get(), leaf_streams, max_live_tuples),
-      max_live_tuples);
+      CompilePlan(root->left.get(), leaf_streams, max_live_tuples, cancel),
+      CompilePlan(root->right.get(), leaf_streams, max_live_tuples, cancel),
+      max_live_tuples, cancel);
   root->stream = join.get();
   return join;
 }

@@ -46,10 +46,11 @@ std::unique_ptr<PlanNode> PlanLeftDeep(std::vector<PlanLeaf> leaves,
 /// Compiles `root` into the matching BindingStream tree, moving each leaf's
 /// stream out of `leaf_streams` (indexed by conjunct_index) and recording
 /// observer pointers on the plan nodes for EXPLAIN. Every join operator
-/// enforces `max_live_tuples` on its own tables and heap.
+/// enforces `max_live_tuples` on its own tables and heap and polls `cancel`
+/// per pull.
 std::unique_ptr<BindingStream> CompilePlan(
     PlanNode* root, std::vector<std::unique_ptr<BindingStream>>* leaf_streams,
-    size_t max_live_tuples);
+    size_t max_live_tuples, CancelToken cancel = {});
 
 }  // namespace omega
 

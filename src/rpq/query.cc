@@ -59,6 +59,57 @@ std::string Query::ToString() const {
   return out;
 }
 
+Conjunct Clone(const Conjunct& conjunct) {
+  Conjunct out;
+  out.mode = conjunct.mode;
+  out.source = conjunct.source;
+  out.target = conjunct.target;
+  if (conjunct.regex != nullptr) out.regex = Clone(*conjunct.regex);
+  return out;
+}
+
+Query Clone(const Query& query) {
+  Query out;
+  out.head = query.head;
+  out.conjuncts.reserve(query.conjuncts.size());
+  for (const Conjunct& c : query.conjuncts) out.conjuncts.push_back(Clone(c));
+  return out;
+}
+
+std::string Query::CanonicalKey() const {
+  // first-appearance renaming: original name -> dense canonical name.
+  std::vector<std::pair<std::string, std::string>> rename;
+  auto canon = [&rename](const std::string& var) -> std::string {
+    for (const auto& [from, to] : rename) {
+      if (from == var) return to;
+    }
+    rename.emplace_back(var, "v" + std::to_string(rename.size()));
+    return rename.back().second;
+  };
+  auto endpoint = [&](const Endpoint& e) {
+    return e.is_variable ? "?" + canon(e.name) : e.name;
+  };
+  std::string out = "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "?" + canon(head[i]);
+  }
+  out += ") <- ";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const Conjunct& c = conjuncts[i];
+    if (i > 0) out += ", ";
+    if (c.mode != ConjunctMode::kExact) {
+      out += ConjunctModeToString(c.mode);
+      out += ' ';
+    }
+    out += "(" + endpoint(c.source) + ", " +
+           (c.regex == nullptr ? std::string("<null>")
+                               : omega::ToString(*c.regex)) +
+           ", " + endpoint(c.target) + ")";
+  }
+  return out;
+}
+
 Status ValidateQuery(const Query& query) {
   if (query.head.empty()) {
     return Status::InvalidArgument("query head must project >=1 variable");

@@ -49,6 +49,11 @@ struct Conjunct {
 /// the fragment Query::ToString prints and the EXPLAIN leaf label.
 std::string ToString(const Conjunct& conjunct);
 
+/// Deep copy (the regex AST is cloned). Queries are move-only because
+/// conjuncts own their regexes; serving layers that re-submit a shared
+/// workload clone explicitly instead of copying by accident.
+Conjunct Clone(const Conjunct& conjunct);
+
 /// A full CRP query. `head` lists the projected variable names (no '?').
 struct Query {
   std::vector<std::string> head;
@@ -59,7 +64,17 @@ struct Query {
 
   /// Round-trippable text form.
   std::string ToString() const;
+
+  /// Cache-key text form: like ToString() but with every variable renamed
+  /// to ?v0, ?v1, ... in first-appearance order (head first, then body), so
+  /// queries that differ only in variable naming share one key. Conjunct
+  /// order and regex spelling are preserved — the key identifies the query
+  /// as written, not its full equivalence class.
+  std::string CanonicalKey() const;
 };
+
+/// Deep copy of a whole query.
+Query Clone(const Query& query);
 
 /// Semantic checks: >=1 head var and >=1 conjunct, every head variable bound
 /// in the body, every conjunct regex present.

@@ -1,0 +1,402 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <type_traits>
+
+#include "common/timer.h"
+#include "plan/plan_node.h"
+
+namespace omega {
+namespace {
+
+// Compile-time spot-checks of the frozen-store thread-safety contract: the
+// read paths the evaluators hit during concurrent serving must be const
+// member functions (see the contract comments on GraphStore, LabelDictionary
+// and BoundOntology). If one of these loses its const — say a lazy cache
+// sneaks back in — serving over a shared store stops being provably safe
+// and this file stops compiling.
+static_assert(
+    std::is_same_v<decltype(&GraphStore::Neighbors),
+                   std::span<const NodeId> (GraphStore::*)(
+                       NodeId, LabelId, Direction) const>);
+static_assert(
+    std::is_same_v<decltype(&GraphStore::SigmaNeighbors),
+                   std::span<const NodeId> (GraphStore::*)(NodeId, Direction)
+                       const>);
+static_assert(
+    std::is_same_v<decltype(&GraphStore::FindNode),
+                   std::optional<NodeId> (GraphStore::*)(std::string_view)
+                       const>);
+static_assert(
+    std::is_same_v<decltype(&LabelDictionary::Find),
+                   std::optional<LabelId> (LabelDictionary::*)(
+                       std::string_view) const>);
+static_assert(
+    std::is_same_v<decltype(&BoundOntology::LabelDownSet),
+                   const std::vector<LabelId>& (BoundOntology::*)(LabelId)
+                       const>);
+static_assert(
+    std::is_same_v<decltype(&BoundOntology::NodeDownSet),
+                   const OidSet& (BoundOntology::*)(NodeId) const>);
+
+/// Sums the rank-join operators' own counters over the compiled plan tree
+/// (leaves report through the merged stream stats instead).
+void SumJoinOperatorStats(const PlanNode* node, uint64_t* rows,
+                          uint64_t* max_live) {
+  if (node == nullptr || node->is_leaf()) return;
+  if (node->stream != nullptr) {
+    const EvaluatorStats op = node->stream->OperatorStats();
+    *rows += op.answers_emitted;
+    *max_live = std::max(*max_live, op.max_join_live);
+  }
+  SumJoinOperatorStats(node->left.get(), rows, max_live);
+  SumJoinOperatorStats(node->right.get(), rows, max_live);
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// --- QueryTicket -------------------------------------------------------------
+
+const QueryResponse& QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return response_;
+}
+
+QueryResponse QueryTicket::TakeResponse() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return std::move(response_);
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+// --- QueryService ------------------------------------------------------------
+
+QueryService::QueryService(const GraphStore* graph, const Ontology* ontology,
+                           QueryServiceOptions options)
+    : options_(std::move(options)), engine_(graph, ontology) {
+  if (options_.num_workers == 0) {
+    options_.num_workers =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  options_.max_queue = std::max<size_t>(options_.max_queue, 1);
+  if (options_.cache_entries > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_entries,
+                                           options_.cache_shards);
+  }
+  running_.resize(options_.num_workers);
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&QueryService::WorkerLoop, this, i);
+  }
+}
+
+QueryService::~QueryService() {
+  std::deque<std::shared_ptr<QueryTicket>> leftovers;
+  std::vector<std::shared_ptr<QueryTicket>> in_flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    leftovers.swap(queue_);
+    in_flight = running_;
+  }
+  // Fast shutdown: in-flight queries stop at their next cancellation poll
+  // and complete with kCancelled before their worker exits.
+  for (const std::shared_ptr<QueryTicket>& ticket : in_flight) {
+    if (ticket != nullptr) ticket->cancel_.Cancel();
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  for (const std::shared_ptr<QueryTicket>& ticket : leftovers) {
+    QueryResponse response;
+    response.status = Status::Cancelled("query service is shutting down");
+    response.queue_ms = MsSince(ticket->enqueued_at_);
+    Complete(ticket, std::move(response));
+  }
+}
+
+Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
+    QueryRequest request) {
+  OMEGA_RETURN_NOT_OK(ValidateQuery(request.query));
+  auto ticket = std::make_shared<QueryTicket>();
+  ticket->request_ = std::move(request);
+  ticket->query_class_ = ClassifyQuery(ticket->request_.query);
+  const std::chrono::milliseconds deadline =
+      ticket->request_.deadline.count() > 0 ? ticket->request_.deadline
+                                            : options_.default_deadline;
+  if (deadline.count() > 0) {
+    ticket->cancel_ = CancelSource::WithTimeout(deadline);
+  }
+  ticket->enqueued_at_ = std::chrono::steady_clock::now();
+
+  const bool use_cache = cache_ != nullptr && !ticket->request_.bypass_cache;
+  if (use_cache) {
+    // Canonical query text + k identifies the artifact: the engine options
+    // (the other input that shapes the answer sequence) are fixed for this
+    // service's lifetime, and the cache dies with the service.
+    ticket->cache_key_ = ticket->request_.query.CanonicalKey() + "|k=" +
+                         std::to_string(ticket->request_.top_k);
+    // Fresh hits are served synchronously on the submitting thread: no
+    // queueing, no worker hand-off — this is the latency the cache exists
+    // to buy.
+    if (std::shared_ptr<const CachedResult> entry =
+            cache_->Lookup(ticket->cache_key_)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.submitted;
+      }
+      ServeHit(ticket, *entry, /*queue_ms=*/0);
+      return ticket;
+    }
+  }
+
+  std::vector<std::shared_ptr<QueryTicket>> purged;
+  bool admitted = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("query service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      // Queued requests that are already cancelled or past their deadline
+      // hold admission slots they will never use; release them before
+      // deciding to reject. Completion runs after mu_ is dropped —
+      // Complete takes the ticket and stats locks, which must stay leaf
+      // locks.
+      purged = PurgeDeadLocked();
+    }
+    if (queue_.size() < options_.max_queue) {
+      queue_.push_back(ticket);
+      admitted = true;
+      // Counted while still holding mu_, so a stats() snapshot can never
+      // observe a completion of this query before its submission.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.submitted;
+    }
+  }
+  for (const std::shared_ptr<QueryTicket>& p : purged) {
+    QueryResponse response;
+    response.status = p->cancel_.token().Check("queued query");
+    if (response.status.ok()) {  // raced with Cancel/clock: treat as cancelled
+      response.status = Status::Cancelled("queued query was cancelled");
+    }
+    response.queue_ms = MsSince(p->enqueued_at_);
+    Complete(p, std::move(response));
+  }
+  if (!admitted) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return Status::ResourceExhausted(
+        "admission queue is full (max_queue=" +
+        std::to_string(options_.max_queue) + ")");
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+QueryResponse QueryService::Execute(QueryRequest request) {
+  Result<std::shared_ptr<QueryTicket>> ticket = Submit(std::move(request));
+  if (!ticket.ok()) {
+    QueryResponse response;
+    response.status = ticket.status();
+    return response;
+  }
+  // The local shared_ptr is this caller's only handle: move the response
+  // out instead of deep-copying the answers vector.
+  return (*ticket)->TakeResponse();
+}
+
+void QueryService::InvalidateCache() {
+  if (cache_ != nullptr) cache_->Clear();
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  if (cache_ != nullptr) out.cache = cache_->stats();
+  return out;
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::vector<std::shared_ptr<QueryTicket>> QueryService::PurgeDeadLocked() {
+  std::vector<std::shared_ptr<QueryTicket>> purged;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    // Dead = explicitly cancelled or deadline already expired: either way
+    // the ticket is guaranteed to complete without executing, so its slot
+    // can be handed to a live request.
+    if (!(*it)->cancel_.token().Check("queued query").ok()) {
+      purged.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+void QueryService::WorkerLoop(size_t worker_index) {
+  for (;;) {
+    std::shared_ptr<QueryTicket> ticket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // leftovers are completed by the destructor
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+      running_[worker_index] = ticket;
+    }
+    RunTask(ticket);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_[worker_index] = nullptr;
+    }
+  }
+}
+
+void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
+  QueryResponse response;
+  response.queue_ms = MsSince(ticket->enqueued_at_);
+
+  // The deadline clock started at Submit(), so a request can expire (or be
+  // cancelled) before it ever executes.
+  const CancelToken token = ticket->cancel_.token();
+  response.status = token.Check("queued query");
+  if (!response.status.ok()) {
+    Complete(ticket, std::move(response));
+    return;
+  }
+
+  const bool use_cache = cache_ != nullptr && !ticket->request_.bypass_cache;
+  // An identical request may have completed while this one queued. Submit
+  // already counted this request's miss, so the re-probe doesn't.
+  if (use_cache) {
+    if (std::shared_ptr<const CachedResult> entry = cache_->Lookup(
+            ticket->cache_key_, /*count_miss=*/false)) {
+      ServeHit(ticket, *entry, response.queue_ms);
+      return;
+    }
+  }
+
+  Timer timer;
+  QueryEngineOptions options = options_.engine;
+  options.evaluator.cancel = token;
+  if (options.evaluator.top_k_hint == 0) {
+    options.evaluator.top_k_hint = ticket->request_.top_k;
+  }
+  Result<std::unique_ptr<QueryResultStream>> stream =
+      engine_.Execute(ticket->request_.query, options);
+  if (!stream.ok()) {
+    response.status = stream.status();
+    response.exec_ms = timer.ElapsedMs();
+    const ExecutionStats exec;  // reached the engine, no stream counters
+    Complete(ticket, std::move(response), &exec);
+    return;
+  }
+
+  const size_t k = ticket->request_.top_k;
+  QueryAnswer answer;
+  bool drained = false;
+  while (k == 0 || response.answers.size() < k) {
+    if (!(*stream)->Next(&answer)) {
+      drained = true;
+      break;
+    }
+    response.answers.push_back(std::move(answer));
+  }
+  response.exec_ms = timer.ElapsedMs();
+  response.status = (*stream)->status();
+  response.head = (*stream)->head();
+  response.exhausted = drained && response.status.ok();
+
+  ExecutionStats exec;
+  exec.eval = (*stream)->stats();
+  if ((*stream)->plan() != nullptr) {
+    SumJoinOperatorStats((*stream)->plan()->root.get(), &exec.join_rows,
+                         &exec.max_join_live);
+  }
+
+  if (use_cache && response.status.ok()) {
+    auto entry = std::make_shared<CachedResult>();
+    entry->answers = response.answers;
+    entry->exhausted = response.exhausted;
+    cache_->Insert(ticket->cache_key_, std::move(entry));
+  }
+  Complete(ticket, std::move(response), &exec);
+}
+
+void QueryService::ServeHit(const std::shared_ptr<QueryTicket>& ticket,
+                            const CachedResult& entry, double queue_ms) {
+  QueryResponse response;
+  // Entries are shared across alpha-renamed queries, so the column labels
+  // come from the query as submitted, not from whoever filled the cache.
+  response.head = ticket->request_.query.head;
+  response.answers = entry.answers;
+  response.exhausted = entry.exhausted;
+  response.cache_hit = true;
+  response.queue_ms = queue_ms;
+  Complete(ticket, std::move(response));
+}
+
+void QueryService::Complete(const std::shared_ptr<QueryTicket>& ticket,
+                            QueryResponse response,
+                            const ExecutionStats* exec) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (response.status.code()) {
+      case StatusCode::kOk:
+        ++stats_.completed;
+        break;
+      case StatusCode::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+    ClassAggregate& agg =
+        stats_.per_class[static_cast<size_t>(ticket->query_class_)];
+    ++agg.queries;
+    agg.queue_ms += response.queue_ms;
+    if (response.cache_hit) ++agg.cache_hits;
+    if (!response.status.ok()) ++agg.failures;
+    // exec is non-null exactly when the request reached the engine; a
+    // queued-dead completion counts toward neither hits nor exec time.
+    if (exec != nullptr) {
+      ++agg.executed;
+      agg.exec_ms += response.exec_ms;
+      agg.eval.MergeFrom(exec->eval);
+      agg.join_rows += exec->join_rows;
+      agg.max_join_live = std::max(agg.max_join_live, exec->max_join_live);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu_);
+    ticket->response_ = std::move(response);
+    ticket->done_ = true;
+  }
+  ticket->cv_.notify_all();
+}
+
+}  // namespace omega

@@ -1,0 +1,208 @@
+// Concurrent query serving on a frozen dataset: a QueryService owns a
+// QueryEngine over a shared GraphStore/Ontology snapshot and executes
+// submitted queries on a fixed pool of worker threads behind a bounded
+// admission queue, with per-query deadlines, cooperative cancellation, and
+// a sharded LRU cache of top-k ranked results in front of the engine.
+//
+// Why this is safe: the store and ontology are deeply immutable after
+// construction (the frozen-store contract in store/graph_store.h and
+// ontology/ontology.h) and every per-query structure — automata, tuple
+// dictionaries, join tables, the result stream — is built per request, so
+// worker threads share only const data plus the internally-locked cache,
+// queue and stats.
+//
+// Deadline semantics: the deadline clock starts at Submit(), so time spent
+// waiting in the admission queue counts against it — a request that expires
+// while queued completes with kDeadlineExceeded without ever executing.
+// Cancellation is cooperative: Cancel() flips the request's CancelToken,
+// which the evaluators poll at stream-pull granularity. A queued request
+// that is already dead — cancelled or past its deadline — is purged (and
+// its admission slot released) the next time the queue is full at
+// Submit(), or sooner, when a worker reaches it.
+#ifndef OMEGA_SERVICE_QUERY_SERVICE_H_
+#define OMEGA_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "eval/query_engine.h"
+#include "ontology/ontology.h"
+#include "service/result_cache.h"
+#include "service/service_stats.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+struct QueryServiceOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  size_t num_workers = 0;
+
+  /// Bounded admission queue: submissions beyond this many pending requests
+  /// are rejected with kResourceExhausted (min 1).
+  size_t max_queue = 64;
+
+  /// Top-k result cache capacity in entries across all shards; 0 disables
+  /// the cache entirely.
+  size_t cache_entries = 1024;
+  size_t cache_shards = 8;
+
+  /// Deadline applied to requests that do not set their own (0 = none).
+  std::chrono::milliseconds default_deadline{0};
+
+  /// Base engine configuration for every request (plan mode, optimisation
+  /// toggles, evaluator budgets, APPROX/RELAX costs). Immutable for the
+  /// service's lifetime — which is what lets the result cache key on query
+  /// text + k alone. Per-request cancel tokens and top-k hints are layered
+  /// on top per execution.
+  QueryEngineOptions engine;
+};
+
+struct QueryRequest {
+  Query query;
+  /// Answers to retrieve (0 = drain the stream).
+  size_t top_k = 10;
+  /// Per-request deadline from submission time; 0 = use the service default.
+  std::chrono::milliseconds deadline{0};
+  /// Skip cache lookup and fill for this request (cache-cold measurement).
+  bool bypass_cache = false;
+};
+
+struct QueryResponse {
+  Status status;
+  std::vector<std::string> head;       ///< projected head variable names
+  std::vector<QueryAnswer> answers;    ///< ranked, non-decreasing distance
+  bool cache_hit = false;
+  bool exhausted = false;              ///< stream drained before top_k
+  double queue_ms = 0;                 ///< admission-queue wait
+  double exec_ms = 0;                  ///< engine execution (0 on cache hit)
+};
+
+/// Handle to an in-flight submission. Tickets are shared with the worker
+/// that executes them; they stay valid after the service is destroyed
+/// (destruction completes unprocessed tickets with kCancelled).
+class QueryTicket {
+ public:
+  /// Requests cooperative cancellation; evaluation stops at the next
+  /// stream-pull poll. Idempotent, callable from any thread.
+  void Cancel() { cancel_.Cancel(); }
+
+  /// Blocks until the request completes; returns the response (valid for
+  /// the ticket's lifetime).
+  const QueryResponse& Wait();
+
+  /// Blocks like Wait() but moves the response out (no answer-vector copy).
+  /// Call at most once; Wait() afterwards sees a moved-from response.
+  QueryResponse TakeResponse();
+
+  bool done() const;
+
+  /// The request's cancel token (tests observe deadline propagation).
+  CancelToken token() const { return cancel_.token(); }
+
+ private:
+  friend class QueryService;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  QueryResponse response_;
+
+  // Written by Submit() before the ticket is visible to any worker.
+  QueryRequest request_;
+  CancelSource cancel_;
+  QueryClass query_class_ = QueryClass::kExact;
+  std::string cache_key_;
+  std::chrono::steady_clock::time_point enqueued_at_;
+};
+
+class QueryService {
+ public:
+  /// `graph` must be finalized and, with `ontology` (nullable: RELAX then
+  /// fails per engine semantics), must outlive the service. Both are treated
+  /// as frozen: the service never mutates them and caches results under
+  /// that assumption — swap datasets by building a new service.
+  QueryService(const GraphStore* graph, const Ontology* ontology,
+               QueryServiceOptions options = {});
+
+  /// Fast shutdown: cancels queries that are still executing (they stop at
+  /// their next cancellation poll), joins the workers, and completes
+  /// queued-but-unprocessed requests with kCancelled.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Validates and enqueues `request`. Fails with kInvalidArgument (bad
+  /// query), kResourceExhausted (admission queue full), or
+  /// kFailedPrecondition (service shutting down). A fresh cache hit is
+  /// served synchronously on the calling thread: the returned ticket is
+  /// already done. Otherwise the ticket completes on a worker thread.
+  Result<std::shared_ptr<QueryTicket>> Submit(QueryRequest request);
+
+  /// Blocking convenience: Submit + Wait, with rejections folded into the
+  /// response's status.
+  QueryResponse Execute(QueryRequest request);
+
+  /// Invalidation hook: drops every cached result. Call when the answers
+  /// the cache holds should no longer be served (e.g. engine options or
+  /// serving policy changed out from under the fingerprint).
+  void InvalidateCache();
+
+  ServiceStats stats() const;
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t queue_depth() const;
+  const QueryEngine& engine() const { return engine_; }
+
+ private:
+  /// Per-execution counters folded into the per-class aggregates: the
+  /// result stream's merged EvaluatorStats plus the rank-join operators'
+  /// own OperatorStats gathered by walking the compiled plan.
+  struct ExecutionStats {
+    EvaluatorStats eval;
+    uint64_t join_rows = 0;
+    uint64_t max_join_live = 0;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  /// Executes (or short-circuits) one ticket and completes it.
+  void RunTask(const std::shared_ptr<QueryTicket>& ticket);
+  /// Completes `ticket` from a cache entry (shared by the synchronous
+  /// Submit fast path and the worker re-probe).
+  void ServeHit(const std::shared_ptr<QueryTicket>& ticket,
+                const CachedResult& entry, double queue_ms);
+  void Complete(const std::shared_ptr<QueryTicket>& ticket,
+                QueryResponse response,
+                const ExecutionStats* exec = nullptr);
+  /// Removes dead (cancelled or deadline-expired) tickets from the queue
+  /// (mu_ must be held); returns them for completion outside the lock.
+  std::vector<std::shared_ptr<QueryTicket>> PurgeDeadLocked();
+
+  QueryServiceOptions options_;
+  QueryEngine engine_;
+  std::unique_ptr<ResultCache> cache_;  // null when disabled
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<QueryTicket>> queue_;
+  /// Ticket each worker is currently executing (null when idle); lets the
+  /// destructor cancel in-flight queries for fast shutdown.
+  std::vector<std::shared_ptr<QueryTicket>> running_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SERVICE_QUERY_SERVICE_H_

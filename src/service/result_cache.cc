@@ -1,0 +1,81 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace omega {
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards) {
+  capacity = std::max<size_t>(capacity, 1);
+  num_shards = std::clamp<size_t>(num_shards, 1, capacity);
+  // Ceil-divide so the total resident bound is >= the requested capacity
+  // even when it does not divide evenly.
+  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const std::string& key, bool count_miss) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const CachedResult> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    evictions_.fetch_add(shard->lru.size(), std::memory_order_relaxed);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace omega

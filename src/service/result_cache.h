@@ -1,0 +1,105 @@
+// Sharded LRU cache of top-k ranked query results. A completed top-k answer
+// list is a small artifact (the ranked stream produces answers with bounded
+// per-answer work, so k answers are a few hundred bytes), which makes
+// caching it in front of the engine the cheapest form of serving
+// infrastructure: repeated queries skip evaluation entirely.
+//
+// Keys are opaque strings built by QueryService from Query::CanonicalKey()
+// + k (sufficient because the engine options that also shape the answer
+// sequence are fixed for the owning service's lifetime — a cache shared
+// across configurations would need them in the key). Values are
+// shared_ptr<const ...> snapshots, so a hit never copies under the shard
+// lock and an eviction never invalidates a response already handed out.
+//
+// Thread-safety: every method is safe to call concurrently; each shard has
+// its own mutex, and the counters are atomics.
+#ifndef OMEGA_SERVICE_RESULT_CACHE_H_
+#define OMEGA_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "eval/query_engine.h"
+
+namespace omega {
+
+/// One cached top-k result: the answers in emission order plus whether the
+/// stream was exhausted before reaching k (an exhausted entry also answers
+/// any larger k; QueryService keys on k, so this is informational). Head
+/// variable *names* are deliberately not stored: entries are shared across
+/// alpha-renamed queries (CanonicalKey), so each response labels the
+/// columns with its own query's head.
+struct CachedResult {
+  std::vector<QueryAnswer> answers;
+  bool exhausted = false;
+};
+
+/// Counter snapshot; `entries` is the current resident entry count.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` bounds resident entries across all shards (>= 1 enforced);
+  /// `num_shards` spreads lock contention (clamped to [1, capacity]).
+  ResultCache(size_t capacity, size_t num_shards);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or null on miss.
+  /// `count_miss = false` suppresses the miss counter — for re-probes of a
+  /// key already counted as missed (a hit always counts).
+  std::shared_ptr<const CachedResult> Lookup(const std::string& key,
+                                             bool count_miss = true);
+
+  /// Inserts or replaces `key`, evicting the shard's least-recently-used
+  /// entry when the shard is at capacity.
+  void Insert(const std::string& key,
+              std::shared_ptr<const CachedResult> value);
+
+  /// Invalidation hook: drops every entry (counted as evictions). Serving
+  /// layers call this when the dataset behind the cached results is swapped.
+  void Clear();
+
+  ResultCacheStats stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used. The index stores its own key copy (kept
+    /// in sync with the list node's) — simple over clever; keys are a few
+    /// hundred bytes at most.
+    std::list<std::pair<std::string, std::shared_ptr<const CachedResult>>> lru;
+    std::unordered_map<std::string,
+                       decltype(lru)::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,72 @@
+#include "service/service_stats.h"
+
+#include <cstdio>
+
+namespace omega {
+
+const char* QueryClassToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kExact:
+      return "EXACT";
+    case QueryClass::kApprox:
+      return "APPROX";
+    case QueryClass::kRelax:
+      return "RELAX";
+    case QueryClass::kMixed:
+      return "MIXED";
+  }
+  return "?";
+}
+
+QueryClass ClassifyQuery(const Query& query) {
+  bool approx = false;
+  bool relax = false;
+  for (const Conjunct& c : query.conjuncts) {
+    approx |= c.mode == ConjunctMode::kApprox;
+    relax |= c.mode == ConjunctMode::kRelax;
+  }
+  if (approx && relax) return QueryClass::kMixed;
+  if (relax) return QueryClass::kRelax;
+  if (approx) return QueryClass::kApprox;
+  return QueryClass::kExact;
+}
+
+std::string ServiceStats::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "service: %llu submitted, %llu rejected, %llu ok, "
+                "%llu cancelled, %llu deadline, %llu failed\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(cancelled),
+                static_cast<unsigned long long>(deadline_exceeded),
+                static_cast<unsigned long long>(failed));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "cache:   %llu hits, %llu misses, %llu evictions, "
+                "%zu resident\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions),
+                cache.entries);
+  out += line;
+  for (size_t i = 0; i < kNumQueryClasses; ++i) {
+    const ClassAggregate& agg = per_class[i];
+    if (agg.queries == 0) continue;
+    std::snprintf(
+        line, sizeof(line),
+        "%-6s  %6llu queries  hit-rate %5.1f%%  queue %8.3f ms  "
+        "exec %8.3f ms  popped %llu  join rows %llu\n",
+        QueryClassToString(static_cast<QueryClass>(i)),
+        static_cast<unsigned long long>(agg.queries),
+        100.0 * agg.CacheHitRate(), agg.AvgQueueMs(), agg.AvgExecMs(),
+        static_cast<unsigned long long>(agg.eval.tuples_popped),
+        static_cast<unsigned long long>(agg.join_rows));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace omega

@@ -1,0 +1,80 @@
+// Aggregate serving statistics: admission / completion counters, cache
+// counters, and per-query-class aggregates (queue wait, execution time,
+// cache hit rate, merged evaluator counters and rank-join operator rows) —
+// what the concurrent shell driver's `.stats` prints and what bench_service
+// reports alongside throughput.
+#ifndef OMEGA_SERVICE_SERVICE_STATS_H_
+#define OMEGA_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "eval/answer.h"
+#include "rpq/query.h"
+#include "service/result_cache.h"
+
+namespace omega {
+
+/// Coarse workload class of a query, used to bucket serving aggregates.
+/// A query holding both APPROX and RELAX conjuncts is kMixed.
+enum class QueryClass : uint8_t {
+  kExact = 0,
+  kApprox = 1,
+  kRelax = 2,
+  kMixed = 3,
+};
+inline constexpr size_t kNumQueryClasses = 4;
+
+const char* QueryClassToString(QueryClass c);
+
+/// Buckets `query` by the flexible-operator modes it uses.
+QueryClass ClassifyQuery(const Query& query);
+
+/// Per-class serving aggregate. `eval` merges the whole-stream counters of
+/// executed (cache-miss) queries; `join_rows` / `max_join_live` come from
+/// the per-operator OperatorStats of the compiled plan's rank joins.
+struct ClassAggregate {
+  uint64_t queries = 0;      ///< completed requests (hits + misses), any status
+  uint64_t cache_hits = 0;
+  uint64_t executed = 0;     ///< requests that reached the engine (a
+                             ///< queued-dead request is neither hit nor
+                             ///< executed)
+  uint64_t failures = 0;     ///< non-OK completions (deadline/cancel/budget/...)
+  double queue_ms = 0;       ///< total admission-queue wait
+  double exec_ms = 0;        ///< total engine execution time (executed only)
+  EvaluatorStats eval;       ///< merged stream stats of executed queries
+  uint64_t join_rows = 0;    ///< rows released by rank-join operators
+  uint64_t max_join_live = 0;///< largest join tables+heap high-water seen
+
+  double CacheHitRate() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(queries);
+  }
+  double AvgQueueMs() const {
+    return queries == 0 ? 0.0 : queue_ms / static_cast<double>(queries);
+  }
+  /// Mean over requests that actually ran the engine.
+  double AvgExecMs() const {
+    return executed == 0 ? 0.0 : exec_ms / static_cast<double>(executed);
+  }
+};
+
+/// Snapshot returned by QueryService::stats().
+struct ServiceStats {
+  uint64_t submitted = 0;          ///< admitted submissions (incl. hits)
+  uint64_t rejected = 0;           ///< admission-queue-full rejections
+  uint64_t completed = 0;          ///< completions with OK status
+  uint64_t cancelled = 0;          ///< completions with kCancelled
+  uint64_t deadline_exceeded = 0;  ///< completions with kDeadlineExceeded
+  uint64_t failed = 0;             ///< completions with any other error
+  ResultCacheStats cache;
+  ClassAggregate per_class[kNumQueryClasses];
+
+  /// Multi-line human-readable rendering (the shell's `.stats` table).
+  std::string ToString() const;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SERVICE_SERVICE_STATS_H_

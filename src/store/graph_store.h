@@ -64,6 +64,15 @@ struct LabelStats {
 };
 
 /// Immutable graph snapshot; constructed via GraphBuilder::Finalize().
+///
+/// Thread-safety contract (the "frozen store" contract QueryService and any
+/// other concurrent caller rely on): after Finalize() hands the store out,
+/// every public member is a const read over data that never changes — there
+/// are no mutable members, no lazy caches, and no interior locking — so any
+/// number of threads may evaluate queries against one shared GraphStore
+/// concurrently without synchronisation. Anything that would mutate a
+/// finalized store (new nodes/edges/labels) must instead build a new store
+/// and swap it in after draining readers.
 class GraphStore {
  public:
   GraphStore() = default;

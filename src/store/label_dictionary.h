@@ -19,6 +19,12 @@ namespace omega {
 inline constexpr std::string_view kTypeLabelName = "type";
 
 /// Bidirectional label <-> id map. Ids are dense and stable; id 0 is `type`.
+///
+/// Thread-safety: Intern() mutates and belongs to the build phase (it is
+/// only reachable through GraphBuilder). Once the owning GraphStore is
+/// finalized, only the const read API (Find/Name/SigmaLabels/size) is
+/// reachable and is safe to call from any number of threads — part of the
+/// frozen-store contract documented on GraphStore.
 class LabelDictionary {
  public:
   LabelDictionary();

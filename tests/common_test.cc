@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <string>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -30,9 +33,79 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, DeadlineAndCancelledCodes) {
+  Status deadline = Status::DeadlineExceeded("query ran out of time");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsCancelled());
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: query ran out of time");
+
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
+}
+
+TEST(CancelTest, NullTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(token.Check("test").ok());
+  uint32_t tick = 0;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(token.CheckStrided(&tick, "test").ok());
+  }
+  EXPECT_EQ(tick, 0u);  // null tokens never touch the counter
+}
+
+TEST(CancelTest, CancelFlipsEveryView) {
+  CancelSource source;
+  CancelToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Check("stage").ok());
+  source.Cancel();
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_TRUE(token.cancelled());
+  Status status = token.Check("stage");
+  EXPECT_TRUE(status.IsCancelled());
+  EXPECT_NE(status.message().find("stage"), std::string::npos);
+}
+
+TEST(CancelTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  CancelSource source =
+      CancelSource::WithTimeout(std::chrono::nanoseconds(0));
+  CancelToken token = source.token();
+  EXPECT_TRUE(token.has_deadline());
+  Status status = token.Check("rank join");
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_NE(status.message().find("rank join"), std::string::npos);
+  // Explicit cancellation wins over the expired deadline.
+  source.Cancel();
+  EXPECT_TRUE(token.Check("rank join").IsCancelled());
+}
+
+TEST(CancelTest, FutureDeadlineStaysOk) {
+  CancelSource source =
+      CancelSource::WithTimeout(std::chrono::hours(24));
+  EXPECT_TRUE(source.token().Check("test").ok());
+}
+
+TEST(CancelTest, StridedCheckNoticesCancellationImmediately) {
+  CancelSource source;
+  CancelToken token = source.token();
+  uint32_t tick = 0;
+  EXPECT_TRUE(token.CheckStrided(&tick, "test").ok());
+  source.Cancel();
+  // The flag path fires on the very next call, not at the stride boundary.
+  EXPECT_TRUE(token.CheckStrided(&tick, "test").IsCancelled());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 
+#include "common/cancel.h"
 #include "rpq/query_parser.h"
 #include "test_util.h"
 
@@ -212,6 +214,59 @@ TEST(EngineTest, ConstantOnlyConjunctActsAsFilter) {
   auto blocked = engine.ExecuteTopK(*q2, 0);
   ASSERT_TRUE(blocked.ok());
   EXPECT_TRUE(blocked->empty());
+}
+
+TEST(EngineTest, CancelledTokenFailsSingleConjunctStream) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "c"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X) <- (?X, e+, ?Y)");
+  ASSERT_TRUE(q.ok());
+  CancelSource source;
+  source.Cancel();
+  QueryEngineOptions options;
+  options.evaluator.cancel = source.token();
+  Result<std::vector<QueryAnswer>> answers = engine.ExecuteTopK(*q, 0, options);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_TRUE(answers.status().IsCancelled()) << answers.status().ToString();
+}
+
+TEST(EngineTest, ExpiredDeadlineFailsJoinStream) {
+  // Multi-conjunct: the failure must also flow through the rank join.
+  GraphStore g = MakeGraph(
+      {{"a", "e", "b"}, {"b", "e", "c"}, {"b", "f", "d"}, {"c", "f", "d"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X, ?Z) <- (?X, e, ?Y), (?Y, f, ?Z)");
+  ASSERT_TRUE(q.ok());
+  QueryEngineOptions options;
+  options.evaluator.cancel =
+      CancelSource::WithTimeout(std::chrono::nanoseconds(0)).token();
+  Result<std::vector<QueryAnswer>> answers = engine.ExecuteTopK(*q, 0, options);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_TRUE(answers.status().IsDeadlineExceeded())
+      << answers.status().ToString();
+}
+
+TEST(EngineTest, CancellationReachesOptimisationWrappers) {
+  // Distance-aware and alternation-decomposition streams build their inner
+  // evaluators from the same EvaluatorOptions, so the token must flow
+  // through both wrappers.
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"a", "f", "c"}});
+  QueryEngine engine(&g, nullptr);
+  Result<Query> q = ParseQuery("(?X) <- APPROX (?X, e|f, ?Y)");
+  ASSERT_TRUE(q.ok());
+  for (const bool distance_aware : {false, true}) {
+    QueryEngineOptions options;
+    options.distance_aware = distance_aware;
+    options.decompose_alternation = !distance_aware;
+    CancelSource source;
+    source.Cancel();
+    options.evaluator.cancel = source.token();
+    Result<std::vector<QueryAnswer>> answers =
+        engine.ExecuteTopK(*q, 0, options);
+    ASSERT_FALSE(answers.ok());
+    EXPECT_TRUE(answers.status().IsCancelled())
+        << answers.status().ToString();
+  }
 }
 
 }  // namespace

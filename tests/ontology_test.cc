@@ -167,9 +167,18 @@ TEST(BoundOntologyTest, BindsClassesAndProperties) {
   // Graph adjacency on the synthetic label is safely empty.
   EXPECT_TRUE(g.Tails(*synthetic_prereq).empty());
 
-  // Labels unknown to graph and ontology fall back to {self}.
-  const auto& self_only = bound.LabelDownSet(next + 100);
-  EXPECT_EQ(self_only.size(), 1u);
+  // A label id the binding has never seen (neither graph-interned nor
+  // synthetic) yields an empty down-set: the old lazily-inserted {self}
+  // fallback was a mutable cache behind a const API — a data race under
+  // concurrent evaluation — and such ids never reach the evaluator anyway
+  // (unknown regex labels compile to kInvalidLabel).
+  EXPECT_TRUE(bound.LabelDownSet(next + 100).empty());
+
+  // A graph label with no ontology property resolves to the precomputed
+  // trivial down-set {self}.
+  const auto& type_down = bound.LabelDownSet(LabelDictionary::kTypeLabel);
+  ASSERT_EQ(type_down.size(), 1u);
+  EXPECT_EQ(type_down[0], LabelDictionary::kTypeLabel);
 
   // BoundClassNodes contains exactly the three class nodes present.
   EXPECT_EQ(bound.BoundClassNodes().size(), 3u);

@@ -106,5 +106,40 @@ TEST(QueryParserTest, ValidateRejectsEmptyPieces) {
   EXPECT_FALSE(ValidateQuery(q).ok());
 }
 
+TEST(CanonicalKeyTest, RenamesVariablesInFirstAppearanceOrder) {
+  Result<Query> q = ParseQuery(
+      "(?B) <- (?A, knows, ?B), APPROX (?B, likes.owns-, ?C)");
+  ASSERT_TRUE(q.ok());
+  // Head first (?B -> v0), then body first-use (?A -> v1, ?C -> v2).
+  EXPECT_EQ(q->CanonicalKey(),
+            "(?v0) <- (?v1, knows, ?v0), APPROX (?v0, likes.owns-, ?v2)");
+}
+
+TEST(CanonicalKeyTest, AlphaEquivalentQueriesShareAKey) {
+  Result<Query> a = ParseQuery("(?X, ?Y) <- RELAX (?X, worksAt, ?Y)");
+  Result<Query> b = ParseQuery("(?Foo, ?Bar) <- RELAX (?Foo, worksAt, ?Bar)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->CanonicalKey(), b->CanonicalKey());
+  EXPECT_NE(a->ToString(), b->ToString());
+}
+
+TEST(CanonicalKeyTest, DistinguishesWhatMatters) {
+  auto key = [](const std::string& text) {
+    Result<Query> q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text;
+    return q->CanonicalKey();
+  };
+  const std::string base = key("(?X) <- (?X, knows, ?Y)");
+  EXPECT_NE(key("(?X) <- APPROX (?X, knows, ?Y)"), base);   // mode
+  EXPECT_NE(key("(?X) <- (?X, likes, ?Y)"), base);          // regex
+  EXPECT_NE(key("(?X) <- (?X, knows, UK)"), base);          // constant
+  EXPECT_NE(key("(?X, ?Y) <- (?X, knows, ?Y)"), base);      // head width
+  EXPECT_NE(key("(?Y) <- (?X, knows, ?Y)"), base);          // projection
+  // Constants are preserved verbatim, not renamed.
+  EXPECT_EQ(key("(?Z) <- (UK, locatedIn-, ?Z)"),
+            "(?v0) <- (UK, locatedIn-, ?v0)");
+}
+
 }  // namespace
 }  // namespace omega

@@ -1,0 +1,247 @@
+// Concurrency stress test: N client threads fire M mixed queries (exact,
+// APPROX, RELAX, multi-conjunct joins) at one QueryService sharing a single
+// frozen GraphStore + BoundOntology, and every response's answer multiset
+// must match the single-threaded engine reference computed up front. Runs
+// both cached and cache-bypassing submissions so repeated queries exercise
+// the cache path and fresh evaluations race on the shared store. This is
+// the test the ThreadSanitizer CI job exists for: a mutable-cache or
+// lazy-init regression in a const read path (like the BoundOntology label
+// down-set cache this PR removed) shows up here as a data race.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rpq/query_parser.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+struct Fixture {
+  GraphStore graph;
+  Ontology ontology;
+};
+
+/// Career-path-flavoured universe with a property hierarchy (for RELAX),
+/// type edges, and enough fan-out that APPROX closures do real work.
+Fixture StressFixture() {
+  Fixture fx;
+  OntologyBuilder ob;
+  EXPECT_TRUE(ob.AddSubproperty("worksAt", "affiliatedWith").ok());
+  EXPECT_TRUE(ob.AddSubproperty("studiesAt", "affiliatedWith").ok());
+  EXPECT_TRUE(ob.AddSubclass("University", "Institution").ok());
+  EXPECT_TRUE(ob.AddSubclass("Company", "Institution").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  EXPECT_TRUE(o.ok());
+  fx.ontology = std::move(o).value();
+
+  GraphBuilder builder;
+  Rng rng(13);
+  constexpr size_t kPeople = 60;
+  constexpr size_t kOrgs = 12;
+  std::vector<std::string> people;
+  std::vector<std::string> orgs;
+  for (size_t i = 0; i < kPeople; ++i) {
+    people.push_back("p" + std::to_string(i));
+  }
+  for (size_t i = 0; i < kOrgs; ++i) {
+    orgs.push_back("o" + std::to_string(i));
+    (void)builder.AddEdge(orgs.back(), "type",
+                          i % 2 == 0 ? "University" : "Company");
+  }
+  for (size_t i = 0; i < kPeople; ++i) {
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i],
+                          rng.NextBounded(2) == 0 ? "worksAt" : "studiesAt",
+                          orgs[rng.NextBounded(kOrgs)]);
+  }
+  fx.graph = std::move(builder).Finalize();
+  return fx;
+}
+
+using omega::testing::CanonAnswers;
+using omega::testing::Qy;
+
+TEST(ServiceStressTest, ConcurrentMixedWorkloadMatchesReference) {
+  const Fixture fx = StressFixture();
+
+  // Mixed workload: single- and multi-conjunct, all three modes, a
+  // constant endpoint, and a shared-variable join. top_k = 0 everywhere so
+  // the comparison is over complete answer multisets (a top-k cut could
+  // legitimately differ at equal-distance boundaries).
+  std::vector<Query> workload;
+  for (const char* text : {
+           "(?X) <- (?X, knows, ?Y)",
+           "(?X, ?Z) <- (?X, knows, ?Y), (?Y, knows, ?Z)",
+           "(?X, ?O) <- (?X, knows, ?Y), (?Y, worksAt, ?O)",
+           "(?X) <- APPROX (?X, knows.worksAt, ?Y)",
+           "(?X) <- APPROX (?X, knows.knows.knows, ?Y)",
+           "(?X) <- RELAX (?X, worksAt, ?Y)",
+           "(?X) <- RELAX (?X, worksAt.type, ?Y)",
+           // A RELAX conjunct traversing a label with no ontology property
+           // (knows): under entailment matching this resolves the label's
+           // down-set — the exact path where a lazily-inserted const-side
+           // cache would race across worker threads.
+           "(?X) <- RELAX (?X, knows.worksAt, ?Y)",
+           "(?X, ?Y) <- (?X, knows, ?Y), RELAX (?X, studiesAt, ?O)",
+           "(?X) <- (o0, type, ?X)",
+           "(?X) <- APPROX (?X, worksAt, ?Y), (?X, knows, ?Z)",
+       }) {
+    workload.push_back(Qy(text));
+  }
+
+  // Single-threaded reference, computed before any concurrency exists.
+  QueryEngine engine(&fx.graph, &fx.ontology);
+  std::vector<std::vector<std::pair<std::vector<NodeId>, Cost>>> reference;
+  for (const Query& query : workload) {
+    Result<std::vector<QueryAnswer>> answers = engine.ExecuteTopK(query, 0);
+    ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+    reference.push_back(CanonAnswers(*answers));
+    ASSERT_FALSE(reference.back().empty()) << query.ToString();
+  }
+
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue = 256;
+  QueryService service(&fx.graph, &fx.ontology, options);
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kRequestsPerClient = 30;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        const size_t qi = (c * 7 + r * 3) % workload.size();
+        QueryRequest request;
+        request.query = Clone(workload[qi]);
+        request.top_k = 0;
+        // Every third request bypasses the cache so fresh evaluations keep
+        // racing on the shared store even once everything is cached.
+        request.bypass_cache = (c + r) % 3 == 0;
+        const QueryResponse response = service.Execute(std::move(request));
+        if (!response.status.ok()) {
+          ++failures;
+          continue;
+        }
+        if (CanonAnswers(response.answers) != reference[qi]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.completed, kClients * kRequestsPerClient);
+  EXPECT_GT(stats.cache.hits, 0u);
+  // All four classes ran (the workload includes a mixed APPROX+RELAX
+  // query via per-conjunct modes only when both appear; here: no mixed).
+  EXPECT_GT(stats.per_class[static_cast<size_t>(QueryClass::kExact)].queries,
+            0u);
+  EXPECT_GT(stats.per_class[static_cast<size_t>(QueryClass::kApprox)].queries,
+            0u);
+  EXPECT_GT(stats.per_class[static_cast<size_t>(QueryClass::kRelax)].queries,
+            0u);
+}
+
+TEST(ServiceStressTest, ConcurrentRelaxSharesTheBoundOntologyReadOnly) {
+  // Every request re-evaluates (cache disabled) the same RELAX query whose
+  // automaton, under entailment matching, resolves the down-set of a label
+  // with no ontology property (knows) — the path where BoundOntology once
+  // lazily filled a mutable cache behind its const API. All workers resolve
+  // it at once; under TSan a reintroduced lazy insert fails here reliably.
+  const Fixture fx = StressFixture();
+  QueryServiceOptions options;
+  options.num_workers = 8;
+  options.max_queue = 256;
+  options.cache_entries = 0;
+  QueryService service(&fx.graph, &fx.ontology, options);
+
+  QueryEngine engine(&fx.graph, &fx.ontology);
+  const Query relax = Qy("(?X) <- RELAX (?X, knows.worksAt, ?Y)");
+  Result<std::vector<QueryAnswer>> expected = engine.ExecuteTopK(relax, 0);
+  ASSERT_TRUE(expected.ok());
+  const auto reference = CanonAnswers(*expected);
+  ASSERT_FALSE(reference.empty());
+
+  std::atomic<size_t> bad{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      for (size_t r = 0; r < 12; ++r) {
+        QueryRequest request;
+        request.query = Clone(relax);
+        request.top_k = 0;
+        const QueryResponse response = service.Execute(std::move(request));
+        if (!response.status.ok() ||
+            CanonAnswers(response.answers) != reference) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(ServiceStressTest, ConcurrentCancellationAndDeadlinesStaySane) {
+  const Fixture fx = StressFixture();
+  QueryServiceOptions options;
+  options.num_workers = 3;
+  options.max_queue = 16;
+  QueryService service(&fx.graph, &fx.ontology, options);
+
+  const Query slow = Qy("(?X) <- APPROX (?X, knows.knows.knows, ?Y)");
+  std::atomic<size_t> invalid_status{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < 20; ++r) {
+        QueryRequest request;
+        request.query = Clone(slow);
+        request.top_k = 0;
+        request.bypass_cache = true;
+        if (r % 2 == 0) request.deadline = std::chrono::milliseconds(1);
+        Result<std::shared_ptr<QueryTicket>> ticket =
+            service.Submit(std::move(request));
+        if (!ticket.ok()) {
+          // Admission rejection is legitimate under this much pressure.
+          if (!ticket.status().IsResourceExhausted()) ++invalid_status;
+          continue;
+        }
+        if (r % 3 == c % 3) (*ticket)->Cancel();
+        const Status& status = (*ticket)->Wait().status;
+        // Any of these is a sane outcome; anything else is a bug.
+        if (!status.ok() && !status.IsCancelled() &&
+            !status.IsDeadlineExceeded()) {
+          ++invalid_status;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(invalid_status.load(), 0u);
+
+  // The service remains healthy after the storm.
+  QueryRequest request;
+  request.query = Qy("(?X) <- (?X, knows, ?Y)");
+  request.top_k = 0;
+  EXPECT_TRUE(service.Execute(std::move(request)).status.ok());
+}
+
+}  // namespace
+}  // namespace omega

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "eval/conjunct_evaluator.h"
+#include "eval/query_engine.h"
 #include "eval/rank_join.h"
 #include "ontology/ontology.h"
 #include "rpq/query_parser.h"
@@ -57,6 +58,25 @@ class ScriptedBindingStream : public BindingStream {
   size_t pos_ = 0;
   Status status_;
 };
+
+/// Parses a full query or aborts the test.
+inline Query Qy(const std::string& text) {
+  Result<Query> q = ParseQuery(text);
+  if (!q.ok()) throw std::runtime_error(q.status().ToString());
+  return std::move(q).value();
+}
+
+/// Normalises projected answers for multiset comparison.
+inline std::vector<std::pair<std::vector<NodeId>, Cost>> CanonAnswers(
+    const std::vector<QueryAnswer>& answers) {
+  std::vector<std::pair<std::vector<NodeId>, Cost>> rows;
+  rows.reserve(answers.size());
+  for (const QueryAnswer& a : answers) {
+    rows.emplace_back(a.bindings, a.distance);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
 
 /// Parses a regex or aborts the test.
 inline RegexPtr Rx(const std::string& text) {

@@ -29,6 +29,13 @@ PAIRINGS = {
     # Cost-based planner (PR 3): greedy bushy join order vs the seed's
     # textual left-deep order on bench_plan's skewed-selectivity workload.
     "_PlannedOrder": "_TextualOrder",
+    # Query service (PR 4): cache-hit vs cache-miss latency on a repeated
+    # mixed workload, and 8-worker vs 1-worker cache-cold throughput.
+    # bench_service only registers the Parallel/Serial pair on hosts with
+    # >= 4 hardware threads (on fewer, the pair would measure the scheduler,
+    # not the service); the gate skips pairs that are entirely absent.
+    "_CacheHit": "_CacheMiss",
+    "_ServiceParallel": "_ServiceSerial",
 }
 
 # Pairs that must not merely avoid regressing but beat their baseline by a
@@ -37,7 +44,18 @@ PAIRINGS = {
 # cost model or the greedy construction broke.
 MIN_SPEEDUP = {
     "_PlannedOrder": 1.5,
+    # A top-k hit is a lock + hash probe + vector copy; anything under 20x
+    # means the cache path grew real work.
+    "_CacheHit": 20.0,
+    # 8 workers on >= 4 cores must hold >= 3x over 1 worker on the
+    # cache-cold mix, or the serving layer serialises somewhere.
+    "_ServiceParallel": 3.0,
 }
+
+# Pairs whose work accrues on service worker threads while the driving
+# thread blocks: compared on wall-clock (real_time) instead of cpu_time,
+# which would only see the driver.
+REAL_TIME_PAIRS = {"_CacheHit", "_ServiceParallel"}
 
 # Generous noise floor so the gate trips on real regressions, not scheduler
 # jitter; the structures win by integer factors when healthy.
@@ -55,13 +73,16 @@ def main() -> int:
         with open(path) as f:
             report = json.load(f)
         for b in report.get("benchmarks", []):
-            if b.get("run_type", "iteration") == "iteration":
-                times[b["name"]] = b["cpu_time"]
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            # UseRealTime() benches report as "<name>/real_time".
+            name = b["name"].removesuffix("/real_time")
+            times[name] = {"cpu": b["cpu_time"], "real": b["real_time"]}
 
     checked = 0
     failures = []
     missing = []
-    for name, cpu_time in sorted(times.items()):
+    for name, timing in sorted(times.items()):
         for new_suffix, base_suffix in PAIRINGS.items():
             if not name.endswith(new_suffix):
                 continue
@@ -74,7 +95,9 @@ def main() -> int:
                 missing.append(name)
                 continue
             checked += 1
-            base_time = times[base_name]
+            metric = "real" if new_suffix in REAL_TIME_PAIRS else "cpu"
+            cpu_time = timing[metric]
+            base_time = times[base_name][metric]
             ratio = cpu_time / base_time if base_time > 0 else float("inf")
             max_ratio = TOLERANCE
             if new_suffix in MIN_SPEEDUP:
