@@ -1,0 +1,136 @@
+// Snapshot storage-engine gate: how fast does a dataset become queryable?
+//
+//   BM_SubstrateSnapshot_YagoOpen_SnapshotLoad  vs  ..._TextLoad
+//     opening the binary snapshot (mmap + structural validation, zero-copy
+//     CSR arrays) vs re-parsing the omega-graph-v1 text file and rebuilding
+//     the CSR store from scratch, on the same generated YAGO-style graph.
+//     Required >= 10x by tools/check_substrate_gate.py — the snapshot
+//     engine exists so that a multi-GB dataset loads in milliseconds, and
+//     a load path that degrades toward a re-parse defeats it.
+//
+// Both loaders materialise the store and are spot-checked against each
+// other outside the timed region; scale via OMEGA_SNAPSHOT_BENCH_SCALE
+// (default is laptop-quick but big enough to dominate constant overheads).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datasets/yago.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+#include "store/graph_io.h"
+
+namespace {
+
+using namespace omega;
+
+struct BenchFiles {
+  std::string text_path;
+  std::string snapshot_path;
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+};
+
+const BenchFiles& Files() {
+  static const BenchFiles* files = [] {
+    auto* f = new BenchFiles();
+    double scale = 0.02;
+    if (const char* env = std::getenv("OMEGA_SNAPSHOT_BENCH_SCALE")) {
+      scale = std::atof(env);
+    }
+    YagoOptions options;
+    options.scale = scale;
+    YagoDataset dataset = GenerateYago(options);
+    f->num_nodes = dataset.graph.NumNodes();
+    f->num_edges = dataset.graph.NumEdges();
+
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string base = (tmpdir != nullptr ? tmpdir : "/tmp");
+    f->text_path = base + "/omega_bench_snapshot.graph";
+    f->snapshot_path = base + "/omega_bench_snapshot.snap";
+    Status saved = SaveGraph(dataset.graph, f->text_path);
+    if (saved.ok()) {
+      saved = WriteSnapshot(dataset.graph, &dataset.ontology,
+                            f->snapshot_path);
+    }
+    if (!saved.ok()) {
+      std::fprintf(stderr, "bench_snapshot: %s\n", saved.ToString().c_str());
+      std::abort();
+    }
+    return f;
+  }();
+  return *files;
+}
+
+void BM_SubstrateSnapshot_YagoOpen_TextLoad(benchmark::State& state) {
+  const BenchFiles& files = Files();
+  size_t nodes = 0;
+  for (auto _ : state) {
+    Result<GraphStore> graph = LoadGraph(files.text_path);
+    if (!graph.ok()) {
+      state.SkipWithError("text load failed");
+      return;
+    }
+    nodes += graph->NumNodes();
+    benchmark::DoNotOptimize(graph);
+  }
+  if (state.iterations() > 0 &&
+      nodes != state.iterations() * files.num_nodes) {
+    state.SkipWithError("text load returned a different graph");
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * files.num_edges));
+}
+
+void BM_SubstrateSnapshot_YagoOpen_SnapshotLoad(benchmark::State& state) {
+  const BenchFiles& files = Files();
+  size_t nodes = 0;
+  for (auto _ : state) {
+    Result<std::shared_ptr<const Dataset>> dataset =
+        SnapshotReader::Open(files.snapshot_path);
+    if (!dataset.ok()) {
+      state.SkipWithError("snapshot open failed");
+      return;
+    }
+    nodes += (*dataset)->graph().NumNodes();
+    benchmark::DoNotOptimize(dataset);
+  }
+  if (state.iterations() > 0 &&
+      nodes != state.iterations() * files.num_nodes) {
+    state.SkipWithError("snapshot open returned a different graph");
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * files.num_edges));
+}
+
+BENCHMARK(BM_SubstrateSnapshot_YagoOpen_TextLoad)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SubstrateSnapshot_YagoOpen_SnapshotLoad)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sanity outside the gate: the two load paths serve the same store.
+void VerifyLoadersAgree() {
+  const BenchFiles& files = Files();
+  Result<GraphStore> text = LoadGraph(files.text_path);
+  Result<std::shared_ptr<const Dataset>> snap =
+      SnapshotReader::Open(files.snapshot_path);
+  if (!text.ok() || !snap.ok() ||
+      text->NumNodes() != (*snap)->graph().NumNodes() ||
+      text->NumEdges() != (*snap)->graph().NumEdges()) {
+    std::fprintf(stderr,
+                 "bench_snapshot: text and snapshot loaders disagree\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  VerifyLoadersAgree();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,6 +32,8 @@
 #include "eval/query_engine.h"
 #include "ontology/ontology_io.h"
 #include "rpq/query_parser.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
 #include "store/graph_io.h"
 
 using namespace omega;
@@ -43,8 +45,8 @@ class Shell {
   Shell() {
     std::fprintf(stderr, "loading default dataset (L4All L1) ...\n");
     L4AllDataset dataset = GenerateL4All(L4AllScalePreset(1));
-    graph_ = std::make_unique<GraphStore>(std::move(dataset.graph));
-    ontology_ = std::make_unique<Ontology>(std::move(dataset.ontology));
+    dataset_ = Dataset::FromParts(std::move(dataset.graph),
+                                  std::move(dataset.ontology));
     RebuildEngine();
   }
 
@@ -68,13 +70,17 @@ class Shell {
     if (interactive_) std::printf("omega> ");
   }
 
+  const GraphStore& graph() const { return dataset_->graph(); }
+
   void RebuildEngine() {
-    engine_ = std::make_unique<QueryEngine>(graph_.get(), ontology_.get());
+    engine_ = std::make_unique<QueryEngine>(&dataset_->graph(),
+                                            dataset_->ontology());
     stream_.reset();
     history_.clear();  // .serve replays are per-dataset
-    std::fprintf(stderr, "dataset: %zu nodes, %zu edges, %zu labels\n",
-                 graph_->NumNodes(), graph_->NumEdges(),
-                 graph_->labels().size());
+    std::fprintf(stderr, "dataset: %zu nodes, %zu edges, %zu labels%s\n",
+                 graph().NumNodes(), graph().NumEdges(),
+                 graph().labels().size(),
+                 dataset_->backing() != nullptr ? " (mmap snapshot)" : "");
   }
 
   void Command(const std::string& text) {
@@ -89,6 +95,12 @@ class Shell {
           "  .gen yago SCALE           generate the YAGO-like graph\n"
           "  .load GRAPH [ONTOLOGY]    load omega-graph-v1 / ontology files\n"
           "  .save GRAPH [ONTOLOGY]    save the current dataset\n"
+          "  .snapshot save FILE       write the dataset as a binary snapshot\n"
+          "  .snapshot load FILE       mmap-open a snapshot as the dataset\n"
+          "  .snapshot info FILE       print a snapshot's header + sections\n"
+          "  .swap FILE [W [C [R]]]    replay this session's queries through\n"
+          "                            a QueryService and hot-swap to the\n"
+          "                            snapshot FILE mid-run (epoch demo)\n"
           "  .costs INS DEL SUB        APPROX edit costs (default 1 1 1)\n"
           "  .opt da|disjunction on|off   toggle the §4.3 optimisations\n"
           "  .plan bushy|textual       join-order planning mode\n"
@@ -126,15 +138,15 @@ class Shell {
         return;
       }
       L4AllDataset dataset = GenerateL4All(L4AllScalePreset(level));
-      graph_ = std::make_unique<GraphStore>(std::move(dataset.graph));
-      ontology_ = std::make_unique<Ontology>(std::move(dataset.ontology));
+      dataset_ = Dataset::FromParts(std::move(dataset.graph),
+                                    std::move(dataset.ontology));
       RebuildEngine();
     } else if (cmd == ".gen" && words.size() >= 2 && words[1] == "yago") {
       YagoOptions options;
       if (words.size() > 2) options.scale = std::atof(words[2].c_str());
       YagoDataset dataset = GenerateYago(options);
-      graph_ = std::make_unique<GraphStore>(std::move(dataset.graph));
-      ontology_ = std::make_unique<Ontology>(std::move(dataset.ontology));
+      dataset_ = Dataset::FromParts(std::move(dataset.graph),
+                                    std::move(dataset.ontology));
       RebuildEngine();
     } else if (cmd == ".load" && words.size() >= 2) {
       Result<GraphStore> graph = LoadGraph(words[1]);
@@ -142,26 +154,40 @@ class Shell {
         std::printf("%s\n", graph.status().ToString().c_str());
         return;
       }
-      std::unique_ptr<Ontology> ontology;
+      std::optional<Ontology> ontology;
       if (words.size() > 2) {
         Result<Ontology> loaded = LoadOntology(words[2]);
         if (!loaded.ok()) {
           std::printf("%s\n", loaded.status().ToString().c_str());
           return;
         }
-        ontology = std::make_unique<Ontology>(std::move(loaded).value());
+        ontology = std::move(loaded).value();
       } else {
-        ontology = std::make_unique<Ontology>();  // empty: RELAX unavailable
+        ontology = Ontology();  // empty: RELAX unavailable
       }
-      graph_ = std::make_unique<GraphStore>(std::move(graph).value());
-      ontology_ = std::move(ontology);
+      dataset_ = Dataset::FromParts(std::move(graph).value(),
+                                    std::move(ontology));
       RebuildEngine();
     } else if (cmd == ".save" && words.size() >= 2) {
-      Status status = SaveGraph(*graph_, words[1]);
+      Status status = SaveGraph(graph(), words[1]);
       if (status.ok() && words.size() > 2) {
-        status = SaveOntology(*ontology_, words[2]);
+        if (dataset_->ontology() == nullptr) {
+          std::printf("no ontology to save\n");
+          return;
+        }
+        status = SaveOntology(*dataset_->ontology(), words[2]);
       }
       std::printf("%s\n", status.ToString().c_str());
+    } else if (cmd == ".snapshot" && words.size() == 3) {
+      Snapshot(words[1], words[2]);
+    } else if (cmd == ".swap" && words.size() >= 2) {
+      const size_t workers =
+          words.size() > 2 ? std::max(1, std::atoi(words[2].c_str())) : 4;
+      const size_t clients =
+          words.size() > 3 ? std::max(1, std::atoi(words[3].c_str())) : 4;
+      const size_t repeat =
+          words.size() > 4 ? std::max(1, std::atoi(words[4].c_str())) : 25;
+      SwapDemo(words[1], workers, clients, repeat);
     } else if (cmd == ".costs" && words.size() == 4) {
       options_.evaluator.approx.insertion_cost = std::atoi(words[1].c_str());
       options_.evaluator.approx.deletion_cost = std::atoi(words[2].c_str());
@@ -224,25 +250,135 @@ class Shell {
   }
 
   void InspectNode(const std::string& label) {
-    auto node = graph_->FindNode(label);
+    auto node = graph().FindNode(label);
     if (!node) {
       std::printf("no node labelled '%s'\n", label.c_str());
       return;
     }
     std::printf("node #%u '%s', degree %zu\n", *node, label.c_str(),
-                graph_->Degree(*node));
-    for (LabelId l = 0; l < graph_->labels().size(); ++l) {
-      for (NodeId m : graph_->Neighbors(*node, l, Direction::kOutgoing)) {
+                graph().Degree(*node));
+    for (LabelId l = 0; l < graph().labels().size(); ++l) {
+      for (NodeId m : graph().Neighbors(*node, l, Direction::kOutgoing)) {
         std::printf("  --%s--> %s\n",
-                    std::string(graph_->labels().Name(l)).c_str(),
-                    std::string(graph_->NodeLabel(m)).c_str());
+                    std::string(graph().labels().Name(l)).c_str(),
+                    std::string(graph().NodeLabel(m)).c_str());
       }
-      for (NodeId m : graph_->Neighbors(*node, l, Direction::kIncoming)) {
+      for (NodeId m : graph().Neighbors(*node, l, Direction::kIncoming)) {
         std::printf("  <--%s-- %s\n",
-                    std::string(graph_->labels().Name(l)).c_str(),
-                    std::string(graph_->NodeLabel(m)).c_str());
+                    std::string(graph().labels().Name(l)).c_str(),
+                    std::string(graph().NodeLabel(m)).c_str());
       }
     }
+  }
+
+  void Snapshot(const std::string& verb, const std::string& path) {
+    if (verb == "save") {
+      Timer timer;
+      const Status status =
+          WriteSnapshot(graph(), dataset_->ontology(), path);
+      if (!status.ok()) {
+        std::printf("%s\n", status.ToString().c_str());
+        return;
+      }
+      std::printf("wrote %s in %.1f ms\n", path.c_str(), timer.ElapsedMs());
+    } else if (verb == "load") {
+      Timer timer;
+      Result<std::shared_ptr<const Dataset>> dataset =
+          SnapshotReader::Open(path);
+      if (!dataset.ok()) {
+        std::printf("%s\n", dataset.status().ToString().c_str());
+        return;
+      }
+      dataset_ = std::move(dataset).value();
+      std::fprintf(stderr, "opened %s in %.1f ms\n", path.c_str(),
+                   timer.ElapsedMs());
+      RebuildEngine();
+    } else if (verb == "info") {
+      Result<SnapshotInfo> info = SnapshotReader::Inspect(path);
+      if (!info.ok()) {
+        std::printf("%s\n", info.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s", info->ToString().c_str());
+    } else {
+      std::printf(".snapshot verb must be save, load or info\n");
+    }
+  }
+
+  /// Hot-swap demonstration: replays the session's queries like `.serve`,
+  /// but halfway through the run another thread calls SwapDataset() with
+  /// the snapshot at `path` — in-flight queries drain on the old epoch,
+  /// later admissions answer from the new one, and the per-epoch counts
+  /// show the cutover. The shell's own dataset/engine are left untouched.
+  void SwapDemo(const std::string& path, size_t workers, size_t clients,
+                size_t repeat) {
+    if (history_.empty()) {
+      std::printf(
+          "no queries to replay yet — run a few queries first, then .swap\n");
+      return;
+    }
+    Result<std::shared_ptr<const Dataset>> next = SnapshotReader::Open(path);
+    if (!next.ok()) {
+      std::printf("%s\n", next.status().ToString().c_str());
+      return;
+    }
+    QueryServiceOptions service_options;
+    service_options.num_workers = workers;
+    service_options.max_queue = std::max<size_t>(64, clients * 2);
+    service_options.engine = options_;
+    QueryService service(dataset_, service_options);
+
+    const size_t total = clients * repeat;
+    std::atomic<size_t> ok{0}, errors{0}, submitted{0};
+    std::atomic<size_t> epoch_counts[2] = {{0}, {0}};
+    Timer timer;
+    std::thread swapper([&] {
+      // Swap once roughly mid-run.
+      while (submitted.load() < total / 2) {
+        std::this_thread::yield();
+      }
+      const Status status = service.SwapDataset(*next);
+      if (!status.ok()) {
+        std::printf("swap failed: %s\n", status.ToString().c_str());
+      }
+    });
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        for (size_t r = 0; r < repeat; ++r) {
+          QueryRequest request;
+          request.query = Clone(history_[(c + r) % history_.size()]);
+          request.top_k = batch_size_;
+          request.bypass_cache = (c + r) % 4 == 0;
+          ++submitted;
+          const QueryResponse response =
+              service.Execute(std::move(request));
+          if (response.status.ok()) {
+            ++ok;
+            ++epoch_counts[response.epoch % 2];
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (std::thread& t : client_threads) t.join();
+    swapper.join();
+    const double elapsed_ms = timer.ElapsedMs();
+
+    std::printf(
+        "%zu requests on %zu workers in %.1f ms => %.0f qps; %zu ok, "
+        "%zu failed\n",
+        total, service.num_workers(), elapsed_ms,
+        elapsed_ms > 0 ? 1000.0 * static_cast<double>(total) / elapsed_ms
+                       : 0.0,
+        ok.load(), errors.load());
+    std::printf(
+        "hot swap to '%s': %zu answers served by epoch 0 (old dataset), "
+        "%zu by epoch 1 (snapshot)\n",
+        path.c_str(), epoch_counts[0].load(), epoch_counts[1].load());
+    std::printf("%s", service.stats().ToString().c_str());
   }
 
   void Explain(const std::string& text) {
@@ -274,7 +410,7 @@ class Shell {
     service_options.num_workers = workers;
     service_options.max_queue = std::max<size_t>(64, clients * 2);
     service_options.engine = options_;
-    QueryService service(graph_.get(), ontology_.get(), service_options);
+    QueryService service(dataset_, service_options);
 
     std::atomic<size_t> ok{0}, errors{0};
     Timer timer;
@@ -359,7 +495,7 @@ class Shell {
       std::printf("  #%zu  d=%d ", ++emitted_, answer.distance);
       for (size_t i = 0; i < answer.bindings.size(); ++i) {
         std::printf(" ?%s=%s", stream_->head()[i].c_str(),
-                    std::string(graph_->NodeLabel(answer.bindings[i]))
+                    std::string(graph().NodeLabel(answer.bindings[i]))
                         .c_str());
       }
       std::printf("\n");
@@ -382,8 +518,10 @@ class Shell {
     }
   }
 
-  std::unique_ptr<GraphStore> graph_;
-  std::unique_ptr<Ontology> ontology_;
+  /// The current dataset (owned in-memory build or mmap-backed snapshot);
+  /// shared so `.serve`/`.swap` services and their in-flight queries keep
+  /// it alive across a mid-session `.gen`/`.load`/`.snapshot load`.
+  std::shared_ptr<const Dataset> dataset_;
   std::unique_ptr<QueryEngine> engine_;
   std::unique_ptr<QueryResultStream> stream_;
   std::vector<omega::Query> history_;  // session queries replayed by .serve

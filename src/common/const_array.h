@@ -1,0 +1,67 @@
+// The storage-backend seam for the frozen store: an immutable array that is
+// either *owned* (a std::vector built by GraphBuilder) or *borrowed* (a span
+// into a read-only memory-mapped snapshot section). Readers only ever see
+// std::span, so the evaluation layers run unchanged on either backing; the
+// snapshot reader serves multi-GB CSR arrays zero-copy by handing out
+// borrowed ConstArrays over the mapping.
+//
+// Lifetime: a borrowed ConstArray does not keep its storage alive — whoever
+// created the borrow (in practice Dataset, which holds the MappedFile) must
+// outlive it. Owned ConstArrays behave like the vectors they wrap: moving
+// one transfers the heap buffer, so spans previously taken over it stay
+// valid (the property GraphBuilder::Finalize relies on when the endpoint
+// OidSets borrow the adjacency row arrays of the store being assembled).
+#ifndef OMEGA_COMMON_CONST_ARRAY_H_
+#define OMEGA_COMMON_CONST_ARRAY_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace omega {
+
+template <typename T>
+class ConstArray {
+ public:
+  ConstArray() = default;
+
+  /// Owning backend: adopts the vector.
+  ConstArray(std::vector<T> owned)  // NOLINT(google-explicit-constructor)
+      : owned_(std::move(owned)) {}
+
+  /// Borrowed backend: a view whose storage the caller keeps alive.
+  static ConstArray Borrowed(std::span<const T> view) {
+    ConstArray a;
+    a.borrowed_ = true;
+    a.view_ = view;
+    return a;
+  }
+
+  std::span<const T> span() const {
+    return borrowed_ ? view_ : std::span<const T>(owned_);
+  }
+
+  const T* data() const { return span().data(); }
+  size_t size() const { return borrowed_ ? view_.size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return span()[i]; }
+  auto begin() const { return span().begin(); }
+  auto end() const { return span().end(); }
+
+  bool borrowed() const { return borrowed_; }
+
+  /// Heap bytes held by the owning backend (0 when borrowed: the pages
+  /// belong to the mapping, not to this array).
+  size_t OwnedBytes() const {
+    return borrowed_ ? 0 : owned_.capacity() * sizeof(T);
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;  // meaningful iff borrowed_
+  bool borrowed_ = false;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_COMMON_CONST_ARRAY_H_

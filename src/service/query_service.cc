@@ -85,22 +85,78 @@ bool QueryTicket::done() const {
 // --- QueryService ------------------------------------------------------------
 
 QueryService::QueryService(const GraphStore* graph, const Ontology* ontology,
+                           std::shared_ptr<const Dataset> dataset,
                            QueryServiceOptions options)
-    : options_(std::move(options)), engine_(graph, ontology) {
+    : options_(std::move(options)) {
   if (options_.num_workers == 0) {
     options_.num_workers =
         std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   options_.max_queue = std::max<size_t>(options_.max_queue, 1);
-  if (options_.cache_entries > 0) {
-    cache_ = std::make_unique<ResultCache>(options_.cache_entries,
-                                           options_.cache_shards);
-  }
+  epoch_ = MakeEpoch(/*id=*/0, std::move(dataset), graph, ontology);
   running_.resize(options_.num_workers);
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back(&QueryService::WorkerLoop, this, i);
   }
+}
+
+QueryService::QueryService(const GraphStore* graph, const Ontology* ontology,
+                           QueryServiceOptions options)
+    : QueryService(graph, ontology, /*dataset=*/nullptr,
+                   std::move(options)) {}
+
+QueryService::QueryService(std::shared_ptr<const Dataset> dataset,
+                           QueryServiceOptions options)
+    : QueryService(&dataset->graph(), dataset->ontology(), dataset,
+                   std::move(options)) {}
+
+std::shared_ptr<const DatasetEpoch> QueryService::MakeEpoch(
+    uint64_t id, std::shared_ptr<const Dataset> dataset,
+    const GraphStore* graph, const Ontology* ontology) const {
+  std::unique_ptr<ResultCache> cache;
+  if (options_.cache_entries > 0) {
+    cache = std::make_unique<ResultCache>(options_.cache_entries,
+                                          options_.cache_shards);
+  }
+  // QueryEngine's constructor binds the ontology against the graph
+  // (BoundOntology precompute) — per epoch, not per query.
+  return std::make_shared<DatasetEpoch>(id, std::move(dataset), graph,
+                                        ontology, std::move(cache));
+}
+
+std::shared_ptr<const DatasetEpoch> QueryService::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+uint64_t QueryService::dataset_epoch() const { return CurrentEpoch()->id; }
+
+Status QueryService::SwapDataset(std::shared_ptr<const Dataset> dataset) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("SwapDataset requires a dataset");
+  }
+  const GraphStore* graph = &dataset->graph();
+  const Ontology* ontology = dataset->ontology();
+  std::shared_ptr<const DatasetEpoch> retired;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    // Building the epoch outside the lock would allow two concurrent swaps
+    // to publish the same id; binds are cheap relative to swap frequency.
+    auto next = MakeEpoch(epoch_->id + 1, std::move(dataset), graph, ontology);
+    retired = std::move(epoch_);
+    epoch_ = std::move(next);
+  }
+  // The retired epoch (dataset, engine, cache entries) lives on in the
+  // tickets that pinned it and dies with the last of them; dropping our
+  // reference here is what makes the swap an invalidation.
+  retired.reset();
+  ResetCacheGenerationStats();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.dataset_swaps;
+  }
+  return Status::OK();
 }
 
 QueryService::~QueryService() {
@@ -122,6 +178,7 @@ QueryService::~QueryService() {
   for (const std::shared_ptr<QueryTicket>& ticket : leftovers) {
     QueryResponse response;
     response.status = Status::Cancelled("query service is shutting down");
+    response.epoch = ticket->epoch_->id;
     response.queue_ms = MsSince(ticket->enqueued_at_);
     Complete(ticket, std::move(response));
   }
@@ -141,18 +198,24 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
   }
   ticket->enqueued_at_ = std::chrono::steady_clock::now();
 
-  const bool use_cache = cache_ != nullptr && !ticket->request_.bypass_cache;
+  // Pin the serving epoch at admission: the request executes against this
+  // epoch's engine and cache no matter how many swaps happen while it
+  // waits, and the pin keeps the dataset alive until completion.
+  ticket->epoch_ = CurrentEpoch();
+  const bool use_cache =
+      ticket->epoch_->cache != nullptr && !ticket->request_.bypass_cache;
+  ticket->used_cache_ = use_cache;
   if (use_cache) {
     // Canonical query text + k identifies the artifact: the engine options
     // (the other input that shapes the answer sequence) are fixed for this
-    // service's lifetime, and the cache dies with the service.
+    // service's lifetime, and the cache dies with its epoch.
     ticket->cache_key_ = ticket->request_.query.CanonicalKey() + "|k=" +
                          std::to_string(ticket->request_.top_k);
     // Fresh hits are served synchronously on the submitting thread: no
     // queueing, no worker hand-off — this is the latency the cache exists
     // to buy.
     if (std::shared_ptr<const CachedResult> entry =
-            cache_->Lookup(ticket->cache_key_)) {
+            ticket->epoch_->cache->Lookup(ticket->cache_key_)) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.submitted;
@@ -188,6 +251,7 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
   }
   for (const std::shared_ptr<QueryTicket>& p : purged) {
     QueryResponse response;
+    response.epoch = p->epoch_->id;
     response.status = p->cancel_.token().Check("queued query");
     if (response.status.ok()) {  // raced with Cancel/clock: treat as cancelled
       response.status = Status::Cancelled("queued query was cancelled");
@@ -219,7 +283,24 @@ QueryResponse QueryService::Execute(QueryRequest request) {
 }
 
 void QueryService::InvalidateCache() {
-  if (cache_ != nullptr) cache_->Clear();
+  // See the header comment for the intended semantics: entries are dropped
+  // AND the cache-accounting generation restarts, both on the cache's own
+  // counters and on the per-class aggregates — a hit rate that mixes
+  // generations would overstate a cache that no longer holds anything.
+  const std::shared_ptr<const DatasetEpoch> epoch = CurrentEpoch();
+  if (epoch->cache != nullptr) {
+    epoch->cache->Clear();
+    epoch->cache->ResetCounters();
+  }
+  ResetCacheGenerationStats();
+}
+
+void QueryService::ResetCacheGenerationStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (ClassAggregate& agg : stats_.per_class) {
+    agg.cache_hits = 0;
+    agg.cache_lookups = 0;
+  }
 }
 
 ServiceStats QueryService::stats() const {
@@ -228,7 +309,9 @@ ServiceStats QueryService::stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out = stats_;
   }
-  if (cache_ != nullptr) out.cache = cache_->stats();
+  const std::shared_ptr<const DatasetEpoch> epoch = CurrentEpoch();
+  out.dataset_epoch = epoch->id;
+  if (epoch->cache != nullptr) out.cache = epoch->cache->stats();
   return out;
 }
 
@@ -273,7 +356,11 @@ void QueryService::WorkerLoop(size_t worker_index) {
 }
 
 void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
+  // Everything below runs against the epoch the ticket pinned at Submit():
+  // a swap that lands mid-execution changes nothing for this request.
+  const DatasetEpoch& epoch = *ticket->epoch_;
   QueryResponse response;
+  response.epoch = epoch.id;
   response.queue_ms = MsSince(ticket->enqueued_at_);
 
   // The deadline clock started at Submit(), so a request can expire (or be
@@ -285,11 +372,12 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
     return;
   }
 
-  const bool use_cache = cache_ != nullptr && !ticket->request_.bypass_cache;
+  const bool use_cache =
+      epoch.cache != nullptr && !ticket->request_.bypass_cache;
   // An identical request may have completed while this one queued. Submit
   // already counted this request's miss, so the re-probe doesn't.
   if (use_cache) {
-    if (std::shared_ptr<const CachedResult> entry = cache_->Lookup(
+    if (std::shared_ptr<const CachedResult> entry = epoch.cache->Lookup(
             ticket->cache_key_, /*count_miss=*/false)) {
       ServeHit(ticket, *entry, response.queue_ms);
       return;
@@ -303,7 +391,7 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
     options.evaluator.top_k_hint = ticket->request_.top_k;
   }
   Result<std::unique_ptr<QueryResultStream>> stream =
-      engine_.Execute(ticket->request_.query, options);
+      epoch.engine.Execute(ticket->request_.query, options);
   if (!stream.ok()) {
     response.status = stream.status();
     response.exec_ms = timer.ElapsedMs();
@@ -338,7 +426,10 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
     auto entry = std::make_shared<CachedResult>();
     entry->answers = response.answers;
     entry->exhausted = response.exhausted;
-    cache_->Insert(ticket->cache_key_, std::move(entry));
+    // Fills go to the *pinned* epoch's cache: after a swap this is the
+    // retired cache dying with its epoch, so a stale result can never be
+    // served to post-swap admissions (they pin the new epoch).
+    epoch.cache->Insert(ticket->cache_key_, std::move(entry));
   }
   Complete(ticket, std::move(response), &exec);
 }
@@ -346,6 +437,7 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
 void QueryService::ServeHit(const std::shared_ptr<QueryTicket>& ticket,
                             const CachedResult& entry, double queue_ms) {
   QueryResponse response;
+  response.epoch = ticket->epoch_->id;
   // Entries are shared across alpha-renamed queries, so the column labels
   // come from the query as submitted, not from whoever filled the cache.
   response.head = ticket->request_.query.head;
@@ -379,6 +471,7 @@ void QueryService::Complete(const std::shared_ptr<QueryTicket>& ticket,
         stats_.per_class[static_cast<size_t>(ticket->query_class_)];
     ++agg.queries;
     agg.queue_ms += response.queue_ms;
+    if (ticket->used_cache_) ++agg.cache_lookups;
     if (response.cache_hit) ++agg.cache_hits;
     if (!response.status.ok()) ++agg.failures;
     // exec is non-null exactly when the request reached the engine; a

@@ -11,6 +11,18 @@
 // worker threads share only const data plus the internally-locked cache,
 // queue and stats.
 //
+// Dataset hot-swap: the frozen substrate lives in a *serving epoch* — a
+// DatasetEpoch bundling the dataset, the engine bound to it, and a result
+// cache whose entries are only meaningful for that dataset. SwapDataset()
+// builds a fresh epoch (binding the new ontology and starting an empty
+// cache) and atomically publishes it: every subsequent admission pins the
+// new epoch, while requests already admitted keep a shared_ptr to the old
+// one and drain against the exact substrate they were admitted under — no
+// request ever sees half a swap, and cache invalidation is implicit in the
+// epoch turnover (an old-epoch execution can only fill the old epoch's
+// dying cache). The old dataset (and, for snapshot-backed datasets, its
+// file mapping) is released when the last in-flight reference drops.
+//
 // Deadline semantics: the deadline clock starts at Submit(), so time spent
 // waiting in the admission queue counts against it — a request that expires
 // while queued completes with kDeadlineExceeded without ever executing.
@@ -36,9 +48,34 @@
 #include "ontology/ontology.h"
 #include "service/result_cache.h"
 #include "service/service_stats.h"
+#include "snapshot/dataset.h"
 #include "store/graph_store.h"
 
 namespace omega {
+
+/// One serving generation of the dataset: the frozen substrate, the engine
+/// bound to it (ontology binding happens here, once per swap, not per
+/// query), and the epoch's own result cache. Published as
+/// shared_ptr<const DatasetEpoch>; tickets pin it from admission to
+/// completion. `dataset` is null for the epoch the service constructor
+/// borrows from caller-owned graph/ontology pointers.
+struct DatasetEpoch {
+  DatasetEpoch(uint64_t id_in, std::shared_ptr<const Dataset> dataset_in,
+               const GraphStore* graph, const Ontology* ontology,
+               std::unique_ptr<ResultCache> cache_in)
+      : id(id_in),
+        dataset(std::move(dataset_in)),
+        engine(graph, ontology),
+        cache(std::move(cache_in)) {}
+
+  uint64_t id;
+  std::shared_ptr<const Dataset> dataset;
+  QueryEngine engine;
+  /// Per-epoch: entries can never outlive the dataset they were computed
+  /// on. Null when caching is disabled. The pointee is internally locked
+  /// (safe to use through a const epoch).
+  std::unique_ptr<ResultCache> cache;
+};
 
 struct QueryServiceOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
@@ -82,6 +119,10 @@ struct QueryResponse {
   bool exhausted = false;              ///< stream drained before top_k
   double queue_ms = 0;                 ///< admission-queue wait
   double exec_ms = 0;                  ///< engine execution (0 on cache hit)
+  /// Serving epoch the answers came from (pinned at admission): every
+  /// answer in one response is consistent with exactly this epoch's
+  /// dataset, even if SwapDataset() ran mid-execution.
+  uint64_t epoch = 0;
 };
 
 /// Handle to an in-flight submission. Tickets are shared with the worker
@@ -119,16 +160,29 @@ class QueryTicket {
   CancelSource cancel_;
   QueryClass query_class_ = QueryClass::kExact;
   std::string cache_key_;
+  bool used_cache_ = false;  ///< consulted the epoch's cache at Submit()
+  /// The serving epoch pinned at admission: the worker executes against
+  /// this epoch's engine/cache regardless of later swaps, and the pin keeps
+  /// the (possibly mmap-backed) dataset alive until completion.
+  std::shared_ptr<const DatasetEpoch> epoch_;
   std::chrono::steady_clock::time_point enqueued_at_;
 };
 
 class QueryService {
  public:
   /// `graph` must be finalized and, with `ontology` (nullable: RELAX then
-  /// fails per engine semantics), must outlive the service. Both are treated
-  /// as frozen: the service never mutates them and caches results under
-  /// that assumption — swap datasets by building a new service.
+  /// fails per engine semantics), must outlive the service (or, more
+  /// precisely, outlive epoch 0: after a SwapDataset the initial pointers
+  /// are only needed until the last epoch-0 query drains and the epoch is
+  /// dropped). Both are treated as frozen: the service never mutates them
+  /// and caches results under that assumption.
   QueryService(const GraphStore* graph, const Ontology* ontology,
+               QueryServiceOptions options = {});
+
+  /// Serves `dataset` (e.g. a mapped snapshot from SnapshotReader::Open)
+  /// as epoch 0, keeping it alive for as long as the service or any
+  /// in-flight query references it.
+  QueryService(std::shared_ptr<const Dataset> dataset,
                QueryServiceOptions options = {});
 
   /// Fast shutdown: cancels queries that are still executing (they stop at
@@ -150,16 +204,34 @@ class QueryService {
   /// response's status.
   QueryResponse Execute(QueryRequest request);
 
-  /// Invalidation hook: drops every cached result. Call when the answers
-  /// the cache holds should no longer be served (e.g. engine options or
-  /// serving policy changed out from under the fingerprint).
+  /// Hot-swaps the serving dataset: publishes a new epoch around `dataset`
+  /// (binding its ontology and starting a fresh, empty result cache) so
+  /// that every admission from here on runs against it, while already
+  /// admitted queries drain on the epoch they pinned. Also starts a new
+  /// cache-accounting generation (the per-class cache-hit counters reset —
+  /// see InvalidateCache). Thread-safe; callable at any time, including
+  /// under full query load.
+  Status SwapDataset(std::shared_ptr<const Dataset> dataset);
+
+  /// Invalidation hook: drops every cached result of the current epoch and
+  /// starts a fresh cache-accounting generation. Semantics: after this
+  /// call (a) no response is served from a pre-invalidation cache fill —
+  /// modulo requests already past their cache probe — and (b) the cache
+  /// counters in stats() (ServiceStats::cache, per-class cache_hits /
+  /// cache_lookups) restart from zero, so hit rates describe only the
+  /// current generation instead of being diluted by a cache that no longer
+  /// exists. Call it when cached answers should no longer be served;
+  /// SwapDataset() supersedes it for dataset changes (the new epoch's
+  /// cache is born empty).
   void InvalidateCache();
 
   ServiceStats stats() const;
 
   size_t num_workers() const { return workers_.size(); }
   size_t queue_depth() const;
-  const QueryEngine& engine() const { return engine_; }
+
+  /// Id of the epoch new admissions currently pin (0 until the first swap).
+  uint64_t dataset_epoch() const;
 
  private:
   /// Per-execution counters folded into the per-class aggregates: the
@@ -185,9 +257,27 @@ class QueryService {
   /// (mu_ must be held); returns them for completion outside the lock.
   std::vector<std::shared_ptr<QueryTicket>> PurgeDeadLocked();
 
+  /// Shared constructor body: builds epoch 0 (owning `dataset` when
+  /// non-null, else borrowing the caller's pointers) and starts the pool.
+  QueryService(const GraphStore* graph, const Ontology* ontology,
+               std::shared_ptr<const Dataset> dataset,
+               QueryServiceOptions options);
+
+  /// The epoch new admissions pin right now.
+  std::shared_ptr<const DatasetEpoch> CurrentEpoch() const;
+  /// Builds an epoch (engine bind + fresh cache) around the given substrate.
+  std::shared_ptr<const DatasetEpoch> MakeEpoch(
+      uint64_t id, std::shared_ptr<const Dataset> dataset,
+      const GraphStore* graph, const Ontology* ontology) const;
+  /// Zeroes the cache-generation counters (per-class hits/lookups).
+  void ResetCacheGenerationStats();
+
   QueryServiceOptions options_;
-  QueryEngine engine_;
-  std::unique_ptr<ResultCache> cache_;  // null when disabled
+
+  /// Current serving epoch; epoch_mu_ is a leaf lock (never held together
+  /// with mu_ or stats_mu_).
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const DatasetEpoch> epoch_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

@@ -65,6 +65,13 @@ void ResultCache::Clear() {
   }
 }
 
+void ResultCache::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats out;
   out.hits = hits_.load(std::memory_order_relaxed);

@@ -74,6 +74,11 @@ class ResultCache {
   /// layers call this when the dataset behind the cached results is swapped.
   void Clear();
 
+  /// Starts a fresh accounting generation: zeroes hits/misses/insertions/
+  /// evictions (resident entries are untouched). QueryService pairs this
+  /// with Clear() so hit rates always describe the current generation.
+  void ResetCounters();
+
   ResultCacheStats stats() const;
 
   size_t num_shards() const { return shards_.size(); }

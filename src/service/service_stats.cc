@@ -36,13 +36,16 @@ std::string ServiceStats::ToString() const {
   std::string out;
   std::snprintf(line, sizeof(line),
                 "service: %llu submitted, %llu rejected, %llu ok, "
-                "%llu cancelled, %llu deadline, %llu failed\n",
+                "%llu cancelled, %llu deadline, %llu failed, "
+                "epoch %llu (%llu swaps)\n",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(rejected),
                 static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(cancelled),
                 static_cast<unsigned long long>(deadline_exceeded),
-                static_cast<unsigned long long>(failed));
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(dataset_epoch),
+                static_cast<unsigned long long>(dataset_swaps));
   out += line;
   std::snprintf(line, sizeof(line),
                 "cache:   %llu hits, %llu misses, %llu evictions, "

@@ -35,7 +35,13 @@ QueryClass ClassifyQuery(const Query& query);
 /// the per-operator OperatorStats of the compiled plan's rank joins.
 struct ClassAggregate {
   uint64_t queries = 0;      ///< completed requests (hits + misses), any status
+  /// Cache-generation counters: requests that consulted the result cache
+  /// and how many of them hit. Both reset when the cache generation turns
+  /// over — QueryService::InvalidateCache() and SwapDataset() — so the
+  /// hit rate always describes the cache that is actually serving (a rate
+  /// diluted by pre-invalidation lookups would be misleading).
   uint64_t cache_hits = 0;
+  uint64_t cache_lookups = 0;
   uint64_t executed = 0;     ///< requests that reached the engine (a
                              ///< queued-dead request is neither hit nor
                              ///< executed)
@@ -46,10 +52,13 @@ struct ClassAggregate {
   uint64_t join_rows = 0;    ///< rows released by rank-join operators
   uint64_t max_join_live = 0;///< largest join tables+heap high-water seen
 
+  /// Hit rate over cache lookups of the current cache generation (see the
+  /// counter comment above; not over `queries`, which also counts
+  /// cache-bypassing and pre-invalidation requests).
   double CacheHitRate() const {
-    return queries == 0 ? 0.0
-                        : static_cast<double>(cache_hits) /
-                              static_cast<double>(queries);
+    return cache_lookups == 0 ? 0.0
+                              : static_cast<double>(cache_hits) /
+                                    static_cast<double>(cache_lookups);
   }
   double AvgQueueMs() const {
     return queries == 0 ? 0.0 : queue_ms / static_cast<double>(queries);
@@ -68,6 +77,10 @@ struct ServiceStats {
   uint64_t cancelled = 0;          ///< completions with kCancelled
   uint64_t deadline_exceeded = 0;  ///< completions with kDeadlineExceeded
   uint64_t failed = 0;             ///< completions with any other error
+  uint64_t dataset_epoch = 0;      ///< id of the serving epoch (0 = initial)
+  uint64_t dataset_swaps = 0;      ///< SwapDataset() calls so far
+  /// Counters of the *current* epoch's cache (each epoch gets a fresh
+  /// cache; InvalidateCache() also resets these within an epoch).
   ResultCacheStats cache;
   ClassAggregate per_class[kNumQueryClasses];
 

@@ -1,0 +1,57 @@
+// A Dataset bundles one frozen query substrate — a GraphStore plus the
+// (optional) Ontology bound against it — together with whatever backing
+// storage keeps the store's borrowed arrays alive. It is the unit of
+// dataset hot-swap: QueryService::SwapDataset installs a
+// shared_ptr<const Dataset> as a new serving epoch, in-flight queries keep
+// their old epoch's Dataset pinned until they drain, and when the last
+// reference drops the mapping is released.
+#ifndef OMEGA_SNAPSHOT_DATASET_H_
+#define OMEGA_SNAPSHOT_DATASET_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "ontology/ontology.h"
+#include "snapshot/mapped_file.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+class Dataset {
+ public:
+  /// Wraps an in-memory (owned-backend) graph + ontology, e.g. a generated
+  /// dataset about to be swapped into a service or written to a snapshot.
+  static std::shared_ptr<const Dataset> FromParts(
+      GraphStore graph, std::optional<Ontology> ontology) {
+    auto dataset = std::make_shared<Dataset>();
+    dataset->graph_ = std::move(graph);
+    dataset->ontology_ = std::move(ontology);
+    return dataset;
+  }
+
+  Dataset() = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  const GraphStore& graph() const { return graph_; }
+  const Ontology* ontology() const {
+    return ontology_.has_value() ? &*ontology_ : nullptr;
+  }
+
+  /// Non-null when the graph's arrays borrow from a mapped snapshot file.
+  const MappedFile* backing() const { return backing_.get(); }
+
+ private:
+  friend class SnapshotReader;
+
+  // Declared first so it is destroyed last: the graph's borrowed spans
+  // point into this mapping.
+  std::shared_ptr<const MappedFile> backing_;
+  GraphStore graph_;
+  std::optional<Ontology> ontology_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SNAPSHOT_DATASET_H_

@@ -1,0 +1,48 @@
+#include "snapshot/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace omega {
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open: " + path);
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat '" + path + "': " + std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::InvalidArgument("empty file: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping survives the close; the kernel keeps the file alive.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::Internal("mmap '" + path + "': " + std::strerror(errno));
+  }
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const std::byte*>(addr), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,49 @@
+// Read-only memory mapping of a snapshot file. The mapping is the storage
+// every borrowed ConstArray/StringTable/OidSet in a snapshot-backed
+// GraphStore points into, so Dataset holds the MappedFile alive for as long
+// as the store is reachable.
+#ifndef OMEGA_SNAPSHOT_MAPPED_FILE_H_
+#define OMEGA_SNAPSHOT_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace omega {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only (PROT_READ, shared). Fails with kNotFound for a
+  /// missing file and kInvalidArgument for an empty one (no valid snapshot
+  /// is empty, and zero-length mappings are ill-formed anyway).
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+
+  /// Typed view of [offset, offset + count * sizeof(T)); the caller has
+  /// bounds- and alignment-checked the range (the snapshot reader does).
+  template <typename T>
+  std::span<const T> ViewAt(size_t offset, size_t count) const {
+    return {reinterpret_cast<const T*>(data_ + offset), count};
+  }
+
+ private:
+  MappedFile(const std::byte* data, size_t size) : data_(data), size_(size) {}
+
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SNAPSHOT_MAPPED_FILE_H_

@@ -1,0 +1,143 @@
+// On-disk layout of omega binary snapshots (the ".snap" files written by
+// SnapshotWriter and mapped by SnapshotReader).
+//
+//   +--------------------------------------------------------------+
+//   | SnapshotHeader   magic, version, flags, counts, toc offset   |
+//   +--------------------------------------------------------------+
+//   | TOC              section_count x SectionEntry                |
+//   |                  (kind, dir, label, offset, count, checksum) |
+//   +--------------------------------------------------------------+
+//   | sections         raw little-endian arrays, each aligned to   |
+//   |                  kSectionAlignment so the mapped spans can    |
+//   |                  be handed to the store as-is                 |
+//   +--------------------------------------------------------------+
+//
+// Sections are plain arrays (no per-element framing): string data is a char
+// heap + a u64 offsets array, CSR adjacency is three arrays per
+// (direction, label), and the ontology is flattened the same way. Every
+// section carries an FNV-1a64 checksum over its raw bytes; `snapshot_tool
+// verify` (and SnapshotReader with verify_checksums) recomputes them, while
+// a plain Open only does structural validation so multi-GB files become
+// queryable without faulting in every page.
+//
+// Integers are stored in the host's native byte order; the header's
+// `endian_mark` detects a file written on a machine with the other
+// endianness (rejected rather than byte-swapped — the zero-copy promise is
+// the point of the format).
+#ifndef OMEGA_SNAPSHOT_SNAPSHOT_FORMAT_H_
+#define OMEGA_SNAPSHOT_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace omega {
+
+inline constexpr char kSnapshotMagic[8] = {'O', 'M', 'E', 'G',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotEndianMark = 0x01020304;
+inline constexpr size_t kSectionAlignment = 64;
+
+/// Header flag bits.
+inline constexpr uint32_t kSnapshotFlagHasOntology = 1u << 0;
+
+/// Section kinds. The `dir` / `label` fields of a SectionEntry are only
+/// meaningful for the CSR kinds; `label == kSigmaSectionLabel` marks the
+/// generic Σ union adjacency.
+enum class SectionKind : uint32_t {
+  kGraphLabelHeap = 1,      // char
+  kGraphLabelOffsets = 2,   // u64, count = num_labels + 1
+  kGraphNodeHeap = 3,       // char
+  kGraphNodeOffsets = 4,    // u64, count = num_nodes + 1
+  kGraphNodesByLabel = 5,   // u32 NodeId, count = num_nodes
+  kCsrRows = 6,             // u32 NodeId
+  kCsrOffsets = 7,          // u32, count = rows + 1
+  kCsrNeighbors = 8,        // u32 NodeId
+  kOntologyClassHeap = 9,   // char
+  kOntologyClassOffsets = 10,     // u64
+  kOntologyPropertyHeap = 11,     // char
+  kOntologyPropertyOffsets = 12,  // u64
+  kOntologyClassParentOffsets = 13,     // u64, count = num_classes + 1
+  kOntologyClassParents = 14,           // u32 ClassId
+  kOntologyPropertyParentOffsets = 15,  // u64, count = num_properties + 1
+  kOntologyPropertyParents = 16,        // u32 PropertyId
+  kOntologyDomains = 17,    // u32 ClassId (kInvalidClass = none)
+  kOntologyRanges = 18,     // u32 ClassId (kInvalidClass = none)
+};
+
+inline constexpr uint64_t kSigmaSectionLabel = ~0ull;
+
+struct SectionEntry {
+  uint32_t kind = 0;      // SectionKind
+  uint32_t dir = 0;       // 0 = outgoing, 1 = incoming (CSR kinds only)
+  uint64_t label = 0;     // label id / kSigmaSectionLabel (CSR kinds only)
+  uint64_t offset = 0;    // absolute file offset, kSectionAlignment-aligned
+  uint64_t count = 0;     // element count (element size derives from kind)
+  uint64_t checksum = 0;  // FNV-1a64 over the section's raw bytes
+};
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+static_assert(sizeof(SectionEntry) == 40);
+
+struct SnapshotHeader {
+  char magic[8] = {};             // kSnapshotMagic
+  uint32_t format_version = 0;    // kSnapshotFormatVersion
+  uint32_t endian_mark = 0;       // kSnapshotEndianMark as written
+  uint32_t flags = 0;             // kSnapshotFlag*
+  uint32_t section_count = 0;
+  uint64_t file_size = 0;         // total bytes, validated against the fd
+  uint64_t toc_offset = 0;        // absolute offset of the SectionEntry array
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;         // GraphStore::NumEdges()
+  uint64_t num_labels = 0;
+  uint64_t header_checksum = 0;   // FNV-1a64 with this field zeroed
+};
+static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
+static_assert(sizeof(SnapshotHeader) == 72);
+
+/// FNV-1a 64-bit over raw bytes (the per-section and header checksum).
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = 0xcbf29ce484222325ull) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Element size of a section kind's array.
+inline size_t SectionElementSize(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kGraphLabelHeap:
+    case SectionKind::kGraphNodeHeap:
+    case SectionKind::kOntologyClassHeap:
+    case SectionKind::kOntologyPropertyHeap:
+      return 1;
+    case SectionKind::kGraphLabelOffsets:
+    case SectionKind::kGraphNodeOffsets:
+    case SectionKind::kOntologyClassOffsets:
+    case SectionKind::kOntologyPropertyOffsets:
+    case SectionKind::kOntologyClassParentOffsets:
+    case SectionKind::kOntologyPropertyParentOffsets:
+      return 8;
+    case SectionKind::kGraphNodesByLabel:
+    case SectionKind::kCsrRows:
+    case SectionKind::kCsrOffsets:
+    case SectionKind::kCsrNeighbors:
+    case SectionKind::kOntologyClassParents:
+    case SectionKind::kOntologyPropertyParents:
+    case SectionKind::kOntologyDomains:
+    case SectionKind::kOntologyRanges:
+      return 4;
+  }
+  return 0;  // unknown kind (rejected by the reader)
+}
+
+const char* SectionKindToString(SectionKind kind);
+
+}  // namespace omega
+
+#endif  // OMEGA_SNAPSHOT_SNAPSHOT_FORMAT_H_

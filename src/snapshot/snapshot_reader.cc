@@ -1,0 +1,521 @@
+#include "snapshot/snapshot_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "snapshot/snapshot_writer.h"
+
+namespace omega {
+
+const char* SectionKindToString(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kGraphLabelHeap: return "graph.label_heap";
+    case SectionKind::kGraphLabelOffsets: return "graph.label_offsets";
+    case SectionKind::kGraphNodeHeap: return "graph.node_heap";
+    case SectionKind::kGraphNodeOffsets: return "graph.node_offsets";
+    case SectionKind::kGraphNodesByLabel: return "graph.nodes_by_label";
+    case SectionKind::kCsrRows: return "csr.rows";
+    case SectionKind::kCsrOffsets: return "csr.offsets";
+    case SectionKind::kCsrNeighbors: return "csr.neighbors";
+    case SectionKind::kOntologyClassHeap: return "ontology.class_heap";
+    case SectionKind::kOntologyClassOffsets: return "ontology.class_offsets";
+    case SectionKind::kOntologyPropertyHeap: return "ontology.property_heap";
+    case SectionKind::kOntologyPropertyOffsets:
+      return "ontology.property_offsets";
+    case SectionKind::kOntologyClassParentOffsets:
+      return "ontology.class_parent_offsets";
+    case SectionKind::kOntologyClassParents: return "ontology.class_parents";
+    case SectionKind::kOntologyPropertyParentOffsets:
+      return "ontology.property_parent_offsets";
+    case SectionKind::kOntologyPropertyParents:
+      return "ontology.property_parents";
+    case SectionKind::kOntologyDomains: return "ontology.domains";
+    case SectionKind::kOntologyRanges: return "ontology.ranges";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("snapshot corrupt: " + what);
+}
+
+/// Parsed + bounds-checked TOC over one mapping.
+class SectionIndex {
+ public:
+  static Result<SectionIndex> Build(const MappedFile& file,
+                                    const SnapshotHeader& header,
+                                    bool verify_checksums) {
+    SectionIndex index(&file);
+    const uint64_t toc_bytes =
+        static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
+    if (header.toc_offset % alignof(SectionEntry) != 0 ||
+        header.toc_offset > file.size() ||
+        toc_bytes > file.size() - header.toc_offset) {
+      return Corrupt("table of contents out of bounds");
+    }
+    index.entries_.resize(header.section_count);
+    if (header.section_count > 0) {
+      std::memcpy(index.entries_.data(), file.data() + header.toc_offset,
+                  toc_bytes);
+    }
+    for (const SectionEntry& entry : index.entries_) {
+      const size_t elem =
+          SectionElementSize(static_cast<SectionKind>(entry.kind));
+      if (elem == 0) return Corrupt("unknown section kind");
+      if (entry.offset % kSectionAlignment != 0) {
+        return Corrupt("misaligned section");
+      }
+      if (entry.offset > file.size() ||
+          entry.count > (file.size() - entry.offset) / elem) {
+        return Corrupt(std::string("section out of bounds: ") +
+                       SectionKindToString(
+                           static_cast<SectionKind>(entry.kind)));
+      }
+      if (verify_checksums) {
+        const uint64_t actual =
+            Fnv1a64(file.data() + entry.offset, entry.count * elem);
+        if (actual != entry.checksum) {
+          return Corrupt(std::string("checksum mismatch in section ") +
+                         SectionKindToString(
+                             static_cast<SectionKind>(entry.kind)));
+        }
+      }
+      auto [it, inserted] = index.by_key_.emplace(
+          std::make_tuple(entry.kind, entry.dir, entry.label), &entry);
+      (void)it;
+      if (!inserted) return Corrupt("duplicate section");
+    }
+    return index;
+  }
+
+  /// Typed span of a section; fails if absent or the count differs from
+  /// `expected_count` (pass SIZE_MAX to accept any count).
+  template <typename T>
+  Result<std::span<const T>> Get(SectionKind kind, uint32_t dir,
+                                 uint64_t label,
+                                 uint64_t expected_count) const {
+    auto it = by_key_.find(
+        std::make_tuple(static_cast<uint32_t>(kind), dir, label));
+    if (it == by_key_.end()) {
+      return Corrupt(std::string("missing section ") +
+                     SectionKindToString(kind));
+    }
+    const SectionEntry& entry = *it->second;
+    if (expected_count != SIZE_MAX && entry.count != expected_count) {
+      return Corrupt(std::string("unexpected element count in section ") +
+                     SectionKindToString(kind));
+    }
+    if (SectionElementSize(kind) != sizeof(T)) {
+      return Corrupt(std::string("element size mismatch in section ") +
+                     SectionKindToString(kind));
+    }
+    return file_->ViewAt<T>(entry.offset, entry.count);
+  }
+
+ private:
+  explicit SectionIndex(const MappedFile* file) : file_(file) {}
+
+  const MappedFile* file_;
+  std::vector<SectionEntry> entries_;
+  std::map<std::tuple<uint32_t, uint32_t, uint64_t>, const SectionEntry*>
+      by_key_;
+};
+
+Result<SnapshotHeader> ReadHeader(const MappedFile& file,
+                                  const std::string& path) {
+  if (file.size() < sizeof(SnapshotHeader)) {
+    return Corrupt("file shorter than the snapshot header: " + path);
+  }
+  SnapshotHeader header;
+  std::memcpy(&header, file.data(), sizeof(header));
+  if (std::memcmp(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+      0) {
+    return Status::InvalidArgument("not an omega snapshot: " + path);
+  }
+  if (header.endian_mark != kSnapshotEndianMark) {
+    return Status::InvalidArgument(
+        "snapshot written with a different byte order: " + path);
+  }
+  if (header.format_version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(header.format_version) + " (this build reads " +
+        std::to_string(kSnapshotFormatVersion) + "): " + path);
+  }
+  SnapshotHeader zeroed = header;
+  zeroed.header_checksum = 0;
+  if (Fnv1a64(&zeroed, sizeof(zeroed)) != header.header_checksum) {
+    return Corrupt("header checksum mismatch: " + path);
+  }
+  if (header.file_size != file.size()) {
+    return Corrupt("header file size does not match the file (truncated?): " +
+                   path);
+  }
+  if (header.num_nodes >= kInvalidNode || header.num_labels >= kInvalidLabel) {
+    return Corrupt("node/label count exceeds the id space");
+  }
+  if (header.num_labels == 0) {
+    return Corrupt("label section must at least contain 'type'");
+  }
+  return header;
+}
+
+/// Offsets arrays must start at 0, never decrease, and end at the heap
+/// size — the invariant StringTable indexing and the flattened ontology
+/// parent lists rely on to stay in bounds.
+Status CheckOffsets(std::span<const uint64_t> offsets, uint64_t data_size,
+                    const char* what) {
+  if (offsets.empty() || offsets.front() != 0) {
+    return Corrupt(std::string(what) + " offsets must start at 0");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Corrupt(std::string(what) + " offsets decrease");
+    }
+  }
+  if (offsets.back() != data_size) {
+    return Corrupt(std::string(what) + " offsets do not cover the data");
+  }
+  return Status::OK();
+}
+
+struct LoadedCsr {
+  CsrAdjacency adjacency;
+};
+
+Result<LoadedCsr> LoadCsr(const SectionIndex& index, uint32_t dir,
+                          uint64_t label, uint64_t num_nodes,
+                          bool deep_validate) {
+  Result<std::span<const NodeId>> rows =
+      index.Get<NodeId>(SectionKind::kCsrRows, dir, label, SIZE_MAX);
+  if (!rows.ok()) return rows.status();
+  Result<std::span<const uint32_t>> offsets = index.Get<uint32_t>(
+      SectionKind::kCsrOffsets, dir, label, rows->size() + 1);
+  if (!offsets.ok()) return offsets.status();
+  Result<std::span<const NodeId>> neighbors =
+      index.Get<NodeId>(SectionKind::kCsrNeighbors, dir, label, SIZE_MAX);
+  if (!neighbors.ok()) return neighbors.status();
+
+  // The row binary search and the offsets indexing in NeighborsOf must not
+  // be able to walk out of the mapped sections.
+  if ((*offsets)[0] != 0) return Corrupt("csr offsets must start at 0");
+  for (size_t i = 1; i < offsets->size(); ++i) {
+    if ((*offsets)[i] < (*offsets)[i - 1]) {
+      return Corrupt("csr offsets decrease");
+    }
+  }
+  if (offsets->back() != neighbors->size()) {
+    return Corrupt("csr offsets do not cover the neighbour array");
+  }
+  if (deep_validate) {
+    for (size_t i = 0; i < rows->size(); ++i) {
+      if ((*rows)[i] >= num_nodes ||
+          (i > 0 && (*rows)[i] <= (*rows)[i - 1])) {
+        return Corrupt("csr rows not strictly increasing node ids");
+      }
+    }
+    for (NodeId n : *neighbors) {
+      if (n >= num_nodes) return Corrupt("csr neighbour id out of range");
+    }
+  }
+  LoadedCsr loaded;
+  loaded.adjacency.rows = ConstArray<NodeId>::Borrowed(*rows);
+  loaded.adjacency.offsets = ConstArray<uint32_t>::Borrowed(*offsets);
+  loaded.adjacency.neighbors = ConstArray<NodeId>::Borrowed(*neighbors);
+  return loaded;
+}
+
+Result<StringTable> LoadStringTable(const SectionIndex& index,
+                                    SectionKind heap_kind,
+                                    SectionKind offsets_kind, uint64_t count,
+                                    const char* what) {
+  Result<std::span<const char>> heap =
+      index.Get<char>(heap_kind, 0, 0, SIZE_MAX);
+  if (!heap.ok()) return heap.status();
+  Result<std::span<const uint64_t>> offsets =
+      index.Get<uint64_t>(offsets_kind, 0, 0, count + 1);
+  if (!offsets.ok()) return offsets.status();
+  OMEGA_RETURN_NOT_OK(CheckOffsets(*offsets, heap->size(), what));
+  return StringTable::Borrowed(*heap, *offsets);
+}
+
+Result<Ontology> RebuildOntology(const SectionIndex& index,
+                                 bool deep_validate) {
+  Result<std::span<const uint64_t>> class_offsets = index.Get<uint64_t>(
+      SectionKind::kOntologyClassOffsets, 0, 0, SIZE_MAX);
+  if (!class_offsets.ok()) return class_offsets.status();
+  if (class_offsets->empty()) return Corrupt("empty ontology class offsets");
+  const uint64_t num_classes = class_offsets->size() - 1;
+  Result<StringTable> classes = LoadStringTable(
+      index, SectionKind::kOntologyClassHeap,
+      SectionKind::kOntologyClassOffsets, num_classes, "ontology class");
+  if (!classes.ok()) return classes.status();
+
+  Result<std::span<const uint64_t>> property_offsets = index.Get<uint64_t>(
+      SectionKind::kOntologyPropertyOffsets, 0, 0, SIZE_MAX);
+  if (!property_offsets.ok()) return property_offsets.status();
+  if (property_offsets->empty()) {
+    return Corrupt("empty ontology property offsets");
+  }
+  const uint64_t num_properties = property_offsets->size() - 1;
+  Result<StringTable> properties =
+      LoadStringTable(index, SectionKind::kOntologyPropertyHeap,
+                      SectionKind::kOntologyPropertyOffsets, num_properties,
+                      "ontology property");
+  if (!properties.ok()) return properties.status();
+
+  Result<std::span<const uint64_t>> class_parent_offsets =
+      index.Get<uint64_t>(SectionKind::kOntologyClassParentOffsets, 0, 0,
+                          num_classes + 1);
+  if (!class_parent_offsets.ok()) return class_parent_offsets.status();
+  Result<std::span<const uint32_t>> class_parents = index.Get<uint32_t>(
+      SectionKind::kOntologyClassParents, 0, 0, SIZE_MAX);
+  if (!class_parents.ok()) return class_parents.status();
+  OMEGA_RETURN_NOT_OK(CheckOffsets(*class_parent_offsets,
+                                   class_parents->size(), "class parent"));
+
+  Result<std::span<const uint64_t>> property_parent_offsets =
+      index.Get<uint64_t>(SectionKind::kOntologyPropertyParentOffsets, 0, 0,
+                          num_properties + 1);
+  if (!property_parent_offsets.ok()) {
+    return property_parent_offsets.status();
+  }
+  Result<std::span<const uint32_t>> property_parents = index.Get<uint32_t>(
+      SectionKind::kOntologyPropertyParents, 0, 0, SIZE_MAX);
+  if (!property_parents.ok()) return property_parents.status();
+  OMEGA_RETURN_NOT_OK(CheckOffsets(*property_parent_offsets,
+                                   property_parents->size(),
+                                   "property parent"));
+
+  Result<std::span<const uint32_t>> domains = index.Get<uint32_t>(
+      SectionKind::kOntologyDomains, 0, 0, num_properties);
+  if (!domains.ok()) return domains.status();
+  Result<std::span<const uint32_t>> ranges = index.Get<uint32_t>(
+      SectionKind::kOntologyRanges, 0, 0, num_properties);
+  if (!ranges.ok()) return ranges.status();
+
+  (void)deep_validate;  // the id range checks below are cheap; always run
+
+  // Rebuild through OntologyBuilder in id order: ids come out identical to
+  // the ontology that was serialized, and the derived structures (ancestor
+  // steps, down-sets) are recomputed by the same deterministic Finalize the
+  // in-memory build uses — so RELAX behaves byte-identically.
+  OntologyBuilder builder;
+  for (uint64_t c = 0; c < num_classes; ++c) {
+    if (builder.GetOrAddClass((*classes)[c]) != c) {
+      return Corrupt("duplicate ontology class name");
+    }
+  }
+  for (uint64_t p = 0; p < num_properties; ++p) {
+    if (builder.GetOrAddProperty((*properties)[p]) != p) {
+      return Corrupt("duplicate ontology property name");
+    }
+  }
+  for (uint64_t c = 0; c < num_classes; ++c) {
+    for (uint64_t i = (*class_parent_offsets)[c];
+         i < (*class_parent_offsets)[c + 1]; ++i) {
+      const uint32_t parent = (*class_parents)[i];
+      if (parent >= num_classes) {
+        return Corrupt("ontology class parent id out of range");
+      }
+      OMEGA_RETURN_NOT_OK(
+          builder.AddSubclass((*classes)[c], (*classes)[parent]));
+    }
+  }
+  for (uint64_t p = 0; p < num_properties; ++p) {
+    for (uint64_t i = (*property_parent_offsets)[p];
+         i < (*property_parent_offsets)[p + 1]; ++i) {
+      const uint32_t parent = (*property_parents)[i];
+      if (parent >= num_properties) {
+        return Corrupt("ontology property parent id out of range");
+      }
+      OMEGA_RETURN_NOT_OK(
+          builder.AddSubproperty((*properties)[p], (*properties)[parent]));
+    }
+    if ((*domains)[p] != kInvalidClass) {
+      if ((*domains)[p] >= num_classes) {
+        return Corrupt("ontology domain class id out of range");
+      }
+      OMEGA_RETURN_NOT_OK(
+          builder.SetDomain((*properties)[p], (*classes)[(*domains)[p]]));
+    }
+    if ((*ranges)[p] != kInvalidClass) {
+      if ((*ranges)[p] >= num_classes) {
+        return Corrupt("ontology range class id out of range");
+      }
+      OMEGA_RETURN_NOT_OK(
+          builder.SetRange((*properties)[p], (*classes)[(*ranges)[p]]));
+    }
+  }
+  return std::move(builder).Finalize();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Dataset>> SnapshotReader::Open(
+    const std::string& path) {
+  return Open(path, Options());
+}
+
+Result<std::shared_ptr<const Dataset>> SnapshotReader::Open(
+    const std::string& path, const Options& options) {
+  Result<std::shared_ptr<const MappedFile>> file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  Result<SnapshotHeader> header = ReadHeader(**file, path);
+  if (!header.ok()) return header.status();
+  Result<SectionIndex> index =
+      SectionIndex::Build(**file, *header, options.verify_checksums);
+  if (!index.ok()) return index.status();
+
+  auto dataset = std::make_shared<Dataset>();
+  dataset->backing_ = *file;
+  GraphStore& graph = dataset->graph_;
+
+  // --- Strings + FindNode permutation ------------------------------------
+  Result<StringTable> label_table = LoadStringTable(
+      *index, SectionKind::kGraphLabelHeap, SectionKind::kGraphLabelOffsets,
+      header->num_labels, "graph label");
+  if (!label_table.ok()) return label_table.status();
+  Result<LabelDictionary> labels =
+      LabelDictionary::FromBorrowedTable(std::move(*label_table));
+  if (!labels.ok()) return labels.status();
+  graph.labels_ = std::move(*labels);
+
+  Result<StringTable> node_table = LoadStringTable(
+      *index, SectionKind::kGraphNodeHeap, SectionKind::kGraphNodeOffsets,
+      header->num_nodes, "graph node");
+  if (!node_table.ok()) return node_table.status();
+  graph.node_labels_ = std::move(*node_table);
+
+  Result<std::span<const NodeId>> by_label = index->Get<NodeId>(
+      SectionKind::kGraphNodesByLabel, 0, 0, header->num_nodes);
+  if (!by_label.ok()) return by_label.status();
+  for (NodeId n : *by_label) {
+    if (n >= header->num_nodes) {
+      return Corrupt("nodes_by_label id out of range");
+    }
+  }
+  if (options.deep_validate) {
+    for (size_t i = 1; i < by_label->size(); ++i) {
+      if (!(graph.node_labels_[(*by_label)[i - 1]] <
+            graph.node_labels_[(*by_label)[i]])) {
+        return Corrupt("nodes_by_label is not strictly label-sorted");
+      }
+    }
+  }
+  graph.nodes_by_label_ = ConstArray<NodeId>::Borrowed(*by_label);
+
+  // --- CSR adjacency ------------------------------------------------------
+  size_t total_edges = 0;
+  for (uint32_t dir = 0; dir < 2; ++dir) {
+    graph.adjacency_[dir].resize(header->num_labels);
+    for (uint64_t l = 0; l < header->num_labels; ++l) {
+      Result<LoadedCsr> csr = LoadCsr(*index, dir, l, header->num_nodes,
+                                      options.deep_validate);
+      if (!csr.ok()) return csr.status();
+      if (dir == 0) total_edges += csr->adjacency.edge_count();
+      graph.adjacency_[dir][l] = std::move(csr->adjacency);
+    }
+    Result<LoadedCsr> sigma = LoadCsr(*index, dir, kSigmaSectionLabel,
+                                      header->num_nodes,
+                                      options.deep_validate);
+    if (!sigma.ok()) return sigma.status();
+    graph.sigma_union_[dir] = std::move(sigma->adjacency);
+  }
+  if (total_edges != header->num_edges) {
+    return Corrupt("edge count in header does not match the adjacency");
+  }
+  graph.num_edges_ = header->num_edges;
+
+  // --- Endpoint sets: views of the CSR rows, as in GraphBuilder ----------
+  graph.tails_.resize(header->num_labels);
+  graph.heads_.resize(header->num_labels);
+  for (uint64_t l = 0; l < header->num_labels; ++l) {
+    graph.tails_[l] = graph.adjacency_[0][l].RowSet();
+    graph.heads_[l] = graph.adjacency_[1][l].RowSet();
+  }
+  graph.sigma_endpoints_[0] = graph.sigma_union_[0].RowSet();
+  graph.sigma_endpoints_[1] = graph.sigma_union_[1].RowSet();
+  graph.type_endpoints_[0] =
+      graph.adjacency_[0][LabelDictionary::kTypeLabel].RowSet();
+  graph.type_endpoints_[1] =
+      graph.adjacency_[1][LabelDictionary::kTypeLabel].RowSet();
+
+  // --- Ontology (rebuilt; small next to the graph) ------------------------
+  if ((header->flags & kSnapshotFlagHasOntology) != 0) {
+    Result<Ontology> ontology =
+        RebuildOntology(*index, options.deep_validate);
+    if (!ontology.ok()) return ontology.status();
+    dataset->ontology_ = std::move(*ontology);
+  }
+  return std::shared_ptr<const Dataset>(std::move(dataset));
+}
+
+Result<SnapshotInfo> SnapshotReader::Inspect(const std::string& path) {
+  Result<std::shared_ptr<const MappedFile>> file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  Result<SnapshotHeader> header = ReadHeader(**file, path);
+  if (!header.ok()) return header.status();
+
+  SnapshotInfo info;
+  info.format_version = header->format_version;
+  info.has_ontology = (header->flags & kSnapshotFlagHasOntology) != 0;
+  info.file_size = header->file_size;
+  info.num_nodes = header->num_nodes;
+  info.num_edges = header->num_edges;
+  info.num_labels = header->num_labels;
+
+  const uint64_t toc_bytes =
+      static_cast<uint64_t>(header->section_count) * sizeof(SectionEntry);
+  if (header->toc_offset > (*file)->size() ||
+      toc_bytes > (*file)->size() - header->toc_offset) {
+    return Corrupt("table of contents out of bounds");
+  }
+  info.sections.resize(header->section_count);
+  if (header->section_count > 0) {
+    std::memcpy(info.sections.data(), (*file)->data() + header->toc_offset,
+                toc_bytes);
+  }
+  return info;
+}
+
+Status SnapshotReader::Verify(const std::string& path) {
+  Options options;
+  options.verify_checksums = true;
+  options.deep_validate = true;
+  Result<std::shared_ptr<const Dataset>> dataset = Open(path, options);
+  if (!dataset.ok()) return dataset.status();
+  return Status::OK();
+}
+
+std::string SnapshotInfo::ToString() const {
+  std::ostringstream out;
+  out << "omega snapshot v" << format_version << ": " << num_nodes
+      << " nodes, " << num_edges << " edges, " << num_labels << " labels, "
+      << (has_ontology ? "with" : "no") << " ontology, " << file_size
+      << " bytes, " << sections.size() << " sections\n";
+  for (const SectionEntry& entry : sections) {
+    const SectionKind kind = static_cast<SectionKind>(entry.kind);
+    out << "  " << SectionKindToString(kind);
+    if (kind == SectionKind::kCsrRows || kind == SectionKind::kCsrOffsets ||
+        kind == SectionKind::kCsrNeighbors) {
+      out << "[dir=" << entry.dir << ",label=";
+      if (entry.label == kSigmaSectionLabel) {
+        out << "sigma";
+      } else {
+        out << entry.label;
+      }
+      out << "]";
+    }
+    out << " offset=" << entry.offset << " count=" << entry.count
+        << " bytes=" << entry.count * SectionElementSize(kind) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace omega

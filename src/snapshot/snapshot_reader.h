@@ -1,0 +1,69 @@
+// Opens binary snapshots written by SnapshotWriter: mmaps the file, checks
+// the header/TOC and the structural invariants the store's binary searches
+// rely on, then assembles a GraphStore whose CSR arrays, node-label heap
+// and FindNode permutation *borrow* the mapping zero-copy (the ontology —
+// tiny next to the graph — is rebuilt through OntologyBuilder so its
+// derived down-sets come out of the same deterministic code path as an
+// in-memory build). The result is a Dataset that keeps the mapping alive
+// for as long as anything references it.
+//
+// Open() validates structure (bounds, counts, offset monotonicity) but not
+// content checksums, so a multi-GB snapshot becomes queryable without
+// faulting in its edge pages; Verify() — and Open with verify_checksums —
+// additionally recomputes every section checksum and checks the deep
+// invariants (sorted CSR rows, in-range neighbour ids, label-sorted
+// FindNode permutation).
+#ifndef OMEGA_SNAPSHOT_SNAPSHOT_READER_H_
+#define OMEGA_SNAPSHOT_SNAPSHOT_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "snapshot/dataset.h"
+#include "snapshot/snapshot_format.h"
+
+namespace omega {
+
+/// Header + TOC summary returned by SnapshotReader::Inspect (what
+/// `snapshot_tool inspect` prints).
+struct SnapshotInfo {
+  uint32_t format_version = 0;
+  bool has_ontology = false;
+  uint64_t file_size = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_labels = 0;
+  std::vector<SectionEntry> sections;
+
+  std::string ToString() const;
+};
+
+class SnapshotReader {
+ public:
+  struct Options {
+    /// Recompute and compare every section checksum at open (reads the
+    /// whole file; Verify() sets this).
+    bool verify_checksums = false;
+    /// Check the expensive invariants too: CSR rows sorted, neighbour ids
+    /// within [0, num_nodes), node permutation sorted by label.
+    bool deep_validate = false;
+  };
+
+  /// Maps `path` and serves it as a Dataset (zero-copy graph + rebuilt
+  /// ontology when the snapshot contains one).
+  static Result<std::shared_ptr<const Dataset>> Open(const std::string& path);
+  static Result<std::shared_ptr<const Dataset>> Open(const std::string& path,
+                                                     const Options& options);
+
+  /// Header/TOC summary without building the store.
+  static Result<SnapshotInfo> Inspect(const std::string& path);
+
+  /// Full integrity check: structure + checksums + deep invariants.
+  static Status Verify(const std::string& path);
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_SNAPSHOT_SNAPSHOT_READER_H_

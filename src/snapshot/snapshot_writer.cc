@@ -1,0 +1,291 @@
+#include "snapshot/snapshot_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "snapshot/snapshot_format.h"
+
+namespace omega {
+namespace {
+
+/// fsyncs `path` (a file or directory). Crash atomicity needs both: the
+/// tmp file's data must be durable *before* the rename, and the rename
+/// itself lives in the parent directory's metadata.
+Status SyncPath(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY
+                                                : O_RDONLY);
+  if (fd < 0) return Status::Internal("open for fsync failed: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal("fsync failed: " + path);
+  return Status::OK();
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// One section queued for writing: its TOC metadata plus the bytes, which
+/// either view a live store array or an owned flattened buffer.
+struct PendingSection {
+  SectionEntry entry;
+  const void* data = nullptr;
+  size_t bytes = 0;
+  std::shared_ptr<std::vector<char>> owned;  // keep-alive for flattened data
+};
+
+class SectionList {
+ public:
+  template <typename T>
+  void Add(SectionKind kind, std::span<const T> data, uint32_t dir = 0,
+           uint64_t label = 0) {
+    PendingSection section;
+    section.entry.kind = static_cast<uint32_t>(kind);
+    section.entry.dir = dir;
+    section.entry.label = label;
+    section.entry.count = data.size();
+    section.data = data.data();
+    section.bytes = data.size_bytes();
+    sections_.push_back(std::move(section));
+  }
+
+  /// Adds a flattened (heap, offsets) string pair built from `count` names.
+  void AddStrings(SectionKind heap_kind, SectionKind offsets_kind,
+                  size_t count,
+                  const std::function<std::string_view(size_t)>& name) {
+    auto heap = std::make_shared<std::vector<char>>();
+    auto offsets = std::make_shared<std::vector<char>>();
+    std::vector<uint64_t> offs;
+    offs.reserve(count + 1);
+    offs.push_back(0);
+    for (size_t i = 0; i < count; ++i) {
+      const std::string_view s = name(i);
+      heap->insert(heap->end(), s.begin(), s.end());
+      offs.push_back(static_cast<uint64_t>(heap->size()));
+    }
+    offsets->resize(offs.size() * sizeof(uint64_t));
+    std::memcpy(offsets->data(), offs.data(), offsets->size());
+
+    PendingSection heap_section;
+    heap_section.entry.kind = static_cast<uint32_t>(heap_kind);
+    heap_section.entry.count = heap->size();
+    heap_section.data = heap->data();
+    heap_section.bytes = heap->size();
+    heap_section.owned = heap;
+    sections_.push_back(std::move(heap_section));
+
+    PendingSection offsets_section;
+    offsets_section.entry.kind = static_cast<uint32_t>(offsets_kind);
+    offsets_section.entry.count = offs.size();
+    offsets_section.data = offsets->data();
+    offsets_section.bytes = offsets->size();
+    offsets_section.owned = offsets;
+    sections_.push_back(std::move(offsets_section));
+  }
+
+  /// Adds an array the writer materialised itself (ontology flattening).
+  template <typename T>
+  void AddOwned(SectionKind kind, std::vector<T> values) {
+    auto owned =
+        std::make_shared<std::vector<char>>(values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(owned->data(), values.data(), owned->size());
+    }
+    PendingSection section;
+    section.entry.kind = static_cast<uint32_t>(kind);
+    section.entry.count = values.size();
+    section.data = owned->data();
+    section.bytes = owned->size();
+    section.owned = owned;
+    sections_.push_back(std::move(section));
+  }
+
+  std::vector<PendingSection>& sections() { return sections_; }
+
+ private:
+  std::vector<PendingSection> sections_;
+};
+
+size_t AlignUp(size_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+void AddCsr(SectionList* list, const CsrAdjacency& adj, uint32_t dir,
+            uint64_t label) {
+  list->Add(SectionKind::kCsrRows, adj.rows.span(), dir, label);
+  list->Add(SectionKind::kCsrOffsets, adj.offsets.span(), dir, label);
+  list->Add(SectionKind::kCsrNeighbors, adj.neighbors.span(), dir, label);
+}
+
+void AddOntologySections(SectionList* list, const Ontology& ontology) {
+  const size_t num_classes = ontology.NumClasses();
+  const size_t num_properties = ontology.NumProperties();
+  list->AddStrings(SectionKind::kOntologyClassHeap,
+                   SectionKind::kOntologyClassOffsets, num_classes,
+                   [&](size_t i) {
+                     return ontology.ClassName(static_cast<ClassId>(i));
+                   });
+  list->AddStrings(SectionKind::kOntologyPropertyHeap,
+                   SectionKind::kOntologyPropertyOffsets, num_properties,
+                   [&](size_t i) {
+                     return ontology.PropertyName(static_cast<PropertyId>(i));
+                   });
+
+  // Parent lists, flattened CSR-style: offsets[i]..offsets[i+1] indexes the
+  // concatenated parent id array.
+  std::vector<uint64_t> class_parent_offsets{0};
+  std::vector<uint32_t> class_parents;
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (ClassId p : ontology.ClassParents(static_cast<ClassId>(c))) {
+      class_parents.push_back(p);
+    }
+    class_parent_offsets.push_back(class_parents.size());
+  }
+  list->AddOwned(SectionKind::kOntologyClassParentOffsets,
+                 std::move(class_parent_offsets));
+  list->AddOwned(SectionKind::kOntologyClassParents,
+                 std::move(class_parents));
+
+  std::vector<uint64_t> property_parent_offsets{0};
+  std::vector<uint32_t> property_parents;
+  std::vector<uint32_t> domains;
+  std::vector<uint32_t> ranges;
+  for (size_t p = 0; p < num_properties; ++p) {
+    const PropertyId pid = static_cast<PropertyId>(p);
+    for (PropertyId parent : ontology.PropertyParents(pid)) {
+      property_parents.push_back(parent);
+    }
+    property_parent_offsets.push_back(property_parents.size());
+    domains.push_back(ontology.DomainOf(pid).value_or(kInvalidClass));
+    ranges.push_back(ontology.RangeOf(pid).value_or(kInvalidClass));
+  }
+  list->AddOwned(SectionKind::kOntologyPropertyParentOffsets,
+                 std::move(property_parent_offsets));
+  list->AddOwned(SectionKind::kOntologyPropertyParents,
+                 std::move(property_parents));
+  list->AddOwned(SectionKind::kOntologyDomains, std::move(domains));
+  list->AddOwned(SectionKind::kOntologyRanges, std::move(ranges));
+}
+
+}  // namespace
+
+Status SnapshotWriter::Write(const GraphStore& graph, const Ontology* ontology,
+                             const std::string& path) const {
+  SectionList list;
+
+  // --- Graph sections, straight off the frozen store's arrays ------------
+  const LabelDictionary& labels = graph.labels();
+  list.AddStrings(SectionKind::kGraphLabelHeap,
+                  SectionKind::kGraphLabelOffsets, labels.size(),
+                  [&](size_t i) {
+                    return labels.Name(static_cast<LabelId>(i));
+                  });
+  list.Add(SectionKind::kGraphNodeHeap, graph.node_labels_.heap());
+  list.Add(SectionKind::kGraphNodeOffsets, graph.node_labels_.offsets());
+  list.Add(SectionKind::kGraphNodesByLabel, graph.nodes_by_label_.span());
+  for (uint32_t dir = 0; dir < 2; ++dir) {
+    for (size_t l = 0; l < graph.adjacency_[dir].size(); ++l) {
+      AddCsr(&list, graph.adjacency_[dir][l], dir, l);
+    }
+    AddCsr(&list, graph.sigma_union_[dir], dir, kSigmaSectionLabel);
+  }
+  if (ontology != nullptr) AddOntologySections(&list, *ontology);
+
+  // --- Lay out: header, TOC, aligned sections ----------------------------
+  SnapshotHeader header;
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(header.magic));
+  header.format_version = kSnapshotFormatVersion;
+  header.endian_mark = kSnapshotEndianMark;
+  header.flags = ontology != nullptr ? kSnapshotFlagHasOntology : 0;
+  header.section_count = static_cast<uint32_t>(list.sections().size());
+  header.num_nodes = graph.NumNodes();
+  header.num_edges = graph.NumEdges();
+  header.num_labels = labels.size();
+  header.toc_offset = AlignUp(sizeof(SnapshotHeader));
+
+  size_t cursor =
+      AlignUp(header.toc_offset +
+              list.sections().size() * sizeof(SectionEntry));
+  for (PendingSection& section : list.sections()) {
+    section.entry.offset = cursor;
+    section.entry.checksum = Fnv1a64(section.data, section.bytes);
+    cursor = AlignUp(cursor + section.bytes);
+  }
+  header.file_size = cursor;
+  header.header_checksum = 0;
+  header.header_checksum = Fnv1a64(&header, sizeof(header));
+
+  // --- Write to <path>.tmp, then rename into place -----------------------
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot open for write: " + tmp_path);
+    }
+    std::vector<char> zeros(kSectionAlignment, 0);
+    size_t written = 0;
+    auto pad_to = [&](size_t offset) {
+      while (written < offset) {
+        const size_t chunk =
+            std::min(zeros.size(), offset - written);
+        out.write(zeros.data(), static_cast<std::streamsize>(chunk));
+        written += chunk;
+      }
+    };
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    written += sizeof(header);
+    pad_to(header.toc_offset);
+    for (const PendingSection& section : list.sections()) {
+      out.write(reinterpret_cast<const char*>(&section.entry),
+                sizeof(SectionEntry));
+      written += sizeof(SectionEntry);
+    }
+    for (const PendingSection& section : list.sections()) {
+      pad_to(section.entry.offset);
+      if (section.bytes > 0) {
+        out.write(static_cast<const char*>(section.data),
+                  static_cast<std::streamsize>(section.bytes));
+      }
+      written += section.bytes;
+    }
+    pad_to(header.file_size);
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write failed: " + tmp_path);
+    }
+  }
+  // Durability order: data -> rename -> directory entry. Without the first
+  // fsync a crash shortly after Write() returns can publish the final name
+  // over unflushed (truncated/zero) pages; without the last one the rename
+  // itself may not survive.
+  Status synced = SyncPath(tmp_path, /*directory=*/false);
+  if (!synced.ok()) {
+    std::remove(tmp_path.c_str());
+    return synced;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("rename failed: " + tmp_path + " -> " + path);
+  }
+  return SyncPath(ParentDirectory(path), /*directory=*/true);
+}
+
+Status WriteSnapshot(const GraphStore& graph, const Ontology* ontology,
+                     const std::string& path) {
+  return SnapshotWriter().Write(graph, ontology, path);
+}
+
+}  // namespace omega

@@ -1,0 +1,33 @@
+// Serializes a frozen GraphStore (+ optional Ontology) into the binary
+// snapshot format of snapshot_format.h: header, table of contents, then one
+// aligned, checksummed section per array. The graph arrays are written
+// straight out of the store (they are already in on-disk shape thanks to
+// the ConstArray/StringTable seam); the ontology is flattened into the same
+// heap + offsets shape. Writes go to "<path>.tmp" and are renamed into
+// place, so a crash mid-write never leaves a truncated file behind the
+// final name.
+#ifndef OMEGA_SNAPSHOT_SNAPSHOT_WRITER_H_
+#define OMEGA_SNAPSHOT_SNAPSHOT_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ontology/ontology.h"
+#include "store/graph_store.h"
+
+namespace omega {
+
+class SnapshotWriter {
+ public:
+  /// Writes `graph` (and `ontology`, when non-null) to `path`.
+  Status Write(const GraphStore& graph, const Ontology* ontology,
+               const std::string& path) const;
+};
+
+/// Convenience wrapper around SnapshotWriter::Write.
+Status WriteSnapshot(const GraphStore& graph, const Ontology* ontology,
+                     const std::string& path);
+
+}  // namespace omega
+
+#endif  // OMEGA_SNAPSHOT_SNAPSHOT_WRITER_H_

@@ -17,16 +17,22 @@ bool IsReservedOntologyLabel(std::string_view name) {
 CsrAdjacency BuildCsr(std::vector<std::pair<NodeId, NodeId>> pairs) {
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-  CsrAdjacency adj;
-  adj.neighbors.reserve(pairs.size());
+  std::vector<NodeId> rows;
+  std::vector<uint32_t> offsets;
+  std::vector<NodeId> neighbors;
+  neighbors.reserve(pairs.size());
   for (size_t i = 0; i < pairs.size(); ++i) {
-    if (adj.rows.empty() || adj.rows.back() != pairs[i].first) {
-      adj.rows.push_back(pairs[i].first);
-      adj.offsets.push_back(static_cast<uint32_t>(adj.neighbors.size()));
+    if (rows.empty() || rows.back() != pairs[i].first) {
+      rows.push_back(pairs[i].first);
+      offsets.push_back(static_cast<uint32_t>(neighbors.size()));
     }
-    adj.neighbors.push_back(pairs[i].second);
+    neighbors.push_back(pairs[i].second);
   }
-  adj.offsets.push_back(static_cast<uint32_t>(adj.neighbors.size()));
+  offsets.push_back(static_cast<uint32_t>(neighbors.size()));
+  CsrAdjacency adj;
+  adj.rows = std::move(rows);
+  adj.offsets = std::move(offsets);
+  adj.neighbors = std::move(neighbors);
   return adj;
 }
 
@@ -102,8 +108,21 @@ GraphStore GraphBuilder::Finalize() && {
 
   GraphStore store;
   store.labels_ = std::move(labels_);
-  store.node_labels_ = std::move(node_labels_);
-  store.node_index_ = std::move(node_index_);
+  store.node_labels_ = StringTable::FromStrings(node_labels_);
+  // Replace the build-phase hash index with the frozen store's label-sorted
+  // permutation: FindNode binary-searches it, which works identically over
+  // an owned vector and a borrowed snapshot span.
+  {
+    std::vector<NodeId> by_label(node_labels_.size());
+    for (size_t n = 0; n < by_label.size(); ++n) {
+      by_label[n] = static_cast<NodeId>(n);
+    }
+    std::sort(by_label.begin(), by_label.end(),
+              [this](NodeId a, NodeId b) {
+                return node_labels_[a] < node_labels_[b];
+              });
+    store.nodes_by_label_ = std::move(by_label);
+  }
 
   const size_t num_labels = store.labels_.size();
   edges_by_label_.resize(num_labels);
@@ -135,8 +154,12 @@ GraphStore GraphBuilder::Finalize() && {
   store.sigma_union_[0] = BuildCsr(std::move(sigma_pairs));
   store.sigma_endpoints_[0] = store.sigma_union_[0].RowSet();
   store.sigma_endpoints_[1] = store.sigma_union_[1].RowSet();
-  store.type_endpoints_[0] = store.tails_[LabelDictionary::kTypeLabel];
-  store.type_endpoints_[1] = store.heads_[LabelDictionary::kTypeLabel];
+  // Borrow the type rows again rather than copying the (also borrowed)
+  // tails/heads sets: every endpoint set is a view of its CSR rows.
+  store.type_endpoints_[0] =
+      store.adjacency_[0][LabelDictionary::kTypeLabel].RowSet();
+  store.type_endpoints_[1] =
+      store.adjacency_[1][LabelDictionary::kTypeLabel].RowSet();
   return store;
 }
 

@@ -12,18 +12,36 @@ namespace {
 
 constexpr std::string_view kMagic = "omega-graph-v1";
 
-Result<long long> ParseCount(const std::string& line, std::string_view key) {
+/// Every parse error names the 1-based line it came from: a hand-authored
+/// or machine-mangled multi-megabyte graph file is undebuggable from
+/// "bad edge line" alone.
+Status ErrAt(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 what);
+}
+
+/// Strict full-match unsigned parse: rejects empty fields, signs, leading
+/// whitespace, trailing garbage ("12abc") and overflow — all of which
+/// std::stoul would let through (or throw on) in surprising ways.
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+Result<uint64_t> ParseCount(const std::string& line, std::string_view key,
+                            size_t line_no) {
   auto pieces = Split(line, ' ', /*trim=*/true);
-  if (pieces.size() != 2 || pieces[0] != key) {
-    return Status::InvalidArgument("expected '" + std::string(key) +
-                                   " <count>', got: " + line);
+  uint64_t value = 0;
+  if (pieces.size() != 2 || pieces[0] != key ||
+      !ParseU64(pieces[1], &value)) {
+    return ErrAt(line_no, "expected '" + std::string(key) +
+                              " <count>', got: " + line);
   }
-  long long value = 0;
-  auto [ptr, ec] = std::from_chars(pieces[1].data(),
-                                   pieces[1].data() + pieces[1].size(), value);
-  if (ec != std::errc() || ptr != pieces[1].data() + pieces[1].size() ||
-      value < 0) {
-    return Status::InvalidArgument("bad count in: " + line);
+  // Counts must stay within the 32-bit id space the store addresses with.
+  if (value >= kInvalidNode) {
+    return ErrAt(line_no, std::string(key) + " count " + pieces[1] +
+                              " exceeds the 32-bit id space");
   }
   return value;
 }
@@ -60,69 +78,123 @@ Result<GraphStore> LoadGraph(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open: " + path);
 
+  size_t line_no = 0;
   std::string line;
-  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+  auto next_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  };
+
+  if (!next_line() || StripWhitespace(line) != kMagic) {
     return Status::InvalidArgument("not an omega-graph-v1 file: " + path);
   }
 
-  if (!std::getline(in, line)) return Status::InvalidArgument("truncated file");
-  Result<long long> num_labels = ParseCount(line, "labels");
+  if (!next_line()) {
+    return ErrAt(line_no + 1, "unexpected end of file, expected 'labels'");
+  }
+  Result<uint64_t> num_labels = ParseCount(line, "labels", line_no);
   if (!num_labels.ok()) return num_labels.status();
 
   GraphBuilder builder;
   std::vector<LabelId> label_ids;
   label_ids.reserve(static_cast<size_t>(*num_labels));
-  for (long long i = 0; i < *num_labels; ++i) {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("truncated label section");
+  for (uint64_t i = 0; i < *num_labels; ++i) {
+    if (!next_line()) {
+      return ErrAt(line_no + 1, "unexpected end of file in label section (" +
+                                    std::to_string(*num_labels - i) +
+                                    " of " + std::to_string(*num_labels) +
+                                    " labels missing)");
     }
+    const std::string_view name = StripWhitespace(line);
     if (i == 0) {
-      if (StripWhitespace(line) != kTypeLabelName) {
-        return Status::InvalidArgument("label id 0 must be 'type'");
+      if (name != kTypeLabelName) {
+        return ErrAt(line_no, "label id 0 must be 'type'");
       }
       label_ids.push_back(LabelDictionary::kTypeLabel);
       continue;
     }
-    Result<LabelId> id = builder.InternLabel(StripWhitespace(line));
-    if (!id.ok()) return id.status();
+    Result<LabelId> id = builder.InternLabel(name);
+    if (!id.ok()) return ErrAt(line_no, id.status().message());
+    // Intern dedups silently — but a duplicate here would shift every
+    // later label id in the file, so it must be a hard error.
+    if (*id != i) {
+      return ErrAt(line_no,
+                   "duplicate label name '" + std::string(name) + "'");
+    }
     label_ids.push_back(*id);
   }
 
-  if (!std::getline(in, line)) return Status::InvalidArgument("truncated file");
-  Result<long long> num_nodes = ParseCount(line, "nodes");
+  if (!next_line()) {
+    return ErrAt(line_no + 1, "unexpected end of file, expected 'nodes'");
+  }
+  Result<uint64_t> num_nodes = ParseCount(line, "nodes", line_no);
   if (!num_nodes.ok()) return num_nodes.status();
-  for (long long i = 0; i < *num_nodes; ++i) {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("truncated node section");
+  for (uint64_t i = 0; i < *num_nodes; ++i) {
+    if (!next_line()) {
+      return ErrAt(line_no + 1, "unexpected end of file in node section (" +
+                                    std::to_string(*num_nodes - i) + " of " +
+                                    std::to_string(*num_nodes) +
+                                    " nodes missing)");
     }
-    builder.GetOrAddNode(StripWhitespace(line));
+    const std::string_view label = StripWhitespace(line);
+    // Node ids are positional: a repeated label would silently alias two
+    // ids onto one node and shift the rest.
+    if (builder.GetOrAddNode(label) != static_cast<NodeId>(i)) {
+      return ErrAt(line_no,
+                   "duplicate node label '" + std::string(label) + "'");
+    }
   }
 
-  if (!std::getline(in, line)) return Status::InvalidArgument("truncated file");
-  Result<long long> num_edges = ParseCount(line, "edges");
+  if (!next_line()) {
+    return ErrAt(line_no + 1, "unexpected end of file, expected 'edges'");
+  }
+  Result<uint64_t> num_edges = ParseCount(line, "edges", line_no);
   if (!num_edges.ok()) return num_edges.status();
-  for (long long i = 0; i < *num_edges; ++i) {
-    if (!std::getline(in, line)) {
-      return Status::InvalidArgument("truncated edge section");
+  for (uint64_t i = 0; i < *num_edges; ++i) {
+    if (!next_line()) {
+      return ErrAt(line_no + 1, "unexpected end of file in edge section (" +
+                                    std::to_string(*num_edges - i) + " of " +
+                                    std::to_string(*num_edges) +
+                                    " edges missing)");
     }
     auto fields = Split(line, '\t');
     if (fields.size() != 3) {
-      return Status::InvalidArgument("bad edge line: " + line);
+      return ErrAt(line_no,
+                   "expected '<src>\\t<label>\\t<dst>', got: " + line);
     }
-    unsigned long src = 0, label = 0, dst = 0;
-    try {
-      src = std::stoul(fields[0]);
-      label = std::stoul(fields[1]);
-      dst = std::stoul(fields[2]);
-    } catch (const std::exception&) {
-      return Status::InvalidArgument("bad edge ids: " + line);
+    uint64_t src = 0, label = 0, dst = 0;
+    if (!ParseU64(fields[0], &src) || !ParseU64(fields[1], &label) ||
+        !ParseU64(fields[2], &dst)) {
+      return ErrAt(line_no, "malformed edge ids: " + line);
     }
-    if (label >= label_ids.size()) {
-      return Status::InvalidArgument("edge label id out of range: " + line);
+    // Range-check against the *declared* sections before anything reaches
+    // the builder: an out-of-range id here is file corruption, not a
+    // builder usage error.
+    if (src >= *num_nodes || dst >= *num_nodes) {
+      return ErrAt(line_no, "edge endpoint id out of range (have " +
+                                std::to_string(*num_nodes) +
+                                " nodes): " + line);
     }
-    OMEGA_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(src),
-                                        label_ids[label],
-                                        static_cast<NodeId>(dst)));
+    if (label >= *num_labels) {
+      return ErrAt(line_no, "edge label id out of range (have " +
+                                std::to_string(*num_labels) +
+                                " labels): " + line);
+    }
+    Status added =
+        builder.AddEdge(static_cast<NodeId>(src),
+                        label_ids[static_cast<size_t>(label)],
+                        static_cast<NodeId>(dst));
+    if (!added.ok()) return ErrAt(line_no, added.message());
+  }
+
+  // Anything after the declared edge count is a truncated count or a
+  // concatenation accident; either way the file does not mean what it says.
+  while (next_line()) {
+    if (!StripWhitespace(line).empty()) {
+      return ErrAt(line_no, "trailing content after the edge section: " +
+                                line);
+    }
   }
   return std::move(builder).Finalize();
 }

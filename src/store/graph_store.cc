@@ -5,17 +5,23 @@
 namespace omega {
 
 std::span<const NodeId> CsrAdjacency::NeighborsOf(NodeId n) const {
-  auto it = std::lower_bound(rows.begin(), rows.end(), n);
-  if (it == rows.end() || *it != n) return {};
-  const size_t row = static_cast<size_t>(it - rows.begin());
+  const std::span<const NodeId> row_span = rows.span();
+  auto it = std::lower_bound(row_span.begin(), row_span.end(), n);
+  if (it == row_span.end() || *it != n) return {};
+  const size_t row = static_cast<size_t>(it - row_span.begin());
   return std::span<const NodeId>(neighbors.data() + offsets[row],
                                  offsets[row + 1] - offsets[row]);
 }
 
 std::optional<NodeId> GraphStore::FindNode(std::string_view label) const {
-  auto it = node_index_.find(std::string(label));
-  if (it == node_index_.end()) return std::nullopt;
-  return it->second;
+  const std::span<const NodeId> order = nodes_by_label_.span();
+  auto it = std::lower_bound(
+      order.begin(), order.end(), label,
+      [this](NodeId n, std::string_view needle) {
+        return node_labels_[n] < needle;
+      });
+  if (it == order.end() || node_labels_[*it] != label) return std::nullopt;
+  return *it;
 }
 
 std::span<const NodeId> GraphStore::Neighbors(NodeId n, LabelId label,
@@ -97,19 +103,19 @@ LabelStats GraphStore::SigmaStats() const {
 }
 
 size_t GraphStore::ApproxMemoryBytes() const {
+  auto csr_bytes = [](const CsrAdjacency& adj) {
+    return adj.rows.size() * sizeof(NodeId) +
+           adj.offsets.size() * sizeof(uint32_t) +
+           adj.neighbors.size() * sizeof(NodeId);
+  };
   size_t bytes = 0;
   for (int dir = 0; dir < 2; ++dir) {
-    for (const auto& adj : adjacency_[dir]) {
-      bytes += adj.rows.capacity() * sizeof(NodeId) +
-               adj.offsets.capacity() * sizeof(uint32_t) +
-               adj.neighbors.capacity() * sizeof(NodeId);
-    }
-    bytes += sigma_union_[dir].rows.capacity() * sizeof(NodeId) +
-             sigma_union_[dir].offsets.capacity() * sizeof(uint32_t) +
-             sigma_union_[dir].neighbors.capacity() * sizeof(NodeId);
+    for (const auto& adj : adjacency_[dir]) bytes += csr_bytes(adj);
+    bytes += csr_bytes(sigma_union_[dir]);
   }
-  for (const auto& label : node_labels_) bytes += label.capacity() + 32;
-  bytes += node_index_.size() * 64;
+  bytes += node_labels_.heap().size() +
+           node_labels_.offsets().size() * sizeof(uint64_t) +
+           nodes_by_label_.size() * sizeof(NodeId);
   return bytes;
 }
 

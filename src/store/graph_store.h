@@ -4,6 +4,15 @@
 // frozen into per-(label, direction) CSR structures plus the generic `edge`
 // union adjacency the paper introduces to fetch all Σ-labelled edges of a
 // node in one call.
+//
+// Storage backends: every large array (CSR rows/offsets/neighbors, the node
+// label heap, the label-sorted permutation) lives on the ConstArray seam —
+// owned vectors when the store was built by GraphBuilder, borrowed spans
+// into a read-only mapping when it was opened from a binary snapshot
+// (snapshot/snapshot_reader.h). The read API below is identical on both
+// backings, so eval/plan/service never know the difference. A
+// snapshot-backed store must not outlive its Dataset (which owns the
+// mapping).
 #ifndef OMEGA_STORE_GRAPH_STORE_H_
 #define OMEGA_STORE_GRAPH_STORE_H_
 
@@ -11,11 +20,12 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/const_array.h"
 #include "store/label_dictionary.h"
 #include "store/oid_set.h"
+#include "store/string_table.h"
 #include "store/types.h"
 
 namespace omega {
@@ -27,20 +37,23 @@ namespace omega {
 /// Row lookup is a binary search, so memory stays proportional to the number
 /// of distinct sources rather than to |V| per label.
 struct CsrAdjacency {
-  std::vector<NodeId> rows;
-  std::vector<uint32_t> offsets;  // size rows.size() + 1
-  std::vector<NodeId> neighbors;  // sorted within each row, deduplicated
+  ConstArray<NodeId> rows;
+  ConstArray<uint32_t> offsets;   // size rows.size() + 1
+  ConstArray<NodeId> neighbors;   // sorted within each row, deduplicated
 
   /// Neighbour span of `n`; empty if `n` has no edges here.
   std::span<const NodeId> NeighborsOf(NodeId n) const;
 
-  /// Sorted distinct sources as an OidSet view.
-  OidSet RowSet() const { return OidSet::FromSortedUnique(rows); }
+  /// Sorted distinct sources as an OidSet view. The view borrows `rows`:
+  /// valid only while this adjacency's storage lives.
+  OidSet RowSet() const { return OidSet::BorrowSortedUnique(rows.span()); }
 
   size_t edge_count() const { return neighbors.size(); }
 };
 
 class GraphBuilder;
+class SnapshotReader;
+class SnapshotWriter;
 
 /// Cheap per-label statistics, exposed for the cost-based planner. All of it
 /// is already known to the frozen CSR structures — no extra store state.
@@ -63,7 +76,8 @@ struct LabelStats {
   }
 };
 
-/// Immutable graph snapshot; constructed via GraphBuilder::Finalize().
+/// Immutable graph snapshot; constructed via GraphBuilder::Finalize() or
+/// mapped from a binary snapshot by SnapshotReader.
 ///
 /// Thread-safety contract (the "frozen store" contract QueryService and any
 /// other concurrent caller rely on): after Finalize() hands the store out,
@@ -72,10 +86,17 @@ struct LabelStats {
 /// number of threads may evaluate queries against one shared GraphStore
 /// concurrently without synchronisation. Anything that would mutate a
 /// finalized store (new nodes/edges/labels) must instead build a new store
-/// and swap it in after draining readers.
+/// and swap it in after draining readers (QueryService::SwapDataset).
+///
+/// Move-only: the endpoint OidSets borrow the CSR row arrays, which a deep
+/// copy would have to re-wire; nothing needs copies of a frozen store.
 class GraphStore {
  public:
   GraphStore() = default;
+  GraphStore(GraphStore&&) = default;
+  GraphStore& operator=(GraphStore&&) = default;
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
 
   // --- Node access -------------------------------------------------------
 
@@ -85,6 +106,8 @@ class GraphStore {
   size_t NumEdges() const { return num_edges_; }
 
   /// Looks up a node by its unique string label (the indexed attribute).
+  /// O(log |V|) string compares over the label-sorted permutation — the
+  /// index works unchanged over a borrowed (mmap) backing.
   std::optional<NodeId> FindNode(std::string_view label) const;
   std::string_view NodeLabel(NodeId n) const { return node_labels_[n]; }
 
@@ -130,24 +153,29 @@ class GraphStore {
   LabelStats SigmaStats() const;
 
   /// Rough resident-memory estimate, used by memory-budgeted evaluation.
+  /// For a snapshot-backed store this counts the mapped array bytes even
+  /// though the pages are file-backed and shared.
   size_t ApproxMemoryBytes() const;
 
  private:
   friend class GraphBuilder;
+  friend class SnapshotReader;
+  friend class SnapshotWriter;
 
   // adjacency_[label][dir]: dir 0 = outgoing, 1 = incoming.
   std::vector<CsrAdjacency> adjacency_[2];
   CsrAdjacency sigma_union_[2];  // generic `edge` adjacency per direction
 
-  // Precomputed endpoint sets: tails_[label] / heads_[label].
+  // Precomputed endpoint sets: tails_[label] / heads_[label]. All of them
+  // borrow the row arrays of the matching CSR adjacency.
   std::vector<OidSet> tails_;
   std::vector<OidSet> heads_;
   OidSet sigma_endpoints_[2];
   OidSet type_endpoints_[2];
   OidSet empty_set_;
 
-  std::vector<std::string> node_labels_;
-  std::unordered_map<std::string, NodeId> node_index_;
+  StringTable node_labels_;           // node id -> unique label
+  ConstArray<NodeId> nodes_by_label_; // node ids sorted by label string
   LabelDictionary labels_;
   size_t num_edges_ = 0;
 };

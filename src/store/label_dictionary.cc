@@ -10,7 +10,31 @@ LabelDictionary::LabelDictionary() {
   assert(id == kTypeLabel);
 }
 
+Result<LabelDictionary> LabelDictionary::FromBorrowedTable(StringTable table) {
+  if (table.empty() || table[0] != kTypeLabelName) {
+    return Status::InvalidArgument(
+        "label table id 0 must be 'type' (snapshot label section corrupt)");
+  }
+  LabelDictionary dict;
+  dict.names_.clear();
+  dict.ids_.clear();
+  dict.borrowed_ = true;
+  dict.frozen_ = std::move(table);
+  // The index holds copies of the (small, few) label names; Name() itself
+  // stays a zero-copy view into the table.
+  for (LabelId id = 0; id < dict.frozen_.size(); ++id) {
+    auto [it, inserted] =
+        dict.ids_.emplace(std::string(dict.frozen_[id]), id);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate label name in snapshot: " +
+                                     std::string(dict.frozen_[id]));
+    }
+  }
+  return dict;
+}
+
 LabelId LabelDictionary::Intern(std::string_view name) {
+  assert(!borrowed_ && "Intern() on a snapshot-backed dictionary");
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return it->second;
   const LabelId id = static_cast<LabelId>(names_.size());
@@ -26,14 +50,14 @@ std::optional<LabelId> LabelDictionary::Find(std::string_view name) const {
 }
 
 std::string_view LabelDictionary::Name(LabelId id) const {
-  assert(id < names_.size());
-  return names_[id];
+  assert(id < size());
+  return borrowed_ ? frozen_[id] : std::string_view(names_[id]);
 }
 
 std::vector<LabelId> LabelDictionary::SigmaLabels() const {
   std::vector<LabelId> out;
-  out.reserve(names_.size() - 1);
-  for (LabelId id = 0; id < names_.size(); ++id) {
+  out.reserve(size() - 1);
+  for (LabelId id = 0; id < size(); ++id) {
     if (id != kTypeLabel) out.push_back(id);
   }
   return out;

@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+#include "store/string_table.h"
 #include "store/types.h"
 
 namespace omega {
@@ -19,6 +21,13 @@ namespace omega {
 inline constexpr std::string_view kTypeLabelName = "type";
 
 /// Bidirectional label <-> id map. Ids are dense and stable; id 0 is `type`.
+///
+/// Storage seam: in the build path, names live in owned strings appended by
+/// Intern(). A dictionary opened from a binary snapshot instead *borrows*
+/// its name table from the mapping (FromBorrowedTable) and serves Name()
+/// zero-copy; only the small name -> id index is rebuilt at open (label
+/// alphabets are tens of entries, node sets are the millions). A borrowed
+/// dictionary is frozen: Intern() on it is a usage error.
 ///
 /// Thread-safety: Intern() mutates and belongs to the build phase (it is
 /// only reachable through GraphBuilder). Once the owning GraphStore is
@@ -29,7 +38,12 @@ class LabelDictionary {
  public:
   LabelDictionary();
 
+  /// Snapshot seam: wraps a borrowed name table (ids = table order, so
+  /// table[0] must be `type`) and rebuilds the name -> id index over it.
+  static Result<LabelDictionary> FromBorrowedTable(StringTable table);
+
   /// Interns `name`, returning the existing id if already present.
+  /// Precondition: not a borrowed (snapshot-backed) dictionary.
   LabelId Intern(std::string_view name);
 
   /// Looks up an existing label.
@@ -42,7 +56,7 @@ class LabelDictionary {
   LabelId type_label() const { return kTypeLabel; }
   bool IsType(LabelId id) const { return id == kTypeLabel; }
 
-  size_t size() const { return names_.size(); }
+  size_t size() const { return borrowed_ ? frozen_.size() : names_.size(); }
 
   /// All Σ labels, i.e. every interned label except `type`.
   std::vector<LabelId> SigmaLabels() const;
@@ -51,7 +65,9 @@ class LabelDictionary {
 
  private:
   std::vector<std::string> names_;
-  std::unordered_map<std::string, LabelId> ids_;
+  std::unordered_map<std::string, LabelId> ids_;  // built in both modes
+  StringTable frozen_;  // the name storage iff borrowed_
+  bool borrowed_ = false;
 };
 
 }  // namespace omega

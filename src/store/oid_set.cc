@@ -4,33 +4,90 @@
 
 namespace omega {
 
-OidSet::OidSet(std::initializer_list<NodeId> ids) : ids_(ids) {
-  std::sort(ids_.begin(), ids_.end());
-  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+OidSet::OidSet(std::initializer_list<NodeId> ids) : owned_(ids) {
+  std::sort(owned_.begin(), owned_.end());
+  owned_.erase(std::unique(owned_.begin(), owned_.end()), owned_.end());
+}
+
+OidSet::OidSet(const OidSet& other) {
+  // Deep copy either way: the copy's lifetime is unknown, so it must not
+  // inherit a borrow it cannot keep alive.
+  owned_.assign(other.begin(), other.end());
+}
+
+OidSet& OidSet::operator=(const OidSet& other) {
+  if (this == &other) return *this;
+  owned_.assign(other.begin(), other.end());
+  borrowed_ = false;
+  view_ = {};
+  return *this;
+}
+
+OidSet::OidSet(OidSet&& other) noexcept
+    : owned_(std::move(other.owned_)),
+      view_(other.view_),
+      borrowed_(other.borrowed_) {
+  // Moving a vector transfers its heap buffer, so an owned set's ids stay
+  // where they were; a borrowed set's view is storage the move never touched.
+  other.owned_.clear();
+  other.view_ = {};
+  other.borrowed_ = false;
+}
+
+OidSet& OidSet::operator=(OidSet&& other) noexcept {
+  if (this == &other) return *this;
+  owned_ = std::move(other.owned_);
+  view_ = other.view_;
+  borrowed_ = other.borrowed_;
+  other.owned_.clear();
+  other.view_ = {};
+  other.borrowed_ = false;
+  return *this;
 }
 
 OidSet OidSet::FromUnsorted(std::vector<NodeId> ids) {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   OidSet s;
-  s.ids_ = std::move(ids);
+  s.owned_ = std::move(ids);
   return s;
 }
 
 OidSet OidSet::FromSortedUnique(std::vector<NodeId> ids) {
   OidSet s;
-  s.ids_ = std::move(ids);
+  s.owned_ = std::move(ids);
   return s;
 }
 
+OidSet OidSet::BorrowSortedUnique(std::span<const NodeId> ids) {
+  OidSet s;
+  s.borrowed_ = true;
+  s.view_ = ids;
+  return s;
+}
+
+void OidSet::Detach() {
+  if (!borrowed_) return;
+  owned_.assign(view_.begin(), view_.end());
+  borrowed_ = false;
+  view_ = {};
+}
+
 void OidSet::Insert(NodeId id) {
-  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
-  if (it != ids_.end() && *it == id) return;
-  ids_.insert(it, id);
+  Detach();
+  auto it = std::lower_bound(owned_.begin(), owned_.end(), id);
+  if (it != owned_.end() && *it == id) return;
+  owned_.insert(it, id);
+}
+
+void OidSet::clear() {
+  owned_.clear();
+  borrowed_ = false;
+  view_ = {};
 }
 
 bool OidSet::Contains(NodeId id) const {
-  return std::binary_search(ids_.begin(), ids_.end(), id);
+  return std::binary_search(begin(), end(), id);
 }
 
 OidSet OidSet::Union(const OidSet& a, const OidSet& b) {
@@ -57,10 +114,15 @@ OidSet OidSet::Difference(const OidSet& a, const OidSet& b) {
 
 void OidSet::UnionWith(std::span<const NodeId> sorted_ids) {
   std::vector<NodeId> out;
-  out.reserve(ids_.size() + sorted_ids.size());
-  std::set_union(ids_.begin(), ids_.end(), sorted_ids.begin(),
-                 sorted_ids.end(), std::back_inserter(out));
-  ids_ = std::move(out);
+  out.reserve(size() + sorted_ids.size());
+  std::set_union(begin(), end(), sorted_ids.begin(), sorted_ids.end(),
+                 std::back_inserter(out));
+  clear();
+  owned_ = std::move(out);
+}
+
+bool OidSet::operator==(const OidSet& other) const {
+  return std::ranges::equal(ids(), other.ids());
 }
 
 }  // namespace omega

@@ -15,10 +15,24 @@ namespace omega {
 
 /// Immutable-ish sorted set of NodeIds. Mutation goes through Add/Insert which
 /// keep the ordering invariant; bulk construction sorts and dedups once.
+///
+/// Storage seam: a set either owns its ids (a vector, the default) or
+/// *borrows* a sorted span it does not keep alive — how the frozen store's
+/// endpoint sets view the CSR row arrays (and, for a snapshot-backed store,
+/// the read-only mapping) without duplicating them. Borrowed sets are
+/// value-indistinguishable from owned ones: reads go through one span,
+/// equality is element-wise, and the first mutation detaches into an owned
+/// copy. Copying a borrowed set deep-copies (the copy may outlive the
+/// borrowed storage); only BorrowSortedUnique creates a borrow.
 class OidSet {
  public:
   OidSet() = default;
   OidSet(std::initializer_list<NodeId> ids);
+
+  OidSet(const OidSet& other);
+  OidSet& operator=(const OidSet& other);
+  OidSet(OidSet&& other) noexcept;
+  OidSet& operator=(OidSet&& other) noexcept;
 
   /// Builds from arbitrary-order ids (sorts + dedups).
   static OidSet FromUnsorted(std::vector<NodeId> ids);
@@ -26,18 +40,26 @@ class OidSet {
   /// Builds from ids already sorted ascending with no duplicates.
   static OidSet FromSortedUnique(std::vector<NodeId> ids);
 
+  /// Borrows ids already sorted ascending with no duplicates. The caller
+  /// keeps the storage alive for the set's lifetime.
+  static OidSet BorrowSortedUnique(std::span<const NodeId> ids);
+
   /// Inserts a single id, preserving order. O(n) worst case; intended for
   /// small sets or append-mostly use.
   void Insert(NodeId id);
 
   bool Contains(NodeId id) const;
-  size_t size() const { return ids_.size(); }
-  bool empty() const { return ids_.empty(); }
-  void clear() { ids_.clear(); }
+  size_t size() const { return ids().size(); }
+  bool empty() const { return ids().empty(); }
+  void clear();
 
-  std::span<const NodeId> ids() const { return ids_; }
-  auto begin() const { return ids_.begin(); }
-  auto end() const { return ids_.end(); }
+  std::span<const NodeId> ids() const {
+    return borrowed_ ? view_ : std::span<const NodeId>(owned_);
+  }
+  auto begin() const { return ids().begin(); }
+  auto end() const { return ids().end(); }
+
+  bool borrowed() const { return borrowed_; }
 
   /// Set algebra; all O(|a| + |b|).
   static OidSet Union(const OidSet& a, const OidSet& b);
@@ -47,10 +69,16 @@ class OidSet {
   /// In-place union with a sorted span (merge).
   void UnionWith(std::span<const NodeId> sorted_ids);
 
-  bool operator==(const OidSet& other) const = default;
+  /// Element-wise (an owned and a borrowed set with the same ids are equal).
+  bool operator==(const OidSet& other) const;
 
  private:
-  std::vector<NodeId> ids_;
+  /// Turns a borrowed set into an owned copy so it can be mutated.
+  void Detach();
+
+  std::vector<NodeId> owned_;
+  std::span<const NodeId> view_;  // meaningful iff borrowed_
+  bool borrowed_ = false;
 };
 
 }  // namespace omega

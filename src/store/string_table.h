@@ -1,0 +1,80 @@
+// Flattened immutable string table: one contiguous character heap plus an
+// offsets array (size()+1 entries, offsets[0] == 0), the on-disk shape of
+// the snapshot string sections. Like every frozen-store structure it runs on
+// the ConstArray seam: GraphBuilder::Finalize flattens the node labels into
+// an owned table, while SnapshotReader borrows both arrays straight out of
+// the mapping and serves string_views zero-copy.
+#ifndef OMEGA_STORE_STRING_TABLE_H_
+#define OMEGA_STORE_STRING_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/const_array.h"
+
+namespace omega {
+
+class StringTable {
+ public:
+  StringTable() = default;
+
+  /// Owning backend: flattens `strings` (order preserved).
+  static StringTable FromStrings(std::span<const std::string> strings) {
+    std::vector<char> heap;
+    std::vector<uint64_t> offsets;
+    offsets.reserve(strings.size() + 1);
+    offsets.push_back(0);
+    size_t total = 0;
+    for (const std::string& s : strings) total += s.size();
+    heap.reserve(total);
+    for (const std::string& s : strings) {
+      heap.insert(heap.end(), s.begin(), s.end());
+      offsets.push_back(static_cast<uint64_t>(heap.size()));
+    }
+    StringTable t;
+    t.heap_ = std::move(heap);
+    t.offsets_ = std::move(offsets);
+    return t;
+  }
+
+  /// Borrowed backend over snapshot sections. Precondition (validated by the
+  /// snapshot reader before construction): offsets is non-empty, starts at
+  /// 0, is non-decreasing, and ends at heap.size().
+  static StringTable Borrowed(std::span<const char> heap,
+                              std::span<const uint64_t> offsets) {
+    StringTable t;
+    t.heap_ = ConstArray<char>::Borrowed(heap);
+    t.offsets_ = ConstArray<uint64_t>::Borrowed(offsets);
+    return t;
+  }
+
+  size_t size() const {
+    return offsets_.size() <= 1 ? 0 : offsets_.size() - 1;
+  }
+  bool empty() const { return size() == 0; }
+
+  std::string_view operator[](size_t i) const {
+    const uint64_t begin = offsets_[i];
+    const uint64_t end = offsets_[i + 1];
+    return std::string_view(heap_.data() + begin,
+                            static_cast<size_t>(end - begin));
+  }
+
+  std::span<const char> heap() const { return heap_.span(); }
+  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+
+  size_t OwnedBytes() const {
+    return heap_.OwnedBytes() + offsets_.OwnedBytes();
+  }
+
+ private:
+  ConstArray<char> heap_;
+  ConstArray<uint64_t> offsets_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_STORE_STRING_TABLE_H_

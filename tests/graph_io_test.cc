@@ -76,6 +76,98 @@ TEST(GraphIoTest, RejectsEdgeLabelOutOfRange) {
   ASSERT_FALSE(r.ok());
 }
 
+// Malformed-input table: each row is a complete file body, the expected
+// error fragment, and the 1-based line the parser must blame. The hardened
+// loader rejects everything here *before* it can corrupt the builder
+// (duplicate ids shifting the id space, trailing-garbage numbers, ids
+// beyond the declared sections, truncation mid-section).
+struct MalformedCase {
+  const char* name;
+  const char* content;
+  const char* expected_error;  // substring of the status message
+  int line;                    // expected "line N:" tag; 0 = untagged
+};
+
+class GraphIoMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(GraphIoMalformedTest, RejectedWithLineNumberedError) {
+  const MalformedCase& c = GetParam();
+  const std::string path = TempPath(std::string("malformed_") + c.name);
+  std::ofstream(path) << c.content;
+  Result<GraphStore> r = LoadGraph(path);
+  ASSERT_FALSE(r.ok()) << c.name;
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find(c.expected_error), std::string::npos)
+      << c.name << ": " << r.status().ToString();
+  if (c.line > 0) {
+    const std::string tag = "line " + std::to_string(c.line) + ":";
+    EXPECT_NE(r.status().message().find(tag), std::string::npos)
+        << c.name << ": " << r.status().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, GraphIoMalformedTest,
+    ::testing::Values(
+        MalformedCase{"bad_label_count",
+                      "omega-graph-v1\nlabels x\n",
+                      "expected 'labels <count>'", 2},
+        MalformedCase{"huge_label_count",
+                      "omega-graph-v1\nlabels 99999999999\n",
+                      "exceeds the 32-bit id space", 2},
+        MalformedCase{"first_label_not_type",
+                      "omega-graph-v1\nlabels 1\nknows\n",
+                      "label id 0 must be 'type'", 3},
+        MalformedCase{"duplicate_label",
+                      "omega-graph-v1\nlabels 3\ntype\nknows\nknows\n",
+                      "duplicate label name 'knows'", 5},
+        MalformedCase{"reserved_label",
+                      "omega-graph-v1\nlabels 2\ntype\nsc\n",
+                      "reserved", 4},
+        MalformedCase{"truncated_labels",
+                      "omega-graph-v1\nlabels 3\ntype\nknows\n",
+                      "unexpected end of file in label section", 5},
+        MalformedCase{"duplicate_node",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 2\na\na\n",
+                      "duplicate node label 'a'", 6},
+        MalformedCase{"truncated_nodes",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 3\na\nb\n",
+                      "unexpected end of file in node section", 7},
+        MalformedCase{"missing_edges_header",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 1\na\n",
+                      "expected 'edges'", 6},
+        MalformedCase{"edge_field_count",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 1\na\n"
+                      "edges 1\n0\t0\n",
+                      "expected '<src>", 7},
+        MalformedCase{"edge_trailing_garbage_number",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 2\na\nb\n"
+                      "edges 1\n0\t0\t1junk\n",
+                      "malformed edge ids", 8},
+        MalformedCase{"edge_negative_id",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 2\na\nb\n"
+                      "edges 1\n-1\t0\t1\n",
+                      "malformed edge ids", 8},
+        MalformedCase{"edge_src_out_of_range",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 2\na\nb\n"
+                      "edges 1\n7\t0\t1\n",
+                      "edge endpoint id out of range", 8},
+        MalformedCase{"edge_label_out_of_range",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 2\na\nb\n"
+                      "edges 1\n0\t5\t1\n",
+                      "edge label id out of range", 8},
+        MalformedCase{"truncated_edges",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 2\na\nb\n"
+                      "edges 2\n0\t0\t1\n",
+                      "unexpected end of file in edge section", 9},
+        MalformedCase{"trailing_content",
+                      "omega-graph-v1\nlabels 1\ntype\nnodes 2\na\nb\n"
+                      "edges 1\n0\t0\t1\n0\t0\t1\n",
+                      "trailing content after the edge section", 9}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
 TEST(GraphIoTest, RoundTripLargerRandomGraph) {
   GraphStore original = testing::RandomGraph(99, 60, {"a", "b", "c"}, 3.0);
   const std::string path = TempPath("random.graph");

@@ -18,6 +18,8 @@
 
 #include "rpq/query_parser.h"
 #include "service/query_service.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
 #include "test_util.h"
 
 namespace omega {
@@ -196,6 +198,170 @@ TEST(ServiceStressTest, ConcurrentRelaxSharesTheBoundOntologyReadOnly) {
   }
   for (std::thread& client : clients) client.join();
   EXPECT_EQ(bad.load(), 0u);
+}
+
+/// Builds a StressFixture-shaped universe whose random wiring differs by
+/// seed: the same query text yields different answer multisets per variant.
+Fixture StressVariant(uint64_t seed) {
+  Fixture fx;
+  OntologyBuilder ob;
+  EXPECT_TRUE(ob.AddSubproperty("worksAt", "affiliatedWith").ok());
+  EXPECT_TRUE(ob.AddSubproperty("studiesAt", "affiliatedWith").ok());
+  EXPECT_TRUE(ob.AddSubclass("University", "Institution").ok());
+  EXPECT_TRUE(ob.AddSubclass("Company", "Institution").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  EXPECT_TRUE(o.ok());
+  fx.ontology = std::move(o).value();
+
+  GraphBuilder builder;
+  Rng rng(seed);
+  // Population sizes depend on the seed so that *every* workload query —
+  // including "all ?X with a knows edge" — answers differently per variant;
+  // the hammer clients rely on the references being pairwise distinct.
+  const size_t kPeople = 40 + seed % 13;
+  const size_t kOrgs = 8 + seed % 5;
+  std::vector<std::string> people, orgs;
+  for (size_t i = 0; i < kPeople; ++i) {
+    people.push_back("p" + std::to_string(i));
+  }
+  for (size_t i = 0; i < kOrgs; ++i) {
+    orgs.push_back("o" + std::to_string(i));
+    (void)builder.AddEdge(orgs.back(), "type",
+                          i % 2 == 0 ? "University" : "Company");
+  }
+  for (size_t i = 0; i < kPeople; ++i) {
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i],
+                          rng.NextBounded(2) == 0 ? "worksAt" : "studiesAt",
+                          orgs[rng.NextBounded(kOrgs)]);
+  }
+  fx.graph = std::move(builder).Finalize();
+  return fx;
+}
+
+// Swap-under-load hammer: one thread keeps hot-swapping between two
+// datasets (one of them snapshot-backed, so mmap-borrowed arrays are
+// exercised under full concurrency) while client threads fire the mixed
+// workload and check that every response's answer multiset matches the
+// reference of EXACTLY ONE epoch's dataset — and that the response's epoch
+// id names that dataset. A torn swap (query seeing half the old and half
+// the new substrate), a stale post-swap cache hit, or a use-after-free of
+// a retired epoch's mapping would all fail here; under TSan this is also
+// the race gate for the epoch publication path.
+TEST(ServiceStressTest, SwapUnderLoadServesExactlyOneEpochPerResponse) {
+  Fixture variant_a = StressVariant(21);
+  Fixture variant_b = StressVariant(77);
+
+  std::vector<Query> workload;
+  for (const char* text : {
+           "(?X) <- (?X, knows, ?Y)",
+           "(?X, ?O) <- (?X, knows, ?Y), (?Y, worksAt, ?O)",
+           "(?X) <- APPROX (?X, knows.worksAt, ?Y)",
+           "(?X) <- RELAX (?X, worksAt, ?Y)",
+           "(?X) <- RELAX (?X, knows.worksAt, ?Y)",
+       }) {
+    workload.push_back(Qy(text));
+  }
+
+  // Per-dataset single-threaded references, computed before any concurrency.
+  QueryEngine engine_a(&variant_a.graph, &variant_a.ontology);
+  QueryEngine engine_b(&variant_b.graph, &variant_b.ontology);
+  std::vector<std::vector<std::pair<std::vector<NodeId>, Cost>>> ref_a, ref_b;
+  for (const Query& query : workload) {
+    Result<std::vector<QueryAnswer>> a = engine_a.ExecuteTopK(query, 0);
+    Result<std::vector<QueryAnswer>> b = engine_b.ExecuteTopK(query, 0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ref_a.push_back(CanonAnswers(*a));
+    ref_b.push_back(CanonAnswers(*b));
+    // The hammer can only detect cross-epoch mixing if the two datasets
+    // disagree on every workload query.
+    ASSERT_NE(ref_a.back(), ref_b.back()) << query.ToString();
+  }
+
+  // Dataset B travels through the binary snapshot engine; dataset A is the
+  // in-memory build the service starts on.
+  const std::string path = ::testing::TempDir() + "/stress_variant_b.snap";
+  ASSERT_TRUE(WriteSnapshot(variant_b.graph, &variant_b.ontology, path).ok());
+  Result<std::shared_ptr<const Dataset>> mapped_b = SnapshotReader::Open(path);
+  ASSERT_TRUE(mapped_b.ok()) << mapped_b.status().ToString();
+  std::shared_ptr<const Dataset> dataset_a = Dataset::FromParts(
+      std::move(variant_a.graph), std::move(variant_a.ontology));
+
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue = 256;
+  QueryService service(dataset_a, options);
+
+  constexpr size_t kClients = 6;
+  constexpr size_t kRequestsPerClient = 25;
+  constexpr size_t kSwaps = 40;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> swap_failures{0};
+  std::atomic<size_t> epoch_label_mismatches{0};
+  std::atomic<size_t> served_a{0}, served_b{0};
+
+  std::thread swapper([&] {
+    for (size_t s = 0; s < kSwaps; ++s) {
+      if (!service.SwapDataset(s % 2 == 0 ? *mapped_b : dataset_a).ok()) {
+        ++swap_failures;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        const size_t qi = (c * 3 + r) % workload.size();
+        QueryRequest request;
+        request.query = Clone(workload[qi]);
+        request.top_k = 0;
+        // A third of the requests bypass the cache so fresh evaluations
+        // keep racing the swaps; the rest also exercise per-epoch caches.
+        request.bypass_cache = (c + r) % 3 == 0;
+        const QueryResponse response = service.Execute(std::move(request));
+        if (!response.status.ok()) {
+          ++failures;
+          continue;
+        }
+        const auto got = CanonAnswers(response.answers);
+        const bool is_a = got == ref_a[qi];
+        const bool is_b = got == ref_b[qi];
+        if (is_a == is_b) {
+          // Matches both (impossible: references differ) or neither — a
+          // torn snapshot of the substrate.
+          ++mismatches;
+          continue;
+        }
+        // Epoch ids alternate: even = dataset A (epoch 0 = initial A),
+        // odd = dataset B.
+        const bool epoch_says_b = response.epoch % 2 == 1;
+        if (epoch_says_b != is_b) ++epoch_label_mismatches;
+        (is_a ? served_a : served_b)++;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  swapper.join();
+
+  EXPECT_EQ(swap_failures.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(epoch_label_mismatches.load(), 0u);
+  // Both datasets actually served traffic (the swap raced the workload).
+  EXPECT_GT(served_a.load(), 0u);
+  EXPECT_GT(served_b.load(), 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.dataset_swaps, kSwaps);
+  EXPECT_EQ(stats.submitted, kClients * kRequestsPerClient);
 }
 
 TEST(ServiceStressTest, ConcurrentCancellationAndDeadlinesStaySane) {

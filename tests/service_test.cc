@@ -15,6 +15,8 @@
 
 #include "rpq/query_parser.h"
 #include "service/query_service.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
 #include "test_util.h"
 
 namespace omega {
@@ -215,6 +217,187 @@ TEST(QueryServiceTest, InvalidQueryRejectedAtSubmit) {
       service.Submit(std::move(request));
   EXPECT_FALSE(ticket.ok());
   EXPECT_TRUE(ticket.status().IsInvalidArgument());
+}
+
+// --- QueryService: dataset hot-swap ------------------------------------------
+
+/// A second universe over the same vocabulary but different shape: the same
+/// query text yields a different answer multiset than on SmallGraph().
+GraphStore OtherGraph() {
+  return omega::testing::MakeGraph({
+      {"c1", "knows", "c2"},
+      {"c2", "knows", "c1"},
+      {"c1", "likes", "c2"},
+  });
+}
+
+TEST(QueryServiceTest, SwapDatasetServesTheNewDataset) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&SmallGraph(), nullptr, options);
+  EXPECT_EQ(service.dataset_epoch(), 0u);
+
+  QueryResponse before = service.Execute(Req("(?X) <- (?X, knows, ?Y)", 0));
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.epoch, 0u);
+
+  std::shared_ptr<const Dataset> next =
+      Dataset::FromParts(OtherGraph(), std::nullopt);
+  ASSERT_TRUE(service.SwapDataset(next).ok());
+  EXPECT_EQ(service.dataset_epoch(), 1u);
+
+  QueryResponse after = service.Execute(Req("(?X) <- (?X, knows, ?Y)", 0));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_FALSE(after.cache_hit);  // the new epoch's cache starts empty
+
+  QueryEngine reference(&next->graph(), nullptr);
+  Result<std::vector<QueryAnswer>> expected =
+      reference.ExecuteTopK(Qy("(?X) <- (?X, knows, ?Y)"), 0);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(CanonAnswers(after.answers), CanonAnswers(*expected));
+  EXPECT_NE(CanonAnswers(after.answers), CanonAnswers(before.answers));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.dataset_epoch, 1u);
+  EXPECT_EQ(stats.dataset_swaps, 1u);
+  EXPECT_FALSE(service.SwapDataset(nullptr).ok());
+}
+
+TEST(QueryServiceTest, SwapInvalidatesCachedResultsAtomically) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&SmallGraph(), nullptr, options);
+  ASSERT_TRUE(service.Execute(Req("(?X) <- (?X, knows, ?Y)", 0)).status.ok());
+  ASSERT_TRUE(service.Execute(Req("(?X) <- (?X, knows, ?Y)", 0)).cache_hit);
+
+  ASSERT_TRUE(
+      service.SwapDataset(Dataset::FromParts(OtherGraph(), std::nullopt))
+          .ok());
+  QueryResponse fresh = service.Execute(Req("(?X) <- (?X, knows, ?Y)", 0));
+  ASSERT_TRUE(fresh.status.ok());
+  // A pre-swap cache entry must never satisfy a post-swap admission.
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(fresh.epoch, 1u);
+  EXPECT_EQ(fresh.answers.size(), 2u);  // c1->c2, c2->c1
+}
+
+TEST(QueryServiceTest, SwapToSnapshotBackedDataset) {
+  // The swapped-in dataset comes from a binary snapshot: the service then
+  // serves queries over borrowed mmap arrays, which must be answer-identical
+  // to serving the in-memory build.
+  GraphStore other = OtherGraph();
+  const std::string path = ::testing::TempDir() + "/swap_target.snap";
+  ASSERT_TRUE(WriteSnapshot(other, nullptr, path).ok());
+  Result<std::shared_ptr<const Dataset>> mapped = SnapshotReader::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(&SmallGraph(), nullptr, options);
+  ASSERT_TRUE(service.SwapDataset(*mapped).ok());
+
+  QueryResponse response = service.Execute(Req("(?X) <- (?X, knows, ?Y)", 0));
+  ASSERT_TRUE(response.status.ok());
+  QueryEngine reference(&other, nullptr);
+  Result<std::vector<QueryAnswer>> expected =
+      reference.ExecuteTopK(Qy("(?X) <- (?X, knows, ?Y)"), 0);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(CanonAnswers(response.answers), CanonAnswers(*expected));
+}
+
+TEST(QueryServiceTest, ServiceOwnsDatasetPassedAtConstruction) {
+  std::shared_ptr<const Dataset> dataset =
+      Dataset::FromParts(OtherGraph(), std::nullopt);
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(dataset, options);
+  const Dataset* raw = dataset.get();
+  dataset.reset();  // the service keeps it alive through epoch 0
+  ASSERT_NE(raw, nullptr);
+  QueryResponse response = service.Execute(Req("(?X) <- (?X, likes, ?Y)", 0));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.answers.size(), 1u);
+}
+
+TEST(QueryServiceTest, InFlightQueryDrainsOnItsAdmissionEpoch) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&SlowGraph(), nullptr, options);
+
+  Result<std::shared_ptr<QueryTicket>> slow = service.Submit(SlowRequest());
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(
+      service.SwapDataset(Dataset::FromParts(OtherGraph(), std::nullopt))
+          .ok());
+  // The in-flight query still runs (and is cancelled) on epoch 0.
+  (*slow)->Cancel();
+  const QueryResponse& cancelled = (*slow)->Wait();
+  EXPECT_TRUE(cancelled.status.IsCancelled());
+  EXPECT_EQ(cancelled.epoch, 0u);
+
+  QueryResponse fresh = service.Execute(Req("(?X) <- (?X, knows, ?Y)", 0));
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_EQ(fresh.epoch, 1u);
+}
+
+// --- QueryService: cache-generation accounting (InvalidateCache) -------------
+
+TEST(QueryServiceTest, InvalidateCacheResetsCacheGenerationCounters) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&SmallGraph(), nullptr, options);
+
+  ASSERT_TRUE(service.Execute(Req("(?X) <- (?X, knows, ?Y)")).status.ok());
+  ASSERT_TRUE(service.Execute(Req("(?X) <- (?X, knows, ?Y)")).cache_hit);
+  {
+    const ServiceStats stats = service.stats();
+    const ClassAggregate& exact =
+        stats.per_class[static_cast<size_t>(QueryClass::kExact)];
+    EXPECT_EQ(exact.cache_hits, 1u);
+    EXPECT_EQ(exact.cache_lookups, 2u);
+    EXPECT_DOUBLE_EQ(exact.CacheHitRate(), 0.5);
+    EXPECT_EQ(stats.cache.hits, 1u);
+  }
+
+  service.InvalidateCache();
+  {
+    // The generation counters restart: hit rate describes the (empty)
+    // current cache, not the one that was just dropped.
+    const ServiceStats stats = service.stats();
+    const ClassAggregate& exact =
+        stats.per_class[static_cast<size_t>(QueryClass::kExact)];
+    EXPECT_EQ(exact.cache_hits, 0u);
+    EXPECT_EQ(exact.cache_lookups, 0u);
+    EXPECT_DOUBLE_EQ(exact.CacheHitRate(), 0.0);
+    EXPECT_EQ(stats.cache.hits, 0u);
+    EXPECT_EQ(stats.cache.misses, 0u);
+    // Lifetime counters are NOT generation-scoped and survive.
+    EXPECT_EQ(exact.queries, 2u);
+    EXPECT_EQ(stats.completed, 2u);
+  }
+
+  // The next run re-executes (miss) then hits: a clean new generation.
+  EXPECT_FALSE(service.Execute(Req("(?X) <- (?X, knows, ?Y)")).cache_hit);
+  EXPECT_TRUE(service.Execute(Req("(?X) <- (?X, knows, ?Y)")).cache_hit);
+  const ClassAggregate& exact =
+      service.stats().per_class[static_cast<size_t>(QueryClass::kExact)];
+  EXPECT_EQ(exact.cache_hits, 1u);
+  EXPECT_EQ(exact.cache_lookups, 2u);
+}
+
+TEST(QueryServiceTest, BypassedRequestsDoNotCountAsCacheLookups) {
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&SmallGraph(), nullptr, options);
+  QueryRequest request = Req("(?X) <- (?X, likes, ?Y)");
+  request.bypass_cache = true;
+  ASSERT_TRUE(service.Execute(std::move(request)).status.ok());
+  const ClassAggregate& exact =
+      service.stats().per_class[static_cast<size_t>(QueryClass::kExact)];
+  EXPECT_EQ(exact.queries, 1u);
+  EXPECT_EQ(exact.cache_lookups, 0u);
+  EXPECT_DOUBLE_EQ(exact.CacheHitRate(), 0.0);
 }
 
 // --- QueryService: deadlines and cancellation --------------------------------

@@ -1,0 +1,317 @@
+// Snapshot storage engine tests: binary round-trip fidelity (identical
+// ranked answer multisets over EXACT/APPROX/RELAX between an in-memory
+// build and its mmap-backed reopen), structural/checksum rejection of
+// corrupt files, and the ConstArray/OidSet borrowed-backend seam the
+// zero-copy store rides on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+#include "store/graph_builder.h"
+#include "store/string_table.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using omega::testing::CanonAnswers;
+using omega::testing::MakeGraph;
+using omega::testing::Qy;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct Fixture {
+  GraphStore graph;
+  Ontology ontology;
+};
+
+Fixture SnapshotFixture() {
+  Fixture fx;
+  OntologyBuilder ob;
+  EXPECT_TRUE(ob.AddSubproperty("worksAt", "affiliatedWith").ok());
+  EXPECT_TRUE(ob.AddSubproperty("studiesAt", "affiliatedWith").ok());
+  EXPECT_TRUE(ob.AddSubclass("University", "Institution").ok());
+  EXPECT_TRUE(ob.AddSubclass("Company", "Institution").ok());
+  EXPECT_TRUE(ob.SetDomain("worksAt", "Institution").ok());
+  Result<Ontology> o = std::move(ob).Finalize();
+  EXPECT_TRUE(o.ok());
+  fx.ontology = std::move(o).value();
+
+  GraphBuilder builder;
+  Rng rng(99);
+  constexpr size_t kPeople = 40;
+  constexpr size_t kOrgs = 8;
+  std::vector<std::string> people, orgs;
+  for (size_t i = 0; i < kPeople; ++i) {
+    people.push_back("p" + std::to_string(i));
+  }
+  for (size_t i = 0; i < kOrgs; ++i) {
+    orgs.push_back("o" + std::to_string(i));
+    (void)builder.AddEdge(orgs.back(), "type",
+                          i % 2 == 0 ? "University" : "Company");
+  }
+  for (size_t i = 0; i < kPeople; ++i) {
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i],
+                          rng.NextBounded(2) == 0 ? "worksAt" : "studiesAt",
+                          orgs[rng.NextBounded(kOrgs)]);
+  }
+  fx.graph = std::move(builder).Finalize();
+  return fx;
+}
+
+// --- ConstArray / StringTable / borrowed OidSet seam -------------------------
+
+TEST(ConstArrayTest, OwnedAndBorrowedServeTheSameSpan) {
+  ConstArray<uint32_t> owned(std::vector<uint32_t>{1, 2, 3});
+  EXPECT_EQ(owned.size(), 3u);
+  EXPECT_FALSE(owned.borrowed());
+  EXPECT_GT(owned.OwnedBytes(), 0u);
+
+  ConstArray<uint32_t> borrowed = ConstArray<uint32_t>::Borrowed(owned.span());
+  EXPECT_TRUE(borrowed.borrowed());
+  EXPECT_EQ(borrowed.OwnedBytes(), 0u);
+  ASSERT_EQ(borrowed.size(), 3u);
+  EXPECT_EQ(borrowed[1], 2u);
+  EXPECT_EQ(borrowed.data(), owned.data());  // zero-copy
+
+  // Moving the owner keeps the heap buffer (what Finalize relies on).
+  ConstArray<uint32_t> moved = std::move(owned);
+  EXPECT_EQ(borrowed.data(), moved.data());
+}
+
+TEST(StringTableTest, FlattensAndBorrows) {
+  const std::vector<std::string> strings = {"type", "", "worksAt"};
+  StringTable owned = StringTable::FromStrings(strings);
+  ASSERT_EQ(owned.size(), 3u);
+  EXPECT_EQ(owned[0], "type");
+  EXPECT_EQ(owned[1], "");
+  EXPECT_EQ(owned[2], "worksAt");
+
+  StringTable borrowed = StringTable::Borrowed(owned.heap(), owned.offsets());
+  ASSERT_EQ(borrowed.size(), 3u);
+  EXPECT_EQ(borrowed[2], "worksAt");
+  EXPECT_EQ(borrowed[2].data(), owned[2].data());  // zero-copy
+}
+
+TEST(OidSetTest, BorrowedSetReadsLikeOwned) {
+  const std::vector<NodeId> storage = {2, 5, 9};
+  OidSet borrowed = OidSet::BorrowSortedUnique(storage);
+  EXPECT_TRUE(borrowed.borrowed());
+  EXPECT_EQ(borrowed.size(), 3u);
+  EXPECT_TRUE(borrowed.Contains(5));
+  EXPECT_FALSE(borrowed.Contains(4));
+  EXPECT_EQ(borrowed, (OidSet{2, 5, 9}));  // element-wise across backends
+
+  // Copies are deep: they may outlive the borrowed storage.
+  OidSet copy = borrowed;
+  EXPECT_FALSE(copy.borrowed());
+  EXPECT_EQ(copy, borrowed);
+
+  // The first mutation detaches into an owned vector.
+  borrowed.Insert(4);
+  EXPECT_FALSE(borrowed.borrowed());
+  EXPECT_EQ(borrowed, (OidSet{2, 4, 5, 9}));
+  EXPECT_EQ(storage, (std::vector<NodeId>{2, 5, 9}));  // untouched
+}
+
+// --- Round-trip fidelity ------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripServesIdenticalStore) {
+  const Fixture fx = SnapshotFixture();
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(WriteSnapshot(fx.graph, &fx.ontology, path).ok());
+
+  Result<std::shared_ptr<const Dataset>> dataset = SnapshotReader::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const GraphStore& loaded = (*dataset)->graph();
+  ASSERT_NE((*dataset)->ontology(), nullptr);
+  EXPECT_NE((*dataset)->backing(), nullptr);
+
+  EXPECT_EQ(loaded.NumNodes(), fx.graph.NumNodes());
+  EXPECT_EQ(loaded.NumEdges(), fx.graph.NumEdges());
+  ASSERT_EQ(loaded.labels().size(), fx.graph.labels().size());
+  for (LabelId l = 0; l < fx.graph.labels().size(); ++l) {
+    EXPECT_EQ(loaded.labels().Name(l), fx.graph.labels().Name(l));
+    EXPECT_EQ(loaded.Tails(l), fx.graph.Tails(l));
+    EXPECT_EQ(loaded.Heads(l), fx.graph.Heads(l));
+    const LabelStats a = loaded.StatsForLabel(l);
+    const LabelStats b = fx.graph.StatsForLabel(l);
+    EXPECT_EQ(a.edge_count, b.edge_count);
+    EXPECT_EQ(a.num_tails, b.num_tails);
+    EXPECT_EQ(a.num_heads, b.num_heads);
+  }
+  for (NodeId n = 0; n < fx.graph.NumNodes(); ++n) {
+    EXPECT_EQ(loaded.NodeLabel(n), fx.graph.NodeLabel(n));
+    EXPECT_EQ(loaded.FindNode(fx.graph.NodeLabel(n)), n);
+    for (LabelId l = 0; l < fx.graph.labels().size(); ++l) {
+      for (int dir = 0; dir < 2; ++dir) {
+        auto a = loaded.Neighbors(n, l, static_cast<Direction>(dir));
+        auto b = fx.graph.Neighbors(n, l, static_cast<Direction>(dir));
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+      }
+    }
+    auto sa = loaded.SigmaNeighbors(n, Direction::kOutgoing);
+    auto sb = fx.graph.SigmaNeighbors(n, Direction::kOutgoing);
+    ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+  }
+  EXPECT_FALSE(loaded.FindNode("no such node").has_value());
+}
+
+TEST(SnapshotTest, RoundTripQueriesMatchAcrossAllModes) {
+  const Fixture fx = SnapshotFixture();
+  const std::string path = TempPath("queries.snap");
+  ASSERT_TRUE(WriteSnapshot(fx.graph, &fx.ontology, path).ok());
+  Result<std::shared_ptr<const Dataset>> dataset = SnapshotReader::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  QueryEngine built(&fx.graph, &fx.ontology);
+  QueryEngine mapped(&(*dataset)->graph(), (*dataset)->ontology());
+  for (const char* text : {
+           "(?X) <- (?X, knows, ?Y)",
+           "(?X, ?Z) <- (?X, knows, ?Y), (?Y, knows, ?Z)",
+           "(?X, ?O) <- (?X, knows, ?Y), (?Y, worksAt, ?O)",
+           "(?X) <- (o0, type, ?X)",
+           "(?X) <- APPROX (?X, knows.worksAt, ?Y)",
+           "(?X) <- APPROX (?X, worksAt, ?Y), (?X, knows, ?Z)",
+           "(?X) <- RELAX (?X, worksAt, ?Y)",
+           "(?X) <- RELAX (?X, worksAt.type, ?Y)",
+           "(?X) <- RELAX (?X, knows.worksAt, ?Y)",
+       }) {
+    const Query query = Qy(text);
+    Result<std::vector<QueryAnswer>> expected = built.ExecuteTopK(query, 0);
+    Result<std::vector<QueryAnswer>> actual = mapped.ExecuteTopK(query, 0);
+    ASSERT_TRUE(expected.ok()) << text;
+    ASSERT_TRUE(actual.ok()) << text << ": " << actual.status().ToString();
+    EXPECT_EQ(CanonAnswers(*actual), CanonAnswers(*expected)) << text;
+    EXPECT_FALSE(expected->empty()) << text;
+  }
+}
+
+TEST(SnapshotTest, GraphOnlySnapshotHasNoOntology) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "c"}});
+  const std::string path = TempPath("graph_only.snap");
+  ASSERT_TRUE(WriteSnapshot(g, nullptr, path).ok());
+  Result<std::shared_ptr<const Dataset>> dataset = SnapshotReader::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ((*dataset)->ontology(), nullptr);
+  EXPECT_EQ((*dataset)->graph().NumNodes(), g.NumNodes());
+
+  // RELAX needs an ontology and must fail cleanly on this dataset.
+  QueryEngine engine(&(*dataset)->graph(), nullptr);
+  Result<std::vector<QueryAnswer>> relax =
+      engine.ExecuteTopK(Qy("(?X) <- RELAX (?X, e, ?Y)"), 0);
+  EXPECT_FALSE(relax.ok());
+}
+
+// --- Inspect / Verify / rejection --------------------------------------------
+
+TEST(SnapshotTest, InspectReportsHeaderAndSections) {
+  const Fixture fx = SnapshotFixture();
+  const std::string path = TempPath("inspect.snap");
+  ASSERT_TRUE(WriteSnapshot(fx.graph, &fx.ontology, path).ok());
+  Result<SnapshotInfo> info = SnapshotReader::Inspect(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->format_version, kSnapshotFormatVersion);
+  EXPECT_TRUE(info->has_ontology);
+  EXPECT_EQ(info->num_nodes, fx.graph.NumNodes());
+  EXPECT_EQ(info->num_edges, fx.graph.NumEdges());
+  EXPECT_EQ(info->num_labels, fx.graph.labels().size());
+  EXPECT_FALSE(info->sections.empty());
+  EXPECT_NE(info->ToString().find("nodes_by_label"), std::string::npos);
+}
+
+TEST(SnapshotTest, VerifyPassesOnIntactFile) {
+  const Fixture fx = SnapshotFixture();
+  const std::string path = TempPath("verify_ok.snap");
+  ASSERT_TRUE(WriteSnapshot(fx.graph, &fx.ontology, path).ok());
+  EXPECT_TRUE(SnapshotReader::Verify(path).ok());
+}
+
+TEST(SnapshotTest, VerifyCatchesBitFlip) {
+  const Fixture fx = SnapshotFixture();
+  const std::string path = TempPath("bitflip.snap");
+  ASSERT_TRUE(WriteSnapshot(fx.graph, &fx.ontology, path).ok());
+
+  // Flip one byte inside the first non-empty neighbour section.
+  Result<SnapshotInfo> info = SnapshotReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  uint64_t target = 0;
+  for (const SectionEntry& entry : info->sections) {
+    if (static_cast<SectionKind>(entry.kind) == SectionKind::kCsrNeighbors &&
+        entry.count > 0) {
+      target = entry.offset;
+      break;
+    }
+  }
+  ASSERT_GT(target, 0u);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(target));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(target));
+    f.write(&byte, 1);
+  }
+  const Status status = SnapshotReader::Verify(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("checksum"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(SnapshotTest, RejectsTruncatedFile) {
+  const Fixture fx = SnapshotFixture();
+  const std::string path = TempPath("truncated.snap");
+  ASSERT_TRUE(WriteSnapshot(fx.graph, &fx.ontology, path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 100u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 64));
+  }
+  EXPECT_FALSE(SnapshotReader::Open(path).ok());
+}
+
+TEST(SnapshotTest, RejectsWrongMagicAndMissingFile) {
+  const std::string path = TempPath("not_a_snapshot.snap");
+  std::ofstream(path, std::ios::binary)
+      << "this is definitely not a snapshot file, but long enough to "
+         "contain a header-sized prefix.";
+  Result<std::shared_ptr<const Dataset>> r = SnapshotReader::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+
+  Result<std::shared_ptr<const Dataset>> missing =
+      SnapshotReader::Open(TempPath("does_not_exist.snap"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(SnapshotTest, FromPartsWrapsInMemoryDataset) {
+  Fixture fx = SnapshotFixture();
+  const size_t nodes = fx.graph.NumNodes();
+  std::shared_ptr<const Dataset> dataset =
+      Dataset::FromParts(std::move(fx.graph), std::move(fx.ontology));
+  EXPECT_EQ(dataset->graph().NumNodes(), nodes);
+  EXPECT_NE(dataset->ontology(), nullptr);
+  EXPECT_EQ(dataset->backing(), nullptr);
+}
+
+}  // namespace
+}  // namespace omega

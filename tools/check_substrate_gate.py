@@ -36,6 +36,9 @@ PAIRINGS = {
     # not the service); the gate skips pairs that are entirely absent.
     "_CacheHit": "_CacheMiss",
     "_ServiceParallel": "_ServiceSerial",
+    # Snapshot storage engine (PR 5): opening the binary mmap snapshot vs
+    # re-parsing the text format and rebuilding the CSR store.
+    "_SnapshotLoad": "_TextLoad",
 }
 
 # Pairs that must not merely avoid regressing but beat their baseline by a
@@ -50,6 +53,11 @@ MIN_SPEEDUP = {
     # 8 workers on >= 4 cores must hold >= 3x over 1 worker on the
     # cache-cold mix, or the serving layer serialises somewhere.
     "_ServiceParallel": 3.0,
+    # The snapshot engine's reason to exist: mmap-opening a dataset must
+    # beat the text re-parse + CSR rebuild by an order of magnitude (it
+    # measures >> 100x at default scale; 10x leaves room for tiny graphs
+    # where constant costs dominate).
+    "_SnapshotLoad": 10.0,
 }
 
 # Pairs whose work accrues on service worker threads while the driving
