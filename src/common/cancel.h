@@ -9,12 +9,12 @@
 #ifndef OMEGA_COMMON_CANCEL_H_
 #define OMEGA_COMMON_CANCEL_H_
 
-#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
 
+#include "common/atomics.h"
 #include "common/status.h"
 
 namespace omega {
@@ -22,7 +22,13 @@ namespace omega {
 namespace internal {
 
 struct CancelState {
-  std::atomic<bool> cancelled{false};
+  /// Deliberately lock-free (no capability guards it): cancellation is
+  /// advisory — the only contract is that a Cancel() is eventually observed
+  /// by the polling evaluator, and a relaxed flag delivers exactly that.
+  /// No data is published through the flag (the requester never hands the
+  /// evaluator state to pick up after cancelling), so no acquire/release
+  /// pairing is needed; RelaxedAtomic static_asserts the lock-freedom.
+  RelaxedAtomic<bool> cancelled;
   /// Fixed before the state is shared (CancelSource construction), so
   /// readers need no synchronisation; time_point::max() means no deadline.
   std::chrono::steady_clock::time_point deadline =
@@ -45,8 +51,7 @@ class CancelToken {
 
   /// Flag-only fast path: one relaxed atomic load, no clock read.
   bool cancelled() const {
-    return state_ != nullptr &&
-           state_->cancelled.load(std::memory_order_relaxed);
+    return state_ != nullptr && state_->cancelled.Load();
   }
 
   bool has_deadline() const {
@@ -59,7 +64,7 @@ class CancelToken {
   /// message ("conjunct evaluation", "rank join", ...).
   Status Check(const char* where) const {
     if (state_ == nullptr) return Status::OK();
-    if (state_->cancelled.load(std::memory_order_relaxed)) {
+    if (state_->cancelled.Load()) {
       return Status::Cancelled(std::string(where) + " was cancelled");
     }
     // Deadline-free tokens never pay the clock read (the branch is fixed at
@@ -110,11 +115,9 @@ class CancelSource {
 
   CancelToken token() const { return CancelToken(state_); }
 
-  void Cancel() { state_->cancelled.store(true, std::memory_order_relaxed); }
+  void Cancel() { state_->cancelled.Store(true); }
 
-  bool cancelled() const {
-    return state_->cancelled.load(std::memory_order_relaxed);
-  }
+  bool cancelled() const { return state_->cancelled.Load(); }
 
  private:
   std::shared_ptr<internal::CancelState> state_;

@@ -1,0 +1,135 @@
+// Annotated locking primitives: thin wrappers over std::mutex /
+// std::shared_mutex / std::condition_variable that carry the Clang
+// thread-safety capability attributes (common/thread_annotations.h). The
+// standard-library types are invisible to -Wthread-safety under libstdc++,
+// so concurrent code in this repo locks through these wrappers instead —
+// that is what lets a `OMEGA_GUARDED_BY(mu_)` field turn an unlocked access
+// into a compile error. Zero overhead: every method is an inline forward.
+//
+// Condition waits: CondVar::Wait(mu) atomically releases and reacquires the
+// annotated Mutex. There is deliberately no predicate overload — a predicate
+// lambda's body is analysed as a separate unannotated function, so guarded
+// reads inside it would need an escape hatch. Write the loop explicitly:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);   // ready_ is OMEGA_GUARDED_BY(mu_)
+#ifndef OMEGA_COMMON_MUTEX_H_
+#define OMEGA_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace omega {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual Lock/Unlock.
+class OMEGA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() OMEGA_ACQUIRE() { mu_.lock(); }
+  void Unlock() OMEGA_RELEASE() { mu_.unlock(); }
+  bool TryLock() OMEGA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII exclusive lock of a Mutex for a scope.
+class OMEGA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OMEGA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() OMEGA_RELEASE_GENERIC() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated reader/writer mutex: many concurrent shared holders or one
+/// exclusive holder. Use for read-mostly leaf state (e.g. the service's
+/// epoch pointer, loaded per admission and stored only by SwapDataset).
+class OMEGA_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() OMEGA_ACQUIRE() { mu_.lock(); }
+  void Unlock() OMEGA_RELEASE() { mu_.unlock(); }
+  void LockShared() OMEGA_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() OMEGA_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) lock of a SharedMutex.
+class OMEGA_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) OMEGA_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() OMEGA_RELEASE_GENERIC() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock of a SharedMutex.
+class OMEGA_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) OMEGA_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() OMEGA_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. See the header comment
+/// for why there is no predicate overload.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; `mu` is held again on return.
+  /// Spurious wakeups happen: always re-check the condition in a loop.
+  void Wait(Mutex& mu) OMEGA_REQUIRES(mu) {
+    // Adopt the already-held std::mutex for the duration of the wait, then
+    // release() so ownership stays with the caller's MutexLock scope — the
+    // capability is held both on entry and on exit, exactly as annotated.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_COMMON_MUTEX_H_

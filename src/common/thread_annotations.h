@@ -1,0 +1,107 @@
+// Clang thread-safety capability annotations (the -Wthread-safety analysis):
+// each macro below attaches a locking contract to a declaration, turning the
+// repo's locking discipline into something the compiler checks on every
+// build instead of something TSan has to catch at runtime on one lucky
+// interleaving. On compilers without the attributes (GCC, MSVC) every macro
+// expands to nothing, so the annotated tree builds identically everywhere;
+// the `static-analysis` CI job builds with clang++ -Werror=thread-safety so
+// a violated contract is a compile error, and tests/negative/ proves the
+// layer still rejects seeded violations (it must not rot into decoration).
+//
+// Conventions in this repo:
+//  - Annotate *state* with OMEGA_GUARDED_BY / OMEGA_PT_GUARDED_BY, not just
+//    functions: the analysis then flags every unlocked access, including
+//    ones added later.
+//  - Lock through the annotated wrappers in common/mutex.h (Mutex,
+//    MutexLock, SharedMutex, CondVar) — raw std::mutex / std::lock_guard
+//    are invisible to the analysis (and banned in src/service/ by
+//    tools/lint/check_invariants.py).
+//  - `*Locked()` helper methods take OMEGA_REQUIRES(mu); public entry
+//    points that must not be called with a lock held take
+//    OMEGA_EXCLUDES(mu).
+//  - Genuinely lock-free state (common/atomics.h RelaxedAtomic) carries a
+//    comment explaining why no capability guards it; there are no silent
+//    escapes.
+//
+// The analysis deliberately skips constructor and destructor bodies
+// (single-threaded by language rules), which is why e.g. QueryService's
+// constructor may seed `epoch_` without holding `epoch_mu_`.
+#ifndef OMEGA_COMMON_THREAD_ANNOTATIONS_H_
+#define OMEGA_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define OMEGA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OMEGA_THREAD_ANNOTATION(x)
+#endif
+
+// NOLINTBEGIN(bugprone-macro-parentheses): the arguments are capability
+// expressions spliced into attributes; parenthesising them is a syntax error
+// inside __attribute__((...)).
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define OMEGA_CAPABILITY(x) OMEGA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define OMEGA_SCOPED_CAPABILITY OMEGA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define OMEGA_GUARDED_BY(x) OMEGA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded (the pointer itself is not).
+#define OMEGA_PT_GUARDED_BY(x) OMEGA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Documented lock-ordering edges (checked under -Wthread-safety-beta).
+#define OMEGA_ACQUIRED_BEFORE(...) \
+  OMEGA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define OMEGA_ACQUIRED_AFTER(...) \
+  OMEGA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively (shared variant: for reads).
+#define OMEGA_REQUIRES(...) \
+  OMEGA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define OMEGA_REQUIRES_SHARED(...) \
+  OMEGA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability (held on return / on entry).
+#define OMEGA_ACQUIRE(...) \
+  OMEGA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define OMEGA_ACQUIRE_SHARED(...) \
+  OMEGA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define OMEGA_RELEASE(...) \
+  OMEGA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define OMEGA_RELEASE_SHARED(...) \
+  OMEGA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either mode (scoped-lock destructors).
+#define OMEGA_RELEASE_GENERIC(...) \
+  OMEGA_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire and returns `success` on success.
+#define OMEGA_TRY_ACQUIRE(...) \
+  OMEGA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define OMEGA_TRY_ACQUIRE_SHARED(...) \
+  OMEGA_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention: public entry
+/// points of a class that locks internally).
+#define OMEGA_EXCLUDES(...) \
+  OMEGA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (fatal otherwise).
+#define OMEGA_ASSERT_CAPABILITY(x) \
+  OMEGA_THREAD_ANNOTATION(assert_capability(x))
+#define OMEGA_ASSERT_SHARED_CAPABILITY(x) \
+  OMEGA_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define OMEGA_RETURN_CAPABILITY(x) OMEGA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Documented escape hatch: disables the analysis for one function. Every
+/// use must carry a comment proving the synchronisation that the analysis
+/// cannot see (e.g. publication via a queue handoff). Grep-able on purpose.
+#define OMEGA_NO_THREAD_SAFETY_ANALYSIS \
+  OMEGA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)
+
+#endif  // OMEGA_COMMON_THREAD_ANNOTATIONS_H_

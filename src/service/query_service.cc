@@ -66,19 +66,19 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 // --- QueryTicket -------------------------------------------------------------
 
 const QueryResponse& QueryTicket::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mu_);
+  while (!done_) cv_.Wait(mu_);
   return response_;
 }
 
 QueryResponse QueryTicket::TakeResponse() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mu_);
+  while (!done_) cv_.Wait(mu_);
   return std::move(response_);
 }
 
 bool QueryTicket::done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return done_;
 }
 
@@ -126,7 +126,7 @@ std::shared_ptr<const DatasetEpoch> QueryService::MakeEpoch(
 }
 
 std::shared_ptr<const DatasetEpoch> QueryService::CurrentEpoch() const {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  ReaderMutexLock lock(epoch_mu_);
   return epoch_;
 }
 
@@ -140,7 +140,7 @@ Status QueryService::SwapDataset(std::shared_ptr<const Dataset> dataset) {
   const Ontology* ontology = dataset->ontology();
   std::shared_ptr<const DatasetEpoch> retired;
   {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
+    WriterMutexLock lock(epoch_mu_);
     // Building the epoch outside the lock would allow two concurrent swaps
     // to publish the same id; binds are cheap relative to swap frequency.
     auto next = MakeEpoch(epoch_->id + 1, std::move(dataset), graph, ontology);
@@ -153,7 +153,7 @@ Status QueryService::SwapDataset(std::shared_ptr<const Dataset> dataset) {
   retired.reset();
   ResetCacheGenerationStats();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.dataset_swaps;
   }
   return Status::OK();
@@ -163,7 +163,7 @@ QueryService::~QueryService() {
   std::deque<std::shared_ptr<QueryTicket>> leftovers;
   std::vector<std::shared_ptr<QueryTicket>> in_flight;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     leftovers.swap(queue_);
     in_flight = running_;
@@ -173,7 +173,7 @@ QueryService::~QueryService() {
   for (const std::shared_ptr<QueryTicket>& ticket : in_flight) {
     if (ticket != nullptr) ticket->cancel_.Cancel();
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   for (const std::shared_ptr<QueryTicket>& ticket : leftovers) {
     QueryResponse response;
@@ -217,7 +217,7 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
     if (std::shared_ptr<const CachedResult> entry =
             ticket->epoch_->cache->Lookup(ticket->cache_key_)) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.submitted;
       }
       ServeHit(ticket, *entry, /*queue_ms=*/0);
@@ -228,7 +228,7 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
   std::vector<std::shared_ptr<QueryTicket>> purged;
   bool admitted = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       return Status::FailedPrecondition("query service is shutting down");
     }
@@ -245,7 +245,7 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
       admitted = true;
       // Counted while still holding mu_, so a stats() snapshot can never
       // observe a completion of this query before its submission.
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(stats_mu_);
       ++stats_.submitted;
     }
   }
@@ -260,13 +260,13 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
     Complete(p, std::move(response));
   }
   if (!admitted) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.rejected;
     return Status::ResourceExhausted(
         "admission queue is full (max_queue=" +
         std::to_string(options_.max_queue) + ")");
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return ticket;
 }
 
@@ -296,7 +296,7 @@ void QueryService::InvalidateCache() {
 }
 
 void QueryService::ResetCacheGenerationStats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   for (ClassAggregate& agg : stats_.per_class) {
     agg.cache_hits = 0;
     agg.cache_lookups = 0;
@@ -306,7 +306,7 @@ void QueryService::ResetCacheGenerationStats() {
 ServiceStats QueryService::stats() const {
   ServiceStats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     out = stats_;
   }
   const std::shared_ptr<const DatasetEpoch> epoch = CurrentEpoch();
@@ -316,7 +316,7 @@ ServiceStats QueryService::stats() const {
 }
 
 size_t QueryService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -340,8 +340,8 @@ void QueryService::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::shared_ptr<QueryTicket> ticket;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (stopping_) return;  // leftovers are completed by the destructor
       ticket = std::move(queue_.front());
       queue_.pop_front();
@@ -349,7 +349,7 @@ void QueryService::WorkerLoop(size_t worker_index) {
     }
     RunTask(ticket);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       running_[worker_index] = nullptr;
     }
   }
@@ -452,7 +452,7 @@ void QueryService::Complete(const std::shared_ptr<QueryTicket>& ticket,
                             QueryResponse response,
                             const ExecutionStats* exec) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     switch (response.status.code()) {
       case StatusCode::kOk:
         ++stats_.completed;
@@ -485,11 +485,11 @@ void QueryService::Complete(const std::shared_ptr<QueryTicket>& ticket,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(ticket->mu_);
+    MutexLock lock(ticket->mu_);
     ticket->response_ = std::move(response);
     ticket->done_ = true;
   }
-  ticket->cv_.notify_all();
+  ticket->cv_.NotifyAll();
 }
 
 }  // namespace omega

@@ -35,15 +35,15 @@
 #define OMEGA_SERVICE_QUERY_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "eval/query_engine.h"
 #include "ontology/ontology.h"
 #include "service/result_cache.h"
@@ -59,6 +59,11 @@ namespace omega {
 /// shared_ptr<const DatasetEpoch>; tickets pin it from admission to
 /// completion. `dataset` is null for the epoch the service constructor
 /// borrows from caller-owned graph/ontology pointers.
+///
+/// Concurrency: immutable after construction except `cache`, which is
+/// internally locked (ResultCache's per-shard mutexes) — which is why the
+/// epoch needs no capability of its own and is shared across workers as a
+/// const object.
 struct DatasetEpoch {
   DatasetEpoch(uint64_t id_in, std::shared_ptr<const Dataset> dataset_in,
                const GraphStore* graph, const Ontology* ontology,
@@ -135,14 +140,16 @@ class QueryTicket {
   void Cancel() { cancel_.Cancel(); }
 
   /// Blocks until the request completes; returns the response (valid for
-  /// the ticket's lifetime).
-  const QueryResponse& Wait();
+  /// the ticket's lifetime). Reading through the returned reference without
+  /// a lock is safe: `done_` is a latch — once set under mu_, the response
+  /// is never written again.
+  const QueryResponse& Wait() OMEGA_EXCLUDES(mu_);
 
   /// Blocks like Wait() but moves the response out (no answer-vector copy).
   /// Call at most once; Wait() afterwards sees a moved-from response.
-  QueryResponse TakeResponse();
+  QueryResponse TakeResponse() OMEGA_EXCLUDES(mu_);
 
-  bool done() const;
+  bool done() const OMEGA_EXCLUDES(mu_);
 
   /// The request's cancel token (tests observe deadline propagation).
   CancelToken token() const { return cancel_.token(); }
@@ -150,12 +157,17 @@ class QueryTicket {
  private:
   friend class QueryService;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  QueryResponse response_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool done_ OMEGA_GUARDED_BY(mu_) = false;
+  QueryResponse response_ OMEGA_GUARDED_BY(mu_);
 
-  // Written by Submit() before the ticket is visible to any worker.
+  // Deliberately outside the capability system: written by Submit() before
+  // the ticket is visible to any other thread and immutable afterwards.
+  // Publication to the worker happens through the queue under
+  // QueryService::mu_ (and ticket completion through mu_ above), so every
+  // reader observes the fully-written values. cancel_'s interior flag is
+  // the one field that stays mutable; it is lock-free by design (cancel.h).
   QueryRequest request_;
   CancelSource cancel_;
   QueryClass query_class_ = QueryClass::kExact;
@@ -198,7 +210,8 @@ class QueryService {
   /// kFailedPrecondition (service shutting down). A fresh cache hit is
   /// served synchronously on the calling thread: the returned ticket is
   /// already done. Otherwise the ticket completes on a worker thread.
-  Result<std::shared_ptr<QueryTicket>> Submit(QueryRequest request);
+  Result<std::shared_ptr<QueryTicket>> Submit(QueryRequest request)
+      OMEGA_EXCLUDES(mu_, epoch_mu_, stats_mu_);
 
   /// Blocking convenience: Submit + Wait, with rejections folded into the
   /// response's status.
@@ -211,7 +224,8 @@ class QueryService {
   /// cache-accounting generation (the per-class cache-hit counters reset —
   /// see InvalidateCache). Thread-safe; callable at any time, including
   /// under full query load.
-  Status SwapDataset(std::shared_ptr<const Dataset> dataset);
+  Status SwapDataset(std::shared_ptr<const Dataset> dataset)
+      OMEGA_EXCLUDES(epoch_mu_, stats_mu_);
 
   /// Invalidation hook: drops every cached result of the current epoch and
   /// starts a fresh cache-accounting generation. Semantics: after this
@@ -223,15 +237,15 @@ class QueryService {
   /// exists. Call it when cached answers should no longer be served;
   /// SwapDataset() supersedes it for dataset changes (the new epoch's
   /// cache is born empty).
-  void InvalidateCache();
+  void InvalidateCache() OMEGA_EXCLUDES(epoch_mu_, stats_mu_);
 
-  ServiceStats stats() const;
+  ServiceStats stats() const OMEGA_EXCLUDES(stats_mu_, epoch_mu_);
 
   size_t num_workers() const { return workers_.size(); }
-  size_t queue_depth() const;
+  size_t queue_depth() const OMEGA_EXCLUDES(mu_);
 
   /// Id of the epoch new admissions currently pin (0 until the first swap).
-  uint64_t dataset_epoch() const;
+  uint64_t dataset_epoch() const OMEGA_EXCLUDES(epoch_mu_);
 
  private:
   /// Per-execution counters folded into the per-class aggregates: the
@@ -243,19 +257,22 @@ class QueryService {
     uint64_t max_join_live = 0;
   };
 
-  void WorkerLoop(size_t worker_index);
+  void WorkerLoop(size_t worker_index) OMEGA_EXCLUDES(mu_);
   /// Executes (or short-circuits) one ticket and completes it.
-  void RunTask(const std::shared_ptr<QueryTicket>& ticket);
+  void RunTask(const std::shared_ptr<QueryTicket>& ticket)
+      OMEGA_EXCLUDES(mu_, stats_mu_);
   /// Completes `ticket` from a cache entry (shared by the synchronous
   /// Submit fast path and the worker re-probe).
   void ServeHit(const std::shared_ptr<QueryTicket>& ticket,
-                const CachedResult& entry, double queue_ms);
+                const CachedResult& entry, double queue_ms)
+      OMEGA_EXCLUDES(stats_mu_);
   void Complete(const std::shared_ptr<QueryTicket>& ticket,
-                QueryResponse response,
-                const ExecutionStats* exec = nullptr);
-  /// Removes dead (cancelled or deadline-expired) tickets from the queue
-  /// (mu_ must be held); returns them for completion outside the lock.
-  std::vector<std::shared_ptr<QueryTicket>> PurgeDeadLocked();
+                QueryResponse response, const ExecutionStats* exec = nullptr)
+      OMEGA_EXCLUDES(stats_mu_);
+  /// Removes dead (cancelled or deadline-expired) tickets from the queue;
+  /// returns them for completion outside the lock.
+  std::vector<std::shared_ptr<QueryTicket>> PurgeDeadLocked()
+      OMEGA_REQUIRES(mu_);
 
   /// Shared constructor body: builds epoch 0 (owning `dataset` when
   /// non-null, else borrowing the caller's pointers) and starts the pool.
@@ -263,33 +280,46 @@ class QueryService {
                std::shared_ptr<const Dataset> dataset,
                QueryServiceOptions options);
 
-  /// The epoch new admissions pin right now.
-  std::shared_ptr<const DatasetEpoch> CurrentEpoch() const;
+  /// The epoch new admissions pin right now (one shared-lock pointer copy:
+  /// admissions on many threads read concurrently, only SwapDataset writes).
+  std::shared_ptr<const DatasetEpoch> CurrentEpoch() const
+      OMEGA_EXCLUDES(epoch_mu_);
   /// Builds an epoch (engine bind + fresh cache) around the given substrate.
   std::shared_ptr<const DatasetEpoch> MakeEpoch(
       uint64_t id, std::shared_ptr<const Dataset> dataset,
       const GraphStore* graph, const Ontology* ontology) const;
   /// Zeroes the cache-generation counters (per-class hits/lookups).
-  void ResetCacheGenerationStats();
+  void ResetCacheGenerationStats() OMEGA_EXCLUDES(stats_mu_);
 
+  /// Immutable after construction (clamped worker/queue bounds, engine
+  /// config): read by every worker without synchronisation.
   QueryServiceOptions options_;
 
-  /// Current serving epoch; epoch_mu_ is a leaf lock (never held together
-  /// with mu_ or stats_mu_).
-  mutable std::mutex epoch_mu_;
-  std::shared_ptr<const DatasetEpoch> epoch_;
+  /// Guards the epoch pointer only — a leaf lock by construction: taken for
+  /// one shared_ptr copy (shared) or one pointer swap (exclusive), never
+  /// while holding, or before acquiring, mu_ or stats_mu_. Reader/writer
+  /// because admissions outnumber swaps by orders of magnitude.
+  mutable SharedMutex epoch_mu_;
+  std::shared_ptr<const DatasetEpoch> epoch_ OMEGA_GUARDED_BY(epoch_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<QueryTicket>> queue_;
+  /// Guards the admission queue and worker bookkeeping.
+  mutable Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<QueryTicket>> queue_ OMEGA_GUARDED_BY(mu_);
   /// Ticket each worker is currently executing (null when idle); lets the
   /// destructor cancel in-flight queries for fast shutdown.
-  std::vector<std::shared_ptr<QueryTicket>> running_;
-  bool stopping_ = false;
+  std::vector<std::shared_ptr<QueryTicket>> running_ OMEGA_GUARDED_BY(mu_);
+  bool stopping_ OMEGA_GUARDED_BY(mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
+  /// Guards the serving aggregates. Lock order: mu_ may be held when
+  /// acquiring stats_mu_ (Submit counts admissions inside the queue
+  /// critical section so a stats() snapshot can never see a completion
+  /// before its submission); stats_mu_ is otherwise a leaf and is never
+  /// held while acquiring any other lock.
+  mutable Mutex stats_mu_ OMEGA_ACQUIRED_AFTER(mu_);
+  ServiceStats stats_ OMEGA_GUARDED_BY(stats_mu_);
 
+  /// Joined in the destructor; written only at construction.
   std::vector<std::thread> workers_;
 };
 

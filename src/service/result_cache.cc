@@ -24,63 +24,65 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
 std::shared_ptr<const CachedResult> ResultCache::Lookup(
     const std::string& key, bool count_miss) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+    if (count_miss) misses_.FetchAdd(1);
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.FetchAdd(1);
   return it->second->second;
 }
 
 void ResultCache::Insert(const std::string& key,
                          std::shared_ptr<const CachedResult> value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    insertions_.fetch_add(1, std::memory_order_relaxed);
+    insertions_.FetchAdd(1);
     return;
   }
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.FetchAdd(1);
   }
   shard.lru.emplace_front(key, std::move(value));
   shard.index.emplace(key, shard.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.FetchAdd(1);
 }
 
 void ResultCache::Clear() {
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    evictions_.fetch_add(shard->lru.size(), std::memory_order_relaxed);
-    shard->index.clear();
-    shard->lru.clear();
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(shard.mu);
+    evictions_.FetchAdd(shard.lru.size());
+    shard.index.clear();
+    shard.lru.clear();
   }
 }
 
 void ResultCache::ResetCounters() {
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  insertions_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
+  hits_.Store(0);
+  misses_.Store(0);
+  insertions_.Store(0);
+  evictions_.Store(0);
 }
 
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.insertions = insertions_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    out.entries += shard->lru.size();
+  out.hits = hits_.Load();
+  out.misses = misses_.Load();
+  out.insertions = insertions_.Load();
+  out.evictions = evictions_.Load();
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    MutexLock lock(shard.mu);
+    out.entries += shard.lru.size();
   }
   return out;
 }

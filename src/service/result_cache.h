@@ -12,20 +12,22 @@
 // lock and an eviction never invalidates a response already handed out.
 //
 // Thread-safety: every method is safe to call concurrently; each shard has
-// its own mutex, and the counters are atomics.
+// its own capability-annotated mutex guarding its LRU list + index, and the
+// counters are documented relaxed atomics (common/atomics.h).
 #ifndef OMEGA_SERVICE_RESULT_CACHE_H_
 #define OMEGA_SERVICE_RESULT_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/atomics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "eval/query_engine.h"
 
 namespace omega {
@@ -85,24 +87,30 @@ class ResultCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recently used. The index stores its own key copy (kept
     /// in sync with the list node's) — simple over clever; keys are a few
     /// hundred bytes at most.
-    std::list<std::pair<std::string, std::shared_ptr<const CachedResult>>> lru;
-    std::unordered_map<std::string,
-                       decltype(lru)::iterator> index;
+    std::list<std::pair<std::string, std::shared_ptr<const CachedResult>>> lru
+        OMEGA_GUARDED_BY(mu);
+    std::unordered_map<std::string, decltype(lru)::iterator> index
+        OMEGA_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);
 
-  size_t per_shard_capacity_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t per_shard_capacity_;  ///< immutable after construction
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< vector itself immutable
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> insertions_{0};
-  std::atomic<uint64_t> evictions_{0};
+  // Deliberately lock-free (no capability): monotonic accounting counters
+  // bumped on hot paths from any shard. Readers (stats()) accept any
+  // interleaving — a snapshot may e.g. count an insertion whose entry is
+  // not yet resident — so relaxed ordering is sufficient and a shared
+  // counter mutex would serialise all shards on every lookup.
+  RelaxedAtomic<uint64_t> hits_;
+  RelaxedAtomic<uint64_t> misses_;
+  RelaxedAtomic<uint64_t> insertions_;
+  RelaxedAtomic<uint64_t> evictions_;
 };
 
 }  // namespace omega

@@ -3,6 +3,12 @@
 // cache hit rate, merged evaluator counters and rank-join operator rows) —
 // what the concurrent shell driver's `.stats` prints and what bench_service
 // reports alongside throughput.
+//
+// Concurrency: these are plain value types with no interior locking. The
+// live instance inside QueryService is guarded as a whole — it is declared
+// OMEGA_GUARDED_BY(stats_mu_) there, so every accumulation into a
+// ClassAggregate is lock-checked at compile time — and what stats() returns
+// is a private copy taken under that lock, safe to read freely.
 #ifndef OMEGA_SERVICE_SERVICE_STATS_H_
 #define OMEGA_SERVICE_SERVICE_STATS_H_
 

@@ -1,0 +1,37 @@
+// MUST NOT COMPILE (-Werror=thread-safety): acquires the same
+// non-recursive Mutex twice on one thread — self-deadlock at runtime,
+// "acquiring mutex 'mu_' that is already held" at compile time. The
+// classic shape: a locked public method calling another locked public
+// method instead of the _Locked/OMEGA_REQUIRES private variant.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) {
+    omega::MutexLock lock(mu_);
+    size_ += static_cast<long>(v != 0);
+    // BAD: Size() re-acquires mu_ while this frame still holds it.
+    last_size_ = Size();
+  }
+
+  long Size() {
+    omega::MutexLock lock(mu_);
+    return size_;
+  }
+
+ private:
+  omega::Mutex mu_;
+  long size_ OMEGA_GUARDED_BY(mu_) = 0;
+  long last_size_ OMEGA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(1);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// MUST NOT COMPILE (-Werror=thread-safety): reads and writes a
+// GUARDED_BY(mu_) member without holding mu_. This is the canonical
+// unguarded-access bug the annotation layer exists to reject — exactly the
+// shape of a stats-counter read racing accumulation in QueryService.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    // BAD: no MutexLock — TSA: "writing variable 'value_' requires holding
+    // mutex 'mu_'".
+    ++value_;
+  }
+
+  long Read() const {
+    // BAD: unlocked read of a guarded member.
+    return value_;
+  }
+
+ private:
+  mutable omega::Mutex mu_;
+  long value_ OMEGA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return static_cast<int>(counter.Read());
+}

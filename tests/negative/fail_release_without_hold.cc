@@ -1,0 +1,32 @@
+// MUST NOT COMPILE (-Werror=thread-safety): calls a RELEASE-annotated
+// function without holding the capability, and calls a REQUIRES-annotated
+// helper with no lock held. Catches the unbalanced manual Lock()/Unlock()
+// pairs that scoped MutexLock exists to prevent.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Session {
+ public:
+  void FinishLocked() OMEGA_REQUIRES(mu_) { ++epoch_; }
+
+  void Broken() {
+    // BAD: releasing a mutex this thread never acquired.
+    mu_.Unlock();
+    // BAD: REQUIRES(mu_) callee invoked with no lock held.
+    FinishLocked();
+  }
+
+ private:
+  omega::Mutex mu_;
+  long epoch_ OMEGA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Session session;
+  session.Broken();
+  return 0;
+}

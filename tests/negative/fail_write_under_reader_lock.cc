@@ -1,0 +1,36 @@
+// MUST NOT COMPILE (-Werror=thread-safety): writes a SharedMutex-guarded
+// member while holding only the SHARED (reader) side. This is the epoch
+// hot-swap hazard: QueryService admissions pin the current epoch under
+// ReaderMutexLock; only SwapDataset's WriterMutexLock may store it.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class EpochHolder {
+ public:
+  long Load() const {
+    omega::ReaderMutexLock lock(epoch_mu_);
+    return epoch_;  // OK: shared capability suffices for reads.
+  }
+
+  void BrokenStore(long next) {
+    omega::ReaderMutexLock lock(epoch_mu_);
+    // BAD: mutation under a reader lock — concurrent readers would observe
+    // a torn swap. TSA: "writing variable 'epoch_' requires holding mutex
+    // 'epoch_mu_' exclusively".
+    epoch_ = next;
+  }
+
+ private:
+  mutable omega::SharedMutex epoch_mu_;
+  long epoch_ OMEGA_GUARDED_BY(epoch_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  EpochHolder holder;
+  holder.BrokenStore(1);
+  return static_cast<int>(holder.Load());
+}

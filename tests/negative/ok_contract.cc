@@ -1,0 +1,62 @@
+// MUST COMPILE cleanly under -Werror=thread-safety: exercises the same
+// types and idioms as the fail_*.cc fixtures, but correctly. Its job is to
+// prove the negative fixtures fail because of their seeded violations —
+// not because the wrappers, flags, or include paths are broken.
+#include "common/atomics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Service {
+ public:
+  void Push(int v) OMEGA_EXCLUDES(mu_) {
+    omega::MutexLock lock(mu_);
+    size_ += static_cast<long>(v != 0);
+    last_size_ = SizeLocked();  // REQUIRES variant, no re-acquire
+    cv_.NotifyOne();
+    approx_pushes_.FetchAdd(1);  // documented relaxed counter: no capability
+  }
+
+  void WaitNonEmpty() OMEGA_EXCLUDES(mu_) {
+    omega::MutexLock lock(mu_);
+    // Explicit wait loop (repo convention): the predicate is checked in
+    // annotated code, not inside an unanalysable lambda.
+    while (size_ == 0) cv_.Wait(mu_);
+  }
+
+  long SwapEpoch(long next) OMEGA_EXCLUDES(epoch_mu_) {
+    omega::WriterMutexLock lock(epoch_mu_);
+    long prev = epoch_;
+    epoch_ = next;  // exclusive capability held: store is legal
+    return prev;
+  }
+
+  long ReadEpoch() const OMEGA_EXCLUDES(epoch_mu_) {
+    omega::ReaderMutexLock lock(epoch_mu_);
+    return epoch_;  // shared capability held: load is legal
+  }
+
+ private:
+  long SizeLocked() const OMEGA_REQUIRES(mu_) { return size_; }
+
+  mutable omega::Mutex mu_;
+  omega::CondVar cv_;
+  long size_ OMEGA_GUARDED_BY(mu_) = 0;
+  long last_size_ OMEGA_GUARDED_BY(mu_) = 0;
+
+  mutable omega::SharedMutex epoch_mu_;
+  long epoch_ OMEGA_GUARDED_BY(epoch_mu_) = 0;
+
+  omega::RelaxedAtomic<long> approx_pushes_;
+};
+
+}  // namespace
+
+int main() {
+  Service service;
+  service.Push(1);
+  service.WaitNonEmpty();
+  service.SwapEpoch(2);
+  return static_cast<int>(service.ReadEpoch() - 2);
+}

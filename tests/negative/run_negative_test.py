@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness for the thread-safety contracts.
+
+Positive tests prove correct code compiles; this proves INCORRECT code does
+not. Each `fail_*.cc` fixture seeds one concurrency-contract violation
+(guarded read without the lock, double acquire, release without hold, ...)
+and must be REJECTED by `-Werror=thread-safety` — with a -Wthread-safety
+diagnostic, not some unrelated error masking a fixture typo. `ok_*.cc`
+fixtures use the same types correctly and must compile, proving failures
+come from the seeded violation rather than broken fixtures or flags.
+
+Clang-only: the OMEGA_* annotation macros expand to nothing elsewhere, so
+CMake registers this test only when CMAKE_CXX_COMPILER_ID matches Clang.
+Usage:
+    run_negative_test.py --compiler clang++ --include-dir src \
+                         --fixture-dir tests/negative
+"""
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+# The diagnostic family every fail fixture must trip. Clang suffixes each
+# promoted thread-safety diagnostic with its flag group, e.g.
+# "[-Werror,-Wthread-safety-analysis]". Matching the bracketed form (not
+# the bare flag name) keeps an unrelated driver error that merely *mentions*
+# the flag — e.g. "unrecognized command-line option '-Wthread-safety'" —
+# from counting as a rejection.
+EXPECTED_DIAGNOSTIC = "[-Werror,-Wthread-safety"
+
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+         "-Werror=thread-safety"]
+
+
+def compile_fixture(compiler, include_dir, fixture):
+    cmd = [compiler, *FLAGS, "-I", str(include_dir), str(fixture)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--compiler", required=True)
+    parser.add_argument("--include-dir", required=True, type=Path)
+    parser.add_argument("--fixture-dir", type=Path,
+                        default=Path(__file__).resolve().parent)
+    args = parser.parse_args()
+
+    fail_fixtures = sorted(args.fixture_dir.glob("fail_*.cc"))
+    ok_fixtures = sorted(args.fixture_dir.glob("ok_*.cc"))
+    if len(fail_fixtures) < 2:
+        print(f"ERROR: expected >= 2 fail_*.cc fixtures in "
+              f"{args.fixture_dir}, found {len(fail_fixtures)}")
+        return 1
+
+    failures = []
+    for fixture in ok_fixtures:
+        code, stderr = compile_fixture(args.compiler, args.include_dir,
+                                       fixture)
+        if code != 0:
+            failures.append(f"{fixture.name}: expected clean compile, got "
+                            f"exit {code}:\n{stderr}")
+        else:
+            print(f"PASS {fixture.name}: compiles cleanly")
+
+    for fixture in fail_fixtures:
+        code, stderr = compile_fixture(args.compiler, args.include_dir,
+                                       fixture)
+        if code == 0:
+            failures.append(f"{fixture.name}: seeded violation was NOT "
+                            "rejected — the contract has a hole")
+        elif EXPECTED_DIAGNOSTIC not in stderr:
+            failures.append(f"{fixture.name}: rejected, but without a "
+                            f"{EXPECTED_DIAGNOSTIC} diagnostic (fixture "
+                            f"broken?):\n{stderr}")
+        else:
+            print(f"PASS {fixture.name}: rejected with "
+                  f"{EXPECTED_DIAGNOSTIC}")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(f"\nOK: {len(ok_fixtures)} positive, {len(fail_fixtures)} "
+          "negative fixtures behaved as required")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,427 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: enforces the standing constraints that generic
+static analysis cannot express. Run from anywhere:
+
+    python3 tools/lint/check_invariants.py [REPO_ROOT]
+
+Registered as the `repo_invariants` CTest (so CMake-target drift fails every
+tier-1 run) and as a step of the `static-analysis` CI job. Exit status: 0
+when every invariant holds, 1 with file:line diagnostics otherwise.
+
+Checks
+------
+1. cmake-registration: every buildable source file is named in its
+   directory's CMakeLists.txt target list. An unregistered .cc silently
+   drops out of the build — tests stop running without failing, library
+   code stops compiling without anyone noticing (a standing ROADMAP
+   constraint previously enforced by nothing).
+2. gate-pairs: every google-benchmark bench over an eval/plan/service/
+   snapshot hot path registers BM_Substrate* benches whose suffixes form
+   complete (new, baseline) pairs known to tools/check_substrate_gate.py's
+   PAIRINGS table — a bench without a gate pair measures but never gates.
+3. hot-path-containers: no std::map / std::unordered_map in the hot-path
+   directories (src/eval, src/store) outside the documented allowlist; the
+   flat-hash / bucket-queue substrate exists precisely to keep node-scale
+   lookups off those structures (PR 1/2 measured 1.2–9x).
+4. frozen-api-const: the frozen read-API classes (GraphStore,
+   BoundOntology) expose only const member functions — the compile-time
+   face of the frozen-store thread-safety contract that lets QueryService
+   share one store across workers without locks.
+5. annotated-locking: src/service/ and src/common/cancel.h use the
+   capability-annotated wrappers (common/mutex.h, common/atomics.h), never
+   raw std::mutex / std::lock_guard / std::condition_variable /
+   std::atomic — raw primitives are invisible to -Wthread-safety, so one
+   raw lock would punch a silent hole in the capability analysis.
+"""
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+# --- configuration -----------------------------------------------------------
+
+# check 2: bench files are "hot-path" when they include any of these.
+HOT_PATH_INCLUDE = re.compile(r'#include\s+"(?:eval|plan|service|snapshot)/')
+
+# check 3: documented exemptions, path -> justification (kept next to the
+# rule so an allowlist entry can't outlive its reason).
+HOT_PATH_CONTAINER_ALLOWLIST = {
+    "src/eval/rank_join_reference.h":
+        "seed join kept as executable reference (raced by the gate)",
+    "src/eval/rank_join_reference.cc":
+        "seed join kept as executable reference (raced by the gate)",
+    "src/eval/tuple_dictionary_reference.h":
+        "seed std::map dictionary kept as executable spec",
+    "src/eval/tuple_dictionary_reference.cc":
+        "seed std::map dictionary kept as executable spec",
+    "src/eval/tuple_dictionary.h":
+        "cold overflow lane behind the dense bucket window (documented)",
+    "src/eval/tuple_dictionary.cc":
+        "cold overflow lane behind the dense bucket window (documented)",
+    "src/store/label_dictionary.h":
+        "build/intern index; reads go through the frozen table",
+    "src/store/label_dictionary.cc":
+        "build/intern index; reads go through the frozen table",
+    "src/store/graph_builder.h":
+        "build phase only; never touched while serving",
+    "src/store/graph_builder.cc":
+        "build phase only; never touched while serving",
+}
+
+# check 4: file -> classes whose public API must be all-const.
+FROZEN_READ_API = {
+    "src/store/graph_store.h": ["GraphStore"],
+    "src/ontology/ontology.h": ["BoundOntology"],
+}
+
+# check 5: raw concurrency primitives banned in these files/dirs (the
+# annotated wrappers in common/mutex.h + common/atomics.h replace them).
+ANNOTATED_LOCKING_SCOPE = ["src/service", "src/common/cancel.h"]
+RAW_PRIMITIVE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock|condition_variable(?:_any)?|"
+    r"atomic(?:_flag)?\s*<|atomic_)")
+
+ERRORS: list[str] = []
+
+
+def fail(path, line_no, message):
+    ERRORS.append(f"{path}:{line_no}: {message}")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks // and /* */ comments and string literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | 'str' | 'chr'
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = None
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+# --- check 1: CMake registration --------------------------------------------
+
+def check_cmake_registration(root: Path):
+    """Every source file must be spelled out in its CMakeLists.txt."""
+    rules = [
+        # (source glob root, pattern, CMakeLists, how the file is named there)
+        ("src", "**/*.cc", "src/CMakeLists.txt", "relative"),
+        ("tests", "*.cc", "tests/CMakeLists.txt", "stem"),
+        ("bench", "*.cc", "bench/CMakeLists.txt", "stem_or_name"),
+        ("tools", "*.cc", "tools/CMakeLists.txt", "name"),
+        ("examples", "*.cpp", "examples/CMakeLists.txt", "stem"),
+    ]
+    for subdir, pattern, lists_rel, naming in rules:
+        lists_path = root / lists_rel
+        if not lists_path.exists():
+            fail(lists_rel, 1, "missing CMakeLists.txt")
+            continue
+        registered = strip_cmake_comments(lists_path.read_text())
+        tokens = set(re.findall(r"[\w./-]+", registered))
+        for src in sorted((root / subdir).glob(pattern)):
+            rel = src.relative_to(root)
+            if naming == "relative":
+                needles = [str(src.relative_to(root / subdir))]
+            elif naming == "stem":
+                needles = [src.stem]
+            elif naming == "stem_or_name":
+                needles = [src.stem, src.name]
+            else:
+                needles = [src.name]
+            if not any(n in tokens for n in needles):
+                fail(rel, 1,
+                     f"not registered in {lists_rel} (a dropped "
+                     "registration silently removes it from the build)")
+
+
+def strip_cmake_comments(text: str) -> str:
+    return "\n".join(line.split("#", 1)[0] for line in text.splitlines())
+
+
+# --- check 2: substrate gate pairs -------------------------------------------
+
+def load_gate_pairings(root: Path) -> dict[str, str]:
+    gate = root / "tools/check_substrate_gate.py"
+    tree = ast.parse(gate.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "PAIRINGS":
+                    return ast.literal_eval(node.value)
+    fail("tools/check_substrate_gate.py", 1, "no PAIRINGS table found")
+    return {}
+
+
+def check_gate_pairs(root: Path):
+    pairings = load_gate_pairings(root)
+    if not pairings:
+        return
+    suffixes = set(pairings) | set(pairings.values())
+    for bench in sorted((root / "bench").glob("*.cc")):
+        text = strip_comments(bench.read_text())
+        rel = bench.relative_to(root)
+        is_gb = "benchmark::State" in text
+        if not (is_gb and HOT_PATH_INCLUDE.search(text)):
+            continue
+        names = set(re.findall(r"\bBM_Substrate\w+", text))
+        if not names:
+            fail(rel, 1,
+                 "google-benchmark bench over an eval/plan/service/snapshot "
+                 "hot path defines no BM_Substrate* gate bench "
+                 "(check_substrate_gate.py will never gate it)")
+            continue
+        paired = 0
+        for name in sorted(names):
+            suffix = next((s for s in suffixes if name.endswith(s)), None)
+            if suffix is None:
+                fail(rel, line_of(bench, name),
+                     f"{name} has no suffix registered in "
+                     "check_substrate_gate.py PAIRINGS")
+            elif suffix in pairings:
+                twin = name[: -len(suffix)] + pairings[suffix]
+                if twin not in names:
+                    fail(rel, line_of(bench, name),
+                         f"{name} is missing its baseline twin {twin}")
+                else:
+                    paired += 1
+        if paired == 0:
+            fail(rel, 1, "no complete (new, baseline) gate pair defined")
+
+
+def line_of(path: Path, needle: str) -> int:
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        if needle in line:
+            return i
+    return 1
+
+
+# --- check 3: hot-path container ban -----------------------------------------
+
+def check_hot_path_containers(root: Path):
+    banned = re.compile(r"std::(?:unordered_)?map\s*<")
+    for hot_dir in ("src/eval", "src/store"):
+        for src in sorted((root / hot_dir).glob("**/*")):
+            if src.suffix not in (".h", ".cc"):
+                continue
+            rel = str(src.relative_to(root))
+            if rel in HOT_PATH_CONTAINER_ALLOWLIST:
+                continue
+            stripped = strip_comments(src.read_text())
+            for i, line in enumerate(stripped.splitlines(), 1):
+                if banned.search(line):
+                    fail(rel, i,
+                         "std::map/std::unordered_map in a hot-path dir; "
+                         "use the flat-hash/bucket-queue substrate "
+                         "(common/flat_hash.h, eval/tuple_dictionary.h) or "
+                         "add a justified allowlist entry")
+
+
+# --- check 4: frozen read-API constness --------------------------------------
+
+def class_body(stripped: str, class_name: str) -> tuple[str, int] | None:
+    m = re.search(rf"\b(?:class|struct)\s+{class_name}\b[^;{{]*{{", stripped)
+    if m is None:
+        return None
+    start = m.end()
+    depth = 1
+    i = start
+    while i < len(stripped) and depth:
+        if stripped[i] == "{":
+            depth += 1
+        elif stripped[i] == "}":
+            depth -= 1
+        i += 1
+    return stripped[start:i - 1], stripped.count("\n", 0, start) + 1
+
+
+def check_frozen_read_api(root: Path):
+    for rel, classes in FROZEN_READ_API.items():
+        path = root / rel
+        stripped = strip_comments(path.read_text())
+        for class_name in classes:
+            found = class_body(stripped, class_name)
+            if found is None:
+                fail(rel, 1, f"frozen read-API class {class_name} not found "
+                     "(update FROZEN_READ_API in check_invariants.py)")
+                continue
+            body, first_line = found
+            for line_no, decl in public_declarations(body, first_line):
+                problem = nonconst_method(decl, class_name)
+                if problem:
+                    fail(rel, line_no,
+                         f"{class_name}::{problem} is a non-const public "
+                         "member — the frozen-store contract requires a "
+                         "const-only read API (see graph_store.h)")
+
+
+def public_declarations(body: str, first_line: int):
+    """Yields (line, declaration) for each top-level public declaration."""
+    access = "private"  # class default; FROZEN_READ_API entries are classes
+    decl, depth, line = [], 0, first_line
+    decl_line = line
+    for ch in body:
+        if ch == "\n":
+            line += 1
+        if depth == 0 and not decl:
+            decl_line = line
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                # inline body ends a declaration
+                text = "".join(decl).strip()
+                if access == "public" and text:
+                    yield decl_line, text + "{}"
+                decl = []
+                continue
+        if depth == 0:
+            if ch == ";":
+                text = "".join(decl).strip()
+                m = re.match(r"\s*(public|private|protected)\s*:\s*(.*)",
+                             text, re.S)
+                if m:  # access specifier glued to the first declaration
+                    access, text = m.group(1), m.group(2).strip()
+                if access == "public" and text:
+                    yield decl_line, text
+                decl = []
+            else:
+                decl.append(ch)
+                joined = "".join(decl)
+                m = re.search(r"(public|private|protected)\s*:\s*$", joined)
+                if m:
+                    access = m.group(1)
+                    decl = []
+        elif depth == 1 and ch == "{":
+            # signature of an inline-bodied member
+            text = "".join(decl).strip()
+            m = re.match(r"\s*(public|private|protected)\s*:\s*(.*)", text,
+                         re.S)
+            if m:
+                access, text = m.group(1), m.group(2).strip()
+            if access == "public" and text:
+                yield decl_line, text + "{}"
+            decl = []
+
+
+def nonconst_method(decl: str, class_name: str) -> str | None:
+    """Returns the member name when `decl` is a mutating public method."""
+    decl = " ".join(decl.split())
+    if "(" not in decl:
+        return None  # data member (none are public in the checked classes)
+    for benign in ("friend ", "using ", "typedef ", "static "):
+        if decl.startswith(benign):
+            return None
+    if "= delete" in decl or "= default" in decl:
+        return None
+    head = decl.split("(", 1)[0].strip()
+    name = head.split()[-1] if head.split() else ""
+    name = name.lstrip("*&~")
+    if name == class_name or head.endswith("~" + class_name):
+        return None  # constructor / destructor
+    if "operator=" in decl:
+        return None  # copy/move assignment (deleted or defaulted move)
+    close = decl.rfind(")")
+    trailer = decl[close + 1:] if close >= 0 else ""
+    trailer = trailer.replace("{}", " ").strip()
+    if re.match(r"const\b", trailer):
+        return None
+    return name or decl[:40]
+
+
+# --- check 5: annotated locking scope ----------------------------------------
+
+def check_annotated_locking(root: Path):
+    for scope in ANNOTATED_LOCKING_SCOPE:
+        path = root / scope
+        files = ([path] if path.is_file()
+                 else sorted(path.glob("**/*.h")) + sorted(
+                     path.glob("**/*.cc")))
+        for src in files:
+            rel = src.relative_to(root)
+            stripped = strip_comments(src.read_text())
+            for i, line in enumerate(stripped.splitlines(), 1):
+                m = RAW_PRIMITIVE.search(line)
+                if m:
+                    fail(rel, i,
+                         f"raw {m.group(0).rstrip('<').strip()} in annotated "
+                         "scope; use common/mutex.h (Mutex/MutexLock/"
+                         "SharedMutex/CondVar) or common/atomics.h "
+                         "(RelaxedAtomic) so -Wthread-safety can see it")
+
+
+# --- main --------------------------------------------------------------------
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [REPO_ROOT]", file=sys.stderr)
+        return 2
+    root = (Path(sys.argv[1]) if len(sys.argv) == 2
+            else Path(__file__).resolve().parent.parent.parent)
+    if not (root / "ROADMAP.md").exists():
+        print(f"ERROR: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    check_cmake_registration(root)
+    check_gate_pairs(root)
+    check_hot_path_containers(root)
+    check_frozen_read_api(root)
+    check_annotated_locking(root)
+
+    if ERRORS:
+        for err in ERRORS:
+            print(err, file=sys.stderr)
+        print(f"\nFAIL: {len(ERRORS)} invariant violation(s)",
+              file=sys.stderr)
+        return 1
+    print("PASS: cmake-registration, gate-pairs, hot-path-containers, "
+          "frozen-api-const, annotated-locking")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
