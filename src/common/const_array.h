@@ -7,16 +7,31 @@
 //
 // Lifetime: a borrowed ConstArray does not keep its storage alive — whoever
 // created the borrow (in practice Dataset, which holds the MappedFile) must
-// outlive it. Owned ConstArrays behave like the vectors they wrap: moving
-// one transfers the heap buffer, so spans previously taken over it stay
-// valid (the property GraphBuilder::Finalize relies on when the endpoint
-// OidSets borrow the adjacency row arrays of the store being assembled).
+// outlive it. That contract is compiler-checked: every view-returning method
+// is OMEGA_LIFETIME_BOUND (common/lifetime_annotations.h), so taking a span
+// from a temporary ConstArray or returning one that views a local is a
+// -Wdangling / -Wreturn-stack-address diagnostic under Clang, promoted to an
+// error in the static-analysis CI job. Owned ConstArrays behave like the
+// vectors they wrap: moving one transfers the heap buffer, so spans
+// previously taken over it stay valid (the property GraphBuilder::Finalize
+// relies on when the endpoint OidSets borrow the adjacency row arrays of the
+// store being assembled).
+//
+// Move-only, like GraphStore: an implicit copy would silently deep-copy the
+// owned vector while *aliasing* the borrowed view — two behaviours with
+// different lifetime obligations hiding behind one innocuous `=`. Code that
+// genuinely needs an independent copy says so with Clone(), which always
+// deep-copies into an owned array regardless of backing.
 #ifndef OMEGA_COMMON_CONST_ARRAY_H_
 #define OMEGA_COMMON_CONST_ARRAY_H_
 
+#include <cassert>
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
+
+#include "common/lifetime_annotations.h"
 
 namespace omega {
 
@@ -29,24 +44,63 @@ class ConstArray {
   ConstArray(std::vector<T> owned)  // NOLINT(google-explicit-constructor)
       : owned_(std::move(owned)) {}
 
-  /// Borrowed backend: a view whose storage the caller keeps alive.
-  static ConstArray Borrowed(std::span<const T> view) {
+  ConstArray(const ConstArray&) = delete;
+  ConstArray& operator=(const ConstArray&) = delete;
+
+  // Moving transfers the owned heap buffer (or copies the borrowed view) and
+  // resets the source to an empty owned array, so a moved-from ConstArray
+  // can never keep serving a borrow whose ownership story has moved on.
+  ConstArray(ConstArray&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        view_(other.view_),
+        borrowed_(other.borrowed_) {
+    other.owned_.clear();
+    other.view_ = {};
+    other.borrowed_ = false;
+  }
+  ConstArray& operator=(ConstArray&& other) noexcept {
+    if (this == &other) return *this;
+    owned_ = std::move(other.owned_);
+    view_ = other.view_;
+    borrowed_ = other.borrowed_;
+    other.owned_.clear();
+    other.view_ = {};
+    other.borrowed_ = false;
+    return *this;
+  }
+
+  /// Borrowed backend: a view whose storage the caller keeps alive. The
+  /// lifetimebound parameter flags borrows of expiring storage (e.g. a
+  /// temporary vector) at the call site.
+  static ConstArray Borrowed(std::span<const T> view OMEGA_LIFETIME_BOUND) {
     ConstArray a;
     a.borrowed_ = true;
     a.view_ = view;
     return a;
   }
 
-  std::span<const T> span() const {
+  /// Explicit deep copy: always an owned array with the same contents, safe
+  /// to keep past the storage a borrowed original viewed.
+  ConstArray Clone() const {
+    return ConstArray(std::vector<T>(span().begin(), span().end()));
+  }
+
+  std::span<const T> span() const OMEGA_LIFETIME_BOUND {
     return borrowed_ ? view_ : std::span<const T>(owned_);
   }
 
-  const T* data() const { return span().data(); }
+  const T* data() const OMEGA_LIFETIME_BOUND { return span().data(); }
   size_t size() const { return borrowed_ ? view_.size() : owned_.size(); }
   bool empty() const { return size() == 0; }
-  const T& operator[](size_t i) const { return span()[i]; }
-  auto begin() const { return span().begin(); }
-  auto end() const { return span().end(); }
+  const T& operator[](size_t i) const OMEGA_LIFETIME_BOUND {
+    // On the borrowed backing this reads straight off the mapping, where a
+    // corrupt snapshot index is the only thing between us and a wild read —
+    // debug builds keep the bound check live.
+    assert(i < size() && "ConstArray index out of bounds");
+    return span()[i];
+  }
+  auto begin() const OMEGA_LIFETIME_BOUND { return span().begin(); }
+  auto end() const OMEGA_LIFETIME_BOUND { return span().end(); }
 
   bool borrowed() const { return borrowed_; }
 

@@ -1,0 +1,70 @@
+// Clang lifetime annotations for the zero-copy borrow seam: each macro below
+// attaches a lifetime contract to a declaration, turning the safety rules of
+// the snapshot storage engine ("a borrowed ConstArray does not keep its
+// storage alive — whoever created the borrow must outlive it") into
+// something the compiler checks on every build instead of something ASan has
+// to catch at runtime on one lucky dangle. On compilers without the
+// attributes (GCC, MSVC) every macro expands to nothing, so the annotated
+// tree builds identically everywhere; the `static-analysis` CI job promotes
+// the dangling diagnostics to errors (-Werror=dangling, -Werror=dangling-gsl,
+// -Werror=return-stack-address) alongside -Werror=thread-safety, and
+// tests/negative/ proves the layer still rejects seeded dangles (it must not
+// rot into decoration). This is the lifetime twin of thread_annotations.h.
+//
+// Conventions in this repo:
+//  - Annotate every view-returning method of the borrow-seam classes
+//    (ConstArray, StringTable, OidSet, CsrAdjacency, GraphStore,
+//    LabelDictionary, MappedFile, Dataset) with OMEGA_LIFETIME_BOUND: the
+//    returned span/string_view/reference must not outlive *this. Placement
+//    is after the cv-qualifiers: `std::span<const T> span() const
+//    OMEGA_LIFETIME_BOUND;`. tools/lint/check_invariants.py fails the build
+//    when a public view-returning method in the seam scope forgets it.
+//  - Annotate borrow-creating *parameters* the same way: in
+//    `Borrowed(std::span<const T> view OMEGA_LIFETIME_BOUND)` the result is
+//    bound to the storage behind `view`, so borrowing from a temporary
+//    vector is flagged at the call site.
+//  - Mark the classes that own mapped or heap storage OMEGA_OWNER_TYPE
+//    (MappedFile, Dataset) and the pure statement-level views
+//    OMEGA_VIEW_TYPE, so Clang's GSL heuristics chain dangles through
+//    `dataset->graph().Neighbors(...)`-style expressions.
+//  - The hybrid seam classes (ConstArray, StringTable, OidSet own *or*
+//    borrow) are deliberately NOT marked OMEGA_VIEW_TYPE: in owned mode
+//    they are owners, and a type-level Pointer marking would misfire on
+//    legitimate ownership transfers. Their lifetime contract lives on the
+//    annotated methods instead, which is correct on both backings — an
+//    owned array's span is invalidated by destruction exactly like a
+//    borrowed one's.
+//
+// What the compiler can check is statement-local dangles (a view taken from
+// a temporary, a view of a local returned). What it cannot check — a
+// borrowed view stored somewhere that outlives the Dataset epoch — is the
+// linter's and the epoch-pinning design's job (see snapshot/dataset.h).
+#ifndef OMEGA_COMMON_LIFETIME_ANNOTATIONS_H_
+#define OMEGA_COMMON_LIFETIME_ANNOTATIONS_H_
+
+#if defined(__clang__)
+
+/// On a method (after cv-qualifiers): the returned view is bound to the
+/// lifetime of *this. On a parameter: the function's result is bound to the
+/// lifetime of (the storage behind) that argument. Violations surface as
+/// -Wdangling / -Wreturn-stack-address diagnostics.
+#define OMEGA_LIFETIME_BOUND [[clang::lifetimebound]]
+
+/// Marks a class that owns storage other objects view (mapped snapshot
+/// bytes, heap buffers). Enables -Wdangling-gsl on views chained off a
+/// temporary or local owner.
+#define OMEGA_OWNER_TYPE [[gsl::Owner]]
+
+/// Marks a class that is always a non-owning view of someone else's
+/// storage (the Pointer half of the GSL Owner/Pointer taxonomy).
+#define OMEGA_VIEW_TYPE [[gsl::Pointer]]
+
+#else
+
+#define OMEGA_LIFETIME_BOUND
+#define OMEGA_OWNER_TYPE
+#define OMEGA_VIEW_TYPE
+
+#endif
+
+#endif  // OMEGA_COMMON_LIFETIME_ANNOTATIONS_H_

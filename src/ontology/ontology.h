@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lifetime_annotations.h"
 #include "common/status.h"
 #include "store/graph_store.h"
 #include "store/oid_set.h"
@@ -136,7 +137,7 @@ class OntologyBuilder {
 /// graph labels — so relaxing up to an unasserted super-property works.
 /// Class nodes absent from the graph have no binding (a traversal cannot
 /// start or land on a node that does not exist).
-class BoundOntology {
+class OMEGA_VIEW_TYPE BoundOntology {
  public:
   BoundOntology(const Ontology* ontology, const GraphStore* graph);
 

@@ -12,13 +12,19 @@
 #include <optional>
 #include <utility>
 
+#include "common/lifetime_annotations.h"
 #include "ontology/ontology.h"
 #include "snapshot/mapped_file.h"
 #include "store/graph_store.h"
 
 namespace omega {
 
-class Dataset {
+/// OMEGA_OWNER_TYPE: the Dataset is what keeps a snapshot-backed store's
+/// borrowed arrays alive — every view reachable through graph() is bounded
+/// by it, which is why the accessors below are OMEGA_LIFETIME_BOUND and why
+/// code that keeps views across statements must keep the
+/// shared_ptr<const Dataset> pinned (the service does this per epoch).
+class OMEGA_OWNER_TYPE Dataset {
  public:
   /// Wraps an in-memory (owned-backend) graph + ontology, e.g. a generated
   /// dataset about to be swapped into a service or written to a snapshot.
@@ -34,13 +40,15 @@ class Dataset {
   Dataset(const Dataset&) = delete;
   Dataset& operator=(const Dataset&) = delete;
 
-  const GraphStore& graph() const { return graph_; }
-  const Ontology* ontology() const {
+  const GraphStore& graph() const OMEGA_LIFETIME_BOUND { return graph_; }
+  const Ontology* ontology() const OMEGA_LIFETIME_BOUND {
     return ontology_.has_value() ? &*ontology_ : nullptr;
   }
 
   /// Non-null when the graph's arrays borrow from a mapped snapshot file.
-  const MappedFile* backing() const { return backing_.get(); }
+  const MappedFile* backing() const OMEGA_LIFETIME_BOUND {
+    return backing_.get();
+  }
 
  private:
   friend class SnapshotReader;

@@ -10,11 +10,17 @@
 #include <span>
 #include <string>
 
+#include "common/lifetime_annotations.h"
 #include "common/status.h"
 
 namespace omega {
 
-class MappedFile {
+/// OMEGA_OWNER_TYPE: this is the storage every borrowed view in a
+/// snapshot-backed store ultimately points into; Clang's GSL analysis
+/// flags views chained off a temporary or local mapping. By repo invariant
+/// (tools/lint/check_invariants.py, mapped-file-ownership) only Dataset and
+/// SnapshotReader may hold one.
+class OMEGA_OWNER_TYPE MappedFile {
  public:
   /// Maps `path` read-only (PROT_READ, shared). Fails with kNotFound for a
   /// missing file and kInvalidArgument for an empty one (no valid snapshot
@@ -26,14 +32,17 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
-  const std::byte* data() const { return data_; }
+  const std::byte* data() const OMEGA_LIFETIME_BOUND { return data_; }
   size_t size() const { return size_; }
-  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  std::span<const std::byte> bytes() const OMEGA_LIFETIME_BOUND {
+    return {data_, size_};
+  }
 
   /// Typed view of [offset, offset + count * sizeof(T)); the caller has
   /// bounds- and alignment-checked the range (the snapshot reader does).
   template <typename T>
-  std::span<const T> ViewAt(size_t offset, size_t count) const {
+  std::span<const T> ViewAt(size_t offset, size_t count) const
+      OMEGA_LIFETIME_BOUND {
     return {reinterpret_cast<const T*>(data_ + offset), count};
   }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "common/lifetime_annotations.h"
 #include "snapshot/snapshot_writer.h"
 
 namespace omega {
@@ -94,11 +95,13 @@ class SectionIndex {
   }
 
   /// Typed span of a section; fails if absent or the count differs from
-  /// `expected_count` (pass SIZE_MAX to accept any count).
+  /// `expected_count` (pass SIZE_MAX to accept any count). The span views
+  /// the mapping; binding it to *this is the conservative bound (the index
+  /// never outlives the MappedFile it was built over).
   template <typename T>
   Result<std::span<const T>> Get(SectionKind kind, uint32_t dir,
-                                 uint64_t label,
-                                 uint64_t expected_count) const {
+                                 uint64_t label, uint64_t expected_count)
+      const OMEGA_LIFETIME_BOUND {
     auto it = by_key_.find(
         std::make_tuple(static_cast<uint32_t>(kind), dir, label));
     if (it == by_key_.end()) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/const_array.h"
+#include "common/lifetime_annotations.h"
 #include "store/label_dictionary.h"
 #include "store/oid_set.h"
 #include "store/string_table.h"
@@ -42,11 +43,16 @@ struct CsrAdjacency {
   ConstArray<NodeId> neighbors;   // sorted within each row, deduplicated
 
   /// Neighbour span of `n`; empty if `n` has no edges here.
-  std::span<const NodeId> NeighborsOf(NodeId n) const;
+  std::span<const NodeId> NeighborsOf(NodeId n) const OMEGA_LIFETIME_BOUND;
 
   /// Sorted distinct sources as an OidSet view. The view borrows `rows`:
   /// valid only while this adjacency's storage lives.
-  OidSet RowSet() const { return OidSet::BorrowSortedUnique(rows.span()); }
+  OidSet RowSet() const OMEGA_LIFETIME_BOUND {
+    // borrow-ok: the returned set views this adjacency's row array; every
+    // caller (GraphBuilder::Finalize, SnapshotReader) stores it next to the
+    // adjacency inside the same GraphStore, so they expire together.
+    return OidSet::BorrowSortedUnique(rows.span());
+  }
 
   size_t edge_count() const { return neighbors.size(); }
 };
@@ -109,21 +115,27 @@ class GraphStore {
   /// O(log |V|) string compares over the label-sorted permutation — the
   /// index works unchanged over a borrowed (mmap) backing.
   std::optional<NodeId> FindNode(std::string_view label) const;
-  std::string_view NodeLabel(NodeId n) const { return node_labels_[n]; }
+  std::string_view NodeLabel(NodeId n) const OMEGA_LIFETIME_BOUND {
+    return node_labels_[n];
+  }
 
-  const LabelDictionary& labels() const { return labels_; }
+  const LabelDictionary& labels() const OMEGA_LIFETIME_BOUND {
+    return labels_;
+  }
 
   // --- Neighbour access (the Sparksee Neighbors function) ----------------
 
   /// Nodes reachable from `n` over one `label` edge in direction `dir`.
   std::span<const NodeId> Neighbors(NodeId n, LabelId label,
-                                    Direction dir) const;
+                                    Direction dir) const OMEGA_LIFETIME_BOUND;
 
   /// Neighbours of `n` over any Σ label (the generic `edge` type of §3.2).
-  std::span<const NodeId> SigmaNeighbors(NodeId n, Direction dir) const;
+  std::span<const NodeId> SigmaNeighbors(NodeId n, Direction dir) const
+      OMEGA_LIFETIME_BOUND;
 
   /// Neighbours of `n` over `type` edges.
-  std::span<const NodeId> TypeNeighbors(NodeId n, Direction dir) const;
+  std::span<const NodeId> TypeNeighbors(NodeId n, Direction dir) const
+      OMEGA_LIFETIME_BOUND;
 
   /// True if edge (src, label, dst) exists.
   bool HasEdge(NodeId src, LabelId label, NodeId dst) const;
@@ -134,16 +146,17 @@ class GraphStore {
   // --- Node sets by incident label (the Sparksee Heads/Tails functions) --
 
   /// Nodes that are the source of >=1 `label` edge (Sparksee Tails).
-  const OidSet& Tails(LabelId label) const;
+  const OidSet& Tails(LabelId label) const OMEGA_LIFETIME_BOUND;
   /// Nodes that are the target of >=1 `label` edge (Sparksee Heads).
-  const OidSet& Heads(LabelId label) const;
-  /// Union of Heads and Tails (Sparksee TailsAndHeads).
+  const OidSet& Heads(LabelId label) const OMEGA_LIFETIME_BOUND;
+  /// Union of Heads and Tails (Sparksee TailsAndHeads). Returns an *owned*
+  /// set (built by set algebra), so it is safe past this store's lifetime.
   OidSet TailsAndHeads(LabelId label) const;
 
   /// Nodes with >=1 Σ edge in the given traversal direction.
-  const OidSet& SigmaEndpoints(Direction dir) const;
+  const OidSet& SigmaEndpoints(Direction dir) const OMEGA_LIFETIME_BOUND;
   /// Nodes with >=1 `type` edge in the given traversal direction.
-  const OidSet& TypeEndpoints(Direction dir) const;
+  const OidSet& TypeEndpoints(Direction dir) const OMEGA_LIFETIME_BOUND;
 
   // --- Per-label statistics (the planner's cost-model inputs) ------------
 

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lifetime_annotations.h"
 #include "common/status.h"
 #include "store/string_table.h"
 #include "store/types.h"
@@ -49,8 +50,9 @@ class LabelDictionary {
   /// Looks up an existing label.
   std::optional<LabelId> Find(std::string_view name) const;
 
-  /// Name for an interned id. Precondition: id < size().
-  std::string_view Name(LabelId id) const;
+  /// Name for an interned id. Precondition: id < size(). The view points
+  /// into this dictionary's name storage (the mapping, when borrowed).
+  std::string_view Name(LabelId id) const OMEGA_LIFETIME_BOUND;
 
   /// The eagerly interned id of the `type` label (always 0).
   LabelId type_label() const { return kTypeLabel; }

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/lifetime_annotations.h"
 #include "store/types.h"
 
 namespace omega {
@@ -41,8 +42,10 @@ class OidSet {
   static OidSet FromSortedUnique(std::vector<NodeId> ids);
 
   /// Borrows ids already sorted ascending with no duplicates. The caller
-  /// keeps the storage alive for the set's lifetime.
-  static OidSet BorrowSortedUnique(std::span<const NodeId> ids);
+  /// keeps the storage alive for the set's lifetime — compiler-checked:
+  /// borrowing from expiring storage is a -Wdangling diagnostic.
+  static OidSet BorrowSortedUnique(std::span<const NodeId> ids
+                                       OMEGA_LIFETIME_BOUND);
 
   /// Inserts a single id, preserving order. O(n) worst case; intended for
   /// small sets or append-mostly use.
@@ -53,11 +56,11 @@ class OidSet {
   bool empty() const { return ids().empty(); }
   void clear();
 
-  std::span<const NodeId> ids() const {
+  std::span<const NodeId> ids() const OMEGA_LIFETIME_BOUND {
     return borrowed_ ? view_ : std::span<const NodeId>(owned_);
   }
-  auto begin() const { return ids().begin(); }
-  auto end() const { return ids().end(); }
+  auto begin() const OMEGA_LIFETIME_BOUND { return ids().begin(); }
+  auto end() const OMEGA_LIFETIME_BOUND { return ids().end(); }
 
   bool borrowed() const { return borrowed_; }
 

@@ -4,9 +4,15 @@
 // the ConstArray seam: GraphBuilder::Finalize flattens the node labels into
 // an owned table, while SnapshotReader borrows both arrays straight out of
 // the mapping and serves string_views zero-copy.
+//
+// Lifetime: the string_views handed out by operator[] point into the heap
+// array — into the mapping itself on the borrowed backing — and must not
+// outlive this table (or the Dataset it borrows from). The contract is
+// compiler-checked via OMEGA_LIFETIME_BOUND; move-only like ConstArray.
 #ifndef OMEGA_STORE_STRING_TABLE_H_
 #define OMEGA_STORE_STRING_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "common/const_array.h"
+#include "common/lifetime_annotations.h"
 
 namespace omega {
 
@@ -42,10 +49,16 @@ class StringTable {
 
   /// Borrowed backend over snapshot sections. Precondition (validated by the
   /// snapshot reader before construction): offsets is non-empty, starts at
-  /// 0, is non-decreasing, and ends at heap.size().
-  static StringTable Borrowed(std::span<const char> heap,
-                              std::span<const uint64_t> offsets) {
+  /// 0, is non-decreasing, and ends at heap.size(). The result views the
+  /// caller's storage; borrowing from expiring storage is flagged by the
+  /// lifetimebound parameters.
+  static StringTable Borrowed(std::span<const char> heap OMEGA_LIFETIME_BOUND,
+                              std::span<const uint64_t> offsets
+                                  OMEGA_LIFETIME_BOUND) {
     StringTable t;
+    // borrow-ok: wrapping the caller's storage is this factory's contract;
+    // the only in-tree caller is the snapshot reader, which hands the
+    // result to a Dataset that owns the mapping.
     t.heap_ = ConstArray<char>::Borrowed(heap);
     t.offsets_ = ConstArray<uint64_t>::Borrowed(offsets);
     return t;
@@ -56,15 +69,26 @@ class StringTable {
   }
   bool empty() const { return size() == 0; }
 
-  std::string_view operator[](size_t i) const {
+  std::string_view operator[](size_t i) const OMEGA_LIFETIME_BOUND {
+    // Debug bound checks on the offset lookup: on the borrowed backing the
+    // offsets array is raw snapshot bytes, and Open() only validates it
+    // structurally once — a corrupt index must die here, not as a wild read
+    // off the end of the mapping.
+    assert(i < size() && "StringTable index out of bounds");
     const uint64_t begin = offsets_[i];
     const uint64_t end = offsets_[i + 1];
+    assert(begin <= end && end <= heap_.size() &&
+           "StringTable offsets out of bounds");
     return std::string_view(heap_.data() + begin,
                             static_cast<size_t>(end - begin));
   }
 
-  std::span<const char> heap() const { return heap_.span(); }
-  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const char> heap() const OMEGA_LIFETIME_BOUND {
+    return heap_.span();
+  }
+  std::span<const uint64_t> offsets() const OMEGA_LIFETIME_BOUND {
+    return offsets_.span();
+  }
 
   size_t OwnedBytes() const {
     return heap_.OwnedBytes() + offsets_.OwnedBytes();

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE (-Werror=return-stack-address): returns a borrowed view
+// of a local Dataset. The span points into storage owned by `dataset`
+// (which for a snapshot-backed store would be the mmap'd file, released
+// right here at end of scope) — exactly the bug the epoch-pinning design in
+// QueryService exists to prevent, caught at compile time because the whole
+// accessor chain Dataset::graph() -> GraphStore::SigmaNeighbors() is
+// OMEGA_LIFETIME_BOUND.
+// expect-error: [-Werror,-Wreturn-stack-address
+#include <span>
+
+#include "snapshot/dataset.h"
+#include "store/types.h"
+
+namespace {
+
+std::span<const omega::NodeId> EscapingView() {
+  omega::Dataset dataset;
+  // BAD: the returned span is bounded by `dataset`, which dies on return.
+  return dataset.graph().SigmaNeighbors(0, omega::Direction::kOutgoing);
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(EscapingView().size()); }

@@ -1,0 +1,27 @@
+// MUST NOT COMPILE (-Werror=dangling): takes a span from a *temporary*
+// ConstArray. The array — and with it the owned heap buffer the span views —
+// is destroyed at the end of the full-expression, leaving `s` dangling. This
+// is the statement-local shape of the borrow seam's core rule ("whoever
+// created the borrow must outlive it"), rejected because ConstArray::span()
+// is OMEGA_LIFETIME_BOUND.
+// expect-error: [-Werror,-Wdangling
+#include <span>
+#include <vector>
+
+#include "common/const_array.h"
+
+namespace {
+
+int Sum() {
+  // BAD: the ConstArray temporary dies at the semicolon; `s` views freed
+  // heap memory.
+  std::span<const int> s =
+      omega::ConstArray<int>(std::vector<int>{1, 2, 3}).span();
+  int total = 0;
+  for (int v : s) total += v;
+  return total;
+}
+
+}  // namespace
+
+int main() { return Sum(); }

@@ -1,0 +1,24 @@
+// MUST NOT COMPILE (-Werror=dangling): keeps a string_view handed out by a
+// *temporary* StringTable. The view points into the table's flattened
+// character heap, which is freed at the end of the full-expression — the
+// owned-backing twin of a view outliving a snapshot reader's mapping.
+// Rejected because StringTable::operator[] is OMEGA_LIFETIME_BOUND.
+// expect-error: [-Werror,-Wdangling
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/string_table.h"
+
+namespace {
+
+std::string_view FirstLabel() {
+  const std::vector<std::string> strings = {"alpha", "beta"};
+  // BAD: the StringTable temporary (and its heap) dies at the semicolon.
+  std::string_view first = omega::StringTable::FromStrings(strings)[0];
+  return first;
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(FirstLabel().size()); }

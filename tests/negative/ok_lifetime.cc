@@ -1,0 +1,68 @@
+// MUST COMPILE cleanly under -Werror=dangling / -Werror=dangling-gsl /
+// -Werror=return-stack-address: exercises the same annotated seam APIs as
+// the fail_dangling_*.cc fixtures, but correctly — views taken from named
+// objects that outlive them, escapes made safe with Clone() / deep-copying
+// semantics. Its job is to prove the negative fixtures fail because of
+// their seeded dangles, not because the annotations or flags reject the
+// seam's legitimate usage patterns.
+#include <numeric>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/const_array.h"
+#include "snapshot/dataset.h"
+#include "store/oid_set.h"
+#include "store/string_table.h"
+#include "store/types.h"
+
+namespace {
+
+int SumOwned() {
+  // OK: the array outlives every view taken from it.
+  const omega::ConstArray<int> arr(std::vector<int>{1, 2, 3});
+  std::span<const int> s = arr.span();
+  return std::accumulate(s.begin(), s.end(), 0);
+}
+
+omega::ConstArray<int> EscapeByClone(const omega::ConstArray<int>& borrowed) {
+  // OK: Clone() always deep-copies into an owned array, which may outlive
+  // whatever storage `borrowed` viewed.
+  return borrowed.Clone();
+}
+
+size_t BorrowFromNamedStorage() {
+  // OK: the storage is a named local that outlives the borrow.
+  const std::vector<omega::NodeId> storage = {1, 2, 3};
+  const omega::OidSet view = omega::OidSet::BorrowSortedUnique(storage);
+  const omega::OidSet independent = view;  // copies deep: safe to keep
+  return view.size() + independent.size();
+}
+
+std::string_view FirstLabel(const omega::StringTable& table
+                                OMEGA_LIFETIME_BOUND) {
+  // OK: the view is bounded by the caller's table, and the annotation says
+  // so — callers passing a temporary get flagged, we do not.
+  return table.empty() ? std::string_view() : table[0];
+}
+
+size_t ViewsOfLongLivedDataset(const omega::Dataset& dataset) {
+  // OK: the span is consumed while the dataset (and its mapping) is alive.
+  return dataset.graph()
+      .SigmaNeighbors(0, omega::Direction::kOutgoing)
+      .size();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> strings = {"alpha", "beta"};
+  const omega::StringTable table = omega::StringTable::FromStrings(strings);
+  const omega::ConstArray<int> arr(std::vector<int>{4, 5});
+  const omega::Dataset dataset;
+  return static_cast<int>(SumOwned() + BorrowFromNamedStorage() +
+                          FirstLabel(table).size() +
+                          EscapeByClone(arr).size() +
+                          ViewsOfLongLivedDataset(dataset)) != 19;
+}

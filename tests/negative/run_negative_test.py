@@ -1,13 +1,30 @@
 #!/usr/bin/env python3
-"""Negative-compilation harness for the thread-safety contracts.
+"""Negative-compilation harness for the compile-time contracts.
 
 Positive tests prove correct code compiles; this proves INCORRECT code does
-not. Each `fail_*.cc` fixture seeds one concurrency-contract violation
-(guarded read without the lock, double acquire, release without hold, ...)
-and must be REJECTED by `-Werror=thread-safety` — with a -Wthread-safety
-diagnostic, not some unrelated error masking a fixture typo. `ok_*.cc`
-fixtures use the same types correctly and must compile, proving failures
-come from the seeded violation rather than broken fixtures or flags.
+not. Each `fail_*.cc` fixture seeds one contract violation and must be
+REJECTED with the diagnostic family it declares — not some unrelated error
+masking a fixture typo. Two contract layers share the harness:
+
+ - thread-safety (PR 6): guarded read without the lock, double acquire,
+   release without hold, ... rejected by -Werror=thread-safety.
+ - lifetimes (this layer): a span taken from a temporary ConstArray, a
+   borrowed view of a local Dataset returned, a StringTable string_view
+   outliving its table, ... rejected by -Werror=dangling /
+   -Werror=return-stack-address via the OMEGA_LIFETIME_BOUND /
+   OMEGA_OWNER_TYPE annotations (common/lifetime_annotations.h).
+
+Each fixture declares its expected diagnostic with a header line
+
+    // expect-error: [-Werror,-Wdangling
+
+(substring matched against the compiler's stderr; the bracketed form keeps
+an unrelated driver error that merely *mentions* the flag from counting as
+a rejection). Fixtures without the directive default to the thread-safety
+family, so the PR-6 fixtures run unchanged. `ok_*.cc` fixtures use the same
+types correctly and must compile under the union of all contract flags,
+proving failures come from the seeded violation rather than broken fixtures
+or flags.
 
 Clang-only: the OMEGA_* annotation macros expand to nothing elsewhere, so
 CMake registers this test only when CMAKE_CXX_COMPILER_ID matches Clang.
@@ -16,20 +33,31 @@ Usage:
                          --fixture-dir tests/negative
 """
 import argparse
+import re
 import subprocess
 import sys
 from pathlib import Path
 
-# The diagnostic family every fail fixture must trip. Clang suffixes each
-# promoted thread-safety diagnostic with its flag group, e.g.
-# "[-Werror,-Wthread-safety-analysis]". Matching the bracketed form (not
-# the bare flag name) keeps an unrelated driver error that merely *mentions*
-# the flag — e.g. "unrecognized command-line option '-Wthread-safety'" —
-# from counting as a rejection.
-EXPECTED_DIAGNOSTIC = "[-Werror,-Wthread-safety"
+# Default diagnostic family (fixtures predating the directive are all
+# thread-safety). Clang suffixes each promoted diagnostic with its flag
+# group, e.g. "[-Werror,-Wthread-safety-analysis]".
+DEFAULT_EXPECTED = "[-Werror,-Wthread-safety"
 
-FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
-         "-Werror=thread-safety"]
+# Both contract layers' flags are active for every fixture: ok fixtures must
+# be clean under all of them, and a fail fixture must trip its *declared*
+# family even with the other layer's flags on.
+FLAGS = ["-std=c++20", "-fsyntax-only",
+         "-Wthread-safety", "-Werror=thread-safety",
+         "-Werror=dangling", "-Werror=dangling-gsl",
+         "-Werror=return-stack-address"]
+
+EXPECT_DIRECTIVE = re.compile(r"^//\s*expect-error:\s*(\S+)\s*$",
+                              re.MULTILINE)
+
+
+def expected_diagnostic(fixture: Path) -> str:
+    m = EXPECT_DIRECTIVE.search(fixture.read_text())
+    return m.group(1) if m else DEFAULT_EXPECTED
 
 
 def compile_fixture(compiler, include_dir, fixture):
@@ -64,18 +92,18 @@ def main():
             print(f"PASS {fixture.name}: compiles cleanly")
 
     for fixture in fail_fixtures:
+        expected = expected_diagnostic(fixture)
         code, stderr = compile_fixture(args.compiler, args.include_dir,
                                        fixture)
         if code == 0:
             failures.append(f"{fixture.name}: seeded violation was NOT "
                             "rejected — the contract has a hole")
-        elif EXPECTED_DIAGNOSTIC not in stderr:
+        elif expected not in stderr:
             failures.append(f"{fixture.name}: rejected, but without a "
-                            f"{EXPECTED_DIAGNOSTIC} diagnostic (fixture "
+                            f"{expected} diagnostic (fixture "
                             f"broken?):\n{stderr}")
         else:
-            print(f"PASS {fixture.name}: rejected with "
-                  f"{EXPECTED_DIAGNOSTIC}")
+            print(f"PASS {fixture.name}: rejected with {expected}")
 
     if failures:
         print()

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -58,6 +60,54 @@ TEST(OidSetTest, UnionWithSpan) {
   std::vector<NodeId> more{1, 4, 6};
   a.UnionWith(more);
   EXPECT_EQ(a, (OidSet{1, 2, 4, 6}));
+}
+
+// --- borrow seam: detach-on-mutate and view stability ------------------------
+
+TEST(OidSetTest, InsertDetachesBorrowedBackingAndOldViewsStayOnStorage) {
+  const std::vector<NodeId> storage = {2, 5, 9};
+  OidSet set = OidSet::BorrowSortedUnique(storage);
+  std::span<const NodeId> before = set.ids();
+  EXPECT_EQ(before.data(), storage.data());  // zero-copy over caller storage
+
+  set.Insert(7);  // first mutation detaches into an owned vector
+  EXPECT_FALSE(set.borrowed());
+  EXPECT_EQ(set, (OidSet{2, 5, 7, 9}));
+  EXPECT_NE(set.ids().data(), storage.data());
+  // The pre-mutation view was bounded by `storage`, not by the set: it
+  // still reads the caller's untouched array after the detach.
+  EXPECT_EQ(std::vector<NodeId>(before.begin(), before.end()), storage);
+}
+
+TEST(OidSetTest, UnionWithDetachesBorrowedBacking) {
+  const std::vector<NodeId> storage = {1, 3};
+  OidSet set = OidSet::BorrowSortedUnique(storage);
+  const std::vector<NodeId> more = {2, 3, 4};
+  set.UnionWith(more);
+  EXPECT_FALSE(set.borrowed());
+  EXPECT_EQ(set, (OidSet{1, 2, 3, 4}));
+  EXPECT_EQ(storage, (std::vector<NodeId>{1, 3}));  // untouched
+}
+
+TEST(OidSetTest, ClearDropsBorrowWithoutTouchingStorage) {
+  const std::vector<NodeId> storage = {4, 8};
+  OidSet set = OidSet::BorrowSortedUnique(storage);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.borrowed());
+  EXPECT_EQ(storage, (std::vector<NodeId>{4, 8}));
+}
+
+TEST(OidSetTest, MoveKeepsOwnedBackingViewsValid) {
+  // Views into an *owned* set survive a move of the set (vectors move their
+  // heap buffer) — the property GraphBuilder::Finalize and the snapshot
+  // loader rely on when they assemble stores out of moved parts.
+  OidSet a{1, 4, 9};
+  std::span<const NodeId> view = a.ids();
+  OidSet b = std::move(a);
+  EXPECT_EQ(b.ids().data(), view.data());
+  EXPECT_EQ(std::vector<NodeId>(view.begin(), view.end()),
+            (std::vector<NodeId>{1, 4, 9}));
 }
 
 class OidSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "snapshot/snapshot_reader.h"
@@ -125,6 +126,48 @@ TEST(OidSetTest, BorrowedSetReadsLikeOwned) {
   EXPECT_EQ(storage, (std::vector<NodeId>{2, 5, 9}));  // untouched
 }
 
+TEST(ConstArrayTest, MoveOnlyWithExplicitClone) {
+  // Accidental copies of multi-GB snapshot sections are the failure mode;
+  // copying is spelled Clone() and everything else moves, like GraphStore.
+  static_assert(!std::is_copy_constructible_v<ConstArray<uint32_t>>);
+  static_assert(!std::is_copy_assignable_v<ConstArray<uint32_t>>);
+  static_assert(!std::is_copy_constructible_v<StringTable>);
+  static_assert(!std::is_copy_assignable_v<StringTable>);
+
+  ConstArray<uint32_t> owned(std::vector<uint32_t>{7, 8});
+  ConstArray<uint32_t> clone = owned.Clone();
+  ASSERT_EQ(clone.size(), 2u);
+  EXPECT_NE(clone.data(), owned.data());  // deep copy
+  EXPECT_EQ(clone[0], 7u);
+
+  // Cloning a borrowed array escapes the borrow: the clone owns its
+  // elements and may outlive the viewed storage.
+  ConstArray<uint32_t> borrowed = ConstArray<uint32_t>::Borrowed(owned.span());
+  ConstArray<uint32_t> escaped = borrowed.Clone();
+  EXPECT_FALSE(escaped.borrowed());
+  EXPECT_NE(escaped.data(), owned.data());
+  EXPECT_EQ(escaped[1], 8u);
+
+  // Moved-from arrays reset to empty owned: safe to destroy or refill.
+  ConstArray<uint32_t> moved = std::move(owned);
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(owned.size(), 0u);
+  EXPECT_FALSE(owned.borrowed());
+}
+
+#ifndef NDEBUG
+TEST(ConstArrayDeathTest, OutOfBoundsIndexDies) {
+  ConstArray<uint32_t> arr(std::vector<uint32_t>{1});
+  EXPECT_DEATH_IF_SUPPORTED((void)arr[1], "ConstArray index out of bounds");
+}
+
+TEST(StringTableDeathTest, OutOfBoundsIndexDies) {
+  const std::vector<std::string> one = {"a"};
+  StringTable table = StringTable::FromStrings(one);
+  EXPECT_DEATH_IF_SUPPORTED((void)table[1], "StringTable index out of bounds");
+}
+#endif  // NDEBUG
+
 // --- Round-trip fidelity ------------------------------------------------------
 
 TEST(SnapshotTest, RoundTripServesIdenticalStore) {
@@ -166,6 +209,34 @@ TEST(SnapshotTest, RoundTripServesIdenticalStore) {
     ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
   }
   EXPECT_FALSE(loaded.FindNode("no such node").has_value());
+}
+
+TEST(SnapshotTest, DetachOnMutateWorksOnSnapshotBorrowedBacking) {
+  // Same detach-on-mutate contract as the owned backing (oid_set_test.cc),
+  // exercised on the other backing: endpoint sets of an mmap-backed store
+  // view the mapping itself. Copies must deep-copy and mutations must
+  // detach — never write through to the read-only mapping.
+  const Fixture fx = SnapshotFixture();
+  const std::string path = TempPath("detach.snap");
+  ASSERT_TRUE(WriteSnapshot(fx.graph, &fx.ontology, path).ok());
+  Result<std::shared_ptr<const Dataset>> dataset = SnapshotReader::Open(path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const GraphStore& loaded = (*dataset)->graph();
+
+  const LabelId worksAt = *loaded.labels().Find("worksAt");
+  const OidSet& tails = loaded.Tails(worksAt);
+  ASSERT_FALSE(tails.empty());
+  EXPECT_TRUE(tails.borrowed());  // views the store's (mapped) row array
+
+  OidSet copy = tails;  // deep copy: independent of the mapping
+  EXPECT_FALSE(copy.borrowed());
+  EXPECT_EQ(copy, tails);
+
+  const NodeId fresh = static_cast<NodeId>(loaded.NumNodes());
+  copy.Insert(fresh);  // mutation stays in the copy
+  EXPECT_TRUE(copy.Contains(fresh));
+  EXPECT_FALSE(tails.Contains(fresh));
+  EXPECT_EQ(loaded.Tails(worksAt), fx.graph.Tails(worksAt));  // store intact
 }
 
 TEST(SnapshotTest, RoundTripQueriesMatchAcrossAllModes) {

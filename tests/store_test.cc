@@ -4,6 +4,10 @@
 
 #include <map>
 #include <set>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "store/graph_builder.h"
@@ -133,6 +137,30 @@ TEST(GraphStoreTest, DegreeCountsBothDirectionsAllLabels) {
   GraphStore g = std::move(builder).Finalize();
   EXPECT_EQ(g.Degree(x), 3u);  // e out, f in, type out
   EXPECT_EQ(g.Degree(y), 3u);
+}
+
+TEST(GraphStoreTest, MoveKeepsBorrowedSpansValid) {
+  // Finalize hands the store to its final resting place by move; every span
+  // and string_view taken from it must survive that move because the CSR
+  // arrays and label heap move their buffers rather than copy. The snapshot
+  // loader and QueryService's epoch swap rely on the same property.
+  GraphStore a = MakeGraph({{"a", "knows", "b"}, {"a", "knows", "c"}});
+  const NodeId n = *a.FindNode("a");
+  std::span<const NodeId> neighbors_before =
+      a.SigmaNeighbors(n, Direction::kOutgoing);
+  std::string_view label_before = a.NodeLabel(n);
+  const std::vector<NodeId> neighbor_values(neighbors_before.begin(),
+                                            neighbors_before.end());
+
+  GraphStore b = std::move(a);
+  std::span<const NodeId> neighbors_after =
+      b.SigmaNeighbors(n, Direction::kOutgoing);
+  EXPECT_EQ(neighbors_after.data(), neighbors_before.data());
+  EXPECT_EQ(b.NodeLabel(n).data(), label_before.data());
+  EXPECT_EQ(std::vector<NodeId>(neighbors_after.begin(),
+                                neighbors_after.end()),
+            neighbor_values);
+  EXPECT_EQ(b.NodeLabel(n), "a");
 }
 
 TEST(GraphStoreTest, ApproxMemoryIsPositive) {

@@ -32,6 +32,23 @@ Checks
    raw std::mutex / std::lock_guard / std::condition_variable /
    std::atomic — raw primitives are invisible to -Wthread-safety, so one
    raw lock would punch a silent hole in the capability analysis.
+6. lifetime-bound-coverage: every public view-returning method (span /
+   string_view / const-ref / const-pointer / auto-iterator return) of the
+   zero-copy seam classes (LIFETIME_SEAM below) carries
+   OMEGA_LIFETIME_BOUND. One unannotated accessor re-opens the
+   dangling-view hole the annotations exist to close — and Clang stays
+   silent about exactly the call sites flowing through it.
+7. mapped-file-ownership: the MappedFile type is referenced only inside
+   src/snapshot/ (its owners: Dataset and SnapshotReader). Everything else
+   reaches mapped bytes through Dataset's lifetime-bounded accessors, so
+   epoch hot-swap (PR 5) can retire a mapping knowing no pointer to it
+   survives outside the snapshot layer.
+8. borrow-justification: ConstArray::Borrowed / StringTable::Borrowed /
+   OidSet::BorrowSortedUnique call sites in src/ outside the snapshot
+   layer carry a `// borrow-ok:` comment within the five preceding lines
+   explaining who owns the storage and why it outlives the view. Borrowing
+   is meant to be rare and deliberate; an unjustified borrow is either a
+   bug or missing its safety argument.
 """
 from __future__ import annotations
 
@@ -83,6 +100,47 @@ RAW_PRIMITIVE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
     r"unique_lock|shared_lock|scoped_lock|condition_variable(?:_any)?|"
     r"atomic(?:_flag)?\s*<|atomic_)")
+
+# check 6: file -> seam classes whose public view-returning methods must be
+# OMEGA_LIFETIME_BOUND. Adding a view-returning API to one of these classes
+# without its bound is a lint error by design (see ROADMAP standing
+# constraints); extend this table when a new class joins the borrow seam.
+LIFETIME_SEAM = {
+    "src/common/const_array.h": ["ConstArray"],
+    "src/store/string_table.h": ["StringTable"],
+    "src/store/oid_set.h": ["OidSet"],
+    "src/store/graph_store.h": ["CsrAdjacency", "GraphStore"],
+    "src/store/label_dictionary.h": ["LabelDictionary"],
+    "src/snapshot/mapped_file.h": ["MappedFile"],
+    "src/snapshot/dataset.h": ["Dataset"],
+}
+
+# check 6: a declaration whose return type looks like a borrowed view. auto
+# is included because the seam's auto-returning members are all iterator
+# accessors (begin/end) into borrowed storage.
+VIEW_RETURN = re.compile(
+    r"^(?:std::span\s*<|std::string_view\b|auto\b|"
+    r"const\s+[\w:]+(?:\s*<[^()]*?>)?\s*[*&])")
+
+# check 7: MappedFile may be named only under this directory.
+MAPPED_FILE_HOME = "src/snapshot"
+
+# check 8: borrow factories whose call sites need a borrow-ok comment, and
+# the scopes exempt from the requirement, path-prefix -> justification.
+BORROW_CALL = re.compile(r"::(?:Borrowed|BorrowSortedUnique)\s*\(")
+BORROW_SITE_EXEMPT = {
+    "src/snapshot/":
+        "the snapshot layer is the borrow seam's home: it wires section "
+        "spans into stores the owning Dataset keeps alive by construction",
+    "src/store/graph_builder.cc":
+        "GraphBuilder::Finalize borrows between members of the GraphStore "
+        "it is assembling; they expire together",
+    "src/store/graph_builder.h":
+        "GraphBuilder::Finalize borrows between members of the GraphStore "
+        "it is assembling; they expire together",
+    "src/store/oid_set.cc":
+        "holds the out-of-line definition of BorrowSortedUnique itself",
+}
 
 ERRORS: list[str] = []
 
@@ -151,7 +209,7 @@ def check_cmake_registration(root: Path):
         ("src", "**/*.cc", "src/CMakeLists.txt", "relative"),
         ("tests", "*.cc", "tests/CMakeLists.txt", "stem"),
         ("bench", "*.cc", "bench/CMakeLists.txt", "stem_or_name"),
-        ("tools", "*.cc", "tools/CMakeLists.txt", "name"),
+        ("tools", "**/*.cc", "tools/CMakeLists.txt", "name_or_rel"),
         ("examples", "*.cpp", "examples/CMakeLists.txt", "stem"),
     ]
     for subdir, pattern, lists_rel, naming in rules:
@@ -169,6 +227,10 @@ def check_cmake_registration(root: Path):
                 needles = [src.stem]
             elif naming == "stem_or_name":
                 needles = [src.stem, src.name]
+            elif naming == "name_or_rel":
+                # subdirectory targets (tools/fuzz/...) are registered by
+                # their path relative to the CMakeLists' directory
+                needles = [src.name, str(src.relative_to(root / subdir))]
             else:
                 needles = [src.name]
             if not any(n in tokens for n in needles):
@@ -261,8 +323,12 @@ def check_hot_path_containers(root: Path):
 
 # --- check 4: frozen read-API constness --------------------------------------
 
-def class_body(stripped: str, class_name: str) -> tuple[str, int] | None:
-    m = re.search(rf"\b(?:class|struct)\s+{class_name}\b[^;{{]*{{", stripped)
+def class_body(stripped: str, class_name: str) -> tuple[str, int, str] | None:
+    """Returns (body, first_line, default_access) of a class/struct
+    definition. Tolerates ALL_CAPS attribute macros between the class-key
+    and the name (`class OMEGA_OWNER_TYPE MappedFile { ... }`)."""
+    m = re.search(rf"\b(class|struct)\s+(?:[A-Z_][A-Z0-9_]*\s+)*"
+                  rf"{class_name}\b[^;{{]*{{", stripped)
     if m is None:
         return None
     start = m.end()
@@ -274,7 +340,9 @@ def class_body(stripped: str, class_name: str) -> tuple[str, int] | None:
         elif stripped[i] == "}":
             depth -= 1
         i += 1
-    return stripped[start:i - 1], stripped.count("\n", 0, start) + 1
+    default_access = "public" if m.group(1) == "struct" else "private"
+    return (stripped[start:i - 1], stripped.count("\n", 0, start) + 1,
+            default_access)
 
 
 def check_frozen_read_api(root: Path):
@@ -287,8 +355,9 @@ def check_frozen_read_api(root: Path):
                 fail(rel, 1, f"frozen read-API class {class_name} not found "
                      "(update FROZEN_READ_API in check_invariants.py)")
                 continue
-            body, first_line = found
-            for line_no, decl in public_declarations(body, first_line):
+            body, first_line, default_access = found
+            for line_no, decl in public_declarations(body, first_line,
+                                                     default_access):
                 problem = nonconst_method(decl, class_name)
                 if problem:
                     fail(rel, line_no,
@@ -297,9 +366,10 @@ def check_frozen_read_api(root: Path):
                          "const-only read API (see graph_store.h)")
 
 
-def public_declarations(body: str, first_line: int):
+def public_declarations(body: str, first_line: int,
+                        default_access: str = "private"):
     """Yields (line, declaration) for each top-level public declaration."""
-    access = "private"  # class default; FROZEN_READ_API entries are classes
+    access = default_access
     decl, depth, line = [], 0, first_line
     decl_line = line
     for ch in body:
@@ -393,6 +463,98 @@ def check_annotated_locking(root: Path):
                          "(RelaxedAtomic) so -Wthread-safety can see it")
 
 
+# --- check 6: lifetime-bound coverage ----------------------------------------
+
+def view_returning(decl: str) -> bool:
+    """True when `decl` is a method returning a borrowed view (span /
+    string_view / const-ref / const-pointer / auto iterator)."""
+    d = " ".join(decl.split())
+    if "(" not in d:
+        return False  # data member
+    for benign in ("friend ", "using ", "typedef "):
+        if d.startswith(benign):
+            return False
+    if "= delete" in d or "= default" in d:
+        return False
+    # peel prefixes that sit before the return type
+    d = re.sub(r"^(?:\[\[[^\]]*\]\]\s*)+", "", d)
+    d = re.sub(r"^template\s*<[^;{}]*?>\s*", "", d)
+    d = re.sub(r"^(?:static|inline|explicit|virtual|constexpr)\s+", "", d)
+    d = re.sub(r"^(?:\[\[[^\]]*\]\]\s*)+", "", d)
+    return VIEW_RETURN.match(d) is not None
+
+
+def check_lifetime_bound_coverage(root: Path):
+    for rel, classes in LIFETIME_SEAM.items():
+        path = root / rel
+        if not path.exists():
+            fail(rel, 1, "LIFETIME_SEAM file missing "
+                 "(update check_invariants.py)")
+            continue
+        stripped = strip_comments(path.read_text())
+        for class_name in classes:
+            found = class_body(stripped, class_name)
+            if found is None:
+                fail(rel, 1, f"seam class {class_name} not found "
+                     "(update LIFETIME_SEAM in check_invariants.py)")
+                continue
+            body, first_line, default_access = found
+            for line_no, decl in public_declarations(body, first_line,
+                                                     default_access):
+                if not view_returning(decl):
+                    continue
+                if "OMEGA_LIFETIME_BOUND" not in decl:
+                    snippet = " ".join(decl.split())[:60]
+                    fail(rel, line_no,
+                         f"{class_name} public view-returning method "
+                         f"`{snippet}` lacks OMEGA_LIFETIME_BOUND — without "
+                         "the bound Clang cannot flag views that outlive "
+                         "this object (common/lifetime_annotations.h)")
+
+
+# --- check 7: MappedFile ownership confinement -------------------------------
+
+def check_mapped_file_ownership(root: Path):
+    for src in sorted((root / "src").glob("**/*")):
+        if src.suffix not in (".h", ".cc"):
+            continue
+        rel = str(src.relative_to(root))
+        if rel.startswith(MAPPED_FILE_HOME + "/"):
+            continue
+        stripped = strip_comments(src.read_text())
+        for i, line in enumerate(stripped.splitlines(), 1):
+            if re.search(r"\bMappedFile\b", line):
+                fail(rel, i,
+                     "MappedFile referenced outside src/snapshot/ — only "
+                     "Dataset/SnapshotReader may own or name the mapping; "
+                     "everything else must go through Dataset's "
+                     "lifetime-bounded accessors so epoch hot-swap can "
+                     "retire mappings safely")
+
+
+# --- check 8: borrow-site justification --------------------------------------
+
+def check_borrow_justification(root: Path):
+    for src in sorted((root / "src").glob("**/*")):
+        if src.suffix not in (".h", ".cc"):
+            continue
+        rel = str(src.relative_to(root))
+        if any(rel == p or rel.startswith(p) for p in BORROW_SITE_EXEMPT):
+            continue
+        original_lines = src.read_text().splitlines()
+        stripped = strip_comments(src.read_text())
+        for i, line in enumerate(stripped.splitlines(), 1):
+            if not BORROW_CALL.search(line):
+                continue
+            window = original_lines[max(0, i - 6):i]
+            if not any("borrow-ok:" in w for w in window):
+                fail(rel, i,
+                     "borrow factory call without a `// borrow-ok:` "
+                     "justification in the five preceding lines — state "
+                     "who owns the viewed storage and why it outlives "
+                     "the borrow (or route through owned construction)")
+
+
 # --- main --------------------------------------------------------------------
 
 def main() -> int:
@@ -411,6 +573,9 @@ def main() -> int:
     check_hot_path_containers(root)
     check_frozen_read_api(root)
     check_annotated_locking(root)
+    check_lifetime_bound_coverage(root)
+    check_mapped_file_ownership(root)
+    check_borrow_justification(root)
 
     if ERRORS:
         for err in ERRORS:
@@ -419,7 +584,8 @@ def main() -> int:
               file=sys.stderr)
         return 1
     print("PASS: cmake-registration, gate-pairs, hot-path-containers, "
-          "frozen-api-const, annotated-locking")
+          "frozen-api-const, annotated-locking, lifetime-bound-coverage, "
+          "mapped-file-ownership, borrow-justification")
     return 0
 
 

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Clang Static Analyzer gate: path-sensitive checks over src/, compared
+against a checked-in baseline so only NEW findings fail the build.
+
+    python3 tools/lint/run_clang_analyze.py [--compiler clang++]
+        [--root REPO_ROOT] [--update-baseline]
+
+Runs `clang++ --analyze` (symbolic execution: null derefs, use-after-move,
+leaks, dead stores, uninitialized reads) over every src/**/*.cc translation
+unit. The analyzer explores paths the type system and -Wdangling cannot —
+it is the dynamic-ish counterpart of the lifetime annotations: annotations
+reject bad *shapes* at declaration sites, the analyzer chases bad *paths*
+through the implementation.
+
+Findings are normalized to `relative/path.cc: message [checker]` — line and
+column numbers are deliberately dropped so unrelated edits shifting code
+up or down do not churn the baseline. The normalized set is diffed against
+tools/lint/clang_analyze_baseline.txt:
+
+  * a finding not in the baseline  -> FAIL (new bug or new suppression to
+    justify; rerun with --update-baseline only after reading the full
+    diagnostics printed below the diff)
+  * a baseline entry not seen      -> note (fixed or shifted; tidy the
+    baseline with --update-baseline at your leisure)
+
+The baseline is a *suppression* list, not an allowlist of files: keep it
+small, and prefer fixing findings to baselining them. Registered as a step
+of the static-analysis CI job after the -Werror contract build.
+"""
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# `path:line:col: warning: message [checker.Name]`
+FINDING = re.compile(
+    r"^(?P<path>[^:]+):\d+:\d+:\s+warning:\s+(?P<message>.*?)"
+    r"\s+\[(?P<checker>[\w.-]+)\]\s*$")
+
+ANALYZE_FLAGS = ["--analyze", "--analyzer-output", "text", "-std=c++20"]
+
+
+def analyze_file(compiler: str, root: Path, source: Path) -> list[str]:
+    """Returns normalized findings for one translation unit."""
+    cmd = [compiler, *ANALYZE_FLAGS, "-I", str(root / "src"), str(source)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, cwd=root)
+    findings = []
+    for line in proc.stderr.splitlines():
+        m = FINDING.match(line.strip())
+        if not m:
+            continue
+        path = Path(m.group("path"))
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = path  # header outside the repo (system include)
+        findings.append(f"{rel}: {m.group('message')} "
+                        f"[{m.group('checker')}]")
+    if proc.returncode != 0 and not findings:
+        # A hard failure (missing header, crash) with no parseable findings
+        # must not read as "clean".
+        raise RuntimeError(
+            f"{source}: analyzer exited {proc.returncode} with no findings "
+            f"parsed:\n{proc.stderr[-2000:]}")
+    return findings
+
+
+def display(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root))
+    except ValueError:
+        return str(path)
+
+
+def load_baseline(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    entries = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def write_baseline(path: Path, findings: set[str]):
+    lines = [
+        "# Clang Static Analyzer suppression baseline — one normalized",
+        "# finding per line (`path: message [checker]`, line numbers",
+        "# dropped). Managed by tools/lint/run_clang_analyze.py;",
+        "# regenerate with --update-baseline. Keep this SHORT: entries are",
+        "# acknowledged debt, each one a finding someone chose not to fix.",
+    ]
+    lines.extend(sorted(findings))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--compiler", default="clang++")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent.parent)
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    baseline_path = args.baseline or root / "tools/lint/clang_analyze_baseline.txt"
+    sources = sorted((root / "src").glob("**/*.cc"))
+    if not sources:
+        print(f"ERROR: no sources under {root}/src", file=sys.stderr)
+        return 2
+
+    all_findings: set[str] = set()
+    for source in sources:
+        try:
+            findings = analyze_file(args.compiler, root, source)
+        except RuntimeError as err:
+            print(f"ERROR: {err}", file=sys.stderr)
+            return 2
+        all_findings.update(findings)
+        rel = source.relative_to(root)
+        status = f"{len(findings)} finding(s)" if findings else "clean"
+        print(f"  analyzed {rel}: {status}")
+
+    if args.update_baseline:
+        write_baseline(baseline_path, all_findings)
+        print(f"baseline updated: {len(all_findings)} entrie(s) -> "
+              f"{display(baseline_path, root)}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new = sorted(all_findings - baseline)
+    fixed = sorted(baseline - all_findings)
+
+    for entry in fixed:
+        print(f"note: baseline entry no longer reported (fixed?): {entry}")
+    if new:
+        print(f"\nFAIL: {len(new)} analyzer finding(s) not in "
+              f"{display(baseline_path, root)}:", file=sys.stderr)
+        for entry in new:
+            print(f"  {entry}", file=sys.stderr)
+        print("\nFix them, or if a finding is a justified false positive, "
+              "rerun with --update-baseline and commit the diff.",
+              file=sys.stderr)
+        return 1
+    print(f"PASS: {len(sources)} translation units, "
+          f"{len(all_findings)} finding(s), all baselined "
+          f"({len(baseline)} baseline entrie(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
