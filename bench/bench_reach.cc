@@ -1,0 +1,250 @@
+// Reachability & distance index gate: what does the index buy over the
+// walk it replaces?
+//
+//   BM_SubstrateReach_DeepChain_ReachProbe  vs  ..._ReachBfs
+//     answering "how many nodes does u reach over e-edges" on a deep chain
+//     (worst case for a BFS: the traversal is the whole suffix) via the
+//     FERRARI-style interval index — component lookup + merged-interval
+//     count off prefix sums, O(intervals) — vs the label-BFS the NFA walk
+//     degenerates to. Required >= 10x by tools/check_substrate_gate.py:
+//     the index exists to make closure conjuncts O(answer), and a probe
+//     that degrades toward a traversal defeats it.
+//
+//   BM_SubstrateReach_ApproxFar_DistanceSketch  vs  ..._DistanceRounds
+//     time to the first answer of a distance-aware APPROX conjunct between
+//     two far-apart constants. The plain stream ratchets psi from 0 by phi
+//     and re-runs Dijkstra every round until psi reaches the answer's
+//     cost; the hub-sketch floor proves those rounds empty and starts psi
+//     at the first admissible cost. Required >= 3x — the sketch's whole
+//     job is skipping rounds.
+//
+// Both pairs are cross-checked for agreement outside the timed region.
+// Scale via OMEGA_REACH_BENCH_NODES (default 4096-node chain).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/distance_aware.h"
+#include "index/index_manager.h"
+#include "index/index_probe_stream.h"
+#include "rpq/query_parser.h"
+#include "store/graph_builder.h"
+#include "store/graph_store.h"
+
+namespace {
+
+using namespace omega;
+
+constexpr size_t kNumProbes = 64;
+
+struct BenchWorld {
+  GraphStore graph;
+  LabelId label = kInvalidLabel;
+  std::vector<NodeId> probe_sources;
+  // Warmed outside the timed region: serving hosts mmap the index from the
+  // snapshot, so build cost is not what the gate measures.
+  const LabelReachability* reach = nullptr;
+  const DistanceSketch* sketch = nullptr;
+  IndexManager* indexes = nullptr;
+
+  // The far-apart APPROX conjunct for the distance pair, prepared once.
+  PreparedConjunct prepared;
+  EvaluatorOptions eval_options;
+  DistanceAwareOptions da_options;
+};
+
+BenchWorld* BuildWorld() {
+  auto* w = new BenchWorld();
+  size_t num_nodes = 4096;
+  if (const char* env = std::getenv("OMEGA_REACH_BENCH_NODES")) {
+    num_nodes = static_cast<size_t>(std::atoll(env));
+  }
+  if (num_nodes < 300) num_nodes = 300;
+
+  GraphBuilder builder;
+  for (size_t i = 0; i + 1 < num_nodes; ++i) {
+    Status s = builder.AddEdge("n" + std::to_string(i), "e",
+                               "n" + std::to_string(i + 1));
+    if (!s.ok()) std::abort();
+  }
+  w->graph = std::move(builder).Finalize();
+  w->label = *w->graph.labels().Find("e");
+  for (size_t i = 0; i < kNumProbes; ++i) {
+    const std::string name = "n" + std::to_string(i * (num_nodes / kNumProbes));
+    w->probe_sources.push_back(*w->graph.FindNode(name));
+  }
+
+  w->indexes = new IndexManager(&w->graph);
+  w->reach = w->indexes->Reachability(w->label, Direction::kOutgoing);
+  w->sketch = w->indexes->Sketch();
+  if (w->reach == nullptr) {
+    std::fprintf(stderr, "bench_reach: chain exceeded the interval budget\n");
+    std::abort();
+  }
+
+  // 96 chain hops between the constants, one covered by the exact regex:
+  // the plain stream needs ~96 psi rounds before the first answer, the
+  // sketch floor starts on the last of them.
+  Result<Conjunct> conjunct = ParseConjunct("APPROX (n16, e, n112)");
+  if (!conjunct.ok()) std::abort();
+  // The fruitless-round guard would abandon the far answer before psi
+  // reaches it; the sketch is the principled replacement for that guard,
+  // so the bench disables it for both sides.
+  w->da_options.max_fruitless_rounds = 1u << 20;
+  Result<PreparedConjunct> prepared =
+      PrepareConjunct(*conjunct, w->graph, nullptr, w->eval_options);
+  if (!prepared.ok()) std::abort();
+  w->prepared = std::move(*prepared);
+  return w;
+}
+
+const BenchWorld& World() {
+  static const BenchWorld* world = BuildWorld();
+  return *world;
+}
+
+/// Label-BFS reachable-set size — what the closure walk does per source.
+size_t BfsReachCount(const GraphStore& g, LabelId label, NodeId source) {
+  std::vector<bool> visited(g.NumNodes(), false);
+  std::vector<NodeId> stack{source};
+  visited[source] = true;
+  size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const NodeId t : g.Neighbors(n, label, Direction::kOutgoing)) {
+      if (!visited[t]) {
+        visited[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  return count;
+}
+
+size_t ProbeReachCount(const BenchWorld& w, NodeId source) {
+  IndexProbePlan plan;
+  plan.label = w.label;
+  plan.source = source;
+  const std::optional<ProbeReachSet> set =
+      ComputeProbeReachSet(w.graph, w.reach, plan);
+  return set.has_value() ? set->Count(w.reach) : 0;
+}
+
+void BM_SubstrateReach_DeepChain_ReachBfs(benchmark::State& state) {
+  const BenchWorld& w = World();
+  size_t total = 0;
+  for (auto _ : state) {
+    for (const NodeId source : w.probe_sources) {
+      total += BfsReachCount(w.graph, w.label, source);
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kNumProbes));
+}
+
+void BM_SubstrateReach_DeepChain_ReachProbe(benchmark::State& state) {
+  const BenchWorld& w = World();
+  size_t total = 0;
+  for (auto _ : state) {
+    for (const NodeId source : w.probe_sources) {
+      total += ProbeReachCount(w, source);
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * kNumProbes));
+}
+
+BENCHMARK(BM_SubstrateReach_DeepChain_ReachBfs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SubstrateReach_DeepChain_ReachProbe)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Time-to-first-answer probe: builds a fresh stream and pulls once.
+struct FirstAnswer {
+  bool found = false;
+  Answer answer;
+  size_t rounds = 0;
+};
+
+FirstAnswer PullFirstAnswer(const BenchWorld& w, const DistanceSketch* sketch) {
+  DistanceAwareStream stream(&w.graph, nullptr, &w.prepared, w.eval_options,
+                             w.da_options, sketch);
+  FirstAnswer out;
+  out.found = stream.Next(&out.answer);
+  out.rounds = stream.rounds();
+  return out;
+}
+
+void BM_SubstrateReach_ApproxFar_DistanceRounds(benchmark::State& state) {
+  const BenchWorld& w = World();
+  size_t found = 0;
+  for (auto _ : state) {
+    found += PullFirstAnswer(w, nullptr).found ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(found);
+  if (state.iterations() > 0 &&
+      found != static_cast<size_t>(state.iterations())) {
+    state.SkipWithError("plain distance-aware stream lost the answer");
+  }
+}
+
+void BM_SubstrateReach_ApproxFar_DistanceSketch(benchmark::State& state) {
+  const BenchWorld& w = World();
+  size_t found = 0;
+  for (auto _ : state) {
+    found += PullFirstAnswer(w, w.sketch).found ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(found);
+  if (state.iterations() > 0 &&
+      found != static_cast<size_t>(state.iterations())) {
+    state.SkipWithError("sketch-pruned stream lost the answer");
+  }
+}
+
+BENCHMARK(BM_SubstrateReach_ApproxFar_DistanceRounds)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SubstrateReach_ApproxFar_DistanceSketch)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sanity outside the gate: the index agrees with the BFS on every probe
+/// source, and the sketch floor changes rounds but not answers.
+void VerifyPairsAgree() {
+  const BenchWorld& w = World();
+  for (const NodeId source : w.probe_sources) {
+    const size_t bfs = BfsReachCount(w.graph, w.label, source);
+    const size_t probe = ProbeReachCount(w, source);
+    if (bfs != probe) {
+      std::fprintf(stderr,
+                   "bench_reach: probe disagrees with BFS at n%u "
+                   "(%zu vs %zu)\n",
+                   source, probe, bfs);
+      std::abort();
+    }
+  }
+  const FirstAnswer plain = PullFirstAnswer(w, nullptr);
+  const FirstAnswer pruned = PullFirstAnswer(w, w.sketch);
+  if (!plain.found || !pruned.found || !(plain.answer == pruned.answer) ||
+      pruned.rounds >= plain.rounds) {
+    std::fprintf(stderr,
+                 "bench_reach: sketch pruning changed the first answer "
+                 "(plain %zu rounds, pruned %zu)\n",
+                 plain.rounds, pruned.rounds);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  VerifyPairsAgree();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -73,8 +73,8 @@ class Shell {
   const GraphStore& graph() const { return dataset_->graph(); }
 
   void RebuildEngine() {
-    engine_ = std::make_unique<QueryEngine>(&dataset_->graph(),
-                                            dataset_->ontology());
+    engine_ = std::make_unique<QueryEngine>(
+        &dataset_->graph(), dataset_->ontology(), dataset_->indexes());
     stream_.reset();
     history_.clear();  // .serve replays are per-dataset
     std::fprintf(stderr, "dataset: %zu nodes, %zu edges, %zu labels%s\n",

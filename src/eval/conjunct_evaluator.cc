@@ -38,6 +38,12 @@ Result<PreparedConjunct> PrepareConjunct(const Conjunct& conjunct,
     prepared.eval_target = conjunct.target;
   }
 
+  // Shape analysis on the evaluated (post-reversal) regex: the closure
+  // shape drives the planner's index-probe substitution, the max path
+  // length the distance sketch's cost floor.
+  prepared.closure_shape = RecognizeClosureShape(*regex);
+  prepared.max_exact_path_edges = MaxEdgeCount(*regex);
+
   Nfa exact =
       RemoveEpsilons(BuildThompsonNfa(*regex, graph.labels(), ontology));
   switch (conjunct.mode) {

@@ -32,6 +32,15 @@ struct PreparedConjunct {
   Endpoint eval_target;
   ConjunctMode mode = ConjunctMode::kExact;
   bool reversed = false;
+
+  /// Shape analysis of the *evaluated* regex (post-reversal), filled by
+  /// PrepareConjunct. `closure_shape` is set when the regex is a
+  /// single-atom closure ({a^k : k >= min_hops}) — the shape the
+  /// reachability index can answer; `max_exact_path_edges` is the longest
+  /// accepted path (nullopt = unbounded), which the distance sketch uses
+  /// to turn hop distance into a cost floor.
+  std::optional<ClosureShape> closure_shape;
+  std::optional<uint32_t> max_exact_path_edges;
 };
 
 /// Compiles a conjunct: Thompson construction, weighted ε-removal, then the

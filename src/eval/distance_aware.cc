@@ -1,18 +1,57 @@
 #include "eval/distance_aware.h"
 
+#include <algorithm>
+
 namespace omega {
 
 DistanceAwareStream::DistanceAwareStream(const GraphStore* graph,
                                          const BoundOntology* ontology,
                                          const PreparedConjunct* prepared,
                                          const EvaluatorOptions& options,
-                                         const DistanceAwareOptions& da_options)
+                                         const DistanceAwareOptions& da_options,
+                                         const DistanceSketch* sketch)
     : graph_(graph),
       ontology_(ontology),
       prepared_(prepared),
       base_options_(options),
       da_options_(da_options) {
   phi_ = prepared_->nfa.MinPositiveCost();
+  if (sketch != nullptr) ApplySketchFloor(*sketch);
+}
+
+void DistanceAwareStream::ApplySketchFloor(const DistanceSketch& sketch) {
+  // The floor is only sound for APPROX with both endpoints constant: every
+  // product-automaton move that advances in the graph traverses a real edge
+  // (in either direction), so an accepted run from u to v consumes an
+  // undirected walk of >= LowerBound(u, v) edges, and all but
+  // max_exact_path_edges of those must be insertions.
+  if (prepared_->mode != ConjunctMode::kApprox) return;
+  if (prepared_->eval_source.is_variable || prepared_->eval_target.is_variable)
+    return;
+  if (!prepared_->max_exact_path_edges.has_value()) return;
+  const std::optional<NodeId> u = graph_->FindNode(prepared_->eval_source.name);
+  const std::optional<NodeId> v = graph_->FindNode(prepared_->eval_target.name);
+  if (!u.has_value() || !v.has_value()) return;
+  const uint32_t lb_hops = sketch.LowerBound(*u, *v);
+  if (lb_hops == DistanceSketch::kUnreachable) {
+    // Different undirected components: no walk connects them at any cost.
+    done_ = true;
+    return;
+  }
+  const uint32_t lmax = *prepared_->max_exact_path_edges;
+  if (lb_hops <= lmax) return;
+  const Cost insertion = base_options_.approx.insertion_cost;
+  if (insertion <= 0 || phi_ <= 0 || phi_ >= kInfiniteCost) return;
+  const int64_t floor_cost =
+      static_cast<int64_t>(lb_hops - lmax) * static_cast<int64_t>(insertion);
+  // First ψ on the φ grid at or above the floor; the skipped rounds are
+  // provably empty.
+  const int64_t steps = (floor_cost + phi_ - 1) / phi_;
+  const int64_t raised = std::min<int64_t>(
+      steps * static_cast<int64_t>(phi_), static_cast<int64_t>(kInfiniteCost));
+  psi_ = static_cast<Cost>(
+      std::min<int64_t>(raised, static_cast<int64_t>(base_options_.max_distance)));
+  initial_psi_ = psi_;
 }
 
 void DistanceAwareStream::StartRound() {

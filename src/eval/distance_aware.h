@@ -13,6 +13,7 @@
 #include "common/flat_hash.h"
 #include "common/pack.h"
 #include "eval/conjunct_evaluator.h"
+#include "index/distance_sketch.h"
 
 namespace omega {
 
@@ -25,10 +26,17 @@ struct DistanceAwareOptions {
 
 class DistanceAwareStream : public AnswerStream {
  public:
+  /// `sketch` (optional) prunes the low-ψ rounds: for an APPROX conjunct
+  /// with two constant endpoints, the hub sketch's hop lower bound implies a
+  /// cost floor — any accepted walk from u to v spends at least
+  /// (lb_hops - max_exact_path_edges) insertions — so ψ starts on the first
+  /// φ-multiple at or above that floor instead of at 0. An infinite lower
+  /// bound (different components) proves the conjunct empty outright.
   DistanceAwareStream(const GraphStore* graph, const BoundOntology* ontology,
                       const PreparedConjunct* prepared,
                       const EvaluatorOptions& options,
-                      const DistanceAwareOptions& da_options = {});
+                      const DistanceAwareOptions& da_options = {},
+                      const DistanceSketch* sketch = nullptr);
 
   bool Next(Answer* out) override;
   const Status& status() const override { return status_; }
@@ -37,9 +45,16 @@ class DistanceAwareStream : public AnswerStream {
   /// Number of ψ rounds run so far (>= 1 after the first Next()).
   size_t rounds() const { return rounds_; }
 
+  /// The ψ the first round will (or did) run with — 0 unless a distance
+  /// sketch raised the floor.
+  Cost initial_psi() const { return initial_psi_; }
+
  private:
   /// Starts the round with ceiling psi_.
   void StartRound();
+
+  /// Raises psi_ (or sets done_) from the sketch's hop lower bound.
+  void ApplySketchFloor(const DistanceSketch& sketch);
 
   const GraphStore* graph_;
   const BoundOntology* ontology_;
@@ -50,6 +65,7 @@ class DistanceAwareStream : public AnswerStream {
   std::unique_ptr<ConjunctEvaluator> inner_;
   FlatHashSet<uint64_t> emitted_;  // PackPair(v, n) of every handed-out answer
   Cost psi_ = 0;
+  Cost initial_psi_ = 0;
   Cost phi_ = kInfiniteCost;
   size_t rounds_ = 0;
   size_t fruitless_rounds_ = 0;

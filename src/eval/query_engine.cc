@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "index/index_probe_stream.h"
+#include "plan/statistics.h"
+
 namespace omega {
 namespace {
 
@@ -12,11 +15,12 @@ class OwningConjunctStream : public AnswerStream {
   OwningConjunctStream(std::unique_ptr<PreparedConjunct> prepared,
                        const GraphStore* graph, const BoundOntology* ontology,
                        const EvaluatorOptions& options, bool distance_aware,
-                       const DistanceAwareOptions& da_options)
+                       const DistanceAwareOptions& da_options,
+                       const DistanceSketch* sketch = nullptr)
       : prepared_(std::move(prepared)) {
     if (distance_aware) {
       inner_ = std::make_unique<DistanceAwareStream>(
-          graph, ontology, prepared_.get(), options, da_options);
+          graph, ontology, prepared_.get(), options, da_options, sketch);
     } else {
       inner_ = std::make_unique<ConjunctEvaluator>(graph, ontology,
                                                    prepared_.get(), options);
@@ -48,6 +52,74 @@ bool IsPermutation(const std::vector<size_t>& order, size_t n) {
     seen[i] = true;
   }
   return true;
+}
+
+/// A committed index-probe substitution: the per-label index to probe (null
+/// for an absent label — no edges carry it, so the trivial probe is exact),
+/// the compiled probe, and its reach set.
+struct IndexProbeDecision {
+  const LabelReachability* reach = nullptr;
+  IndexProbePlan plan;
+  ProbeReachSet set;
+};
+
+/// Decides whether `prepared` runs off the reachability index. Deterministic
+/// in its inputs: PlanFor (estimates, EXPLAIN) and MakeConjunctStream
+/// (execution) both call it with identical arguments, so the plan always
+/// describes the stream that actually runs. Eligible shape: an exact-mode
+/// single-atom closure with a constant (post-reversal) source. Falls back to
+/// the NFA walk (nullopt) when the per-label index is unavailable (over its
+/// interval budget) or the min_hops frontier expansion overflows its cap.
+std::optional<IndexProbeDecision> DecideIndexProbe(
+    const PreparedConjunct& prepared, const GraphStore& graph,
+    const IndexManager* indexes, const QueryEngineOptions& options) {
+  if (!options.use_reachability_index || indexes == nullptr) {
+    return std::nullopt;
+  }
+  if (prepared.mode != ConjunctMode::kExact) return std::nullopt;
+  if (!prepared.closure_shape.has_value()) return std::nullopt;
+  if (prepared.eval_source.is_variable) return std::nullopt;
+  const ClosureShape& shape = *prepared.closure_shape;
+
+  IndexProbeDecision decision;
+  decision.plan.is_wildcard = shape.is_wildcard;
+  decision.plan.dir = shape.dir;
+  decision.plan.min_hops = shape.min_hops;
+  if (shape.is_wildcard) {
+    decision.reach =
+        indexes->Reachability(ReachabilityIndex::kSigmaLabel, shape.dir);
+    if (decision.reach == nullptr) return std::nullopt;
+  } else if (const std::optional<LabelId> label =
+                 graph.labels().Find(shape.label);
+             label.has_value()) {
+    decision.plan.label = *label;
+    decision.reach = indexes->Reachability(*label, shape.dir);
+    if (decision.reach == nullptr) return std::nullopt;
+  }
+  decision.plan.source =
+      graph.FindNode(prepared.eval_source.name).value_or(kInvalidNode);
+  if (!prepared.eval_target.is_variable) {
+    decision.plan.target_is_constant = true;
+    decision.plan.target =
+        graph.FindNode(prepared.eval_target.name).value_or(kInvalidNode);
+  }
+  std::optional<ProbeReachSet> set =
+      ComputeProbeReachSet(graph, decision.reach, decision.plan);
+  if (!set.has_value()) return std::nullopt;
+  decision.set = std::move(*set);
+  return decision;
+}
+
+/// EXPLAIN marker appended to a substituted leaf's description.
+std::string IndexProbeMarker(const ClosureShape& shape) {
+  std::string marker = " via IndexProbe(";
+  marker += shape.is_wildcard ? "_" : shape.label;
+  if (shape.dir == Direction::kIncoming) marker += ", incoming";
+  if (shape.min_hops > 0) {
+    marker += ", min_hops=" + std::to_string(shape.min_hops);
+  }
+  marker += ")";
+  return marker;
 }
 
 }  // namespace
@@ -96,8 +168,9 @@ bool QueryResultStream::Next(QueryAnswer* out) {
 
 // --- QueryEngine -------------------------------------------------------------
 
-QueryEngine::QueryEngine(const GraphStore* graph, const Ontology* ontology)
-    : graph_(graph) {
+QueryEngine::QueryEngine(const GraphStore* graph, const Ontology* ontology,
+                         const IndexManager* indexes)
+    : graph_(graph), indexes_(indexes) {
   if (ontology != nullptr) bound_.emplace(ontology, graph);
 }
 
@@ -132,12 +205,36 @@ Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
   const VarId source_slot = SlotOf(prepared->eval_source, catalog);
   const VarId target_slot = SlotOf(prepared->eval_target, catalog);
 
+  // Reachability-index substitution: an eligible exact closure conjunct
+  // becomes an interval-containment probe instead of an NFA product walk.
+  // Same decision as PlanFor's, so EXPLAIN and execution agree.
+  if (std::optional<IndexProbeDecision> probe =
+          DecideIndexProbe(*prepared, *graph_, indexes_, options);
+      probe.has_value()) {
+    auto stream = std::make_unique<IndexProbeStream>(
+        probe->reach, probe->plan, std::move(probe->set));
+    return std::unique_ptr<BindingStream>(
+        std::make_unique<ConjunctBindingStream>(std::move(stream), width,
+                                                source_slot, target_slot));
+  }
+
   // §4.3(a): distance-aware retrieval only pays off when operations have
   // positive costs, i.e. for APPROX/RELAX conjuncts.
   const bool use_distance_aware = options.distance_aware && flexible;
+  // The distance sketch can only raise the first ψ for an APPROX conjunct
+  // with two constant endpoints and a bounded exact language; gate the
+  // (lazy, BFS-building) Sketch() call on exactly those conditions.
+  const DistanceSketch* sketch = nullptr;
+  if (use_distance_aware && options.use_reachability_index &&
+      indexes_ != nullptr && prepared->mode == ConjunctMode::kApprox &&
+      !prepared->eval_source.is_variable &&
+      !prepared->eval_target.is_variable &&
+      prepared->max_exact_path_edges.has_value()) {
+    sketch = indexes_->Sketch();
+  }
   auto answers = std::make_unique<OwningConjunctStream>(
       std::move(prepared), graph_, ontology, options.evaluator,
-      use_distance_aware, options.distance_aware_options);
+      use_distance_aware, options.distance_aware_options, sketch);
   return std::unique_ptr<BindingStream>(
       std::make_unique<ConjunctBindingStream>(std::move(answers), width,
                                               source_slot, target_slot));
@@ -181,7 +278,17 @@ Result<std::unique_ptr<QueryPlan>> QueryEngine::PlanFor(
       leaf.variables.push_back(target_slot);
     }
     std::sort(leaf.variables.begin(), leaf.variables.end());
-    leaf.estimate = EstimateConjunct(*holder, *graph_);
+    // Index-substituted conjuncts are priced off the actual reach set (an
+    // exact count) and marked in the leaf description for EXPLAIN.
+    if (const std::optional<IndexProbeDecision> probe =
+            DecideIndexProbe(*holder, *graph_, indexes_, options);
+        probe.has_value()) {
+      leaf.estimate =
+          EstimateIndexProbe(probe->plan, probe->set, probe->reach, *graph_);
+      leaf.description += IndexProbeMarker(*holder->closure_shape);
+    } else {
+      leaf.estimate = EstimateConjunct(*holder, *graph_);
+    }
     leaves.push_back(std::move(leaf));
     prepared->push_back(std::move(holder));
   }

@@ -19,6 +19,7 @@
 #include "eval/distance_aware.h"
 #include "eval/disjunction.h"
 #include "eval/rank_join.h"
+#include "index/index_manager.h"
 #include "ontology/ontology.h"
 #include "plan/planner.h"
 #include "rpq/query.h"
@@ -48,6 +49,13 @@ struct QueryEngineOptions {
 
   /// Join-order planning mode.
   PlanMode plan_mode = PlanMode::kGreedyBushy;
+
+  /// Gates both index structures (when the engine was built with an
+  /// IndexManager): substituting an IndexProbeStream for index-eligible
+  /// exact closure conjuncts, and the distance-sketch ψ floor in
+  /// distance-aware APPROX retrieval. Off = always walk the NFA product —
+  /// the reference behaviour the equivalence property tests compare against.
+  bool use_reachability_index = true;
 
   /// Testing/EXPLAIN hook: when non-empty, overrides plan_mode with a
   /// left-deep tree in this conjunct order (a permutation of
@@ -102,7 +110,12 @@ class QueryResultStream {
 class QueryEngine {
  public:
   /// `ontology` may be null; RELAX queries then fail FailedPrecondition.
-  QueryEngine(const GraphStore* graph, const Ontology* ontology);
+  /// `indexes` (optional) enables reachability-index plan substitution and
+  /// distance-sketch pruning; it must outlive the engine and any streams it
+  /// hands out (a Dataset's IndexManager satisfies this — the service pins
+  /// the Dataset per epoch).
+  QueryEngine(const GraphStore* graph, const Ontology* ontology,
+              const IndexManager* indexes = nullptr);
 
   /// Compiles and opens a result stream for `query`.
   Result<std::unique_ptr<QueryResultStream>> Execute(
@@ -144,6 +157,7 @@ class QueryEngine {
 
   const GraphStore* graph_;
   std::optional<BoundOntology> bound_;
+  const IndexManager* indexes_ = nullptr;
 };
 
 }  // namespace omega

@@ -1,0 +1,107 @@
+#include "index/distance_sketch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace {
+
+// One undirected BFS from `hub` over sigma + type edges in both stored
+// directions, writing hop counts into `row` (kUnreachable = never seen).
+void BfsFrom(const GraphStore& graph, NodeId hub, std::span<uint32_t> row) {
+  std::fill(row.begin(), row.end(), DistanceSketch::kUnreachable);
+  std::vector<NodeId> frontier{hub};
+  row[hub] = 0;
+  uint32_t depth = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const NodeId n : frontier) {
+      for (const Direction dir :
+           {Direction::kOutgoing, Direction::kIncoming}) {
+        for (const std::span<const NodeId> neighbors :
+             {graph.SigmaNeighbors(n, dir), graph.TypeNeighbors(n, dir)}) {
+          for (const NodeId t : neighbors) {
+            if (row[t] != DistanceSketch::kUnreachable) continue;
+            row[t] = depth;
+            next.push_back(t);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace
+
+DistanceSketch DistanceSketch::Build(const GraphStore& graph,
+                                     const DistanceSketchOptions& options) {
+  DistanceSketch sketch;
+  const size_t num_nodes = graph.NumNodes();
+  sketch.num_nodes_ = num_nodes;
+  const size_t num_hubs = std::min(options.num_hubs, num_nodes);
+  if (num_hubs == 0) return sketch;
+
+  // Highest-degree nodes, ties broken by id for determinism.
+  std::vector<NodeId> by_degree(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    by_degree[n] = static_cast<NodeId>(n);
+  }
+  std::partial_sort(by_degree.begin(), by_degree.begin() + num_hubs,
+                    by_degree.end(), [&graph](NodeId a, NodeId b) {
+                      const size_t da = graph.Degree(a);
+                      const size_t db = graph.Degree(b);
+                      return da != db ? da > db : a < b;
+                    });
+  std::vector<NodeId> hubs(by_degree.begin(), by_degree.begin() + num_hubs);
+  std::sort(hubs.begin(), hubs.end());
+
+  std::vector<uint32_t> distances(num_hubs * num_nodes);
+  for (size_t h = 0; h < num_hubs; ++h) {
+    BfsFrom(graph, hubs[h],
+            std::span<uint32_t>(distances).subspan(h * num_nodes, num_nodes));
+  }
+  sketch.hubs_ = ConstArray<NodeId>(std::move(hubs));
+  sketch.distances_ = ConstArray<uint32_t>(std::move(distances));
+  return sketch;
+}
+
+Result<DistanceSketch> DistanceSketch::FromParts(ConstArray<NodeId> hubs,
+                                                 ConstArray<uint32_t> distances,
+                                                 size_t num_nodes) {
+  if (distances.size() != hubs.size() * num_nodes) {
+    return Status::InvalidArgument("distance sketch: row shape mismatch");
+  }
+  for (const NodeId hub : hubs.span()) {
+    if (hub >= num_nodes) {
+      return Status::InvalidArgument("distance sketch: hub id out of range");
+    }
+  }
+  DistanceSketch sketch;
+  sketch.hubs_ = std::move(hubs);
+  sketch.distances_ = std::move(distances);
+  sketch.num_nodes_ = num_nodes;
+  return sketch;
+}
+
+uint32_t DistanceSketch::LowerBound(NodeId u, NodeId v) const {
+  if (u == v || u >= num_nodes_ || v >= num_nodes_) return 0;
+  uint32_t bound = 0;
+  const std::span<const uint32_t> rows = distances_.span();
+  for (size_t h = 0; h < hubs_.size(); ++h) {
+    const uint32_t du = rows[h * num_nodes_ + u];
+    const uint32_t dv = rows[h * num_nodes_ + v];
+    const bool u_reached = du != kUnreachable;
+    const bool v_reached = dv != kUnreachable;
+    if (u_reached != v_reached) return kUnreachable;
+    if (!u_reached) continue;
+    bound = std::max(bound, du > dv ? du - dv : dv - du);
+  }
+  return bound;
+}
+
+}  // namespace omega

@@ -1,0 +1,72 @@
+// Hub-based distance sketch for the distance-aware operator: BFS hop
+// distances from a handful of high-degree hub nodes over the *undirected*
+// sigma + type graph, stored as one row per hub. The triangle inequality
+// turns the rows into a lower bound on the hop distance between any two
+// nodes — LowerBound(u, v) = max_h |d(h,u) - d(h,v)| — and a hub that
+// reaches exactly one of the two proves they sit in different undirected
+// components. DistanceAwareStream converts the hop bound into a cost floor
+// (every hop beyond the regex's longest exact path costs at least one
+// insertion) and skips psi rounds below it.
+#ifndef OMEGA_INDEX_DISTANCE_SKETCH_H_
+#define OMEGA_INDEX_DISTANCE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/const_array.h"
+#include "common/lifetime_annotations.h"
+#include "common/status.h"
+#include "store/graph_store.h"
+#include "store/types.h"
+
+namespace omega {
+
+struct DistanceSketchOptions {
+  /// Number of BFS sources; picked as the highest-degree nodes. More hubs
+  /// tighten the bound linearly in memory (one u32 row per hub).
+  size_t num_hubs = 16;
+};
+
+class DistanceSketch {
+ public:
+  /// Row value for a node a hub's BFS never reached.
+  static constexpr uint32_t kUnreachable = UINT32_MAX;
+
+  DistanceSketch() = default;
+
+  static DistanceSketch Build(const GraphStore& graph,
+                              const DistanceSketchOptions& options = {});
+
+  /// Assembles a sketch from snapshot arrays; validates the shape
+  /// (distances.size() == hubs.size() * num_nodes, hub ids in range).
+  static Result<DistanceSketch> FromParts(ConstArray<NodeId> hubs,
+                                          ConstArray<uint32_t> distances,
+                                          size_t num_nodes);
+
+  /// Lower bound on the undirected hop distance between u and v;
+  /// kUnreachable when some hub proves they are in different components.
+  /// Always 0 when the sketch is empty or the ids are out of range.
+  uint32_t LowerBound(NodeId u, NodeId v) const;
+
+  size_t num_hubs() const { return hubs_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+  bool empty() const { return hubs_.empty(); }
+
+  std::span<const NodeId> hubs() const OMEGA_LIFETIME_BOUND {
+    return hubs_.span();
+  }
+  /// Row-major num_hubs() x num_nodes() hop distances.
+  std::span<const uint32_t> distances() const OMEGA_LIFETIME_BOUND {
+    return distances_.span();
+  }
+
+ private:
+  ConstArray<NodeId> hubs_;
+  ConstArray<uint32_t> distances_;
+  size_t num_nodes_ = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_INDEX_DISTANCE_SKETCH_H_

@@ -1,0 +1,55 @@
+#include "index/index_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace omega {
+namespace {
+
+uint64_t KeyOf(LabelId label, Direction dir) {
+  return (static_cast<uint64_t>(label) << 1) |
+         static_cast<uint64_t>(dir == Direction::kIncoming);
+}
+
+}  // namespace
+
+IndexManager::IndexManager(const GraphStore* graph) : graph_(graph) {}
+
+IndexManager::IndexManager(const GraphStore* graph, ReachabilityIndex preloaded,
+                           std::optional<DistanceSketch> sketch)
+    : graph_(graph),
+      preloaded_(std::move(preloaded)),
+      preloaded_sketch_(std::move(sketch)) {}
+
+const LabelReachability* IndexManager::Reachability(LabelId label,
+                                                    Direction dir) const {
+  if (const LabelReachability* reach = preloaded_.Find(label, dir)) {
+    return reach;
+  }
+  const uint64_t key = KeyOf(label, dir);
+  MutexLock lock(mu_);
+  if (const LabelReachability* reach = built_.Find(label, dir)) return reach;
+  if (std::find(unavailable_.begin(), unavailable_.end(), key) !=
+      unavailable_.end()) {
+    return nullptr;
+  }
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(*graph_, label, dir, build_options_);
+  if (!reach.has_value()) {
+    unavailable_.push_back(key);
+    return nullptr;
+  }
+  built_.Add(label, dir, *std::move(reach));
+  return built_.Find(label, dir);
+}
+
+const DistanceSketch* IndexManager::Sketch() const {
+  if (preloaded_sketch_.has_value()) return &*preloaded_sketch_;
+  MutexLock lock(mu_);
+  if (!built_sketch_.has_value()) {
+    built_sketch_ = DistanceSketch::Build(*graph_);
+  }
+  return &*built_sketch_;
+}
+
+}  // namespace omega

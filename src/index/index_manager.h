@@ -1,0 +1,67 @@
+// Owns the reachability index and distance sketch for one frozen store.
+// The GraphStore itself is contractually free of lazy caches, so the lazy
+// half lives here: a manager either starts pre-seeded with the structures a
+// snapshot carried (serving pays zero build cost) or builds each entry on
+// first use behind an annotated mutex. Returned pointers are stable and
+// immutable once published, so callers hold them without the lock.
+#ifndef OMEGA_INDEX_INDEX_MANAGER_H_
+#define OMEGA_INDEX_INDEX_MANAGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/lifetime_annotations.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "index/distance_sketch.h"
+#include "index/reachability_index.h"
+#include "store/graph_store.h"
+#include "store/types.h"
+
+namespace omega {
+
+class IndexManager {
+ public:
+  /// Everything built on demand from `graph` (which must outlive this).
+  explicit IndexManager(const GraphStore* graph);
+
+  /// Pre-seeded with snapshot-loaded structures; labels the snapshot did
+  /// not carry are still built on demand.
+  IndexManager(const GraphStore* graph, ReachabilityIndex preloaded,
+               std::optional<DistanceSketch> sketch);
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Reachability for (label, dir); `ReachabilityIndex::kSigmaLabel` is
+  /// the sigma-union entry. Builds and caches on first use; nullptr when
+  /// the entry exceeded its interval budget (callers keep the NFA walk).
+  const LabelReachability* Reachability(LabelId label, Direction dir) const
+      OMEGA_LIFETIME_BOUND OMEGA_EXCLUDES(mu_);
+
+  /// The distance sketch, building on first use. Never null; empty on an
+  /// empty graph.
+  const DistanceSketch* Sketch() const OMEGA_LIFETIME_BOUND
+      OMEGA_EXCLUDES(mu_);
+
+ private:
+  const GraphStore* graph_;
+  const ReachabilityBuildOptions build_options_{};
+
+  // Snapshot-seeded structures; immutable after construction, so reads
+  // need no lock.
+  ReachabilityIndex preloaded_;
+  std::optional<DistanceSketch> preloaded_sketch_;
+
+  mutable Mutex mu_;
+  mutable ReachabilityIndex built_ OMEGA_GUARDED_BY(mu_);
+  // (label, dir) keys whose on-demand build exceeded the interval budget —
+  // a negative cache so hopeless labels are attempted once.
+  mutable std::vector<uint64_t> unavailable_ OMEGA_GUARDED_BY(mu_);
+  mutable std::optional<DistanceSketch> built_sketch_ OMEGA_GUARDED_BY(mu_);
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_INDEX_INDEX_MANAGER_H_

@@ -1,0 +1,142 @@
+#include "index/index_probe_stream.h"
+
+#include <algorithm>
+
+namespace omega {
+namespace {
+
+// One expansion step of the mandatory-hop frontier over the probe's atom.
+void ExpandFrontier(const GraphStore& graph, const IndexProbePlan& plan,
+                    const std::vector<NodeId>& frontier,
+                    std::vector<NodeId>* next) {
+  next->clear();
+  for (const NodeId n : frontier) {
+    if (plan.is_wildcard) {
+      for (const NodeId t : graph.SigmaNeighbors(n, plan.dir)) {
+        next->push_back(t);
+      }
+      for (const NodeId t : graph.TypeNeighbors(n, plan.dir)) {
+        next->push_back(t);
+      }
+    } else if (plan.label != kInvalidLabel) {
+      for (const NodeId t : graph.Neighbors(n, plan.label, plan.dir)) {
+        next->push_back(t);
+      }
+    }
+  }
+  std::sort(next->begin(), next->end());
+  next->erase(std::unique(next->begin(), next->end()), next->end());
+}
+
+}  // namespace
+
+bool ProbeReachSet::Contains(const LabelReachability* reach,
+                             NodeId node) const {
+  if (std::binary_search(extras.begin(), extras.end(), node)) return true;
+  if (reach == nullptr || intervals.empty()) return false;
+  const std::optional<uint32_t> component = reach->ComponentOf(node);
+  if (!component.has_value()) return false;
+  const auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), *component,
+      [](uint32_t value, const std::pair<uint32_t, uint32_t>& pair) {
+        return value < pair.first;
+      });
+  return it != intervals.begin() && *component <= std::prev(it)->second;
+}
+
+size_t ProbeReachSet::Count(const LabelReachability* reach) const {
+  size_t count = extras.size();
+  for (const auto& [lo, hi] : intervals) {
+    count += reach->member_offsets[hi + 1] - reach->member_offsets[lo];
+  }
+  return count;
+}
+
+std::optional<ProbeReachSet> ComputeProbeReachSet(
+    const GraphStore& graph, const LabelReachability* reach,
+    const IndexProbePlan& plan, size_t frontier_cap) {
+  ProbeReachSet set;
+  if (plan.source == kInvalidNode) return set;  // provably empty
+
+  std::vector<NodeId> frontier{plan.source};
+  std::vector<NodeId> next;
+  for (uint32_t hop = 0; hop < plan.min_hops; ++hop) {
+    ExpandFrontier(graph, plan, frontier, &next);
+    frontier.swap(next);
+    if (frontier.empty()) return set;
+    if (frontier.size() > frontier_cap) return std::nullopt;
+  }
+
+  for (const NodeId n : frontier) {
+    const std::optional<uint32_t> component =
+        reach == nullptr ? std::nullopt : reach->ComponentOf(n);
+    if (!component.has_value()) {
+      set.extras.push_back(n);  // unindexed: reaches only itself
+      continue;
+    }
+    const std::span<const uint32_t> pairs = reach->IntervalsOf(*component);
+    for (size_t i = 0; i + 1 < pairs.size(); i += 2) {
+      set.intervals.emplace_back(pairs[i], pairs[i + 1]);
+    }
+  }
+  std::sort(set.intervals.begin(), set.intervals.end());
+  size_t merged = 0;
+  for (size_t i = 1; i < set.intervals.size(); ++i) {
+    if (set.intervals[i].first <= set.intervals[merged].second + 1) {
+      set.intervals[merged].second =
+          std::max(set.intervals[merged].second, set.intervals[i].second);
+    } else {
+      set.intervals[++merged] = set.intervals[i];
+    }
+  }
+  if (!set.intervals.empty()) set.intervals.resize(merged + 1);
+  std::sort(set.extras.begin(), set.extras.end());
+  set.extras.erase(std::unique(set.extras.begin(), set.extras.end()),
+                   set.extras.end());
+  return set;
+}
+
+IndexProbeStream::IndexProbeStream(const LabelReachability* reach,
+                                   const IndexProbePlan& plan,
+                                   ProbeReachSet set)
+    : reach_(reach), plan_(plan), set_(std::move(set)) {
+  stats_.seeds_added = plan_.source == kInvalidNode ? 0 : 1;
+}
+
+bool IndexProbeStream::Next(Answer* out) {
+  if (done_) return false;
+  if (plan_.target_is_constant) {
+    done_ = true;
+    if (plan_.target == kInvalidNode || !set_.Contains(reach_, plan_.target)) {
+      return false;
+    }
+    *out = Answer{plan_.source, plan_.target, 0};
+    ++stats_.answers_emitted;
+    return true;
+  }
+  while (interval_ < set_.intervals.size()) {
+    const auto [lo, hi] = set_.intervals[interval_];
+    if (component_ < lo) component_ = lo;
+    while (component_ <= hi) {
+      const std::span<const NodeId> group = reach_->MembersOf(component_);
+      if (member_ < group.size()) {
+        *out = Answer{plan_.source, group[member_++], 0};
+        ++stats_.answers_emitted;
+        return true;
+      }
+      member_ = 0;
+      ++component_;
+    }
+    ++interval_;
+    component_ = 0;
+  }
+  if (extra_ < set_.extras.size()) {
+    *out = Answer{plan_.source, set_.extras[extra_++], 0};
+    ++stats_.answers_emitted;
+    return true;
+  }
+  done_ = true;
+  return false;
+}
+
+}  // namespace omega

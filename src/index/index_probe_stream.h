@@ -1,0 +1,88 @@
+// AnswerStream that answers an index-eligible closure conjunct — language
+// {a^k : k >= min_hops} from a constant source — off the reachability index
+// instead of the NFA product walk. A bounded frontier expansion covers the
+// mandatory min_hops prefix, then the frontier's merged interval lists give
+// the closure: a containment test when the target is constant, an
+// O(answer) member enumeration when it is a variable. All answers are
+// exact-mode (distance 0), so emission order is trivially ranked.
+#ifndef OMEGA_INDEX_INDEX_PROBE_STREAM_H_
+#define OMEGA_INDEX_INDEX_PROBE_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "eval/answer.h"
+#include "index/reachability_index.h"
+#include "store/graph_store.h"
+#include "store/types.h"
+
+namespace omega {
+
+/// The probe a recognised closure conjunct compiles to.
+struct IndexProbePlan {
+  /// Atom: wildcard uses the sigma-union index, otherwise `label`.
+  bool is_wildcard = false;
+  LabelId label = kInvalidLabel;
+  Direction dir = Direction::kOutgoing;
+  /// Mandatory hops before the closure kicks in (0 for a*, 1 for a+).
+  uint32_t min_hops = 0;
+  /// Source node (the constant endpoint); kInvalidNode when the constant
+  /// did not resolve, making the probe provably empty.
+  NodeId source = kInvalidNode;
+  /// Target node when the other endpoint is a constant too.
+  bool target_is_constant = false;
+  NodeId target = kInvalidNode;
+};
+
+/// The reachable set of a probe, reduced to index terms: merged component
+/// intervals plus "extra" unindexed nodes (nodes with no edges of the
+/// label reach only themselves). Shared by the stream and the planner's
+/// cardinality estimate so both price exactly what will be enumerated.
+struct ProbeReachSet {
+  std::vector<std::pair<uint32_t, uint32_t>> intervals;  // sorted, disjoint
+  std::vector<NodeId> extras;                            // sorted, deduped
+
+  bool Contains(const LabelReachability* reach, NodeId node) const;
+  size_t Count(const LabelReachability* reach) const;
+};
+
+/// Computes the probe's reachable set. `reach` may be null when the label
+/// has no edges at all (then only the empty path can match). Returns
+/// nullopt when the min_hops frontier expansion exceeds `frontier_cap`
+/// nodes — the signal to keep the NFA walk instead.
+std::optional<ProbeReachSet> ComputeProbeReachSet(
+    const GraphStore& graph, const LabelReachability* reach,
+    const IndexProbePlan& plan, size_t frontier_cap = 4096);
+
+class IndexProbeStream : public AnswerStream {
+ public:
+  /// `set` is the precomputed reach set of (plan, reach) — the engine
+  /// computes it once at substitution time and shares it with the
+  /// estimator. `reach` may be null (absent label).
+  IndexProbeStream(const LabelReachability* reach, const IndexProbePlan& plan,
+                   ProbeReachSet set);
+
+  bool Next(Answer* out) override;
+  const Status& status() const override { return status_; }
+  EvaluatorStats stats() const override { return stats_; }
+
+ private:
+  const LabelReachability* reach_;
+  IndexProbePlan plan_;
+  ProbeReachSet set_;
+  Status status_ = Status::OK();
+  EvaluatorStats stats_;
+
+  bool done_ = false;
+  size_t interval_ = 0;       // index into set_.intervals
+  uint32_t component_ = 0;    // current component inside the interval
+  size_t member_ = 0;         // index into the component's member list
+  size_t extra_ = 0;          // index into set_.extras
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_INDEX_INDEX_PROBE_STREAM_H_

@@ -1,0 +1,379 @@
+#include "index/reachability_index.h"
+
+#include <algorithm>
+#include <string>
+
+#include "store/label_dictionary.h"
+#include "store/oid_set.h"
+
+namespace omega {
+namespace {
+
+// The label's subgraph compacted to its incident nodes: a local CSR whose
+// row/target ids are positions in the sorted active-node list. Everything
+// downstream (Tarjan, interval propagation) runs on dense local ids.
+struct LocalGraph {
+  std::vector<NodeId> nodes;      // sorted active nodes
+  std::vector<uint32_t> offsets;  // size nodes.size() + 1
+  std::vector<uint32_t> targets;  // local ids
+};
+
+uint32_t LocalOf(const std::vector<NodeId>& nodes, NodeId n) {
+  const auto it = std::lower_bound(nodes.begin(), nodes.end(), n);
+  return static_cast<uint32_t>(it - nodes.begin());
+}
+
+// Appends the merged (sorted, deduped) union of two sorted neighbor spans.
+void AppendMergedTargets(const std::vector<NodeId>& nodes,
+                         std::span<const NodeId> a, std::span<const NodeId> b,
+                         std::vector<uint32_t>* targets) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    NodeId next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) ++j;
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    targets->push_back(LocalOf(nodes, next));
+  }
+}
+
+LocalGraph BuildLocalGraph(const GraphStore& graph, LabelId label,
+                           Direction dir) {
+  LocalGraph lg;
+  const bool sigma = label == ReachabilityIndex::kSigmaLabel;
+  OidSet active;
+  if (sigma) {
+    active = OidSet::Union(
+        OidSet::Union(graph.SigmaEndpoints(Direction::kOutgoing),
+                      graph.SigmaEndpoints(Direction::kIncoming)),
+        OidSet::Union(graph.TypeEndpoints(Direction::kOutgoing),
+                      graph.TypeEndpoints(Direction::kIncoming)));
+  } else {
+    active = graph.TailsAndHeads(label);
+  }
+  lg.nodes.assign(active.ids().begin(), active.ids().end());
+  lg.offsets.reserve(lg.nodes.size() + 1);
+  lg.offsets.push_back(0);
+  for (const NodeId n : lg.nodes) {
+    if (sigma) {
+      AppendMergedTargets(lg.nodes, graph.SigmaNeighbors(n, dir),
+                          graph.TypeNeighbors(n, dir), &lg.targets);
+    } else {
+      for (const NodeId t : graph.Neighbors(n, label, dir)) {
+        lg.targets.push_back(LocalOf(lg.nodes, t));
+      }
+    }
+    lg.offsets.push_back(static_cast<uint32_t>(lg.targets.size()));
+  }
+  return lg;
+}
+
+// Iterative Tarjan. Components are numbered in emission order, which is
+// reverse-topological on the condensation: every cross edge c -> d has
+// d < c, so the ids double as the interval numbering.
+uint32_t CondenseSccs(const LocalGraph& lg, std::vector<uint32_t>* comp_of) {
+  const uint32_t n = static_cast<uint32_t>(lg.nodes.size());
+  comp_of->assign(n, UINT32_MAX);
+  std::vector<uint32_t> index(n, UINT32_MAX);
+  std::vector<uint32_t> low(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<uint32_t> stack;
+  struct Frame {
+    uint32_t v;
+    uint32_t edge;
+  };
+  std::vector<Frame> frames;
+  uint32_t counter = 0;
+  uint32_t num_components = 0;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const uint32_t v = frame.v;
+      if (lg.offsets[v] + frame.edge < lg.offsets[v + 1]) {
+        const uint32_t w = lg.targets[lg.offsets[v] + frame.edge++];
+        if (index[w] == UINT32_MAX) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+        if (low[v] == index[v]) {
+          while (true) {
+            const uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            (*comp_of)[w] = num_components;
+            if (w == v) break;
+          }
+          ++num_components;
+        }
+      }
+    }
+  }
+  return num_components;
+}
+
+}  // namespace
+
+uint32_t LabelReachability::LocalId(NodeId n) const {
+  const std::span<const NodeId> ids = nodes.span();
+  const auto it = std::lower_bound(ids.begin(), ids.end(), n);
+  if (it == ids.end() || *it != n) return kNotIndexed;
+  return static_cast<uint32_t>(it - ids.begin());
+}
+
+std::optional<uint32_t> LabelReachability::ComponentOf(NodeId n) const {
+  const uint32_t local = LocalId(n);
+  if (local == kNotIndexed) return std::nullopt;
+  return comp_of[local];
+}
+
+bool LabelReachability::Reachable(NodeId u, NodeId v) const {
+  if (u == v) return true;  // the empty path
+  const uint32_t lu = LocalId(u);
+  const uint32_t lv = LocalId(v);
+  if (lu == kNotIndexed || lv == kNotIndexed) return false;
+  return IntervalsContain(comp_of[lu], comp_of[lv]);
+}
+
+bool LabelReachability::IntervalsContain(uint32_t component,
+                                         uint32_t target) const {
+  const std::span<const uint32_t> pairs = IntervalsOf(component);
+  size_t lo = 0;
+  size_t hi = pairs.size() / 2;
+  while (lo < hi) {  // last pair with pair.lo <= target
+    const size_t mid = (lo + hi) / 2;
+    if (pairs[2 * mid] <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo > 0 && target <= pairs[2 * (lo - 1) + 1];
+}
+
+std::span<const uint32_t> LabelReachability::IntervalsOf(
+    uint32_t component) const {
+  return intervals.span().subspan(2 * interval_offsets[component],
+                                  2 * (interval_offsets[component + 1] -
+                                       interval_offsets[component]));
+}
+
+std::span<const NodeId> LabelReachability::MembersOf(uint32_t component) const {
+  return members.span().subspan(
+      member_offsets[component],
+      member_offsets[component + 1] - member_offsets[component]);
+}
+
+Status LabelReachability::Validate(size_t num_nodes, bool deep) const {
+  const size_t n = nodes.size();
+  if (comp_of.size() != n || members.size() != n) {
+    return Status::InvalidArgument("reach index: array sizes disagree");
+  }
+  if (interval_offsets.empty() || member_offsets.empty() ||
+      interval_offsets.size() != member_offsets.size()) {
+    return Status::InvalidArgument("reach index: offset arrays malformed");
+  }
+  const size_t components = interval_offsets.size() - 1;
+  if (components > n) {
+    return Status::InvalidArgument("reach index: more components than nodes");
+  }
+  if (interval_offsets[0] != 0 || member_offsets[0] != 0) {
+    return Status::InvalidArgument("reach index: offsets must start at 0");
+  }
+  for (size_t c = 0; c < components; ++c) {
+    if (interval_offsets[c + 1] < interval_offsets[c] ||
+        member_offsets[c + 1] < member_offsets[c]) {
+      return Status::InvalidArgument("reach index: offsets not monotone");
+    }
+  }
+  if (2 * static_cast<size_t>(interval_offsets[components]) !=
+      intervals.size()) {
+    return Status::InvalidArgument("reach index: interval offsets vs data");
+  }
+  if (member_offsets[components] != members.size()) {
+    return Status::InvalidArgument("reach index: member offsets vs data");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (comp_of[i] >= components) {
+      return Status::InvalidArgument("reach index: component id out of range");
+    }
+  }
+  for (size_t i = 0; i + 1 < intervals.size(); i += 2) {
+    if (intervals[i] > intervals[i + 1] || intervals[i + 1] >= components) {
+      return Status::InvalidArgument("reach index: interval out of range");
+    }
+  }
+  if (!deep) return Status::OK();
+
+  for (size_t i = 0; i < n; ++i) {
+    if (nodes[i] >= num_nodes || (i > 0 && nodes[i] <= nodes[i - 1])) {
+      return Status::InvalidArgument("reach index: node list invalid");
+    }
+  }
+  for (uint32_t c = 0; c < components; ++c) {
+    const std::span<const uint32_t> pairs = IntervalsOf(c);
+    for (size_t i = 2; i < pairs.size(); i += 2) {
+      if (pairs[i] <= pairs[i - 1]) {
+        return Status::InvalidArgument("reach index: intervals not disjoint");
+      }
+    }
+    if (!IntervalsContain(c, c)) {
+      return Status::InvalidArgument(
+          "reach index: component missing from own intervals");
+    }
+    const std::span<const NodeId> group = MembersOf(c);
+    for (size_t i = 0; i < group.size(); ++i) {
+      const uint32_t local = LocalId(group[i]);
+      if (local == kNotIndexed || comp_of[local] != c ||
+          (i > 0 && group[i] <= group[i - 1])) {
+        return Status::InvalidArgument("reach index: member grouping invalid");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<LabelReachability> ReachabilityIndex::BuildFor(
+    const GraphStore& graph, LabelId label, Direction dir,
+    const ReachabilityBuildOptions& options) {
+  const LocalGraph lg = BuildLocalGraph(graph, label, dir);
+  std::vector<uint32_t> comp_of;
+  const uint32_t components = CondenseSccs(lg, &comp_of);
+  const size_t budget =
+      options.interval_budget_factor * components + options.interval_budget_slack;
+
+  // Distinct cross-component successors, CSR'd by source component. Every
+  // cross edge points at a smaller id, so components can be processed in
+  // increasing order with all successor interval lists already final.
+  std::vector<std::pair<uint32_t, uint32_t>> cross;
+  for (uint32_t v = 0; v < lg.nodes.size(); ++v) {
+    for (uint32_t e = lg.offsets[v]; e < lg.offsets[v + 1]; ++e) {
+      const uint32_t d = comp_of[lg.targets[e]];
+      if (d != comp_of[v]) cross.emplace_back(comp_of[v], d);
+    }
+  }
+  std::sort(cross.begin(), cross.end());
+  cross.erase(std::unique(cross.begin(), cross.end()), cross.end());
+  std::vector<uint32_t> succ_offsets(components + 1, 0);
+  for (const auto& [c, d] : cross) {
+    (void)d;
+    ++succ_offsets[c + 1];
+  }
+  for (uint32_t c = 0; c < components; ++c) {
+    succ_offsets[c + 1] += succ_offsets[c];
+  }
+
+  std::vector<uint32_t> interval_offsets{0};
+  interval_offsets.reserve(components + 1);
+  std::vector<uint32_t> intervals;
+  std::vector<std::pair<uint32_t, uint32_t>> scratch;
+  for (uint32_t c = 0; c < components; ++c) {
+    scratch.clear();
+    scratch.emplace_back(c, c);
+    for (uint32_t s = succ_offsets[c]; s < succ_offsets[c + 1]; ++s) {
+      const uint32_t d = cross[s].second;
+      for (uint32_t p = interval_offsets[d]; p < interval_offsets[d + 1]; ++p) {
+        scratch.emplace_back(intervals[2 * p], intervals[2 * p + 1]);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    size_t merged = 0;
+    for (size_t i = 1; i < scratch.size(); ++i) {
+      if (scratch[i].first <= scratch[merged].second + 1) {
+        scratch[merged].second =
+            std::max(scratch[merged].second, scratch[i].second);
+      } else {
+        scratch[++merged] = scratch[i];
+      }
+    }
+    scratch.resize(scratch.size() == 0 ? 0 : merged + 1);
+    if (intervals.size() / 2 + scratch.size() > budget) return std::nullopt;
+    for (const auto& [lo, hi] : scratch) {
+      intervals.push_back(lo);
+      intervals.push_back(hi);
+    }
+    interval_offsets.push_back(static_cast<uint32_t>(intervals.size() / 2));
+  }
+
+  // Members: counting-sort locals by component; per-component order stays
+  // ascending because locals are visited in node order.
+  std::vector<uint32_t> member_offsets(components + 1, 0);
+  for (const uint32_t c : comp_of) ++member_offsets[c + 1];
+  for (uint32_t c = 0; c < components; ++c) {
+    member_offsets[c + 1] += member_offsets[c];
+  }
+  std::vector<NodeId> members(lg.nodes.size());
+  std::vector<uint32_t> cursor(member_offsets.begin(),
+                               member_offsets.end() - 1);
+  for (uint32_t v = 0; v < lg.nodes.size(); ++v) {
+    members[cursor[comp_of[v]]++] = lg.nodes[v];
+  }
+
+  LabelReachability reach;
+  reach.nodes = ConstArray<NodeId>(std::vector<NodeId>(lg.nodes));
+  reach.comp_of = ConstArray<uint32_t>(std::move(comp_of));
+  reach.interval_offsets = ConstArray<uint32_t>(std::move(interval_offsets));
+  reach.intervals = ConstArray<uint32_t>(std::move(intervals));
+  reach.member_offsets = ConstArray<uint32_t>(std::move(member_offsets));
+  reach.members = ConstArray<NodeId>(std::move(members));
+  return reach;
+}
+
+ReachabilityIndex ReachabilityIndex::BuildAll(
+    const GraphStore& graph, const ReachabilityBuildOptions& options) {
+  ReachabilityIndex index;
+  std::vector<LabelId> labels = graph.labels().SigmaLabels();
+  labels.push_back(LabelDictionary::kTypeLabel);
+  labels.push_back(kSigmaLabel);
+  for (const LabelId label : labels) {
+    const bool has_edges =
+        label == kSigmaLabel
+            ? graph.NumEdges() > 0
+            : !graph.Tails(label).empty() || !graph.Heads(label).empty();
+    if (!has_edges) continue;
+    for (const Direction dir : {Direction::kOutgoing, Direction::kIncoming}) {
+      std::optional<LabelReachability> reach =
+          BuildFor(graph, label, dir, options);
+      if (reach.has_value()) index.Add(label, dir, *std::move(reach));
+    }
+  }
+  return index;
+}
+
+void ReachabilityIndex::Add(LabelId label, Direction dir,
+                            LabelReachability reach) {
+  Entry entry;
+  entry.label = label;
+  entry.dir = dir;
+  entry.reach = std::make_unique<LabelReachability>(std::move(reach));
+  entries_.push_back(std::move(entry));
+}
+
+const LabelReachability* ReachabilityIndex::Find(LabelId label,
+                                                 Direction dir) const {
+  for (const Entry& entry : entries_) {
+    if (entry.label == label && entry.dir == dir) return entry.reach.get();
+  }
+  return nullptr;
+}
+
+}  // namespace omega

@@ -1,0 +1,147 @@
+// Per-label reachability index in the FERRARI shape (ROADMAP open item 2):
+// condense the label's subgraph into SCCs, number the condensation DAG in
+// reverse-topological order, and store a sorted, merged interval list per
+// component over those numbers. `Reachable(u, v)` is then a binary search —
+// v is reachable from u iff v's component id falls inside one of u's
+// intervals — and the full reachable *set* of u enumerates in O(answer) by
+// walking the members of every component the intervals cover.
+//
+// Unlike FERRARI's approximate variant we keep intervals exact and instead
+// bound the build with a total-interval budget: a (label, direction) whose
+// merged lists exceed the budget is simply not indexed (BuildFor returns
+// nullopt) and the engine keeps the NFA walk. Storage is six plain arrays
+// per entry, which is what lets the snapshot writer persist an index as
+// checksummed sections and the reader hand back borrowed views.
+#ifndef OMEGA_INDEX_REACHABILITY_INDEX_H_
+#define OMEGA_INDEX_REACHABILITY_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/const_array.h"
+#include "common/lifetime_annotations.h"
+#include "common/status.h"
+#include "store/graph_store.h"
+#include "store/types.h"
+
+namespace omega {
+
+struct ReachabilityBuildOptions {
+  /// Interval budget for one (label, direction): factor * num_components +
+  /// slack merged intervals. Chains and trees use ~1 interval per
+  /// component; adversarial crossing patterns blow past the budget and
+  /// fall back to the unindexed NFA walk.
+  size_t interval_budget_factor = 8;
+  size_t interval_budget_slack = 64;
+};
+
+/// Reachability structure for one (label, direction): "is there a directed
+/// path u -> v using only `label` edges traversed in `dir`". Answers
+/// include the empty path (every node reaches itself).
+///
+/// All arrays are ConstArray so an instance either owns freshly built
+/// vectors or borrows snapshot-mapped spans; accessors return views into
+/// them and are lifetime-bound accordingly.
+struct LabelReachability {
+  static constexpr uint32_t kNotIndexed = UINT32_MAX;
+
+  /// Sorted node ids incident to >=1 edge of the label (either endpoint).
+  /// Nodes outside this set reach exactly themselves.
+  ConstArray<NodeId> nodes;
+  /// Local index -> condensation component id. Components are numbered in
+  /// reverse-topological order (an edge c -> d implies d < c), so the id
+  /// doubles as the post-order number the intervals range over.
+  ConstArray<uint32_t> comp_of;
+  /// CSR over `intervals` in pair units; size num_components() + 1.
+  ConstArray<uint32_t> interval_offsets;
+  /// Flattened sorted disjoint [lo, hi] component-id pairs per component.
+  ConstArray<uint32_t> intervals;
+  /// CSR over `members`; size num_components() + 1.
+  ConstArray<uint32_t> member_offsets;
+  /// Node ids grouped by component (a permutation of `nodes`).
+  ConstArray<NodeId> members;
+
+  size_t num_components() const {
+    return interval_offsets.empty() ? 0 : interval_offsets.size() - 1;
+  }
+
+  /// Local index of `n` in `nodes`, or kNotIndexed.
+  uint32_t LocalId(NodeId n) const;
+
+  /// Component id of `n`, or nullopt when `n` has no edges of this label.
+  std::optional<uint32_t> ComponentOf(NodeId n) const;
+
+  /// True iff some path of >= 0 `label` edges leads u -> v.
+  bool Reachable(NodeId u, NodeId v) const;
+
+  /// True iff component id `target` lies in `component`'s interval list.
+  bool IntervalsContain(uint32_t component, uint32_t target) const;
+
+  /// Sorted disjoint [lo, hi] pairs of `component`, flattened.
+  std::span<const uint32_t> IntervalsOf(uint32_t component) const
+      OMEGA_LIFETIME_BOUND;
+
+  /// Nodes belonging to `component`.
+  std::span<const NodeId> MembersOf(uint32_t component) const
+      OMEGA_LIFETIME_BOUND;
+
+  /// Structural soundness: offsets monotone and covering, component ids
+  /// and interval bounds in range. With `deep`, additionally checks the
+  /// semantic invariants (nodes sorted strictly below num_nodes, every
+  /// component's intervals sorted/disjoint and containing the component
+  /// itself, members a per-component grouping of `nodes`). The snapshot
+  /// reader runs the structural half on every open and the deep half
+  /// under Verify.
+  Status Validate(size_t num_nodes, bool deep) const;
+};
+
+/// A set of LabelReachability entries keyed by (label, direction), as built
+/// for a whole store or loaded from a snapshot. Entries are heap-allocated
+/// so Find() results stay stable while entries are added.
+class ReachabilityIndex {
+ public:
+  /// Pseudo-label for the sigma-union entry: any edge label including
+  /// `type`, matching what the wildcard `_` traverses.
+  static constexpr LabelId kSigmaLabel = kInvalidLabel;
+
+  /// Builds the index for one (label, dir); `kSigmaLabel` builds over the
+  /// merged sigma + type adjacency. Returns nullopt when the interval
+  /// budget is exceeded.
+  static std::optional<LabelReachability> BuildFor(
+      const GraphStore& graph, LabelId label, Direction dir,
+      const ReachabilityBuildOptions& options = {});
+
+  /// Builds every per-label entry plus the sigma union, both directions,
+  /// skipping labels with no edges and entries over budget.
+  static ReachabilityIndex BuildAll(const GraphStore& graph,
+                                    const ReachabilityBuildOptions& options = {});
+
+  struct Entry {
+    LabelId label = kSigmaLabel;
+    Direction dir = Direction::kOutgoing;
+    std::unique_ptr<LabelReachability> reach;
+  };
+
+  void Add(LabelId label, Direction dir, LabelReachability reach);
+
+  /// The entry for (label, dir), or nullptr when absent (unindexed).
+  const LabelReachability* Find(LabelId label, Direction dir) const
+      OMEGA_LIFETIME_BOUND;
+
+  const std::vector<Entry>& entries() const OMEGA_LIFETIME_BOUND {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_INDEX_REACHABILITY_INDEX_H_

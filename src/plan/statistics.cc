@@ -154,4 +154,29 @@ ConjunctEstimate EstimateConjunct(const PreparedConjunct& prepared,
   return est;
 }
 
+ConjunctEstimate EstimateIndexProbe(const IndexProbePlan& plan,
+                                    const ProbeReachSet& set,
+                                    const LabelReachability* reach,
+                                    const GraphStore& graph) {
+  ConjunctEstimate est;
+  est.sources = plan.source != kInvalidNode ? 1 : 0;
+  if (plan.target_is_constant) {
+    // Fully-constant probe: a 0-or-1-row filter, decided right here.
+    const bool hit =
+        plan.target != kInvalidNode && set.Contains(reach, plan.target);
+    est.targets = hit ? 1 : 0;
+    est.cardinality = hit ? 1 : 0;
+    est.selectivity = hit ? 1 : 0;
+    est.provably_empty = !hit;
+    return est;
+  }
+  const double count = static_cast<double>(set.Count(reach));
+  est.targets = count;
+  est.cardinality = count;  // exact: the stream enumerates this very set
+  est.provably_empty = count == 0;
+  const double domain = std::max<double>(1.0, graph.NumNodes());
+  est.selectivity = std::clamp(count / domain, 0.0, 1.0);
+  return est;
+}
+
 }  // namespace omega

@@ -9,6 +9,7 @@
 #define OMEGA_PLAN_STATISTICS_H_
 
 #include "eval/conjunct_evaluator.h"
+#include "index/index_probe_stream.h"
 #include "store/graph_store.h"
 
 namespace omega {
@@ -36,6 +37,16 @@ struct ConjunctEstimate {
 /// widens every conjunct of the query alike.
 ConjunctEstimate EstimateConjunct(const PreparedConjunct& prepared,
                                   const GraphStore& graph);
+
+/// Prices an index-probe substitution from its precomputed reach set — the
+/// exact structure IndexProbeStream will enumerate, so unlike the NFA-level
+/// estimate above this one is a true count, not a heuristic: cardinality is
+/// the reach-set size (variable target) or a 0/1 containment test (constant
+/// target). `reach` may be null (absent label — the set is then extras-only).
+ConjunctEstimate EstimateIndexProbe(const IndexProbePlan& plan,
+                                    const ProbeReachSet& set,
+                                    const LabelReachability* reach,
+                                    const GraphStore& graph);
 
 }  // namespace omega
 

@@ -1,6 +1,8 @@
 #include "rpq/regex_ast.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace omega {
 namespace {
@@ -170,6 +172,96 @@ std::vector<const RegexNode*> TopLevelAlternatives(const RegexNode& node) {
   out.reserve(node.children.size());
   for (const auto& child : node.children) out.push_back(child.get());
   return out;
+}
+
+namespace {
+
+// True when `node` is a bare atom matching (is_wildcard, label, dir); when
+// `*first` is still unset, the atom defines the shape instead.
+bool MatchAtom(const RegexNode& node, std::optional<ClosureShape>* first) {
+  if (node.op != RegexOp::kLabel && node.op != RegexOp::kWildcard) {
+    return false;
+  }
+  const bool wildcard = node.op == RegexOp::kWildcard;
+  if (!first->has_value()) {
+    ClosureShape shape;
+    shape.is_wildcard = wildcard;
+    if (!wildcard) shape.label = node.label;
+    shape.dir = node.dir;
+    *first = std::move(shape);
+    return true;
+  }
+  const ClosureShape& shape = **first;
+  if (shape.is_wildcard != wildcard || shape.dir != node.dir) return false;
+  return wildcard || shape.label == node.label;
+}
+
+}  // namespace
+
+std::optional<ClosureShape> RecognizeClosureShape(const RegexNode& node) {
+  std::vector<const RegexNode*> factors;
+  if (node.op == RegexOp::kConcat) {
+    for (const auto& child : node.children) factors.push_back(child.get());
+  } else {
+    factors.push_back(&node);
+  }
+  std::optional<ClosureShape> shape;
+  uint32_t min_hops = 0;
+  bool has_closure = false;
+  for (const RegexNode* factor : factors) {
+    switch (factor->op) {
+      case RegexOp::kLabel:
+      case RegexOp::kWildcard:
+        if (!MatchAtom(*factor, &shape)) return std::nullopt;
+        ++min_hops;
+        break;
+      case RegexOp::kStar:
+      case RegexOp::kPlus:
+        if (!MatchAtom(*factor->children[0], &shape)) return std::nullopt;
+        if (factor->op == RegexOp::kPlus) ++min_hops;
+        has_closure = true;
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  if (!shape.has_value() || !has_closure) return std::nullopt;
+  shape->min_hops = min_hops;
+  return shape;
+}
+
+std::optional<uint32_t> MaxEdgeCount(const RegexNode& node) {
+  switch (node.op) {
+    case RegexOp::kEpsilon:
+      return 0;
+    case RegexOp::kLabel:
+    case RegexOp::kWildcard:
+      return 1;
+    case RegexOp::kConcat: {
+      uint64_t total = 0;
+      for (const auto& child : node.children) {
+        const std::optional<uint32_t> n = MaxEdgeCount(*child);
+        if (!n.has_value()) return std::nullopt;
+        total += *n;
+      }
+      return total > std::numeric_limits<uint32_t>::max()
+                 ? std::nullopt
+                 : std::optional<uint32_t>(static_cast<uint32_t>(total));
+    }
+    case RegexOp::kAlternation: {
+      uint32_t longest = 0;
+      for (const auto& child : node.children) {
+        const std::optional<uint32_t> n = MaxEdgeCount(*child);
+        if (!n.has_value()) return std::nullopt;
+        longest = std::max(longest, *n);
+      }
+      return longest;
+    }
+    case RegexOp::kStar:
+    case RegexOp::kPlus:
+      return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 }  // namespace omega

@@ -7,7 +7,9 @@
 #ifndef OMEGA_RPQ_REGEX_AST_H_
 #define OMEGA_RPQ_REGEX_AST_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,29 @@ bool RegexEquals(const RegexNode& a, const RegexNode& b);
 /// If `node` is a top-level alternation, returns its branches; otherwise
 /// returns {&node}. Used by the alternation->disjunction optimisation.
 std::vector<const RegexNode*> TopLevelAlternatives(const RegexNode& node);
+
+// --- shape analysis ----------------------------------------------------------
+
+/// A regex whose language is {a^k : k >= min_hops} for one atom `a` — the
+/// shapes (`a*`, `a+`, `a.a*`, `a-*`, `_*`, ...) the reachability index can
+/// answer with an interval probe instead of an NFA walk. The atom is either
+/// a single (label, direction) or the wildcard `_` with a direction.
+struct ClosureShape {
+  bool is_wildcard = false;
+  std::string label;                     // meaningful iff !is_wildcard
+  Direction dir = Direction::kOutgoing;
+  uint32_t min_hops = 0;                 // 0 for a*, 1 for a+ / a.a*, ...
+};
+
+/// Recognises single-atom closures: a concatenation (possibly of length 1)
+/// of `a`, `a*`, `a+` factors over one identical atom, containing at least
+/// one star or plus. Returns nullopt for every other shape.
+std::optional<ClosureShape> RecognizeClosureShape(const RegexNode& node);
+
+/// Edge count of the longest path the language accepts, or nullopt when it
+/// is unbounded (the regex contains a star/plus). Used by the distance
+/// sketch to bound how far a flexible match can stray from the endpoints.
+std::optional<uint32_t> MaxEdgeCount(const RegexNode& node);
 
 }  // namespace omega
 

@@ -70,7 +70,11 @@ struct DatasetEpoch {
                std::unique_ptr<ResultCache> cache_in)
       : id(id_in),
         dataset(std::move(dataset_in)),
-        engine(graph, ontology),
+        // The dataset's IndexManager (snapshot-preloaded or lazily built)
+        // feeds index substitution; a borrowed-pointer epoch 0 has no
+        // dataset and thus no index.
+        engine(graph, ontology,
+               dataset == nullptr ? nullptr : dataset->indexes()),
         cache(std::move(cache_in)) {}
 
   uint64_t id;

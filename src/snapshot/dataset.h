@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/lifetime_annotations.h"
+#include "index/index_manager.h"
 #include "ontology/ontology.h"
 #include "snapshot/mapped_file.h"
 #include "store/graph_store.h"
@@ -33,6 +34,7 @@ class OMEGA_OWNER_TYPE Dataset {
     auto dataset = std::make_shared<Dataset>();
     dataset->graph_ = std::move(graph);
     dataset->ontology_ = std::move(ontology);
+    dataset->indexes_ = std::make_unique<IndexManager>(&dataset->graph_);
     return dataset;
   }
 
@@ -50,6 +52,13 @@ class OMEGA_OWNER_TYPE Dataset {
     return backing_.get();
   }
 
+  /// The dataset's index manager: snapshot-preloaded reachability/sketch
+  /// structures when the file carried them, built on demand otherwise.
+  /// Null only on a default-constructed Dataset that was never filled.
+  const IndexManager* indexes() const OMEGA_LIFETIME_BOUND {
+    return indexes_.get();
+  }
+
  private:
   friend class SnapshotReader;
 
@@ -58,6 +67,9 @@ class OMEGA_OWNER_TYPE Dataset {
   std::shared_ptr<const MappedFile> backing_;
   GraphStore graph_;
   std::optional<Ontology> ontology_;
+  // After graph_: the manager's preloaded arrays may borrow the mapping
+  // and its lazy builds read graph_.
+  std::unique_ptr<IndexManager> indexes_;
 };
 
 }  // namespace omega

@@ -36,12 +36,18 @@ namespace omega {
 
 inline constexpr char kSnapshotMagic[8] = {'O', 'M', 'E', 'G',
                                            'S', 'N', 'A', 'P'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Version 2 added the reachability-index and distance-sketch sections; a
+/// version-1 file is exactly a version-2 file without them, so the reader
+/// accepts the whole [min, current] range.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersionMin = 1;
 inline constexpr uint32_t kSnapshotEndianMark = 0x01020304;
 inline constexpr size_t kSectionAlignment = 64;
 
 /// Header flag bits.
 inline constexpr uint32_t kSnapshotFlagHasOntology = 1u << 0;
+inline constexpr uint32_t kSnapshotFlagHasReachIndex = 1u << 1;
+inline constexpr uint32_t kSnapshotFlagHasDistanceSketch = 1u << 2;
 
 /// Section kinds. The `dir` / `label` fields of a SectionEntry are only
 /// meaningful for the CSR kinds; `label == kSigmaSectionLabel` marks the
@@ -65,6 +71,18 @@ enum class SectionKind : uint32_t {
   kOntologyPropertyParents = 16,        // u32 PropertyId
   kOntologyDomains = 17,    // u32 ClassId (kInvalidClass = none)
   kOntologyRanges = 18,     // u32 ClassId (kInvalidClass = none)
+  // Reachability index (v2+): six arrays per indexed (dir, label), the
+  // fields of LabelReachability. `label == kSigmaSectionLabel` is the
+  // sigma-union entry (matching the wildcard's sigma + type traversal).
+  kReachNodes = 19,            // u32 NodeId, sorted incident nodes
+  kReachComponents = 20,       // u32, count = reach nodes
+  kReachIntervalOffsets = 21,  // u32 pair offsets, count = components + 1
+  kReachIntervals = 22,        // u32 [lo, hi] pairs, flattened
+  kReachMemberOffsets = 23,    // u32, count = components + 1
+  kReachMembers = 24,          // u32 NodeId, count = reach nodes
+  // Distance sketch (v2+): hub ids + row-major hubs x num_nodes hops.
+  kSketchHubs = 25,            // u32 NodeId
+  kSketchDistances = 26,       // u32, count = hubs * num_nodes
 };
 
 inline constexpr uint64_t kSigmaSectionLabel = ~0ull;
@@ -131,6 +149,14 @@ inline size_t SectionElementSize(SectionKind kind) {
     case SectionKind::kOntologyPropertyParents:
     case SectionKind::kOntologyDomains:
     case SectionKind::kOntologyRanges:
+    case SectionKind::kReachNodes:
+    case SectionKind::kReachComponents:
+    case SectionKind::kReachIntervalOffsets:
+    case SectionKind::kReachIntervals:
+    case SectionKind::kReachMemberOffsets:
+    case SectionKind::kReachMembers:
+    case SectionKind::kSketchHubs:
+    case SectionKind::kSketchDistances:
       return 4;
   }
   return 0;  // unknown kind (rejected by the reader)

@@ -7,6 +7,9 @@
 #include <tuple>
 
 #include "common/lifetime_annotations.h"
+#include "index/distance_sketch.h"
+#include "index/index_manager.h"
+#include "index/reachability_index.h"
 #include "snapshot/snapshot_writer.h"
 
 namespace omega {
@@ -35,6 +38,14 @@ const char* SectionKindToString(SectionKind kind) {
       return "ontology.property_parents";
     case SectionKind::kOntologyDomains: return "ontology.domains";
     case SectionKind::kOntologyRanges: return "ontology.ranges";
+    case SectionKind::kReachNodes: return "reach.nodes";
+    case SectionKind::kReachComponents: return "reach.components";
+    case SectionKind::kReachIntervalOffsets: return "reach.interval_offsets";
+    case SectionKind::kReachIntervals: return "reach.intervals";
+    case SectionKind::kReachMemberOffsets: return "reach.member_offsets";
+    case SectionKind::kReachMembers: return "reach.members";
+    case SectionKind::kSketchHubs: return "sketch.hubs";
+    case SectionKind::kSketchDistances: return "sketch.distances";
   }
   return "unknown";
 }
@@ -120,6 +131,19 @@ class SectionIndex {
     return file_->ViewAt<T>(entry.offset, entry.count);
   }
 
+  /// The (dir, label) keys present for `kind`, in TOC-map order
+  /// (deterministic: sorted by dir then label).
+  std::vector<std::pair<uint32_t, uint64_t>> KeysOf(SectionKind kind) const {
+    std::vector<std::pair<uint32_t, uint64_t>> keys;
+    for (const auto& [key, entry] : by_key_) {
+      (void)entry;
+      if (std::get<0>(key) == static_cast<uint32_t>(kind)) {
+        keys.emplace_back(std::get<1>(key), std::get<2>(key));
+      }
+    }
+    return keys;
+  }
+
  private:
   explicit SectionIndex(const MappedFile* file) : file_(file) {}
 
@@ -144,11 +168,18 @@ Result<SnapshotHeader> ReadHeader(const MappedFile& file,
     return Status::InvalidArgument(
         "snapshot written with a different byte order: " + path);
   }
-  if (header.format_version != kSnapshotFormatVersion) {
+  if (header.format_version < kSnapshotFormatVersionMin ||
+      header.format_version > kSnapshotFormatVersion) {
     return Status::InvalidArgument(
         "unsupported snapshot format version " +
         std::to_string(header.format_version) + " (this build reads " +
+        std::to_string(kSnapshotFormatVersionMin) + ".." +
         std::to_string(kSnapshotFormatVersion) + "): " + path);
+  }
+  if (header.format_version < 2 &&
+      (header.flags &
+       (kSnapshotFlagHasReachIndex | kSnapshotFlagHasDistanceSketch)) != 0) {
+    return Corrupt("v1 snapshot carries v2 index flags: " + path);
   }
   SnapshotHeader zeroed = header;
   zeroed.header_checksum = 0;
@@ -358,6 +389,59 @@ Result<Ontology> RebuildOntology(const SectionIndex& index,
   return std::move(builder).Finalize();
 }
 
+// One (dir, label) reachability entry: six borrowed arrays, then the
+// structural half of LabelReachability::Validate on every open (the index
+// is probed with untrusted offsets) and the deep half under Verify.
+Result<LabelReachability> LoadReachability(const SectionIndex& index,
+                                           uint32_t dir, uint64_t label,
+                                           uint64_t num_nodes,
+                                           bool deep_validate) {
+  Result<std::span<const NodeId>> nodes =
+      index.Get<NodeId>(SectionKind::kReachNodes, dir, label, SIZE_MAX);
+  if (!nodes.ok()) return nodes.status();
+  Result<std::span<const uint32_t>> comp_of = index.Get<uint32_t>(
+      SectionKind::kReachComponents, dir, label, nodes->size());
+  if (!comp_of.ok()) return comp_of.status();
+  Result<std::span<const uint32_t>> interval_offsets = index.Get<uint32_t>(
+      SectionKind::kReachIntervalOffsets, dir, label, SIZE_MAX);
+  if (!interval_offsets.ok()) return interval_offsets.status();
+  Result<std::span<const uint32_t>> intervals = index.Get<uint32_t>(
+      SectionKind::kReachIntervals, dir, label, SIZE_MAX);
+  if (!intervals.ok()) return intervals.status();
+  Result<std::span<const uint32_t>> member_offsets = index.Get<uint32_t>(
+      SectionKind::kReachMemberOffsets, dir, label, interval_offsets->size());
+  if (!member_offsets.ok()) return member_offsets.status();
+  Result<std::span<const NodeId>> members =
+      index.Get<NodeId>(SectionKind::kReachMembers, dir, label, nodes->size());
+  if (!members.ok()) return members.status();
+
+  LabelReachability reach;
+  reach.nodes = ConstArray<NodeId>::Borrowed(*nodes);
+  reach.comp_of = ConstArray<uint32_t>::Borrowed(*comp_of);
+  reach.interval_offsets = ConstArray<uint32_t>::Borrowed(*interval_offsets);
+  reach.intervals = ConstArray<uint32_t>::Borrowed(*intervals);
+  reach.member_offsets = ConstArray<uint32_t>::Borrowed(*member_offsets);
+  reach.members = ConstArray<NodeId>::Borrowed(*members);
+  OMEGA_RETURN_NOT_OK(reach.Validate(num_nodes, deep_validate));
+  return reach;
+}
+
+Result<DistanceSketch> LoadSketch(const SectionIndex& index,
+                                  uint64_t num_nodes) {
+  Result<std::span<const NodeId>> hubs =
+      index.Get<NodeId>(SectionKind::kSketchHubs, 0, 0, SIZE_MAX);
+  if (!hubs.ok()) return hubs.status();
+  if (num_nodes != 0 && hubs->size() > SIZE_MAX / num_nodes) {
+    return Corrupt("sketch hub count overflows the row shape");
+  }
+  Result<std::span<const uint32_t>> distances = index.Get<uint32_t>(
+      SectionKind::kSketchDistances, 0, 0, hubs->size() * num_nodes);
+  if (!distances.ok()) return distances.status();
+  return DistanceSketch::FromParts(ConstArray<NodeId>::Borrowed(*hubs),
+                                   ConstArray<uint32_t>::Borrowed(*distances),
+                                   num_nodes);
+}
+
 }  // namespace
 
 Result<std::shared_ptr<const Dataset>> SnapshotReader::Open(
@@ -456,6 +540,35 @@ Result<std::shared_ptr<const Dataset>> SnapshotReader::Open(
     if (!ontology.ok()) return ontology.status();
     dataset->ontology_ = std::move(*ontology);
   }
+
+  // --- Reachability index + distance sketch (v2), zero-copy ---------------
+  ReachabilityIndex reach_index;
+  if ((header->flags & kSnapshotFlagHasReachIndex) != 0) {
+    const auto keys = index->KeysOf(SectionKind::kReachNodes);
+    if (keys.empty()) return Corrupt("reach index flag set but no sections");
+    for (const auto& [dir, label] : keys) {
+      if (dir > 1) return Corrupt("reach section direction out of range");
+      if (label != kSigmaSectionLabel && label >= header->num_labels) {
+        return Corrupt("reach section label out of range");
+      }
+      Result<LabelReachability> reach = LoadReachability(
+          *index, dir, label, header->num_nodes, options.deep_validate);
+      if (!reach.ok()) return reach.status();
+      reach_index.Add(label == kSigmaSectionLabel
+                          ? ReachabilityIndex::kSigmaLabel
+                          : static_cast<LabelId>(label),
+                      dir == 1 ? Direction::kIncoming : Direction::kOutgoing,
+                      std::move(*reach));
+    }
+  }
+  std::optional<DistanceSketch> sketch;
+  if ((header->flags & kSnapshotFlagHasDistanceSketch) != 0) {
+    Result<DistanceSketch> loaded = LoadSketch(*index, header->num_nodes);
+    if (!loaded.ok()) return loaded.status();
+    sketch = std::move(*loaded);
+  }
+  dataset->indexes_ = std::make_unique<IndexManager>(
+      &graph, std::move(reach_index), std::move(sketch));
   return std::shared_ptr<const Dataset>(std::move(dataset));
 }
 
@@ -468,6 +581,9 @@ Result<SnapshotInfo> SnapshotReader::Inspect(const std::string& path) {
   SnapshotInfo info;
   info.format_version = header->format_version;
   info.has_ontology = (header->flags & kSnapshotFlagHasOntology) != 0;
+  info.has_reach_index = (header->flags & kSnapshotFlagHasReachIndex) != 0;
+  info.has_distance_sketch =
+      (header->flags & kSnapshotFlagHasDistanceSketch) != 0;
   info.file_size = header->file_size;
   info.num_nodes = header->num_nodes;
   info.num_edges = header->num_edges;
@@ -500,13 +616,17 @@ std::string SnapshotInfo::ToString() const {
   std::ostringstream out;
   out << "omega snapshot v" << format_version << ": " << num_nodes
       << " nodes, " << num_edges << " edges, " << num_labels << " labels, "
-      << (has_ontology ? "with" : "no") << " ontology, " << file_size
-      << " bytes, " << sections.size() << " sections\n";
+      << (has_ontology ? "with" : "no") << " ontology, "
+      << (has_reach_index ? "with" : "no") << " reach index, "
+      << (has_distance_sketch ? "with" : "no") << " distance sketch, "
+      << file_size << " bytes, " << sections.size() << " sections\n";
   for (const SectionEntry& entry : sections) {
     const SectionKind kind = static_cast<SectionKind>(entry.kind);
     out << "  " << SectionKindToString(kind);
     if (kind == SectionKind::kCsrRows || kind == SectionKind::kCsrOffsets ||
-        kind == SectionKind::kCsrNeighbors) {
+        kind == SectionKind::kCsrNeighbors ||
+        (kind >= SectionKind::kReachNodes &&
+         kind <= SectionKind::kReachMembers)) {
       out << "[dir=" << entry.dir << ",label=";
       if (entry.label == kSigmaSectionLabel) {
         out << "sigma";

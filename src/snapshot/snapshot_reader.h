@@ -31,6 +31,8 @@ namespace omega {
 struct SnapshotInfo {
   uint32_t format_version = 0;
   bool has_ontology = false;
+  bool has_reach_index = false;      // v2 reachability-index sections
+  bool has_distance_sketch = false;  // v2 distance-sketch sections
   uint64_t file_size = 0;
   uint64_t num_nodes = 0;
   uint64_t num_edges = 0;

@@ -179,9 +179,36 @@ void AddOntologySections(SectionList* list, const Ontology& ontology) {
   list->AddOwned(SectionKind::kOntologyRanges, std::move(ranges));
 }
 
+void AddReachabilitySections(SectionList* list,
+                             const ReachabilityIndex& index) {
+  for (const ReachabilityIndex::Entry& entry : index.entries()) {
+    const uint32_t dir = entry.dir == Direction::kIncoming ? 1 : 0;
+    const uint64_t label = entry.label == ReachabilityIndex::kSigmaLabel
+                               ? kSigmaSectionLabel
+                               : entry.label;
+    const LabelReachability& reach = *entry.reach;
+    list->Add(SectionKind::kReachNodes, reach.nodes.span(), dir, label);
+    list->Add(SectionKind::kReachComponents, reach.comp_of.span(), dir, label);
+    list->Add(SectionKind::kReachIntervalOffsets,
+              reach.interval_offsets.span(), dir, label);
+    list->Add(SectionKind::kReachIntervals, reach.intervals.span(), dir,
+              label);
+    list->Add(SectionKind::kReachMemberOffsets, reach.member_offsets.span(),
+              dir, label);
+    list->Add(SectionKind::kReachMembers, reach.members.span(), dir, label);
+  }
+}
+
 }  // namespace
 
 Status SnapshotWriter::Write(const GraphStore& graph, const Ontology* ontology,
+                             const std::string& path) const {
+  return Write(graph, ontology, nullptr, nullptr, path);
+}
+
+Status SnapshotWriter::Write(const GraphStore& graph, const Ontology* ontology,
+                             const ReachabilityIndex* reachability,
+                             const DistanceSketch* sketch,
                              const std::string& path) const {
   SectionList list;
 
@@ -203,12 +230,23 @@ Status SnapshotWriter::Write(const GraphStore& graph, const Ontology* ontology,
   }
   if (ontology != nullptr) AddOntologySections(&list, *ontology);
 
+  // --- Index sections (v2): reachability entries + distance sketch -------
+  const bool has_reach = reachability != nullptr && !reachability->empty();
+  const bool has_sketch = sketch != nullptr && !sketch->empty();
+  if (has_reach) AddReachabilitySections(&list, *reachability);
+  if (has_sketch) {
+    list.Add(SectionKind::kSketchHubs, sketch->hubs());
+    list.Add(SectionKind::kSketchDistances, sketch->distances());
+  }
+
   // --- Lay out: header, TOC, aligned sections ----------------------------
   SnapshotHeader header;
   std::memcpy(header.magic, kSnapshotMagic, sizeof(header.magic));
   header.format_version = kSnapshotFormatVersion;
   header.endian_mark = kSnapshotEndianMark;
-  header.flags = ontology != nullptr ? kSnapshotFlagHasOntology : 0;
+  header.flags = (ontology != nullptr ? kSnapshotFlagHasOntology : 0) |
+                 (has_reach ? kSnapshotFlagHasReachIndex : 0) |
+                 (has_sketch ? kSnapshotFlagHasDistanceSketch : 0);
   header.section_count = static_cast<uint32_t>(list.sections().size());
   header.num_nodes = graph.NumNodes();
   header.num_edges = graph.NumEdges();
@@ -286,6 +324,12 @@ Status SnapshotWriter::Write(const GraphStore& graph, const Ontology* ontology,
 Status WriteSnapshot(const GraphStore& graph, const Ontology* ontology,
                      const std::string& path) {
   return SnapshotWriter().Write(graph, ontology, path);
+}
+
+Status WriteSnapshot(const GraphStore& graph, const Ontology* ontology,
+                     const ReachabilityIndex* reachability,
+                     const DistanceSketch* sketch, const std::string& path) {
+  return SnapshotWriter().Write(graph, ontology, reachability, sketch, path);
 }
 
 }  // namespace omega

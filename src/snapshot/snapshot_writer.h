@@ -3,15 +3,18 @@
 // aligned, checksummed section per array. The graph arrays are written
 // straight out of the store (they are already in on-disk shape thanks to
 // the ConstArray/StringTable seam); the ontology is flattened into the same
-// heap + offsets shape. Writes go to "<path>.tmp" and are renamed into
-// place, so a crash mid-write never leaves a truncated file behind the
-// final name.
+// heap + offsets shape, and a prebuilt reachability index / distance sketch
+// can ride along as v2 sections so serving never rebuilds them. Writes go
+// to "<path>.tmp" and are renamed into place, so a crash mid-write never
+// leaves a truncated file behind the final name.
 #ifndef OMEGA_SNAPSHOT_SNAPSHOT_WRITER_H_
 #define OMEGA_SNAPSHOT_SNAPSHOT_WRITER_H_
 
 #include <string>
 
 #include "common/status.h"
+#include "index/distance_sketch.h"
+#include "index/reachability_index.h"
 #include "ontology/ontology.h"
 #include "store/graph_store.h"
 
@@ -22,11 +25,20 @@ class SnapshotWriter {
   /// Writes `graph` (and `ontology`, when non-null) to `path`.
   Status Write(const GraphStore& graph, const Ontology* ontology,
                const std::string& path) const;
+
+  /// Same, additionally persisting a reachability index and/or distance
+  /// sketch (either may be null).
+  Status Write(const GraphStore& graph, const Ontology* ontology,
+               const ReachabilityIndex* reachability,
+               const DistanceSketch* sketch, const std::string& path) const;
 };
 
-/// Convenience wrapper around SnapshotWriter::Write.
+/// Convenience wrappers around SnapshotWriter::Write.
 Status WriteSnapshot(const GraphStore& graph, const Ontology* ontology,
                      const std::string& path);
+Status WriteSnapshot(const GraphStore& graph, const Ontology* ontology,
+                     const ReachabilityIndex* reachability,
+                     const DistanceSketch* sketch, const std::string& path);
 
 }  // namespace omega
 

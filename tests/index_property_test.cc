@@ -1,0 +1,179 @@
+// Randomized equivalence properties for the reachability & distance index:
+// every index-substituted plan must produce the identical ranked answer
+// multiset as the plain NFA product walk, over random graphs containing SCC
+// cycles, self-loops and disconnected nodes, across the closure shapes the
+// planner recognises; and the distance-sketch ψ floor must change round
+// counts, never answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "eval/distance_aware.h"
+#include "eval/query_engine.h"
+#include "index/distance_sketch.h"
+#include "index/index_manager.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using omega::testing::CanonAnswers;
+using omega::testing::Cj;
+using omega::testing::MakeGraph;
+using omega::testing::Qy;
+using omega::testing::RandomGraph;
+
+class IndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexPropertyTest, SubstitutedPlansMatchNfaWalk) {
+  const uint64_t seed = GetParam();
+  // Dense enough for multi-node SCCs, sparse enough to leave some nodes
+  // without `a` edges entirely (the "extras" path).
+  GraphStore g = RandomGraph(seed, 24, {"a", "b"}, 1.3);
+  IndexManager indexes(&g);
+  QueryEngine engine(&g, nullptr, &indexes);
+
+  const std::string c1 = "n" + std::to_string(seed % 24);
+  const std::string c2 = "n" + std::to_string((seed / 7) % 24);
+  const std::vector<std::string> queries = {
+      "(?Y) <- (" + c1 + ", a*, ?Y)",
+      "(?X) <- (?X, a*, " + c1 + ")",
+      "(?Y) <- (" + c1 + ", a+, ?Y)",
+      "(?Y) <- (" + c1 + ", a.a*, ?Y)",
+      "(?Y) <- (" + c1 + ", a-*, ?Y)",
+      "(?Y) <- (" + c1 + ", _*, ?Y)",
+      "(?Y) <- (" + c1 + ", a+, " + c2 + "), (" + c2 + ", _*, ?Y)",
+      "(?X, ?Z) <- (" + c1 + ", a*, ?X), (?X, b, ?Z)",
+  };
+
+  QueryEngineOptions with_index;
+  QueryEngineOptions no_index;
+  no_index.use_reachability_index = false;
+  for (const std::string& text : queries) {
+    const Query query = Qy(text);
+    Result<std::vector<QueryAnswer>> indexed =
+        engine.ExecuteTopK(query, 0, with_index);
+    Result<std::vector<QueryAnswer>> walked =
+        engine.ExecuteTopK(query, 0, no_index);
+    ASSERT_TRUE(indexed.ok()) << text;
+    ASSERT_TRUE(walked.ok()) << text;
+    EXPECT_EQ(CanonAnswers(*indexed), CanonAnswers(*walked))
+        << "seed=" << seed << " query=" << text;
+  }
+}
+
+TEST_P(IndexPropertyTest, SubstitutionActuallyEngages) {
+  // Guard against the equivalence above becoming vacuous: the closure
+  // query must really plan through the index on these graphs.
+  const uint64_t seed = GetParam();
+  GraphStore g = RandomGraph(seed, 24, {"a", "b"}, 1.3);
+  IndexManager indexes(&g);
+  QueryEngine engine(&g, nullptr, &indexes);
+  Result<std::string> explain =
+      engine.ExplainQuery(Qy("(?Y) <- (n0, a*, ?Y)"));
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("IndexProbe"), std::string::npos) << *explain;
+}
+
+TEST_P(IndexPropertyTest, SketchFloorNeverChangesApproxAnswers) {
+  const uint64_t seed = GetParam();
+  GraphStore g = RandomGraph(seed, 20, {"a", "b"}, 1.1);
+  IndexManager indexes(&g);
+  QueryEngine engine(&g, nullptr, &indexes);
+
+  const std::string c1 = "n" + std::to_string(seed % 20);
+  const std::string c2 = "n" + std::to_string((3 + seed / 5) % 20);
+  const Query query = Qy("(?X) <- APPROX (" + c1 + ", a.b, " + c2 +
+                         "), (" + c1 + ", _*, ?X)");
+
+  QueryEngineOptions base;
+  base.distance_aware = true;
+  // A finite distance ceiling terminates both variants at the same point;
+  // the fruitless-round guard is effectively disabled so an early give-up
+  // cannot masquerade as sketch-pruning.
+  base.evaluator.max_distance = 8;
+  base.distance_aware_options.max_fruitless_rounds = 1000;
+  QueryEngineOptions no_index = base;
+  no_index.use_reachability_index = false;
+
+  Result<std::vector<QueryAnswer>> with =
+      engine.ExecuteTopK(query, 0, base);
+  Result<std::vector<QueryAnswer>> without =
+      engine.ExecuteTopK(query, 0, no_index);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(CanonAnswers(*with), CanonAnswers(*without)) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Deterministic sketch-floor behaviour ------------------------------------
+
+TEST(SketchFloorTest, SkipsProvablyEmptyRoundsOnAChain) {
+  GraphStore g = MakeGraph({{"x0", "e", "x1"},
+                            {"x1", "e", "x2"},
+                            {"x2", "e", "x3"},
+                            {"x3", "e", "x4"},
+                            {"x4", "e", "x5"}});
+  const DistanceSketch sketch = DistanceSketch::Build(g);
+  Conjunct conjunct = Cj("APPROX (x0, e, x5)");
+  EvaluatorOptions options;
+  options.max_distance = 16;
+  Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                      options);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->max_exact_path_edges.has_value());
+  EXPECT_EQ(*prepared->max_exact_path_edges, 1u);
+
+  DistanceAwareOptions da_options;
+  da_options.max_fruitless_rounds = 1000;
+  DistanceAwareStream plain(&g, nullptr, &*prepared, options, da_options);
+  DistanceAwareStream pruned(&g, nullptr, &*prepared, options, da_options,
+                             &sketch);
+  // x0 -> x5 is 5 undirected hops and the exact regex covers 1, so at
+  // least 4 insertions are mandatory: the first 4 psi rounds are provably
+  // empty and the sketch floor starts at psi = 4.
+  EXPECT_EQ(pruned.initial_psi(), 4);
+  EXPECT_EQ(plain.initial_psi(), 0);
+
+  auto drain = [](DistanceAwareStream* s) {
+    std::vector<Answer> out;
+    Answer a;
+    while (s->Next(&a)) out.push_back(a);
+    std::sort(out.begin(), out.end(), [](const Answer& x, const Answer& y) {
+      return std::tie(x.distance, x.v, x.n) < std::tie(y.distance, y.v, y.n);
+    });
+    return out;
+  };
+  const std::vector<Answer> plain_answers = drain(&plain);
+  const std::vector<Answer> pruned_answers = drain(&pruned);
+  ASSERT_FALSE(plain_answers.empty());
+  EXPECT_EQ(plain_answers, pruned_answers);
+  EXPECT_LT(pruned.rounds(), plain.rounds());
+}
+
+TEST(SketchFloorTest, DifferentComponentsProveEmptiness) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"c", "e", "d"}});
+  const DistanceSketch sketch = DistanceSketch::Build(g);
+  Conjunct conjunct = Cj("APPROX (a, e, c)");
+  EvaluatorOptions options;
+  options.max_distance = 16;
+  Result<PreparedConjunct> prepared = PrepareConjunct(conjunct, g, nullptr,
+                                                      options);
+  ASSERT_TRUE(prepared.ok());
+  DistanceAwareOptions da_options;
+  da_options.max_fruitless_rounds = 1000;
+  DistanceAwareStream pruned(&g, nullptr, &*prepared, options, da_options,
+                             &sketch);
+  Answer a;
+  EXPECT_FALSE(pruned.Next(&a));
+  EXPECT_TRUE(pruned.status().ok());
+  EXPECT_EQ(pruned.rounds(), 0u);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,536 @@
+// Reachability & distance index tests: interval construction on known DAGs
+// (chains, diamonds, SCC cycles, self-loops, disconnected nodes), the
+// sigma-union entry, the interval-budget fallback, distance-sketch lower
+// bounds, the lazily-building IndexManager, the IndexProbeStream, engine
+// substitution (EXPLAIN marker + identical answers), and snapshot
+// persistence of both structures including v1 backward compatibility.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "eval/query_engine.h"
+#include "index/distance_sketch.h"
+#include "index/index_manager.h"
+#include "index/index_probe_stream.h"
+#include "index/reachability_index.h"
+#include "snapshot/snapshot_format.h"
+#include "snapshot/snapshot_reader.h"
+#include "snapshot/snapshot_writer.h"
+#include "store/graph_builder.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using omega::testing::CanonAnswers;
+using omega::testing::MakeGraph;
+using omega::testing::Qy;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+NodeId Node(const GraphStore& g, const std::string& name) {
+  std::optional<NodeId> n = g.FindNode(name);
+  EXPECT_TRUE(n.has_value()) << name;
+  return n.value_or(kInvalidNode);
+}
+
+LabelId Label(const GraphStore& g, const std::string& name) {
+  std::optional<LabelId> l = g.labels().Find(name);
+  EXPECT_TRUE(l.has_value()) << name;
+  return l.value_or(kInvalidLabel);
+}
+
+/// Reference reachability: BFS over `label` edges in `dir`.
+bool BfsReachable(const GraphStore& g, LabelId label, Direction dir, NodeId u,
+                  NodeId v) {
+  std::vector<bool> seen(g.NumNodes(), false);
+  std::queue<NodeId> frontier;
+  seen[u] = true;
+  frontier.push(u);
+  while (!frontier.empty()) {
+    const NodeId n = frontier.front();
+    frontier.pop();
+    if (n == v) return true;
+    for (const NodeId m : g.Neighbors(n, label, dir)) {
+      if (!seen[m]) {
+        seen[m] = true;
+        frontier.push(m);
+      }
+    }
+  }
+  return false;
+}
+
+// --- LabelReachability construction ------------------------------------------
+
+TEST(ReachabilityIndexTest, ChainIsFullyOrdered) {
+  GraphStore g = MakeGraph(
+      {{"x0", "a", "x1"}, {"x1", "a", "x2"}, {"x2", "a", "x3"}});
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(g, Label(g, "a"), Direction::kOutgoing);
+  ASSERT_TRUE(reach.has_value());
+  EXPECT_EQ(reach->num_components(), 4u);
+  EXPECT_TRUE(reach->Validate(g.NumNodes(), /*deep=*/true).ok());
+  const NodeId x0 = Node(g, "x0"), x3 = Node(g, "x3");
+  EXPECT_TRUE(reach->Reachable(x0, x3));
+  EXPECT_TRUE(reach->Reachable(x0, x0));
+  EXPECT_FALSE(reach->Reachable(x3, x0));
+  EXPECT_FALSE(reach->Reachable(Node(g, "x2"), Node(g, "x1")));
+}
+
+TEST(ReachabilityIndexTest, DiamondMergesBranches) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"a", "e", "c"},
+                            {"b", "e", "d"},
+                            {"c", "e", "d"}});
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(g, Label(g, "e"), Direction::kOutgoing);
+  ASSERT_TRUE(reach.has_value());
+  EXPECT_TRUE(reach->Validate(g.NumNodes(), /*deep=*/true).ok());
+  EXPECT_TRUE(reach->Reachable(Node(g, "a"), Node(g, "d")));
+  EXPECT_TRUE(reach->Reachable(Node(g, "b"), Node(g, "d")));
+  EXPECT_FALSE(reach->Reachable(Node(g, "b"), Node(g, "c")));
+  EXPECT_FALSE(reach->Reachable(Node(g, "d"), Node(g, "a")));
+}
+
+TEST(ReachabilityIndexTest, CycleCondensesToOneComponent) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"b", "e", "c"},
+                            {"c", "e", "a"},
+                            {"c", "e", "d"}});
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(g, Label(g, "e"), Direction::kOutgoing);
+  ASSERT_TRUE(reach.has_value());
+  EXPECT_EQ(reach->num_components(), 2u);  // {a,b,c} + {d}
+  EXPECT_TRUE(reach->Validate(g.NumNodes(), /*deep=*/true).ok());
+  // Inside the SCC everything reaches everything, both ways.
+  EXPECT_TRUE(reach->Reachable(Node(g, "b"), Node(g, "a")));
+  EXPECT_TRUE(reach->Reachable(Node(g, "a"), Node(g, "c")));
+  EXPECT_TRUE(reach->Reachable(Node(g, "a"), Node(g, "d")));
+  EXPECT_FALSE(reach->Reachable(Node(g, "d"), Node(g, "a")));
+}
+
+TEST(ReachabilityIndexTest, SelfLoopIsItsOwnComponent) {
+  GraphStore g = MakeGraph({{"a", "e", "a"}, {"a", "e", "b"}});
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(g, Label(g, "e"), Direction::kOutgoing);
+  ASSERT_TRUE(reach.has_value());
+  EXPECT_EQ(reach->num_components(), 2u);
+  EXPECT_TRUE(reach->Validate(g.NumNodes(), /*deep=*/true).ok());
+  EXPECT_TRUE(reach->Reachable(Node(g, "a"), Node(g, "a")));
+  EXPECT_TRUE(reach->Reachable(Node(g, "a"), Node(g, "b")));
+  EXPECT_FALSE(reach->Reachable(Node(g, "b"), Node(g, "a")));
+}
+
+TEST(ReachabilityIndexTest, NodesWithoutTheLabelReachOnlyThemselves) {
+  // "c" and "d" carry only `other` edges, so the `e` index leaves them out.
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"c", "other", "d"}});
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(g, Label(g, "e"), Direction::kOutgoing);
+  ASSERT_TRUE(reach.has_value());
+  EXPECT_EQ(reach->LocalId(Node(g, "c")), LabelReachability::kNotIndexed);
+  EXPECT_FALSE(reach->ComponentOf(Node(g, "c")).has_value());
+  EXPECT_TRUE(reach->Reachable(Node(g, "c"), Node(g, "c")));
+  EXPECT_FALSE(reach->Reachable(Node(g, "c"), Node(g, "d")));
+  EXPECT_FALSE(reach->Reachable(Node(g, "a"), Node(g, "c")));
+}
+
+TEST(ReachabilityIndexTest, IncomingDirectionReversesEdges) {
+  GraphStore g = MakeGraph({{"x0", "a", "x1"}, {"x1", "a", "x2"}});
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(g, Label(g, "a"), Direction::kIncoming);
+  ASSERT_TRUE(reach.has_value());
+  EXPECT_TRUE(reach->Reachable(Node(g, "x2"), Node(g, "x0")));
+  EXPECT_FALSE(reach->Reachable(Node(g, "x0"), Node(g, "x2")));
+}
+
+TEST(ReachabilityIndexTest, AgreesWithBfsOnACraftedGraph) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"b", "e", "c"},
+                            {"c", "e", "b"},  // b <-> c cycle
+                            {"c", "e", "d"},
+                            {"a", "e", "d"},
+                            {"d", "e", "d"},  // self loop
+                            {"f", "e", "a"}});
+  for (const Direction dir : {Direction::kOutgoing, Direction::kIncoming}) {
+    std::optional<LabelReachability> reach =
+        ReachabilityIndex::BuildFor(g, Label(g, "e"), dir);
+    ASSERT_TRUE(reach.has_value());
+    EXPECT_TRUE(reach->Validate(g.NumNodes(), /*deep=*/true).ok());
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        EXPECT_EQ(reach->Reachable(u, v),
+                  BfsReachable(g, Label(g, "e"), dir, u, v))
+            << "u=" << u << " v=" << v << " dir=" << static_cast<int>(dir);
+      }
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, IntervalBudgetFallsBackToNullopt) {
+  GraphStore g = MakeGraph(
+      {{"x0", "a", "x1"}, {"x1", "a", "x2"}, {"x2", "a", "x3"}});
+  ReachabilityBuildOptions tiny;
+  tiny.interval_budget_factor = 0;
+  tiny.interval_budget_slack = 0;
+  EXPECT_FALSE(ReachabilityIndex::BuildFor(g, Label(g, "a"),
+                                           Direction::kOutgoing, tiny)
+                   .has_value());
+}
+
+TEST(ReachabilityIndexTest, SigmaUnionSpansLabelsAndTypeEdges) {
+  GraphBuilder builder;
+  EXPECT_TRUE(builder.AddEdge("a", "e", "b").ok());
+  EXPECT_TRUE(builder.AddEdge("b", "f", "c").ok());
+  EXPECT_TRUE(builder.AddEdge("c", "type", "K").ok());
+  GraphStore g = std::move(builder).Finalize();
+
+  const ReachabilityIndex index = ReachabilityIndex::BuildAll(g);
+  const LabelReachability* sigma =
+      index.Find(ReachabilityIndex::kSigmaLabel, Direction::kOutgoing);
+  ASSERT_NE(sigma, nullptr);
+  EXPECT_TRUE(sigma->Validate(g.NumNodes(), /*deep=*/true).ok());
+  // The union crosses label boundaries and follows type edges, exactly like
+  // the wildcard's traversal.
+  EXPECT_TRUE(sigma->Reachable(Node(g, "a"), Node(g, "c")));
+  EXPECT_TRUE(sigma->Reachable(Node(g, "a"), Node(g, "K")));
+  EXPECT_FALSE(sigma->Reachable(Node(g, "K"), Node(g, "a")));
+  // Per-label entry sees only its own edges.
+  const LabelReachability* e = index.Find(Label(g, "e"), Direction::kOutgoing);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->Reachable(Node(g, "a"), Node(g, "c")));
+}
+
+// --- DistanceSketch ----------------------------------------------------------
+
+TEST(DistanceSketchTest, LowerBoundsAreSoundOnAChain) {
+  GraphStore g = MakeGraph({{"x0", "a", "x1"},
+                            {"x1", "a", "x2"},
+                            {"x2", "a", "x3"},
+                            {"x3", "a", "x4"},
+                            {"x4", "a", "x5"}});
+  DistanceSketchOptions options;
+  options.num_hubs = 2;
+  const DistanceSketch sketch = DistanceSketch::Build(g, options);
+  ASSERT_FALSE(sketch.empty());
+  // Undirected hop distance on a chain is |i - j|; every bound must respect
+  // it and the end-to-end bound must be positive (some hub separates them).
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      const uint32_t lb = sketch.LowerBound(u, v);
+      ASSERT_NE(lb, DistanceSketch::kUnreachable);
+      const uint32_t true_dist = u > v ? u - v : v - u;
+      EXPECT_LE(lb, true_dist);
+    }
+  }
+  EXPECT_GT(sketch.LowerBound(Node(g, "x0"), Node(g, "x5")), 0u);
+  EXPECT_EQ(sketch.LowerBound(Node(g, "x2"), Node(g, "x2")), 0u);
+}
+
+TEST(DistanceSketchTest, ProvesDisconnectedComponents) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"c", "e", "d"}});
+  const DistanceSketch sketch = DistanceSketch::Build(g);
+  EXPECT_EQ(sketch.LowerBound(Node(g, "a"), Node(g, "c")),
+            DistanceSketch::kUnreachable);
+  EXPECT_NE(sketch.LowerBound(Node(g, "a"), Node(g, "b")),
+            DistanceSketch::kUnreachable);
+}
+
+// --- IndexManager ------------------------------------------------------------
+
+TEST(IndexManagerTest, LazilyBuildsAndCachesEntries) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}, {"b", "e", "c"}});
+  IndexManager manager(&g);
+  const LabelReachability* first =
+      manager.Reachability(Label(g, "e"), Direction::kOutgoing);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->Reachable(Node(g, "a"), Node(g, "c")));
+  // Second lookup serves the cached build (stable pointer).
+  EXPECT_EQ(manager.Reachability(Label(g, "e"), Direction::kOutgoing), first);
+  ASSERT_NE(manager.Sketch(), nullptr);
+  EXPECT_FALSE(manager.Sketch()->empty());
+}
+
+TEST(IndexManagerTest, PreloadedEntriesAreServedWithoutBuilding) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  ReachabilityIndex prebuilt = ReachabilityIndex::BuildAll(g);
+  const IndexManager manager(&g, std::move(prebuilt),
+                             DistanceSketch::Build(g));
+  const LabelReachability* reach =
+      manager.Reachability(Label(g, "e"), Direction::kOutgoing);
+  ASSERT_NE(reach, nullptr);
+  EXPECT_TRUE(reach->Reachable(Node(g, "a"), Node(g, "b")));
+  ASSERT_NE(manager.Sketch(), nullptr);
+}
+
+// --- IndexProbeStream --------------------------------------------------------
+
+std::vector<NodeId> DrainProbe(const LabelReachability* reach,
+                               const IndexProbePlan& plan,
+                               ProbeReachSet set) {
+  IndexProbeStream stream(reach, plan, std::move(set));
+  std::vector<NodeId> out;
+  Answer a;
+  while (stream.Next(&a)) {
+    EXPECT_EQ(a.v, plan.source);
+    EXPECT_EQ(a.distance, 0);
+    out.push_back(a.n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IndexProbeStreamTest, EnumeratesStarClosure) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"b", "e", "c"},
+                            {"c", "e", "a"},
+                            {"c", "e", "d"},
+                            {"z", "other", "z2"}});
+  std::optional<LabelReachability> reach =
+      ReachabilityIndex::BuildFor(g, Label(g, "e"), Direction::kOutgoing);
+  ASSERT_TRUE(reach.has_value());
+
+  IndexProbePlan plan;
+  plan.label = Label(g, "e");
+  plan.source = Node(g, "a");
+  std::optional<ProbeReachSet> set = ComputeProbeReachSet(g, &*reach, plan);
+  ASSERT_TRUE(set.has_value());
+  // a* from a: the whole {a,b,c} cycle plus d.
+  const std::vector<NodeId> expect = [&] {
+    std::vector<NodeId> v{Node(g, "a"), Node(g, "b"), Node(g, "c"),
+                          Node(g, "d")};
+    std::sort(v.begin(), v.end());
+    return v;
+  }();
+  EXPECT_EQ(DrainProbe(&*reach, plan, *set), expect);
+  EXPECT_EQ(set->Count(&*reach), expect.size());
+
+  // a+ (min_hops = 1) from d: no outgoing edges, so empty.
+  IndexProbePlan plus = plan;
+  plus.source = Node(g, "d");
+  plus.min_hops = 1;
+  std::optional<ProbeReachSet> plus_set =
+      ComputeProbeReachSet(g, &*reach, plus);
+  ASSERT_TRUE(plus_set.has_value());
+  EXPECT_TRUE(DrainProbe(&*reach, plus, *plus_set).empty());
+
+  // Constant-target probe: containment only.
+  IndexProbePlan constant = plan;
+  constant.target_is_constant = true;
+  constant.target = Node(g, "d");
+  std::optional<ProbeReachSet> c_set =
+      ComputeProbeReachSet(g, &*reach, constant);
+  ASSERT_TRUE(c_set.has_value());
+  EXPECT_EQ(DrainProbe(&*reach, constant, *c_set),
+            std::vector<NodeId>{Node(g, "d")});
+  constant.target = Node(g, "z");
+  std::optional<ProbeReachSet> miss_set =
+      ComputeProbeReachSet(g, &*reach, constant);
+  ASSERT_TRUE(miss_set.has_value());
+  EXPECT_TRUE(DrainProbe(&*reach, constant, *miss_set).empty());
+}
+
+// --- Engine substitution -----------------------------------------------------
+
+TEST(IndexEngineTest, ExplainShowsIndexProbeAndAnswersMatch) {
+  GraphStore g = MakeGraph({{"a", "e", "b"},
+                            {"b", "e", "c"},
+                            {"c", "e", "a"},
+                            {"c", "e", "d"},
+                            {"d", "f", "a"}});
+  IndexManager indexes(&g);
+  QueryEngine engine(&g, nullptr, &indexes);
+
+  const Query query = Qy("(?Y) <- (a, e*, ?Y)");
+  QueryEngineOptions with_index;
+  Result<std::string> explain = engine.ExplainQuery(query, with_index);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("IndexProbe"), std::string::npos) << *explain;
+
+  QueryEngineOptions no_index;
+  no_index.use_reachability_index = false;
+  Result<std::string> plain = engine.ExplainQuery(query, no_index);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->find("IndexProbe"), std::string::npos) << *plain;
+
+  Result<std::vector<QueryAnswer>> indexed =
+      engine.ExecuteTopK(query, 0, with_index);
+  Result<std::vector<QueryAnswer>> walked =
+      engine.ExecuteTopK(query, 0, no_index);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(walked.ok());
+  EXPECT_EQ(CanonAnswers(*indexed), CanonAnswers(*walked));
+  EXPECT_EQ(indexed->size(), 4u);  // a, b, c, d
+}
+
+TEST(IndexEngineTest, AbsentLabelAndMissingConstantStayCorrect) {
+  GraphStore g = MakeGraph({{"a", "e", "b"}});
+  IndexManager indexes(&g);
+  QueryEngine engine(&g, nullptr, &indexes);
+  // Label absent from the dictionary: zzz* still matches the empty path.
+  Result<std::vector<QueryAnswer>> star =
+      engine.ExecuteTopK(Qy("(?Y) <- (a, zzz*, ?Y)"), 0);
+  ASSERT_TRUE(star.ok());
+  ASSERT_EQ(star->size(), 1u);
+  EXPECT_EQ((*star)[0].bindings[0], Node(g, "a"));
+  // zzz+ needs one real edge: empty.
+  Result<std::vector<QueryAnswer>> plus =
+      engine.ExecuteTopK(Qy("(?Y) <- (a, zzz+, ?Y)"), 0);
+  ASSERT_TRUE(plus.ok());
+  EXPECT_TRUE(plus->empty());
+  // Unresolvable constant source: empty, not an error.
+  Result<std::vector<QueryAnswer>> ghost =
+      engine.ExecuteTopK(Qy("(?Y) <- (ghost, e*, ?Y)"), 0);
+  ASSERT_TRUE(ghost.ok());
+  EXPECT_TRUE(ghost->empty());
+}
+
+// --- Snapshot persistence ----------------------------------------------------
+
+GraphStore IndexFixtureGraph() {
+  return MakeGraph({{"a", "e", "b"},
+                    {"b", "e", "c"},
+                    {"c", "e", "a"},
+                    {"c", "e", "d"},
+                    {"d", "f", "a"},
+                    {"x", "f", "y"}});
+}
+
+TEST(SnapshotIndexTest, RoundTripPreloadsIndexesAndAnswersMatch) {
+  GraphStore g = IndexFixtureGraph();
+  const ReachabilityIndex reach = ReachabilityIndex::BuildAll(g);
+  const DistanceSketch sketch = DistanceSketch::Build(g);
+  const std::string path = TempPath("with_index.snap");
+  ASSERT_TRUE(WriteSnapshot(g, nullptr, &reach, &sketch, path).ok());
+  ASSERT_TRUE(SnapshotReader::Verify(path).ok());
+
+  Result<SnapshotInfo> info = SnapshotReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->format_version, kSnapshotFormatVersion);
+  EXPECT_TRUE(info->has_reach_index);
+  EXPECT_TRUE(info->has_distance_sketch);
+
+  Result<std::shared_ptr<const Dataset>> dataset = SnapshotReader::Open(path);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_NE((*dataset)->indexes(), nullptr);
+  const LabelReachability* e = (*dataset)->indexes()->Reachability(
+      Label((*dataset)->graph(), "e"), Direction::kOutgoing);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->Reachable(Node((*dataset)->graph(), "a"),
+                           Node((*dataset)->graph(), "d")));
+  ASSERT_NE((*dataset)->indexes()->Sketch(), nullptr);
+
+  // Closure query answers identical between the in-memory build and the
+  // snapshot-preloaded index.
+  IndexManager mem_indexes(&g);
+  QueryEngine mem_engine(&g, nullptr, &mem_indexes);
+  QueryEngine snap_engine(&(*dataset)->graph(), nullptr,
+                          (*dataset)->indexes());
+  const Query query = Qy("(?Y) <- (a, e+, ?Y)");
+  Result<std::vector<QueryAnswer>> mem = mem_engine.ExecuteTopK(query, 0);
+  Result<std::vector<QueryAnswer>> snap = snap_engine.ExecuteTopK(query, 0);
+  ASSERT_TRUE(mem.ok());
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(CanonAnswers(*mem), CanonAnswers(*snap));
+}
+
+/// Rewrites the header's format_version and recomputes the header checksum,
+/// emulating a file written by the previous (v1) writer.
+void PatchVersion(const std::string& path, uint32_t version) {
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  SnapshotHeader header;
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  ASSERT_TRUE(file.good());
+  header.format_version = version;
+  header.header_checksum = 0;
+  header.header_checksum = Fnv1a64(&header, sizeof(header));
+  file.seekp(0);
+  file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  ASSERT_TRUE(file.good());
+}
+
+TEST(SnapshotIndexTest, VersionOneSnapshotStillOpens) {
+  GraphStore g = IndexFixtureGraph();
+  const std::string path = TempPath("v1_compat.snap");
+  // Index-free write, then stamp the header back to version 1: exactly the
+  // byte layout the v1 writer produced.
+  ASSERT_TRUE(WriteSnapshot(g, nullptr, path).ok());
+  PatchVersion(path, 1);
+
+  ASSERT_TRUE(SnapshotReader::Verify(path).ok());
+  Result<std::shared_ptr<const Dataset>> dataset = SnapshotReader::Open(path);
+  ASSERT_TRUE(dataset.ok());
+  Result<SnapshotInfo> info = SnapshotReader::Inspect(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->format_version, 1u);
+  EXPECT_FALSE(info->has_reach_index);
+  // No persisted index, but the dataset still has a manager that builds on
+  // demand — old snapshots lose nothing but the preload.
+  ASSERT_NE((*dataset)->indexes(), nullptr);
+  const LabelReachability* e = (*dataset)->indexes()->Reachability(
+      Label((*dataset)->graph(), "e"), Direction::kOutgoing);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->Reachable(Node((*dataset)->graph(), "a"),
+                           Node((*dataset)->graph(), "d")));
+}
+
+TEST(SnapshotIndexTest, VersionOneWithIndexFlagsIsCorrupt) {
+  GraphStore g = IndexFixtureGraph();
+  const ReachabilityIndex reach = ReachabilityIndex::BuildAll(g);
+  const std::string path = TempPath("v1_bad_flags.snap");
+  ASSERT_TRUE(WriteSnapshot(g, nullptr, &reach, nullptr, path).ok());
+  PatchVersion(path, 1);
+  EXPECT_FALSE(SnapshotReader::Open(path).ok());
+  EXPECT_FALSE(SnapshotReader::Verify(path).ok());
+}
+
+TEST(SnapshotIndexTest, CorruptReachSectionFailsVerify) {
+  GraphStore g = IndexFixtureGraph();
+  const ReachabilityIndex reach = ReachabilityIndex::BuildAll(g);
+  const DistanceSketch sketch = DistanceSketch::Build(g);
+  const std::string path = TempPath("corrupt_reach.snap");
+  ASSERT_TRUE(WriteSnapshot(g, nullptr, &reach, &sketch, path).ok());
+
+  // Locate the first reach section via the TOC and flip a payload byte.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  SnapshotHeader header;
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  ASSERT_TRUE(file.good());
+  file.seekg(static_cast<std::streamoff>(header.toc_offset));
+  uint64_t target_offset = 0;
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    file.read(reinterpret_cast<char*>(&entry), sizeof(entry));
+    ASSERT_TRUE(file.good());
+    if (entry.kind == static_cast<uint32_t>(SectionKind::kReachIntervals) &&
+        entry.count > 0) {
+      target_offset = entry.offset;
+      break;
+    }
+  }
+  ASSERT_GT(target_offset, 0u);
+  file.seekg(static_cast<std::streamoff>(target_offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(target_offset));
+  file.write(&byte, 1);
+  file.flush();
+  ASSERT_TRUE(file.good());
+
+  EXPECT_FALSE(SnapshotReader::Verify(path).ok());
+}
+
+}  // namespace
+}  // namespace omega

@@ -39,6 +39,11 @@ PAIRINGS = {
     # Snapshot storage engine (PR 5): opening the binary mmap snapshot vs
     # re-parsing the text format and rebuilding the CSR store.
     "_SnapshotLoad": "_TextLoad",
+    # Reachability & distance index (PR 8): merged-interval probes vs the
+    # label-BFS the closure walk degenerates to, and sketch-floored
+    # distance-aware rounds vs the plain psi ratchet.
+    "_ReachProbe": "_ReachBfs",
+    "_DistanceSketch": "_DistanceRounds",
 }
 
 # Pairs that must not merely avoid regressing but beat their baseline by a
@@ -58,6 +63,14 @@ MIN_SPEEDUP = {
     # measures >> 100x at default scale; 10x leaves room for tiny graphs
     # where constant costs dominate).
     "_SnapshotLoad": 10.0,
+    # An interval probe is a component lookup + prefix-sum count; the BFS it
+    # replaces walks the whole chain suffix. O(1) vs O(N) leaves orders of
+    # magnitude of headroom over 10x.
+    "_ReachProbe": 10.0,
+    # The sketch floor skips ~224 of ~225 psi rounds on the far-apart
+    # workload; 3x tolerates the shared final round dominating on small
+    # graphs.
+    "_DistanceSketch": 3.0,
 }
 
 # Pairs whose work accrues on service worker threads while the driving

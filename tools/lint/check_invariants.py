@@ -113,6 +113,12 @@ LIFETIME_SEAM = {
     "src/store/label_dictionary.h": ["LabelDictionary"],
     "src/snapshot/mapped_file.h": ["MappedFile"],
     "src/snapshot/dataset.h": ["Dataset"],
+    # The index structures may borrow their arrays from a mapped snapshot,
+    # which puts them on the same seam as the store.
+    "src/index/reachability_index.h": ["LabelReachability",
+                                       "ReachabilityIndex"],
+    "src/index/distance_sketch.h": ["DistanceSketch"],
+    "src/index/index_manager.h": ["IndexManager"],
 }
 
 # check 6: a declaration whose return type looks like a borrowed view. auto

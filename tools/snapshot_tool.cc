@@ -19,6 +19,8 @@
 
 #include "datasets/l4all.h"
 #include "datasets/yago.h"
+#include "index/distance_sketch.h"
+#include "index/reachability_index.h"
 #include "ontology/ontology_io.h"
 #include "snapshot/snapshot_reader.h"
 #include "snapshot/snapshot_writer.h"
@@ -44,6 +46,16 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Builds the reachability index + distance sketch for `graph` and writes
+/// the snapshot with them embedded (the offline "compile the dataset" step
+/// covers index construction too, so serving hosts just mmap).
+Status WriteWithIndexes(const GraphStore& graph, const Ontology* ontology,
+                        const std::string& path) {
+  const ReachabilityIndex reach = ReachabilityIndex::BuildAll(graph);
+  const DistanceSketch sketch = DistanceSketch::Build(graph);
+  return WriteSnapshot(graph, ontology, &reach, &sketch, path);
+}
+
 int Build(int argc, char** argv) {
   if (argc != 2 && argc != 3) return Usage();
   const std::string graph_path = argv[0];
@@ -60,7 +72,7 @@ int Build(int argc, char** argv) {
     ontology = std::move(loaded).value();
     ontology_ptr = &ontology;
   }
-  const Status written = WriteSnapshot(*graph, ontology_ptr, out_path);
+  const Status written = WriteWithIndexes(*graph, ontology_ptr, out_path);
   if (!written.ok()) return Fail(written);
   std::printf("wrote %s: %zu nodes, %zu edges, %zu labels%s\n",
               out_path.c_str(), graph->NumNodes(), graph->NumEdges(),
@@ -91,7 +103,7 @@ int Gen(int argc, char** argv) {
   } else {
     return Usage();
   }
-  const Status written = WriteSnapshot(graph, &ontology, out_path);
+  const Status written = WriteWithIndexes(graph, &ontology, out_path);
   if (!written.ok()) return Fail(written);
   std::printf("wrote %s: %zu nodes, %zu edges, %zu labels, with ontology\n",
               out_path.c_str(), graph.NumNodes(), graph.NumEdges(),
@@ -117,11 +129,16 @@ int Verify(const std::string& path) {
   // shape alongside the verdict.
   Result<std::shared_ptr<const Dataset>> dataset = SnapshotReader::Open(path);
   if (!dataset.ok()) return Fail(dataset.status());
-  std::printf("OK %s: %zu nodes, %zu edges, %zu labels, ontology: %s\n",
-              path.c_str(), (*dataset)->graph().NumNodes(),
-              (*dataset)->graph().NumEdges(),
-              (*dataset)->graph().labels().size(),
-              (*dataset)->ontology() != nullptr ? "yes" : "no");
+  Result<SnapshotInfo> info = SnapshotReader::Inspect(path);
+  if (!info.ok()) return Fail(info.status());
+  std::printf(
+      "OK %s: %zu nodes, %zu edges, %zu labels, ontology: %s, "
+      "reach index: %s, distance sketch: %s\n",
+      path.c_str(), (*dataset)->graph().NumNodes(),
+      (*dataset)->graph().NumEdges(), (*dataset)->graph().labels().size(),
+      (*dataset)->ontology() != nullptr ? "yes" : "no",
+      info->has_reach_index ? "yes" : "no",
+      info->has_distance_sketch ? "yes" : "no");
   return 0;
 }
 
