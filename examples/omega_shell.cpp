@@ -30,7 +30,10 @@
 #include "datasets/l4all.h"
 #include "datasets/yago.h"
 #include "eval/query_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ontology/ontology_io.h"
+#include "plan/plan_node.h"
 #include "rpq/query_parser.h"
 #include "snapshot/snapshot_reader.h"
 #include "snapshot/snapshot_writer.h"
@@ -105,6 +108,10 @@ class Shell {
           "  .opt da|disjunction on|off   toggle the §4.3 optimisations\n"
           "  .plan bushy|textual       join-order planning mode\n"
           "  .explain QUERY            show the chosen plan with estimates\n"
+          "  .explain analyze QUERY    run QUERY to completion and show the\n"
+          "                            plan with estimated vs actual rows\n"
+          "  .metrics [FILE]           Prometheus-style metrics exposition\n"
+          "  .trace on|off|show|save FILE   per-query trace spans (JSON)\n"
           "  .budget N                 live-tuple budget (0 = unlimited)\n"
           "  .serve [W [C [R]]]        replay this session's queries through a\n"
           "                            QueryService: W workers, C client\n"
@@ -112,10 +119,31 @@ class Shell {
           "  .stats                    per-operator counters of the last query\n"
           "  .node LABEL               inspect a node's edges\n"
           "  .quit\n");
+    } else if (cmd == ".explain" && words.size() >= 3 &&
+               words[1] == "analyze") {
+      std::vector<std::string> rest(words.begin() + 2, words.end());
+      ExplainAnalyze(Join(rest, " "));
     } else if (cmd == ".explain" && words.size() >= 2) {
       // Query text may contain spaces: rejoin the remaining words.
       std::vector<std::string> rest(words.begin() + 1, words.end());
       Explain(Join(rest, " "));
+    } else if (cmd == ".metrics") {
+      const std::string rendered = MetricsRegistry::Global()->RenderText();
+      if (words.size() >= 2) {
+        std::FILE* f = std::fopen(words[1].c_str(), "w");
+        if (f == nullptr) {
+          std::printf("cannot open %s\n", words[1].c_str());
+          return;
+        }
+        std::fwrite(rendered.data(), 1, rendered.size(), f);
+        std::fclose(f);
+        std::printf("wrote %zu bytes to %s\n", rendered.size(),
+                    words[1].c_str());
+      } else {
+        std::printf("%s", rendered.c_str());
+      }
+    } else if (cmd == ".trace" && words.size() >= 2) {
+      Trace(words);
     } else if (cmd == ".plan" && words.size() == 2) {
       if (words[1] == "textual") {
         options_.plan_mode = PlanMode::kTextual;
@@ -395,6 +423,79 @@ class Shell {
     std::printf("%s", rendered->c_str());
   }
 
+  /// EXPLAIN ANALYZE: executes the query to completion (answers are counted,
+  /// not printed) and renders the plan tree with each operator's estimated
+  /// vs actual cardinality and the mis-estimate ratio.
+  void ExplainAnalyze(const std::string& text) {
+    Result<omega::Query> query = ParseQuery(text);
+    if (!query.ok()) {
+      std::printf("%s\n", query.status().ToString().c_str());
+      return;
+    }
+    QueryEngineOptions options = options_;
+    if (trace_enabled_) {
+      trace_ = std::make_unique<TraceRecorder>();
+      options.evaluator.trace = trace_.get();
+    }
+    Timer timer;
+    Result<std::unique_ptr<QueryResultStream>> stream =
+        engine_->Execute(*query, options);
+    if (!stream.ok()) {
+      std::printf("%s\n", stream.status().ToString().c_str());
+      return;
+    }
+    size_t answers = 0;
+    QueryAnswer answer;
+    while ((*stream)->Next(&answer)) ++answers;
+    const double elapsed_ms = timer.ElapsedMs();
+    if (!(*stream)->status().ok()) {
+      std::printf("query failed: %s\n",
+                  (*stream)->status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", (*stream)->ExplainString().c_str());
+    std::printf("(%zu answers in %.2f ms)\n", answers, elapsed_ms);
+    if (trace_ != nullptr && (*stream)->plan() != nullptr) {
+      RecordOperatorTrace(*(*stream)->plan(), trace_.get());
+    }
+  }
+
+  void Trace(const std::vector<std::string>& words) {
+    const std::string& verb = words[1];
+    if (verb == "on") {
+      trace_enabled_ = true;
+      std::printf("tracing on: each query records spans (.trace show)\n");
+    } else if (verb == "off") {
+      trace_enabled_ = false;
+      trace_.reset();
+      std::printf("tracing off\n");
+    } else if (verb == "show") {
+      if (trace_ == nullptr) {
+        std::printf("no trace recorded (.trace on, then run a query)\n");
+        return;
+      }
+      std::printf("%s\n", trace_->ToJson().c_str());
+    } else if (verb == "save" && words.size() >= 3) {
+      if (trace_ == nullptr) {
+        std::printf("no trace recorded (.trace on, then run a query)\n");
+        return;
+      }
+      const std::string json = trace_->ToJson();
+      std::FILE* f = std::fopen(words[2].c_str(), "w");
+      if (f == nullptr) {
+        std::printf("cannot open %s\n", words[2].c_str());
+        return;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %zu bytes to %s\n", json.size() + 1,
+                  words[2].c_str());
+    } else {
+      std::printf(".trace verb must be on, off, show or save FILE\n");
+    }
+  }
+
   /// The Figure-1 console serves one user; `.serve` shows the same engine
   /// behind the new serving layer: it replays this session's queries from
   /// `clients` concurrent threads against a QueryService sharing the
@@ -466,8 +567,16 @@ class Shell {
       }
       if (!known) history_.push_back(Clone(*query));
     }
+    QueryEngineOptions options = options_;
+    if (trace_enabled_) {
+      // A fresh recorder per query: the engine records plan / compile /
+      // index-probe spans into it, Fetch adds the operator totals once the
+      // stream drains, and `.trace show` dumps the JSON.
+      trace_ = std::make_unique<TraceRecorder>();
+      options.evaluator.trace = trace_.get();
+    }
     Result<std::unique_ptr<QueryResultStream>> stream =
-        engine_->Execute(*query, options_);
+        engine_->Execute(*query, options);
     if (!stream.ok()) {
       std::printf("%s\n", stream.status().ToString().c_str());
       return;
@@ -510,6 +619,9 @@ class Shell {
       // Keep the drained stream around: .stats still renders its plan tree
       // with the per-operator counters of the completed run.
       finished_ = true;
+      if (trace_enabled_ && trace_ != nullptr && stream_->plan() != nullptr) {
+        RecordOperatorTrace(*stream_->plan(), trace_.get());
+      }
       std::printf("(no more answers; %zu total, %.2f ms)\n", emitted_,
                   timer.ElapsedMs());
     } else {
@@ -529,6 +641,8 @@ class Shell {
   size_t batch_size_ = 10;
   size_t emitted_ = 0;
   bool finished_ = false;
+  bool trace_enabled_ = false;          // .trace on|off
+  std::unique_ptr<TraceRecorder> trace_;  // last traced query's spans
   bool interactive_ = isatty(0);
 };
 

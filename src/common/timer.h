@@ -1,4 +1,9 @@
-// Monotonic wall-clock timer used by the benchmark harnesses.
+// Monotonic elapsed-time timer used by the benchmark harnesses, the
+// service's latency accounting, and the observability layer's histograms
+// and trace spans. Deliberately steady_clock-only: a wall-clock (NTP step,
+// DST, manual adjustment) jumping mid-measurement would corrupt deadlines
+// and latency histograms. check_invariants.py bans system_clock /
+// high_resolution_clock at latency sites for the same reason.
 #ifndef OMEGA_COMMON_TIMER_H_
 #define OMEGA_COMMON_TIMER_H_
 
@@ -25,6 +30,11 @@ class Timer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Monotonicity is the contract, not an implementation detail: every
+  // duration in the repo (deadlines, queue/exec accounting, histogram
+  // observations, trace spans) is measured through this clock.
+  static_assert(Clock::is_steady,
+                "Timer must be immune to wall-clock adjustments");
   Clock::time_point start_;
 };
 

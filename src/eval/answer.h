@@ -13,6 +13,10 @@
 #include "store/types.h"
 
 namespace omega {
+class TraceRecorder;  // obs/trace.h; carried by pointer only
+}
+
+namespace omega {
 
 /// One conjunct answer: X bound to `v`, Y bound to `n`, at edit/relaxation
 /// distance `distance` (the paper's triple (v, n, d)).
@@ -106,6 +110,12 @@ struct EvaluatorOptions {
   /// kDeadlineExceeded / kCancelled — distinct from the kResourceExhausted
   /// budget failures above.
   CancelToken cancel;
+
+  /// Optional per-query trace sink (obs/trace.h): when non-null, the engine
+  /// records plan/compile spans and index-probe substitution decisions, and
+  /// the service adds queue-wait / cache / execute spans. Not owned; must
+  /// outlive the evaluation. Null (default) costs one branch per site.
+  TraceRecorder* trace = nullptr;
 
   ApproxOptions approx;
   RelaxOptions relax;

@@ -3,10 +3,31 @@
 #include <algorithm>
 
 #include "index/index_probe_stream.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/statistics.h"
 
 namespace omega {
 namespace {
+
+// Probe-vs-fallback counters for the reachability-index substitution.
+// Process-global on purpose (every engine shares the per-label indexes);
+// the registry lookup happens once per process via the function-local
+// static, leaving one relaxed increment per decided conjunct on the hot
+// path.
+Counter* ProbeSubstitutionCounter() {
+  static Counter* const counter = MetricsRegistry::Global()->GetCounter(
+      "omega_index_probe_substitutions_total",
+      "Conjuncts executed as reachability-index interval probes");
+  return counter;
+}
+
+Counter* ProbeFallbackCounter() {
+  static Counter* const counter = MetricsRegistry::Global()->GetCounter(
+      "omega_index_probe_fallbacks_total",
+      "Index-eligible conjuncts that fell back to the NFA walk");
+  return counter;
+}
 
 /// Owns the compiled automaton alongside the evaluator borrowing it, so the
 /// engine can hand out self-contained streams.
@@ -207,15 +228,39 @@ Result<std::unique_ptr<BindingStream>> QueryEngine::MakeConjunctStream(
 
   // Reachability-index substitution: an eligible exact closure conjunct
   // becomes an interval-containment probe instead of an NFA product walk.
-  // Same decision as PlanFor's, so EXPLAIN and execution agree.
+  // Same decision as PlanFor's, so EXPLAIN and execution agree. The
+  // substitution/fallback counters and trace events record the decision
+  // once per conjunct at stream-construction time, never per pull.
+  const bool index_candidate =
+      options.use_reachability_index && indexes_ != nullptr &&
+      prepared->mode == ConjunctMode::kExact &&
+      prepared->closure_shape.has_value() &&
+      !prepared->eval_source.is_variable;
   if (std::optional<IndexProbeDecision> probe =
           DecideIndexProbe(*prepared, *graph_, indexes_, options);
       probe.has_value()) {
+    ProbeSubstitutionCounter()->Increment();
+    if (TraceRecorder* trace = options.evaluator.trace; trace != nullptr) {
+      const TraceRecorder::SpanId id = trace->Event("index_probe");
+      trace->AnnotateStr(id, "conjunct", ToString(conjunct));
+      trace->Annotate(id, "substituted", 1);
+    }
     auto stream = std::make_unique<IndexProbeStream>(
         probe->reach, probe->plan, std::move(probe->set));
     return std::unique_ptr<BindingStream>(
         std::make_unique<ConjunctBindingStream>(std::move(stream), width,
                                                 source_slot, target_slot));
+  }
+  if (index_candidate) {
+    // Eligible shape, but the per-label index was unavailable (interval
+    // budget) or the frontier expansion overflowed — the fallback the
+    // metrics exist to make visible.
+    ProbeFallbackCounter()->Increment();
+    if (TraceRecorder* trace = options.evaluator.trace; trace != nullptr) {
+      const TraceRecorder::SpanId id = trace->Event("index_probe");
+      trace->AnnotateStr(id, "conjunct", ToString(conjunct));
+      trace->Annotate(id, "substituted", 0);
+    }
   }
 
   // §4.3(a): distance-aware retrieval only pays off when operations have
@@ -313,9 +358,21 @@ Result<std::unique_ptr<QueryPlan>> QueryEngine::PlanFor(
 Result<std::unique_ptr<QueryResultStream>> QueryEngine::Execute(
     const Query& query, const QueryEngineOptions& options) const {
   std::vector<std::unique_ptr<PreparedConjunct>> prepared;
-  Result<std::unique_ptr<QueryPlan>> plan = PlanFor(query, options, &prepared);
-  if (!plan.ok()) return plan.status();
-  const VarCatalog& catalog = (*plan)->catalog;
+  std::unique_ptr<QueryPlan> planned;
+  {
+    ScopedSpan span(options.evaluator.trace, "plan");
+    Result<std::unique_ptr<QueryPlan>> plan =
+        PlanFor(query, options, &prepared);
+    if (!plan.ok()) return plan.status();
+    planned = std::move(*plan);
+    span.Annotate("conjuncts", static_cast<int64_t>(query.conjuncts.size()));
+    if (planned->root != nullptr) {
+      span.Annotate("est_rows",
+                    static_cast<int64_t>(planned->root->est_cardinality));
+    }
+  }
+  ScopedSpan compile_span(options.evaluator.trace, "compile");
+  const VarCatalog& catalog = planned->catalog;
   std::vector<VarId> head_slots;
   head_slots.reserve(query.head.size());
   for (const std::string& var : query.head) {
@@ -329,11 +386,11 @@ Result<std::unique_ptr<QueryResultStream>> QueryEngine::Execute(
     streams[i] = std::move(stream).value();
   }
   std::unique_ptr<BindingStream> tree =
-      CompilePlan((*plan)->root.get(), &streams,
+      CompilePlan(planned->root.get(), &streams,
                   options.evaluator.max_live_tuples, options.evaluator.cancel);
   return std::make_unique<QueryResultStream>(query.head, std::move(head_slots),
                                              std::move(tree),
-                                             std::move(*plan));
+                                             std::move(planned));
 }
 
 Result<std::string> QueryEngine::ExplainQuery(

@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace omega {
 namespace {
 
 uint64_t KeyOf(LabelId label, Direction dir) {
   return (static_cast<uint64_t>(label) << 1) |
          static_cast<uint64_t>(dir == Direction::kIncoming);
+}
+
+// Lazy index builds happen at most once per (label, dir) / sketch, so the
+// registry lookups below are cold-path by construction.
+Histogram* IndexBuildHistogram() {
+  static Histogram* const histogram = MetricsRegistry::Global()->GetHistogram(
+      "omega_index_build_us",
+      "Lazy reachability-index / distance-sketch build time");
+  return histogram;
+}
+
+Counter* IndexBuildUnavailableCounter() {
+  static Counter* const counter = MetricsRegistry::Global()->GetCounter(
+      "omega_index_build_unavailable_total",
+      "Per-label index builds abandoned over the interval budget");
+  return counter;
 }
 
 }  // namespace
@@ -33,9 +52,13 @@ const LabelReachability* IndexManager::Reachability(LabelId label,
       unavailable_.end()) {
     return nullptr;
   }
+  const Timer build_timer;
   std::optional<LabelReachability> reach =
       ReachabilityIndex::BuildFor(*graph_, label, dir, build_options_);
+  IndexBuildHistogram()->Observe(
+      static_cast<uint64_t>(build_timer.ElapsedUs()));
   if (!reach.has_value()) {
+    IndexBuildUnavailableCounter()->Increment();
     unavailable_.push_back(key);
     return nullptr;
   }
@@ -47,7 +70,10 @@ const DistanceSketch* IndexManager::Sketch() const {
   if (preloaded_sketch_.has_value()) return &*preloaded_sketch_;
   MutexLock lock(mu_);
   if (!built_sketch_.has_value()) {
+    const Timer build_timer;
     built_sketch_ = DistanceSketch::Build(*graph_);
+    IndexBuildHistogram()->Observe(
+        static_cast<uint64_t>(build_timer.ElapsedUs()));
   }
   return &*built_sketch_;
 }

@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace omega {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  out.append(buf);
+}
+
+}  // namespace
+
+TraceRecorder::SpanId TraceRecorder::Begin(std::string_view name) {
+  const double now = timer_.ElapsedUs();
+  MutexLock lock(mu_);
+  spans_.push_back(Span{std::string(name), now, -1, {}, {}});
+  return spans_.size() - 1;
+}
+
+void TraceRecorder::End(SpanId id) {
+  const double now = timer_.ElapsedUs();
+  MutexLock lock(mu_);
+  if (id < spans_.size() && spans_[id].dur_us < 0) {
+    spans_[id].dur_us = now - spans_[id].start_us;
+  }
+}
+
+TraceRecorder::SpanId TraceRecorder::Event(std::string_view name) {
+  const double now = timer_.ElapsedUs();
+  MutexLock lock(mu_);
+  spans_.push_back(Span{std::string(name), now, 0, {}, {}});
+  return spans_.size() - 1;
+}
+
+TraceRecorder::SpanId TraceRecorder::RecordComplete(std::string_view name,
+                                                    double dur_us) {
+  const double now = timer_.ElapsedUs();
+  if (dur_us < 0) dur_us = 0;
+  // The span ended "now"; back-date its start so the timeline lines up.
+  const double start = now >= dur_us ? now - dur_us : 0;
+  MutexLock lock(mu_);
+  spans_.push_back(Span{std::string(name), start, dur_us, {}, {}});
+  return spans_.size() - 1;
+}
+
+void TraceRecorder::Annotate(SpanId id, std::string_view key, int64_t value) {
+  MutexLock lock(mu_);
+  if (id < spans_.size()) {
+    spans_[id].attrs.push_back(Attr{std::string(key), value});
+  }
+}
+
+void TraceRecorder::AnnotateStr(SpanId id, std::string_view key,
+                                std::string_view value) {
+  MutexLock lock(mu_);
+  if (id < spans_.size()) {
+    spans_[id].str_attrs.push_back(
+        StrAttr{std::string(key), std::string(value)});
+  }
+}
+
+size_t TraceRecorder::NumSpans() const {
+  MutexLock lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceRecorder::Span> TraceRecorder::Snapshot() const {
+  MutexLock lock(mu_);
+  return spans_;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const double now = timer_.ElapsedUs();
+  const std::vector<Span> spans = Snapshot();
+  std::string out = "{\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"name\":\"");
+    AppendEscaped(out, s.name);
+    out.append("\",\"start_us\":");
+    AppendDouble(out, s.start_us);
+    out.append(",\"dur_us\":");
+    AppendDouble(out, s.dur_us >= 0 ? s.dur_us : now - s.start_us);
+    if (!s.attrs.empty() || !s.str_attrs.empty()) {
+      out.append(",\"args\":{");
+      bool first = true;
+      for (const Attr& a : s.attrs) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        AppendEscaped(out, a.key);
+        out.append("\":");
+        out.append(std::to_string(a.value));
+      }
+      for (const StrAttr& a : s.str_attrs) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        AppendEscaped(out, a.key);
+        out.append("\":\"");
+        AppendEscaped(out, a.value);
+        out.push_back('"');
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace omega

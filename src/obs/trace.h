@@ -1,0 +1,119 @@
+// Per-query trace spans: a lightweight recorder carried by pointer through
+// QueryRequest / EvaluatorOptions, collecting named spans (begin/end or
+// externally timed), instant events, and integer/string attributes from
+// every layer a query crosses — admission-queue wait, cache lookup, plan,
+// index-probe substitution decisions, epoch pin, per-operator pull/emit
+// totals. Dumpable as a JSON trace per query (`ToJson`); durations are
+// aggregated into the MetricsRegistry by the layers that record them.
+//
+// One recorder belongs to one query, but its methods are called from both
+// the submitting client thread and the service worker that executes the
+// ticket, so the span vector is OMEGA_GUARDED_BY an annotated Mutex. This
+// is deliberately a mutex and not a lock-free log: tracing is opt-in per
+// request, spans are few (tens, not thousands — operators report totals,
+// not per-pull events), and correctness under TSan beats shaving
+// nanoseconds off an already-explicit diagnostic path.
+//
+// All timestamps are relative to the recorder's construction, measured in
+// microseconds on steady_clock (common/timer.h) — wall-clock drift must not
+// corrupt durations.
+#ifndef OMEGA_OBS_TRACE_H_
+#define OMEGA_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+
+namespace omega {
+
+class TraceRecorder {
+ public:
+  using SpanId = size_t;
+
+  struct Attr {
+    std::string key;
+    int64_t value;
+  };
+  struct StrAttr {
+    std::string key;
+    std::string value;
+  };
+  struct Span {
+    std::string name;
+    double start_us = 0;
+    double dur_us = -1;  // < 0: still open; 0: instant event
+    std::vector<Attr> attrs;
+    std::vector<StrAttr> str_attrs;
+  };
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span at "now"; close it with End(). Returns its id.
+  SpanId Begin(std::string_view name) OMEGA_EXCLUDES(mu_);
+  /// Closes `id`, setting its duration to now - start.
+  void End(SpanId id) OMEGA_EXCLUDES(mu_);
+
+  /// Records an instant event (dur_us == 0) at "now".
+  SpanId Event(std::string_view name) OMEGA_EXCLUDES(mu_);
+
+  /// Records an already-measured span ending "now" — for durations whose
+  /// start predates the recorder hand-off (e.g. admission-queue wait
+  /// measured from the ticket's enqueue timestamp).
+  SpanId RecordComplete(std::string_view name, double dur_us)
+      OMEGA_EXCLUDES(mu_);
+
+  void Annotate(SpanId id, std::string_view key, int64_t value)
+      OMEGA_EXCLUDES(mu_);
+  void AnnotateStr(SpanId id, std::string_view key, std::string_view value)
+      OMEGA_EXCLUDES(mu_);
+
+  size_t NumSpans() const OMEGA_EXCLUDES(mu_);
+  /// Copy of all spans, for tests and reconciliation.
+  std::vector<Span> Snapshot() const OMEGA_EXCLUDES(mu_);
+
+  /// {"spans":[{"name":...,"start_us":...,"dur_us":...,"args":{...}},...]}
+  /// Open spans render with their duration so far.
+  std::string ToJson() const OMEGA_EXCLUDES(mu_);
+
+ private:
+  const Timer timer_;  // t=0 reference; never reset
+  mutable Mutex mu_;
+  std::vector<Span> spans_ OMEGA_GUARDED_BY(mu_);
+};
+
+/// Null-safe RAII span: no-ops when `trace` is nullptr, so instrumented
+/// code paths read identically whether the query is traced or not.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* trace, std::string_view name)
+      : trace_(trace), id_(trace != nullptr ? trace->Begin(name) : 0) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->End(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Annotate(std::string_view key, int64_t value) {
+    if (trace_ != nullptr) trace_->Annotate(id_, key, value);
+  }
+  void AnnotateStr(std::string_view key, std::string_view value) {
+    if (trace_ != nullptr) trace_->AnnotateStr(id_, key, value);
+  }
+
+ private:
+  TraceRecorder* const trace_;
+  const TraceRecorder::SpanId id_;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_OBS_TRACE_H_

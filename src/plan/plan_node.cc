@@ -2,12 +2,25 @@
 
 #include <cstdio>
 
+#include "obs/trace.h"
+
 namespace omega {
 namespace {
 
 std::string FormatEstimate(double value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3g", value);
+  return buf;
+}
+
+// Mis-estimate ratio actual/estimated for EXPLAIN ANALYZE: 1.00x is a
+// perfect estimate, <1 over-estimated, >1 under-estimated (the hub-join
+// failure mode the ROADMAP calls out). A zero/negative estimate (provably
+// empty, or never estimated) compares against 1 row to stay finite.
+std::string FormatMisestimate(uint64_t actual, double estimated) {
+  const double denom = estimated > 0 ? estimated : 1.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", static_cast<double>(actual) / denom);
   return buf;
 }
 
@@ -33,8 +46,10 @@ void AppendNode(const PlanNode& node, const VarCatalog& catalog,
     if (node.estimate.provably_empty) *out += "  [provably empty]";
     if (with_stats && node.stream != nullptr) {
       const EvaluatorStats stats = node.stream->stats();
-      *out += "  {popped=" + std::to_string(stats.tuples_popped) +
-              " answers=" + std::to_string(stats.answers_emitted) +
+      *out += "  {act=" + std::to_string(stats.answers_emitted) + " rows" +
+              " err=" + FormatMisestimate(stats.answers_emitted,
+                                          node.est_cardinality) +
+              " popped=" + std::to_string(stats.tuples_popped) +
               " fetches=" + std::to_string(stats.neighbor_group_fetches) +
               "}";
     }
@@ -48,7 +63,9 @@ void AppendNode(const PlanNode& node, const VarCatalog& catalog,
   *out += "  est=" + FormatEstimate(node.est_cardinality) + " rows";
   if (with_stats && node.stream != nullptr) {
     const EvaluatorStats stats = node.stream->OperatorStats();
-    *out += "  {emitted=" + std::to_string(stats.answers_emitted) +
+    *out += "  {act=" + std::to_string(stats.answers_emitted) + " rows" +
+            " err=" + FormatMisestimate(stats.answers_emitted,
+                                        node.est_cardinality) +
             " live-peak=" + std::to_string(stats.max_join_live) + "}";
   }
   *out += "\n";
@@ -65,6 +82,50 @@ std::string RenderPlanTree(const QueryPlan& plan, bool with_stats) {
   if (plan.root == nullptr) return out;
   AppendNode(*plan.root, plan.catalog, with_stats, "", "", &out);
   return out;
+}
+
+namespace {
+
+void AppendOperatorEvents(const PlanNode& node, const VarCatalog& catalog,
+                          TraceRecorder* trace) {
+  if (node.stream != nullptr) {
+    std::string name;
+    EvaluatorStats stats;
+    if (node.is_leaf()) {
+      name = "op #" + std::to_string(node.conjunct_index) + " " +
+             node.description;
+      stats = node.stream->stats();
+    } else {
+      name = node.join_vars.empty()
+                 ? std::string("op CrossProduct")
+                 : "op RankJoin [" + VarList(node.join_vars, catalog) + "]";
+      stats = node.stream->OperatorStats();
+    }
+    const TraceRecorder::SpanId id = trace->Event(name);
+    trace->Annotate(id, "est_rows",
+                    static_cast<int64_t>(node.est_cardinality));
+    trace->Annotate(id, "act_rows",
+                    static_cast<int64_t>(stats.answers_emitted));
+    trace->Annotate(id, "pulls", static_cast<int64_t>(stats.tuples_popped));
+    trace->Annotate(id, "emits",
+                    static_cast<int64_t>(stats.answers_emitted));
+    if (node.is_leaf()) {
+      trace->Annotate(id, "fetches",
+                      static_cast<int64_t>(stats.neighbor_group_fetches));
+    } else {
+      trace->Annotate(id, "live_peak",
+                      static_cast<int64_t>(stats.max_join_live));
+    }
+  }
+  if (node.left != nullptr) AppendOperatorEvents(*node.left, catalog, trace);
+  if (node.right != nullptr) AppendOperatorEvents(*node.right, catalog, trace);
+}
+
+}  // namespace
+
+void RecordOperatorTrace(const QueryPlan& plan, TraceRecorder* trace) {
+  if (trace == nullptr || plan.root == nullptr) return;
+  AppendOperatorEvents(*plan.root, plan.catalog, trace);
 }
 
 }  // namespace omega

@@ -48,10 +48,20 @@ struct QueryPlan {
   std::unique_ptr<PlanNode> root;
 };
 
-/// Multi-line rendering of the plan tree. With `with_stats`, nodes that have
-/// a compiled stream also print their EvaluatorStats counters (tuples
-/// popped, answers emitted, join high-water) — zeros before execution.
+/// Multi-line rendering of the plan tree. With `with_stats` (EXPLAIN
+/// ANALYZE), nodes that have a compiled stream also print actual row counts
+/// from live EvaluatorStats next to the estimate, with a mis-estimate ratio
+/// (`err=actual/estimated`) — zeros before execution.
 std::string RenderPlanTree(const QueryPlan& plan, bool with_stats);
+
+class TraceRecorder;  // obs/trace.h
+
+/// Emits one trace event per plan operator carrying its pull/emit totals
+/// and estimated-vs-actual cardinality (the trace-side view of EXPLAIN
+/// ANALYZE). Call after draining the stream; no-op when `trace` is null or
+/// the plan was never compiled. Deliberately totals-only: per-pull span
+/// recording would put a lock on the rank-join hot path.
+void RecordOperatorTrace(const QueryPlan& plan, TraceRecorder* trace);
 
 }  // namespace omega
 

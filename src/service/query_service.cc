@@ -6,9 +6,130 @@
 #include <type_traits>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/plan_node.h"
 
 namespace omega {
+
+/// Epoch retire/drain bookkeeping shared between the service (SwapDataset
+/// records retirement) and every published epoch's deleter (the last pin
+/// drop records the drain). Outlives both sides via shared_ptr: the final
+/// pin on a retired epoch may be a ticket a client holds after the service
+/// is gone, so the deleter must never call back into the service.
+struct EpochDrainTracker {
+  Mutex mu;
+  /// Epochs retired but not yet drained: id -> retire timestamp. Tiny —
+  /// bounded by the number of epochs still pinned by in-flight queries.
+  std::vector<std::pair<uint64_t, std::chrono::steady_clock::time_point>>
+      retired_at OMEGA_GUARDED_BY(mu);
+  uint64_t retired OMEGA_GUARDED_BY(mu) = 0;
+  uint64_t drained OMEGA_GUARDED_BY(mu) = 0;
+  double drain_ms_total OMEGA_GUARDED_BY(mu) = 0;
+  double drain_ms_max OMEGA_GUARDED_BY(mu) = 0;
+  /// Registry sink (null when metrics are disabled). Written once at
+  /// service construction, before any epoch exists; the histogram's cells
+  /// are relaxed-atomic, so observing outside `mu` would also be safe.
+  Histogram* drain_us = nullptr;
+};
+
+/// Cached instrument pointers, resolved once at construction: hot paths
+/// (Submit, WorkerLoop, Complete) do relaxed increments through these and
+/// never touch the registry map.
+struct QueryService::ServiceMetrics {
+  explicit ServiceMetrics(MetricsRegistry* registry) {
+    submitted = registry->GetCounter("omega_service_submitted_total",
+                                     "Admitted submissions (incl. hits)");
+    rejected = registry->GetCounter("omega_service_rejected_total",
+                                    "Admission-queue-full rejections");
+    const char* completed_help = "Request completions by status";
+    completed_ok = registry->GetCounter("omega_service_completed_total",
+                                        completed_help, "status=\"ok\"");
+    completed_cancelled = registry->GetCounter(
+        "omega_service_completed_total", completed_help,
+        "status=\"cancelled\"");
+    completed_deadline = registry->GetCounter("omega_service_completed_total",
+                                              completed_help,
+                                              "status=\"deadline\"");
+    completed_error = registry->GetCounter("omega_service_completed_total",
+                                           completed_help, "status=\"error\"");
+    queue_depth = registry->GetGauge("omega_service_queue_depth",
+                                     "Requests waiting in the admission "
+                                     "queue");
+    in_flight = registry->GetGauge("omega_service_in_flight",
+                                   "Requests currently executing on workers");
+    queue_wait_us = registry->GetHistogram("omega_service_queue_wait_us",
+                                           "Admission-queue wait");
+    for (size_t i = 0; i < kNumQueryClasses; ++i) {
+      const std::string labels =
+          std::string("class=\"") +
+          QueryClassToString(static_cast<QueryClass>(i)) + "\"";
+      exec_us[i] = registry->GetHistogram(
+          "omega_service_exec_us", "Engine execution time by query class",
+          labels);
+    }
+    cache_hits = registry->GetCounter("omega_cache_hits_total",
+                                      "Result-cache hits");
+    cache_misses = registry->GetCounter("omega_cache_misses_total",
+                                        "Result-cache misses");
+    cache_insertions = registry->GetCounter("omega_cache_insertions_total",
+                                            "Result-cache insertions");
+    cache_evictions = registry->GetCounter(
+        "omega_cache_evictions_total",
+        "Result-cache evictions (LRU pressure + invalidations)");
+    swaps = registry->GetCounter("omega_service_swaps_total",
+                                 "Dataset hot-swaps published");
+    swap_us = registry->GetHistogram("omega_service_swap_us",
+                                     "SwapDataset publish time");
+    epoch_drain_us = registry->GetHistogram(
+        "omega_service_epoch_drain_us",
+        "Retired-epoch drain time (retire to last pin drop)");
+  }
+
+  Counter* submitted;
+  Counter* rejected;
+  Counter* completed_ok;
+  Counter* completed_cancelled;
+  Counter* completed_deadline;
+  Counter* completed_error;
+  Gauge* queue_depth;
+  Gauge* in_flight;
+  Histogram* queue_wait_us;
+  Histogram* exec_us[kNumQueryClasses];
+  Counter* cache_hits;
+  Counter* cache_misses;
+  Counter* cache_insertions;
+  Counter* cache_evictions;
+  Counter* swaps;
+  Histogram* swap_us;
+  Histogram* epoch_drain_us;
+};
+
+namespace {
+
+/// Epoch-deleter body: the last pin on a *retired* epoch just dropped. The
+/// live epoch at service destruction has no retire record and is skipped.
+void RecordEpochDrained(EpochDrainTracker& tracker, uint64_t epoch_id) {
+  const auto now = std::chrono::steady_clock::now();
+  MutexLock lock(tracker.mu);
+  for (auto it = tracker.retired_at.begin(); it != tracker.retired_at.end();
+       ++it) {
+    if (it->first != epoch_id) continue;
+    const double ms =
+        std::chrono::duration<double, std::milli>(now - it->second).count();
+    ++tracker.drained;
+    tracker.drain_ms_total += ms;
+    tracker.drain_ms_max = std::max(tracker.drain_ms_max, ms);
+    if (tracker.drain_us != nullptr) {
+      tracker.drain_us->Observe(static_cast<uint64_t>(ms * 1000.0));
+    }
+    tracker.retired_at.erase(it);
+    return;
+  }
+}
+
+}  // namespace
+
 namespace {
 
 // Compile-time spot-checks of the frozen-store thread-safety contract: the
@@ -93,6 +214,15 @@ QueryService::QueryService(const GraphStore* graph, const Ontology* ontology,
         std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   options_.max_queue = std::max<size_t>(options_.max_queue, 1);
+  if (options_.enable_metrics) {
+    MetricsRegistry* registry = options_.metrics != nullptr
+                                    ? options_.metrics
+                                    : MetricsRegistry::Global();
+    metrics_ = std::make_unique<const ServiceMetrics>(registry);
+  }
+  drain_tracker_ = std::make_shared<EpochDrainTracker>();
+  drain_tracker_->drain_us =
+      metrics_ != nullptr ? metrics_->epoch_drain_us : nullptr;
   epoch_ = MakeEpoch(/*id=*/0, std::move(dataset), graph, ontology);
   running_.resize(options_.num_workers);
   workers_.reserve(options_.num_workers);
@@ -116,13 +246,32 @@ std::shared_ptr<const DatasetEpoch> QueryService::MakeEpoch(
     const GraphStore* graph, const Ontology* ontology) const {
   std::unique_ptr<ResultCache> cache;
   if (options_.cache_entries > 0) {
+    ResultCacheExternalCounters external;
+    if (metrics_ != nullptr) {
+      // Registry cache counters are monotonic across epochs and cache
+      // generations (Prometheus semantics); the cache's own counters stay
+      // per-generation for ServiceStats hit rates.
+      external.hits = metrics_->cache_hits;
+      external.misses = metrics_->cache_misses;
+      external.insertions = metrics_->cache_insertions;
+      external.evictions = metrics_->cache_evictions;
+    }
     cache = std::make_unique<ResultCache>(options_.cache_entries,
-                                          options_.cache_shards);
+                                          options_.cache_shards, external);
   }
   // QueryEngine's constructor binds the ontology against the graph
   // (BoundOntology precompute) — per epoch, not per query.
-  return std::make_shared<DatasetEpoch>(id, std::move(dataset), graph,
-                                        ontology, std::move(cache));
+  auto epoch = std::make_unique<DatasetEpoch>(id, std::move(dataset), graph,
+                                              ontology, std::move(cache));
+  // Custom deleter so the last pin drop on a retired epoch records the
+  // drain. The tracker is captured by shared_ptr because a ticket (and
+  // therefore the epoch it pins) may legitimately outlive the service.
+  std::shared_ptr<EpochDrainTracker> tracker = drain_tracker_;
+  return std::shared_ptr<const DatasetEpoch>(
+      epoch.release(), [tracker](const DatasetEpoch* e) {
+        RecordEpochDrained(*tracker, e->id);
+        delete e;
+      });
 }
 
 std::shared_ptr<const DatasetEpoch> QueryService::CurrentEpoch() const {
@@ -138,6 +287,7 @@ Status QueryService::SwapDataset(std::shared_ptr<const Dataset> dataset) {
   }
   const GraphStore* graph = &dataset->graph();
   const Ontology* ontology = dataset->ontology();
+  const Timer swap_timer;
   std::shared_ptr<const DatasetEpoch> retired;
   {
     WriterMutexLock lock(epoch_mu_);
@@ -147,14 +297,29 @@ Status QueryService::SwapDataset(std::shared_ptr<const Dataset> dataset) {
     retired = std::move(epoch_);
     epoch_ = std::move(next);
   }
+  const double swap_ms = swap_timer.ElapsedMs();
+  // Record the retirement *before* dropping our reference: if no query has
+  // the old epoch pinned, reset() runs the drain deleter immediately and it
+  // must find the retire timestamp already in place.
+  {
+    MutexLock lock(drain_tracker_->mu);
+    ++drain_tracker_->retired;
+    drain_tracker_->retired_at.emplace_back(retired->id,
+                                            std::chrono::steady_clock::now());
+  }
   // The retired epoch (dataset, engine, cache entries) lives on in the
   // tickets that pinned it and dies with the last of them; dropping our
   // reference here is what makes the swap an invalidation.
   retired.reset();
   ResetCacheGenerationStats();
+  if (metrics_ != nullptr) {
+    metrics_->swaps->Increment();
+    metrics_->swap_us->Observe(static_cast<uint64_t>(swap_ms * 1000.0));
+  }
   {
     MutexLock lock(stats_mu_);
     ++stats_.dataset_swaps;
+    stats_.swap_ms_total += swap_ms;
   }
   return Status::OK();
 }
@@ -175,6 +340,10 @@ QueryService::~QueryService() {
   }
   work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
+  // The queue was drained into `leftovers` above; don't leave a stale
+  // non-zero depth behind in a shared registry. (in_flight needs no reset:
+  // it is delta-based and every worker balanced its Add(1) before joining.)
+  if (metrics_ != nullptr) metrics_->queue_depth->Set(0);
   for (const std::shared_ptr<QueryTicket>& ticket : leftovers) {
     QueryResponse response;
     response.status = Status::Cancelled("query service is shutting down");
@@ -202,6 +371,13 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
   // epoch's engine and cache no matter how many swaps happen while it
   // waits, and the pin keeps the dataset alive until completion.
   ticket->epoch_ = CurrentEpoch();
+  TraceRecorder* const trace = ticket->request_.trace;
+  if (trace != nullptr) {
+    const TraceRecorder::SpanId pin = trace->Event("epoch_pin");
+    trace->Annotate(pin, "epoch", static_cast<int64_t>(ticket->epoch_->id));
+    trace->AnnotateStr(pin, "class",
+                       QueryClassToString(ticket->query_class_));
+  }
   const bool use_cache =
       ticket->epoch_->cache != nullptr && !ticket->request_.bypass_cache;
   ticket->used_cache_ = use_cache;
@@ -214,12 +390,20 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
     // Fresh hits are served synchronously on the submitting thread: no
     // queueing, no worker hand-off — this is the latency the cache exists
     // to buy.
-    if (std::shared_ptr<const CachedResult> entry =
-            ticket->epoch_->cache->Lookup(ticket->cache_key_)) {
+    const Timer lookup_timer;
+    std::shared_ptr<const CachedResult> entry =
+        ticket->epoch_->cache->Lookup(ticket->cache_key_);
+    if (trace != nullptr) {
+      const TraceRecorder::SpanId lookup =
+          trace->RecordComplete("cache_lookup", lookup_timer.ElapsedUs());
+      trace->Annotate(lookup, "hit", entry != nullptr ? 1 : 0);
+    }
+    if (entry != nullptr) {
       {
         MutexLock lock(stats_mu_);
         ++stats_.submitted;
       }
+      if (metrics_ != nullptr) metrics_->submitted->Increment();
       ServeHit(ticket, *entry, /*queue_ms=*/0);
       return ticket;
     }
@@ -248,6 +432,9 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
       MutexLock stats_lock(stats_mu_);
       ++stats_.submitted;
     }
+    if (metrics_ != nullptr) {
+      metrics_->queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   for (const std::shared_ptr<QueryTicket>& p : purged) {
     QueryResponse response;
@@ -260,12 +447,14 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
     Complete(p, std::move(response));
   }
   if (!admitted) {
+    if (metrics_ != nullptr) metrics_->rejected->Increment();
     MutexLock lock(stats_mu_);
     ++stats_.rejected;
     return Status::ResourceExhausted(
         "admission queue is full (max_queue=" +
         std::to_string(options_.max_queue) + ")");
   }
+  if (metrics_ != nullptr) metrics_->submitted->Increment();
   work_cv_.NotifyOne();
   return ticket;
 }
@@ -309,6 +498,23 @@ ServiceStats QueryService::stats() const {
     MutexLock lock(stats_mu_);
     out = stats_;
   }
+  // Sampled gauges come from mu_, taken *after* stats_mu_ is released —
+  // mu_ is ordered before stats_mu_ when both are held (see the header),
+  // so nesting them the other way here would invert the lock order.
+  {
+    MutexLock lock(mu_);
+    out.queue_depth = queue_.size();
+    for (const std::shared_ptr<QueryTicket>& t : running_) {
+      if (t != nullptr) ++out.in_flight;
+    }
+  }
+  {
+    MutexLock lock(drain_tracker_->mu);
+    out.epochs_retired = drain_tracker_->retired;
+    out.epochs_drained = drain_tracker_->drained;
+    out.drain_ms_total = drain_tracker_->drain_ms_total;
+    out.drain_ms_max = drain_tracker_->drain_ms_max;
+  }
   const std::shared_ptr<const DatasetEpoch> epoch = CurrentEpoch();
   out.dataset_epoch = epoch->id;
   if (epoch->cache != nullptr) out.cache = epoch->cache->stats();
@@ -346,8 +552,13 @@ void QueryService::WorkerLoop(size_t worker_index) {
       ticket = std::move(queue_.front());
       queue_.pop_front();
       running_[worker_index] = ticket;
+      if (metrics_ != nullptr) {
+        metrics_->queue_depth->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
+    if (metrics_ != nullptr) metrics_->in_flight->Add(1);
     RunTask(ticket);
+    if (metrics_ != nullptr) metrics_->in_flight->Add(-1);
     {
       MutexLock lock(mu_);
       running_[worker_index] = nullptr;
@@ -362,6 +573,16 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
   QueryResponse response;
   response.epoch = epoch.id;
   response.queue_ms = MsSince(ticket->enqueued_at_);
+  TraceRecorder* const trace = ticket->request_.trace;
+  if (metrics_ != nullptr) {
+    metrics_->queue_wait_us->Observe(
+        static_cast<uint64_t>(response.queue_ms * 1000.0));
+  }
+  if (trace != nullptr) {
+    // The wait started at Submit(), before this worker had the recorder, so
+    // the span is back-dated from the measured duration.
+    trace->RecordComplete("queue_wait", response.queue_ms * 1000.0);
+  }
 
   // The deadline clock started at Submit(), so a request can expire (or be
   // cancelled) before it ever executes.
@@ -377,8 +598,15 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
   // An identical request may have completed while this one queued. Submit
   // already counted this request's miss, so the re-probe doesn't.
   if (use_cache) {
-    if (std::shared_ptr<const CachedResult> entry = epoch.cache->Lookup(
-            ticket->cache_key_, /*count_miss=*/false)) {
+    const Timer lookup_timer;
+    std::shared_ptr<const CachedResult> entry =
+        epoch.cache->Lookup(ticket->cache_key_, /*count_miss=*/false);
+    if (trace != nullptr) {
+      const TraceRecorder::SpanId lookup =
+          trace->RecordComplete("cache_reprobe", lookup_timer.ElapsedUs());
+      trace->Annotate(lookup, "hit", entry != nullptr ? 1 : 0);
+    }
+    if (entry != nullptr) {
       ServeHit(ticket, *entry, response.queue_ms);
       return;
     }
@@ -387,12 +615,22 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
   Timer timer;
   QueryEngineOptions options = options_.engine;
   options.evaluator.cancel = token;
+  // Hand the ticket's recorder to the engine: plan / compile spans and
+  // index-probe events land in the same per-query trace as the service
+  // spans above.
+  options.evaluator.trace = trace;
   if (options.evaluator.top_k_hint == 0) {
     options.evaluator.top_k_hint = ticket->request_.top_k;
   }
+  TraceRecorder::SpanId exec_span = 0;
+  if (trace != nullptr) exec_span = trace->Begin("execute");
   Result<std::unique_ptr<QueryResultStream>> stream =
       epoch.engine.Execute(ticket->request_.query, options);
   if (!stream.ok()) {
+    if (trace != nullptr) {
+      trace->Annotate(exec_span, "ok", 0);
+      trace->End(exec_span);
+    }
     response.status = stream.status();
     response.exec_ms = timer.ElapsedMs();
     const ExecutionStats exec;  // reached the engine, no stream counters
@@ -420,6 +658,18 @@ void QueryService::RunTask(const std::shared_ptr<QueryTicket>& ticket) {
   if ((*stream)->plan() != nullptr) {
     SumJoinOperatorStats((*stream)->plan()->root.get(), &exec.join_rows,
                          &exec.max_join_live);
+  }
+  if (trace != nullptr) {
+    trace->Annotate(exec_span, "ok", response.status.ok() ? 1 : 0);
+    trace->Annotate(exec_span, "answers",
+                    static_cast<int64_t>(response.answers.size()));
+    trace->Annotate(exec_span, "exhausted", response.exhausted ? 1 : 0);
+    // Per-operator pull/emit totals, recorded after draining so the
+    // counters are final.
+    if ((*stream)->plan() != nullptr) {
+      RecordOperatorTrace(*(*stream)->plan(), trace);
+    }
+    trace->End(exec_span);
   }
 
   if (use_cache && response.status.ok()) {
@@ -451,6 +701,26 @@ void QueryService::ServeHit(const std::shared_ptr<QueryTicket>& ticket,
 void QueryService::Complete(const std::shared_ptr<QueryTicket>& ticket,
                             QueryResponse response,
                             const ExecutionStats* exec) {
+  if (metrics_ != nullptr) {
+    switch (response.status.code()) {
+      case StatusCode::kOk:
+        metrics_->completed_ok->Increment();
+        break;
+      case StatusCode::kCancelled:
+        metrics_->completed_cancelled->Increment();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        metrics_->completed_deadline->Increment();
+        break;
+      default:
+        metrics_->completed_error->Increment();
+        break;
+    }
+    if (exec != nullptr) {
+      metrics_->exec_us[static_cast<size_t>(ticket->query_class_)]->Observe(
+          static_cast<uint64_t>(response.exec_ms * 1000.0));
+    }
+  }
   {
     MutexLock lock(stats_mu_);
     switch (response.status.code()) {

@@ -53,6 +53,9 @@
 
 namespace omega {
 
+class MetricsRegistry;      // obs/metrics.h
+struct EpochDrainTracker;   // query_service.cc: epoch retire/drain timing
+
 /// One serving generation of the dataset: the frozen substrate, the engine
 /// bound to it (ontology binding happens here, once per swap, not per
 /// query), and the epoch's own result cache. Published as
@@ -108,6 +111,19 @@ struct QueryServiceOptions {
   /// text + k alone. Per-request cancel tokens and top-k hints are layered
   /// on top per execution.
   QueryEngineOptions engine;
+
+  /// Registry the service exports its instruments into; nullptr selects the
+  /// process-global MetricsRegistry::Global(). Injectable so tests and the
+  /// bench_obs pair read an isolated registry. Must outlive the service and
+  /// every epoch it published (epochs record drain durations as they die).
+  MetricsRegistry* metrics = nullptr;
+
+  /// Master switch for the registry export (counters, gauges, histograms).
+  /// Off is the bench_obs `_MetricsOff` baseline: no instruments are
+  /// created and hot paths skip every registry touch. Per-query
+  /// TraceRecorders attached via QueryRequest::trace work either way, and
+  /// ServiceStats accounting is unaffected.
+  bool enable_metrics = true;
 };
 
 struct QueryRequest {
@@ -118,6 +134,12 @@ struct QueryRequest {
   std::chrono::milliseconds deadline{0};
   /// Skip cache lookup and fill for this request (cache-cold measurement).
   bool bypass_cache = false;
+  /// Optional per-query trace sink (obs/trace.h). When non-null, the
+  /// service records admission/queue-wait/cache/execute spans and the
+  /// engine adds plan, compile, index-probe and per-operator events. Not
+  /// owned; must stay alive until the ticket completes (the recorder is
+  /// written from the worker thread and is internally locked).
+  TraceRecorder* trace = nullptr;
 };
 
 struct QueryResponse {
@@ -243,7 +265,7 @@ class QueryService {
   /// cache is born empty).
   void InvalidateCache() OMEGA_EXCLUDES(epoch_mu_, stats_mu_);
 
-  ServiceStats stats() const OMEGA_EXCLUDES(stats_mu_, epoch_mu_);
+  ServiceStats stats() const OMEGA_EXCLUDES(stats_mu_, epoch_mu_, mu_);
 
   size_t num_workers() const { return workers_.size(); }
   size_t queue_depth() const OMEGA_EXCLUDES(mu_);
@@ -298,6 +320,20 @@ class QueryService {
   /// Immutable after construction (clamped worker/queue bounds, engine
   /// config): read by every worker without synchronisation.
   QueryServiceOptions options_;
+
+  /// Cached registry instrument pointers (counters/gauges/histograms for
+  /// admission, completion, latency, cache and swap events), resolved once
+  /// at construction so hot paths never touch the registry map. Null when
+  /// options_.enable_metrics is false; immutable after construction, and
+  /// every instrument cell is internally relaxed-atomic.
+  struct ServiceMetrics;
+  std::unique_ptr<const ServiceMetrics> metrics_;
+
+  /// Epoch retire/drain bookkeeping, shared with every published epoch's
+  /// deleter. A shared_ptr because drains outlive the service: the last
+  /// pin on a retired epoch may be a ticket a client still holds after
+  /// this service is destroyed. Internally locked (see the definition).
+  std::shared_ptr<EpochDrainTracker> drain_tracker_;
 
   /// Guards the epoch pointer only — a leaf lock by construction: taken for
   /// one shared_ptr copy (shared) or one pointer swap (exclusive), never

@@ -5,7 +5,9 @@
 
 namespace omega {
 
-ResultCache::ResultCache(size_t capacity, size_t num_shards) {
+ResultCache::ResultCache(size_t capacity, size_t num_shards,
+                         ResultCacheExternalCounters external)
+    : external_(external) {
   capacity = std::max<size_t>(capacity, 1);
   num_shards = std::clamp<size_t>(num_shards, 1, capacity);
   // Ceil-divide so the total resident bound is >= the requested capacity
@@ -27,11 +29,15 @@ std::shared_ptr<const CachedResult> ResultCache::Lookup(
   MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    if (count_miss) misses_.FetchAdd(1);
+    if (count_miss) {
+      misses_.FetchAdd(1);
+      if (external_.misses != nullptr) external_.misses->Increment();
+    }
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.FetchAdd(1);
+  if (external_.hits != nullptr) external_.hits->Increment();
   return it->second->second;
 }
 
@@ -44,16 +50,19 @@ void ResultCache::Insert(const std::string& key,
     it->second->second = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     insertions_.FetchAdd(1);
+    if (external_.insertions != nullptr) external_.insertions->Increment();
     return;
   }
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.FetchAdd(1);
+    if (external_.evictions != nullptr) external_.evictions->Increment();
   }
   shard.lru.emplace_front(key, std::move(value));
   shard.index.emplace(key, shard.lru.begin());
   insertions_.FetchAdd(1);
+  if (external_.insertions != nullptr) external_.insertions->Increment();
 }
 
 void ResultCache::Clear() {
@@ -61,6 +70,9 @@ void ResultCache::Clear() {
     Shard& shard = *shard_ptr;
     MutexLock lock(shard.mu);
     evictions_.FetchAdd(shard.lru.size());
+    if (external_.evictions != nullptr) {
+      external_.evictions->Increment(shard.lru.size());
+    }
     shard.index.clear();
     shard.lru.clear();
   }

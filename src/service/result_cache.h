@@ -29,6 +29,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "eval/query_engine.h"
+#include "obs/metrics.h"
 
 namespace omega {
 
@@ -52,11 +53,25 @@ struct ResultCacheStats {
   size_t entries = 0;
 };
 
+/// Optional registry export for a ResultCache: process-lifetime counters
+/// (obs/metrics.h) bumped alongside the cache's own generation counters.
+/// Registry counters are monotonic and survive ResetCounters() — Prometheus
+/// semantics — while the internal counters restart per accounting
+/// generation. Null members are skipped.
+struct ResultCacheExternalCounters {
+  Counter* hits = nullptr;
+  Counter* misses = nullptr;
+  Counter* insertions = nullptr;
+  Counter* evictions = nullptr;
+};
+
 class ResultCache {
  public:
   /// `capacity` bounds resident entries across all shards (>= 1 enforced);
   /// `num_shards` spreads lock contention (clamped to [1, capacity]).
-  ResultCache(size_t capacity, size_t num_shards);
+  /// `external` mirrors the counters into a metrics registry (see above).
+  ResultCache(size_t capacity, size_t num_shards,
+              ResultCacheExternalCounters external = {});
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -101,6 +116,9 @@ class ResultCache {
 
   size_t per_shard_capacity_;  ///< immutable after construction
   std::vector<std::unique_ptr<Shard>> shards_;  ///< vector itself immutable
+  /// Immutable after construction; the pointed-to instruments are
+  /// registry-owned relaxed-atomic cells, safe to bump from any shard.
+  ResultCacheExternalCounters external_;
 
   // Deliberately lock-free (no capability): monotonic accounting counters
   // bumped on hot paths from any shard. Readers (stats()) accept any

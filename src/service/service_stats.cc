@@ -48,13 +48,28 @@ std::string ServiceStats::ToString() const {
                 static_cast<unsigned long long>(dataset_swaps));
   out += line;
   std::snprintf(line, sizeof(line),
-                "cache:   %llu hits, %llu misses, %llu evictions, "
-                "%zu resident\n",
+                "load:    %llu queued, %llu in flight\n",
+                static_cast<unsigned long long>(queue_depth),
+                static_cast<unsigned long long>(in_flight));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "cache:   %llu hits, %llu misses, %llu insertions, "
+                "%llu evictions, %zu resident\n",
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.insertions),
                 static_cast<unsigned long long>(cache.evictions),
                 cache.entries);
   out += line;
+  if (dataset_swaps > 0 || epochs_retired > 0) {
+    std::snprintf(line, sizeof(line),
+                  "epochs:  %llu retired, %llu drained, swap %8.3f ms total, "
+                  "drain %8.3f ms total / %8.3f ms max\n",
+                  static_cast<unsigned long long>(epochs_retired),
+                  static_cast<unsigned long long>(epochs_drained),
+                  swap_ms_total, drain_ms_total, drain_ms_max);
+    out += line;
+  }
   for (size_t i = 0; i < kNumQueryClasses; ++i) {
     const ClassAggregate& agg = per_class[i];
     if (agg.queries == 0) continue;

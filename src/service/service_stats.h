@@ -85,6 +85,20 @@ struct ServiceStats {
   uint64_t failed = 0;             ///< completions with any other error
   uint64_t dataset_epoch = 0;      ///< id of the serving epoch (0 = initial)
   uint64_t dataset_swaps = 0;      ///< SwapDataset() calls so far
+  /// Point-in-time gauges sampled when stats() is called (not accumulated
+  /// under stats_mu_ like the counters above): requests waiting in the
+  /// admission queue and requests currently executing on workers.
+  uint64_t queue_depth = 0;
+  uint64_t in_flight = 0;
+  /// Epoch lifecycle timing. An epoch is *retired* when SwapDataset()
+  /// unpublishes it and *drained* when the last in-flight query drops its
+  /// pin and the dataset is actually released — the gap is how long old
+  /// queries kept the old substrate (and its mmap) alive.
+  double swap_ms_total = 0;        ///< total SwapDataset publish time
+  uint64_t epochs_retired = 0;
+  uint64_t epochs_drained = 0;
+  double drain_ms_total = 0;       ///< retire -> last-pin-drop, drained epochs
+  double drain_ms_max = 0;
   /// Counters of the *current* epoch's cache (each epoch gets a fresh
   /// cache; InvalidateCache() also resets these within an epoch).
   ResultCacheStats cache;

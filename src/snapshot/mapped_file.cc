@@ -8,7 +8,21 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace omega {
+namespace {
+
+// Level of bytes currently mmap'd by live snapshot mappings; rises on Open,
+// falls when the last Dataset reference drops the backing file. Open is a
+// cold path, so the registry lookup per call is fine.
+Gauge* MappedBytesGauge() {
+  static Gauge* const gauge = MetricsRegistry::Global()->GetGauge(
+      "omega_snapshot_mmap_bytes", "Bytes mapped by live snapshot files");
+  return gauge;
+}
+
+}  // namespace
 
 Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
     const std::string& path) {
@@ -35,6 +49,7 @@ Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
   if (addr == MAP_FAILED) {
     return Status::Internal("mmap '" + path + "': " + std::strerror(errno));
   }
+  MappedBytesGauge()->Add(static_cast<int64_t>(size));
   return std::shared_ptr<const MappedFile>(
       new MappedFile(static_cast<const std::byte*>(addr), size));
 }
@@ -42,6 +57,7 @@ Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
 MappedFile::~MappedFile() {
   if (data_ != nullptr) {
     ::munmap(const_cast<std::byte*>(data_), size_);
+    MappedBytesGauge()->Add(-static_cast<int64_t>(size_));
   }
 }
 

@@ -7,7 +7,9 @@
 #include <tuple>
 
 #include "common/lifetime_annotations.h"
+#include "common/timer.h"
 #include "index/distance_sketch.h"
+#include "obs/metrics.h"
 #include "index/index_manager.h"
 #include "index/reachability_index.h"
 #include "snapshot/snapshot_writer.h"
@@ -450,6 +452,35 @@ Result<std::shared_ptr<const Dataset>> SnapshotReader::Open(
 }
 
 Result<std::shared_ptr<const Dataset>> SnapshotReader::Open(
+    const std::string& path, const Options& options) {
+  // Load/verify timing for the observability layer. Opens are cold-path
+  // (service construction, hot-swap), so the registry lookups per call are
+  // negligible next to the mmap + validation work they measure.
+  const Timer open_timer;
+  Result<std::shared_ptr<const Dataset>> dataset = OpenUntimed(path, options);
+  const uint64_t elapsed_us = static_cast<uint64_t>(open_timer.ElapsedUs());
+  MetricsRegistry* const registry = MetricsRegistry::Global();
+  if (options.verify_checksums || options.deep_validate) {
+    registry
+        ->GetHistogram("omega_snapshot_verify_us",
+                       "Checksummed / deep-validated snapshot open time")
+        ->Observe(elapsed_us);
+  } else {
+    registry
+        ->GetHistogram("omega_snapshot_open_us",
+                       "Structural snapshot open time")
+        ->Observe(elapsed_us);
+  }
+  registry
+      ->GetCounter("omega_snapshot_opens_total",
+                   "Snapshot opens by outcome", dataset.ok()
+                                                    ? "outcome=\"ok\""
+                                                    : "outcome=\"error\"")
+      ->Increment();
+  return dataset;
+}
+
+Result<std::shared_ptr<const Dataset>> SnapshotReader::OpenUntimed(
     const std::string& path, const Options& options) {
   Result<std::shared_ptr<const MappedFile>> file = MappedFile::Open(path);
   if (!file.ok()) return file.status();

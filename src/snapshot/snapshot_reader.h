@@ -64,6 +64,12 @@ class SnapshotReader {
 
   /// Full integrity check: structure + checksums + deep invariants.
   static Status Verify(const std::string& path);
+
+ private:
+  // The untimed open body; the public Open wraps it with the
+  // omega_snapshot_open_us / omega_snapshot_opens_total instrumentation.
+  static Result<std::shared_ptr<const Dataset>> OpenUntimed(
+      const std::string& path, const Options& options);
 };
 
 }  // namespace omega

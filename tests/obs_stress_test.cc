@@ -1,0 +1,215 @@
+// Observability concurrency stress: client threads fire mixed queries
+// (some carrying per-request TraceRecorders) at a QueryService with a
+// private MetricsRegistry while one thread hammers SwapDataset and another
+// continuously polls RenderText() and stats() — every shared counter,
+// gauge, histogram cell, trace span vector, and the epoch drain tracker is
+// exercised under full concurrency. This is the ThreadSanitizer gate for
+// the obs layer: a torn histogram bucket, an unguarded span append, or a
+// drain-tracker race shows up here. At the end the registry's monotonic
+// totals must reconcile exactly with what the clients did.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rpq/query_parser.h"
+#include "service/query_service.h"
+#include "test_util.h"
+
+namespace omega {
+namespace {
+
+using omega::testing::Qy;
+
+GraphStore StressGraph(uint64_t seed) {
+  GraphBuilder builder;
+  Rng rng(seed);
+  constexpr size_t kPeople = 50;
+  constexpr size_t kOrgs = 10;
+  std::vector<std::string> people, orgs;
+  for (size_t i = 0; i < kPeople; ++i) {
+    people.push_back("p" + std::to_string(i));
+  }
+  for (size_t i = 0; i < kOrgs; ++i) {
+    orgs.push_back("o" + std::to_string(i));
+  }
+  for (size_t i = 0; i < kPeople; ++i) {
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i], "knows",
+                          people[rng.NextBounded(kPeople)]);
+    (void)builder.AddEdge(people[i], "worksAt", orgs[rng.NextBounded(kOrgs)]);
+  }
+  return std::move(builder).Finalize();
+}
+
+TEST(ObsStressTest, MetricsTracesAndSwapsUnderConcurrency) {
+  std::shared_ptr<const Dataset> dataset_a =
+      Dataset::FromParts(StressGraph(11), std::nullopt);
+  std::shared_ptr<const Dataset> dataset_b =
+      Dataset::FromParts(StressGraph(23), std::nullopt);
+
+  std::vector<Query> workload;
+  for (const char* text : {
+           "(?X) <- (?X, knows, ?Y)",
+           "(?X, ?Z) <- (?X, knows, ?Y), (?Y, knows, ?Z)",
+           "(?X) <- APPROX (?X, knows.worksAt, ?Y)",
+           "(?X, ?O) <- (?X, knows, ?Y), (?Y, worksAt, ?O)",
+       }) {
+    workload.push_back(Qy(text));
+  }
+
+  MetricsRegistry registry;
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue = 512;
+  options.metrics = &registry;
+  QueryService service(dataset_a, options);
+
+  constexpr size_t kClients = 6;
+  constexpr size_t kRequestsPerClient = 25;
+  constexpr size_t kSwaps = 30;
+  std::atomic<size_t> ok{0}, failures{0}, traced_sends{0};
+  std::atomic<size_t> spans_seen{0};
+  std::atomic<bool> stop_poller{false};
+
+  // Swap storm: epoch retire/drain accounting races query pins.
+  std::thread swapper([&] {
+    for (size_t s = 0; s < kSwaps; ++s) {
+      EXPECT_TRUE(
+          service.SwapDataset(s % 2 == 0 ? dataset_b : dataset_a).ok());
+      std::this_thread::yield();
+    }
+  });
+
+  // Metrics poller: renders the full exposition and samples stats() while
+  // every instrument is being written.
+  std::thread poller([&] {
+    size_t renders = 0;
+    while (!stop_poller.load(std::memory_order_acquire)) {
+      const std::string text = registry.RenderText();
+      EXPECT_NE(text.find("omega_service_submitted_total"),
+                std::string::npos);
+      const ServiceStats stats = service.stats();
+      EXPECT_LE(stats.epochs_drained, stats.epochs_retired);
+      ++renders;
+      std::this_thread::yield();
+    }
+    EXPECT_GT(renders, 0u);
+  });
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t r = 0; r < kRequestsPerClient; ++r) {
+        QueryRequest request;
+        request.query = Clone(workload[(c * 3 + r) % workload.size()]);
+        request.top_k = 10;
+        request.bypass_cache = (c + r) % 3 == 0;
+        // Every other request is traced: span appends from the client
+        // thread (epoch_pin, cache_lookup) race the worker's (queue_wait,
+        // execute, operator totals) on the same recorder.
+        std::unique_ptr<TraceRecorder> trace;
+        if ((c + r) % 2 == 0) {
+          trace = std::make_unique<TraceRecorder>();
+          ++traced_sends;
+        }
+        request.trace = trace.get();
+        const QueryResponse response = service.Execute(std::move(request));
+        if (response.status.ok()) {
+          ++ok;
+        } else {
+          ++failures;
+        }
+        if (trace != nullptr) {
+          const size_t spans = trace->NumSpans();
+          EXPECT_GE(spans, 2u);  // at least epoch_pin + one service span
+          spans_seen.fetch_add(spans);
+          EXPECT_NE(trace->ToJson().find("\"spans\":["), std::string::npos);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  swapper.join();
+  stop_poller.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(ok.load(), kClients * kRequestsPerClient);
+  EXPECT_GT(spans_seen.load(), traced_sends.load());
+
+  // Reconciliation: the registry's monotonic totals equal what the clients
+  // actually did, and agree with the lock-guarded ServiceStats.
+  const ServiceStats stats = service.stats();
+  const uint64_t total = kClients * kRequestsPerClient;
+  EXPECT_EQ(registry.GetCounter("omega_service_submitted_total")->Value(),
+            total);
+  const uint64_t completed_total =
+      registry.GetCounter("omega_service_completed_total", "",
+                          "status=\"ok\"")
+          ->Value() +
+      registry
+          .GetCounter("omega_service_completed_total", "",
+                      "status=\"cancelled\"")
+          ->Value() +
+      registry
+          .GetCounter("omega_service_completed_total", "",
+                      "status=\"deadline\"")
+          ->Value() +
+      registry
+          .GetCounter("omega_service_completed_total", "", "status=\"error\"")
+          ->Value();
+  EXPECT_EQ(completed_total, total);
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(registry.GetCounter("omega_service_swaps_total")->Value(), kSwaps);
+  EXPECT_EQ(stats.dataset_swaps, kSwaps);
+  EXPECT_EQ(stats.epochs_retired, kSwaps);
+  // Per-class execution observations match the executed (non-hit) count.
+  uint64_t exec_observed = 0;
+  for (const char* cls :
+       {"class=\"EXACT\"", "class=\"APPROX\"", "class=\"RELAX\"",
+        "class=\"MIXED\""}) {
+    exec_observed +=
+        registry.GetHistogram("omega_service_exec_us", "", cls)->Count();
+  }
+  uint64_t executed = 0;
+  for (const ClassAggregate& agg : stats.per_class) executed += agg.executed;
+  EXPECT_EQ(exec_observed, executed);
+  // Cache totals: every non-bypass submission probed its epoch's cache at
+  // Submit and counted a hit or a miss (worker re-probes may add further
+  // hits, never misses), so the monotonic totals bound the probe count
+  // from below.
+  size_t non_bypass = 0;
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t r = 0; r < kRequestsPerClient; ++r) {
+      if ((c + r) % 3 != 0) ++non_bypass;
+    }
+  }
+  EXPECT_GE(registry.GetCounter("omega_cache_hits_total")->Value() +
+                registry.GetCounter("omega_cache_misses_total")->Value(),
+            non_bypass);
+  EXPECT_GT(registry.GetCounter("omega_cache_misses_total")->Value(), 0u);
+
+  // All retired epochs eventually drain once the tickets are gone.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.stats().epochs_drained < kSwaps &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(service.stats().epochs_drained, kSwaps);
+  EXPECT_EQ(registry.GetHistogram("omega_service_epoch_drain_us")->Count(),
+            kSwaps);
+}
+
+}  // namespace
+}  // namespace omega

@@ -44,6 +44,10 @@ PAIRINGS = {
     # distance-aware rounds vs the plain psi ratchet.
     "_ReachProbe": "_ReachBfs",
     "_DistanceSketch": "_DistanceRounds",
+    # Observability layer (PR 9): the serving mix with every metric
+    # instrument live vs enable_metrics=false. No MIN_SPEEDUP — the claim is
+    # that instrumentation is near-free, i.e. within the plain tolerance.
+    "_MetricsOn": "_MetricsOff",
 }
 
 # Pairs that must not merely avoid regressing but beat their baseline by a
@@ -76,7 +80,7 @@ MIN_SPEEDUP = {
 # Pairs whose work accrues on service worker threads while the driving
 # thread blocks: compared on wall-clock (real_time) instead of cpu_time,
 # which would only see the driver.
-REAL_TIME_PAIRS = {"_CacheHit", "_ServiceParallel"}
+REAL_TIME_PAIRS = {"_CacheHit", "_ServiceParallel", "_MetricsOn"}
 
 # Generous noise floor so the gate trips on real regressions, not scheduler
 # jitter; the structures win by integer factors when healthy.

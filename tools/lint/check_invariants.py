@@ -49,6 +49,22 @@ Checks
    explaining who owns the storage and why it outlives the view. Borrowing
    is meant to be rare and deliberate; an unjustified borrow is either a
    bug or missing its safety argument.
+9. steady-clock-only: no std::chrono::system_clock /
+   high_resolution_clock anywhere under src/. Every duration the obs
+   layer reports (queue wait, exec time, swap/drain, span timestamps)
+   must come from steady_clock — a wall-clock measurement goes backwards
+   under NTP adjustment and high_resolution_clock is an alias for
+   whichever clock the library picked (common/timer.h static_asserts the
+   same constraint; this closes the workaround of timing around Timer).
+10. no-dark-counters: every field of the stats structs that feed the
+    observability surfaces (EvaluatorStats, ClassAggregate, ServiceStats)
+    is named in at least one render/exposition source — EXPLAIN ANALYZE's
+    per-operator rendering, ServiceStats::ToString, the service's
+    metrics-registry wiring, or the shell. A counter that is accumulated
+    but never rendered is a dark counter: it costs hot-path work and
+    tells nobody anything. The field parser is exercised by a
+    seeded-violation self-test in main() so a silently broken parser
+    cannot turn this check into a no-op PASS.
 """
 from __future__ import annotations
 
@@ -95,7 +111,10 @@ FROZEN_READ_API = {
 
 # check 5: raw concurrency primitives banned in these files/dirs (the
 # annotated wrappers in common/mutex.h + common/atomics.h replace them).
-ANNOTATED_LOCKING_SCOPE = ["src/service", "src/common/cancel.h"]
+# src/obs joined the scope in PR 9: the metrics registry and trace recorder
+# sit on every hot path, so their locking must be visible to
+# -Wthread-safety like the service's.
+ANNOTATED_LOCKING_SCOPE = ["src/service", "src/common/cancel.h", "src/obs"]
 RAW_PRIMITIVE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
     r"unique_lock|shared_lock|scoped_lock|condition_variable(?:_any)?|"
@@ -147,6 +166,24 @@ BORROW_SITE_EXEMPT = {
     "src/store/oid_set.cc":
         "holds the out-of-line definition of BorrowSortedUnique itself",
 }
+
+# check 9: wall-clock / alias clocks banned under src/ — durations must use
+# steady_clock (via common/timer.h) so reported latencies survive NTP steps.
+NON_MONOTONIC_CLOCK = re.compile(
+    r"std::chrono::(?:system_clock|high_resolution_clock)\b")
+
+# check 10: file -> stats structs whose every field must be reachable from
+# an observability surface; and the sources that constitute those surfaces.
+DARK_COUNTER_STRUCTS = {
+    "src/eval/answer.h": ["EvaluatorStats"],
+    "src/service/service_stats.h": ["ClassAggregate", "ServiceStats"],
+}
+RENDER_SOURCES = [
+    "src/plan/plan_node.cc",         # EXPLAIN / EXPLAIN ANALYZE rendering
+    "src/service/service_stats.cc",  # ServiceStats::ToString (.stats table)
+    "src/service/query_service.cc",  # metrics-registry exposition wiring
+    "examples/omega_shell.cpp",      # shell .stats/.metrics/.explain output
+]
 
 ERRORS: list[str] = []
 
@@ -561,6 +598,105 @@ def check_borrow_justification(root: Path):
                      "the borrow (or route through owned construction)")
 
 
+# --- check 9: steady-clock only ----------------------------------------------
+
+def check_steady_clock(root: Path):
+    for src in sorted((root / "src").glob("**/*")):
+        if src.suffix not in (".h", ".cc"):
+            continue
+        rel = src.relative_to(root)
+        stripped = strip_comments(src.read_text())
+        for i, line in enumerate(stripped.splitlines(), 1):
+            m = NON_MONOTONIC_CLOCK.search(line)
+            if m:
+                fail(rel, i,
+                     f"{m.group(0)} under src/ — durations and span "
+                     "timestamps must come from std::chrono::steady_clock "
+                     "(use common/timer.h); wall clocks step backwards "
+                     "under NTP and high_resolution_clock is an "
+                     "unspecified alias")
+
+
+# --- check 10: no dark counters ----------------------------------------------
+
+def struct_fields(body: str, first_line: int,
+                  default_access: str = "public"):
+    """Yields (line, name) for each public data member of a struct body."""
+    for line_no, decl in public_declarations(body, first_line,
+                                             default_access):
+        if "(" in decl:
+            continue  # method (every stats field is a plain member)
+        d = decl.split("=", 1)[0]
+        d = re.sub(r"\[[^\]]*\]", "", d).strip()
+        parts = d.split()
+        if len(parts) >= 2:
+            yield line_no, parts[-1]
+
+
+def check_dark_counters(root: Path):
+    rendered = []
+    for rel in RENDER_SOURCES:
+        path = root / rel
+        if not path.exists():
+            fail(rel, 1, "RENDER_SOURCES file missing "
+                 "(update check_invariants.py)")
+            continue
+        # Comments are stripped so a commented-out rendering line cannot
+        # satisfy the check.
+        rendered.append(strip_comments(path.read_text()))
+    tokens = set(re.findall(r"\w+", "\n".join(rendered)))
+    for rel, structs in DARK_COUNTER_STRUCTS.items():
+        path = root / rel
+        if not path.exists():
+            fail(rel, 1, "DARK_COUNTER_STRUCTS file missing "
+                 "(update check_invariants.py)")
+            continue
+        stripped = strip_comments(path.read_text())
+        for struct_name in structs:
+            found = class_body(stripped, struct_name)
+            if found is None:
+                fail(rel, 1, f"stats struct {struct_name} not found "
+                     "(update DARK_COUNTER_STRUCTS in check_invariants.py)")
+                continue
+            body, first_line, default_access = found
+            for line_no, field in struct_fields(body, first_line,
+                                                default_access):
+                if field not in tokens:
+                    fail(rel, line_no,
+                         f"{struct_name}.{field} is a dark counter — "
+                         "accumulated but named in no render/exposition "
+                         "source (EXPLAIN ANALYZE, ServiceStats::ToString, "
+                         "the metrics wiring, or the shell); render it or "
+                         "delete it")
+
+
+def self_test() -> bool:
+    """Seeded-violation self-test for check 10: the field parser must pull
+    the data members out of a synthetic struct and flag exactly the one
+    missing from a synthetic render source. A regression in
+    public_declarations/struct_fields would otherwise make the dark-counter
+    check vacuously pass on everything."""
+    struct_text = strip_comments(
+        "struct FakeStats {\n"
+        "  uint64_t rendered_field = 0;\n"
+        "  uint64_t dark_field = 0;  // seeded violation: never rendered\n"
+        "  double per_class[4];\n"
+        "  double Ratio() const { return 0; }\n"
+        "};\n")
+    found = class_body(struct_text, "FakeStats")
+    if found is None:
+        return False
+    body, first_line, default_access = found
+    fields = [name for _, name in struct_fields(body, first_line,
+                                                default_access)]
+    if fields != ["rendered_field", "dark_field", "per_class"]:
+        return False
+    render_text = ("out += std::to_string(rendered_field);\n"
+                   "for (auto& c : per_class) Render(c);\n")
+    tokens = set(re.findall(r"\w+", render_text))
+    return [f for f in fields if f not in tokens] == ["dark_field"]
+
+
 # --- main --------------------------------------------------------------------
 
 def main() -> int:
@@ -574,6 +710,13 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
+    if not self_test():
+        print("ERROR: check_invariants.py self-test failed — the "
+              "dark-counter field parser no longer flags a seeded "
+              "violation; fix the parser before trusting check 10",
+              file=sys.stderr)
+        return 2
+
     check_cmake_registration(root)
     check_gate_pairs(root)
     check_hot_path_containers(root)
@@ -582,6 +725,8 @@ def main() -> int:
     check_lifetime_bound_coverage(root)
     check_mapped_file_ownership(root)
     check_borrow_justification(root)
+    check_steady_clock(root)
+    check_dark_counters(root)
 
     if ERRORS:
         for err in ERRORS:
@@ -591,7 +736,8 @@ def main() -> int:
         return 1
     print("PASS: cmake-registration, gate-pairs, hot-path-containers, "
           "frozen-api-const, annotated-locking, lifetime-bound-coverage, "
-          "mapped-file-ownership, borrow-justification")
+          "mapped-file-ownership, borrow-justification, steady-clock-only, "
+          "no-dark-counters")
     return 0
 
 
