@@ -13,6 +13,16 @@
 // the relaxed-atomic counter/gauge/histogram increments must be near-free
 // on the serving path. Tracing is deliberately not part of the pair — it is
 // an opt-in per-request diagnostic, not an always-on cost.
+//
+// A second pair proves the flight recorder's always-on contract the same
+// way:
+//
+//   BM_SubstrateObs_ServeMix_RecorderOn   every completion appends a flat
+//                                         summary to a FlightRecorder ring
+//   BM_SubstrateObs_ServeMix_RecorderOff  options.flight_recorder == nullptr
+//
+// The slow threshold is left at its (high) default so the pair measures the
+// fast path — one mutex-guarded struct append per completion.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "rpq/query_parser.h"
 #include "service/query_service.h"
@@ -168,6 +179,40 @@ void BM_SubstrateObs_ServeMix_MetricsOff(benchmark::State& state) {
   ObsBench(state, /*metrics_on=*/false);
 }
 BENCHMARK(BM_SubstrateObs_ServeMix_MetricsOff)->UseRealTime();
+
+void RecorderBench(benchmark::State& state, bool recorder_on) {
+  // Metrics stay off in both runs so the pair isolates the recorder's cost;
+  // the recorder must outlive the service (declared first).
+  FlightRecorder recorder;
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.max_queue = 1024;
+  options.enable_metrics = false;
+  options.flight_recorder = recorder_on ? &recorder : nullptr;
+  QueryService service(&ServingGraph(), &ServingOntology(),
+                       std::move(options));
+  size_t total_ok = 0;
+  for (auto _ : state) {
+    total_ok += DriveClients(&service);
+  }
+  if (total_ok != state.iterations() * kClientThreads * kRequestsPerClient) {
+    state.SkipWithError("some requests failed");
+  }
+  if (recorder_on && recorder.recorded_total() < total_ok) {
+    state.SkipWithError("recorder-on run did not record completions");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_ok));
+}
+
+void BM_SubstrateObs_ServeMix_RecorderOn(benchmark::State& state) {
+  RecorderBench(state, /*recorder_on=*/true);
+}
+BENCHMARK(BM_SubstrateObs_ServeMix_RecorderOn)->UseRealTime();
+
+void BM_SubstrateObs_ServeMix_RecorderOff(benchmark::State& state) {
+  RecorderBench(state, /*recorder_on=*/false);
+}
+BENCHMARK(BM_SubstrateObs_ServeMix_RecorderOff)->UseRealTime();
 
 }  // namespace
 

@@ -30,7 +30,12 @@
 #include "datasets/l4all.h"
 #include "datasets/yago.h"
 #include "eval/query_engine.h"
+#include "net/admin_server.h"
+#include "net/ops_routes.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/process_metrics.h"
 #include "obs/trace.h"
 #include "ontology/ontology_io.h"
 #include "plan/plan_node.h"
@@ -84,6 +89,21 @@ class Shell {
                  graph().NumNodes(), graph().NumEdges(),
                  graph().labels().size(),
                  dataset_->backing() != nullptr ? " (mmap snapshot)" : "");
+    // The admin-plane service keeps serving across `.gen`/`.load`/`.snapshot
+    // load`: hot-swap it to the new dataset so /metrics, /statusz and
+    // /readyz describe what the shell now holds.
+    if (admin_service_ != nullptr) {
+      const Status status = admin_service_->SwapDataset(dataset_);
+      if (status.ok()) {
+        std::fprintf(stderr, "admin service swapped to the new dataset "
+                             "(epoch %llu)\n",
+                     static_cast<unsigned long long>(
+                         admin_service_->dataset_epoch()));
+      } else {
+        std::printf("admin service swap failed: %s\n",
+                    status.ToString().c_str());
+      }
+    }
   }
 
   void Command(const std::string& text) {
@@ -112,6 +132,15 @@ class Shell {
           "                            plan with estimated vs actual rows\n"
           "  .metrics [FILE]           Prometheus-style metrics exposition\n"
           "  .trace on|off|show|save FILE   per-query trace spans (JSON)\n"
+          "  .admin PORT [SLOW_US]     start the ops-plane HTTP server on\n"
+          "                            127.0.0.1:PORT (0 = ephemeral) with a\n"
+          "                            persistent QueryService + flight\n"
+          "                            recorder (slow threshold SLOW_US)\n"
+          "  .admin stop               shut the admin server down\n"
+          "  .events [N]               recent structured events (swaps,\n"
+          "                            snapshot opens, rejections, ...)\n"
+          "  .events sink FILE         append events to FILE as JSONL\n"
+          "  .slowlog [N]              flight-recorder slow-query log\n"
           "  .budget N                 live-tuple budget (0 = unlimited)\n"
           "  .serve [W [C [R]]]        replay this session's queries through a\n"
           "                            QueryService: W workers, C client\n"
@@ -128,7 +157,13 @@ class Shell {
       std::vector<std::string> rest(words.begin() + 1, words.end());
       Explain(Join(rest, " "));
     } else if (cmd == ".metrics") {
-      const std::string rendered = MetricsRegistry::Global()->RenderText();
+      // Route through the admin-plane service's injected registry when one
+      // is running, so `.metrics` and `GET /metrics` agree; fall back to
+      // the process-global registry otherwise.
+      MetricsRegistry* registry =
+          EffectiveMetricsRegistry(admin_service_.get());
+      UpdateProcessSelfMetrics(registry);
+      const std::string rendered = registry->RenderText();
       if (words.size() >= 2) {
         std::FILE* f = std::fopen(words[1].c_str(), "w");
         if (f == nullptr) {
@@ -144,6 +179,62 @@ class Shell {
       }
     } else if (cmd == ".trace" && words.size() >= 2) {
       Trace(words);
+    } else if (cmd == ".admin") {
+      if (words.size() >= 2 && words[1] == "stop") {
+        StopAdmin();
+      } else if (words.size() >= 2) {
+        const int port = std::atoi(words[1].c_str());
+        if (port < 0 || port > 65535) {
+          std::printf("port must be 0..65535 (0 = ephemeral)\n");
+          return;
+        }
+        const uint64_t slow_us =
+            words.size() > 2
+                ? static_cast<uint64_t>(std::atoll(words[2].c_str()))
+                : 0;
+        StartAdmin(static_cast<uint16_t>(port), slow_us);
+      } else if (admin_server_ != nullptr) {
+        std::printf("admin server on http://%s:%u/ (.admin stop to stop)\n",
+                    admin_server_->bind_address().c_str(),
+                    admin_server_->port());
+      } else {
+        std::printf("admin server not running (.admin PORT to start)\n");
+      }
+    } else if (cmd == ".events") {
+      if (words.size() >= 3 && words[1] == "sink") {
+        const Status status = EventLog::Global()->AttachJsonlSink(words[2]);
+        if (status.ok()) {
+          std::printf("events now appended to %s as JSONL\n",
+                      words[2].c_str());
+        } else {
+          std::printf("%s\n", status.ToString().c_str());
+        }
+        return;
+      }
+      const size_t max =
+          words.size() > 1
+              ? static_cast<size_t>(std::max(1, std::atoi(words[1].c_str())))
+              : 32;
+      const std::string text = EventLog::Global()->ToText(max);
+      if (text.empty()) {
+        std::printf("(no events recorded yet)\n");
+      } else {
+        std::printf("%s", text.c_str());
+      }
+    } else if (cmd == ".slowlog") {
+      FlightRecorder* recorder =
+          flight_recorder_ != nullptr
+              ? flight_recorder_.get()
+              : EffectiveFlightRecorder(admin_service_.get());
+      if (recorder == nullptr) {
+        std::printf("no flight recorder (start one with .admin PORT)\n");
+        return;
+      }
+      const size_t max =
+          words.size() > 1
+              ? static_cast<size_t>(std::max(1, std::atoi(words[1].c_str())))
+              : 16;
+      std::printf("%s", recorder->SlowLogText(max).c_str());
     } else if (cmd == ".plan" && words.size() == 2) {
       if (words[1] == "textual") {
         options_.plan_mode = PlanMode::kTextual;
@@ -470,17 +561,18 @@ class Shell {
       trace_.reset();
       std::printf("tracing off\n");
     } else if (verb == "show") {
-      if (trace_ == nullptr) {
+      const std::string json = CurrentTraceJson();
+      if (json.empty()) {
         std::printf("no trace recorded (.trace on, then run a query)\n");
         return;
       }
-      std::printf("%s\n", trace_->ToJson().c_str());
+      std::printf("%s\n", json.c_str());
     } else if (verb == "save" && words.size() >= 3) {
-      if (trace_ == nullptr) {
+      const std::string json = CurrentTraceJson();
+      if (json.empty()) {
         std::printf("no trace recorded (.trace on, then run a query)\n");
         return;
       }
-      const std::string json = trace_->ToJson();
       std::FILE* f = std::fopen(words[2].c_str(), "w");
       if (f == nullptr) {
         std::printf("cannot open %s\n", words[2].c_str());
@@ -496,6 +588,79 @@ class Shell {
     }
   }
 
+  /// `.trace show`/`save` source: the interactively recorded trace when one
+  /// exists, otherwise the newest slow-query trace captured by the admin
+  /// plane's flight recorder (so `.trace save` works on served traffic too).
+  std::string CurrentTraceJson() const {
+    if (trace_ != nullptr) return trace_->ToJson();
+    const FlightRecorder* recorder =
+        flight_recorder_ != nullptr
+            ? flight_recorder_.get()
+            : EffectiveFlightRecorder(admin_service_.get());
+    if (recorder == nullptr) return "";
+    const std::vector<FlightRecorder::SlowQuery> slow = recorder->Slow(0);
+    for (auto it = slow.rbegin(); it != slow.rend(); ++it) {
+      if (!it->trace_json.empty()) return it->trace_json;
+    }
+    return "";
+  }
+
+  void StartAdmin(uint16_t port, uint64_t slow_threshold_us) {
+    if (admin_server_ != nullptr) {
+      std::printf("admin server already on http://%s:%u/ (.admin stop "
+                  "first)\n",
+                  admin_server_->bind_address().c_str(),
+                  admin_server_->port());
+      return;
+    }
+    FlightRecorderOptions recorder_options;
+    if (slow_threshold_us > 0) {
+      recorder_options.slow_threshold_us = slow_threshold_us;
+    }
+    flight_recorder_ =
+        std::make_unique<FlightRecorder>(recorder_options);
+    QueryServiceOptions service_options;
+    service_options.num_workers = 4;
+    service_options.engine = options_;
+    service_options.flight_recorder = flight_recorder_.get();
+    admin_service_ = std::make_unique<QueryService>(dataset_,
+                                                    service_options);
+    AdminServerOptions server_options;
+    server_options.port = port;
+    admin_server_ = std::make_unique<AdminServer>(server_options);
+    OpsPlaneOptions ops;
+    ops.recorder = flight_recorder_.get();
+    ops.service = admin_service_.get();
+    RegisterOpsRoutes(admin_server_.get(), ops);
+    const Status status = admin_server_->Start();
+    if (!status.ok()) {
+      std::printf("%s\n", status.ToString().c_str());
+      admin_server_.reset();
+      admin_service_.reset();
+      return;
+    }
+    std::printf(
+        "admin server on http://%s:%u/ — /metrics /healthz /readyz "
+        "/statusz /tracez /eventz (slow threshold %llu us; .admin stop "
+        "to shut down)\n",
+        admin_server_->bind_address().c_str(), admin_server_->port(),
+        static_cast<unsigned long long>(
+            flight_recorder_->slow_threshold_us()));
+  }
+
+  void StopAdmin() {
+    if (admin_server_ == nullptr) {
+      std::printf("admin server not running\n");
+      return;
+    }
+    // Server first (its handlers read the service), then the service; the
+    // flight recorder stays so `.slowlog` keeps working after `.admin stop`.
+    admin_server_->Shutdown();
+    admin_server_.reset();
+    admin_service_.reset();
+    std::printf("admin server stopped\n");
+  }
+
   /// The Figure-1 console serves one user; `.serve` shows the same engine
   /// behind the new serving layer: it replays this session's queries from
   /// `clients` concurrent threads against a QueryService sharing the
@@ -507,11 +672,23 @@ class Shell {
           "no queries to replay yet — run a few queries first, then .serve\n");
       return;
     }
-    QueryServiceOptions service_options;
-    service_options.num_workers = workers;
-    service_options.max_queue = std::max<size_t>(64, clients * 2);
-    service_options.engine = options_;
-    QueryService service(dataset_, service_options);
+    // With the admin plane up, replay through its persistent service so the
+    // traffic lands in /metrics, /statusz and the flight recorder; otherwise
+    // spin up an ephemeral service as before.
+    std::unique_ptr<QueryService> local_service;
+    QueryService* service = admin_service_.get();
+    if (service != nullptr) {
+      std::printf("(replaying through the admin-plane service: %zu workers)\n",
+                  service->num_workers());
+    } else {
+      QueryServiceOptions service_options;
+      service_options.num_workers = workers;
+      service_options.max_queue = std::max<size_t>(64, clients * 2);
+      service_options.engine = options_;
+      local_service =
+          std::make_unique<QueryService>(dataset_, service_options);
+      service = local_service.get();
+    }
 
     std::atomic<size_t> ok{0}, errors{0};
     Timer timer;
@@ -526,7 +703,7 @@ class Shell {
           // Every fourth request skips the cache so the engine keeps
           // seeing concurrent load even once everything is cached.
           request.bypass_cache = (c + r) % 4 == 0;
-          if (service.Execute(std::move(request)).status.ok()) {
+          if (service->Execute(std::move(request)).status.ok()) {
             ++ok;
           } else {
             ++errors;
@@ -541,11 +718,11 @@ class Shell {
     std::printf(
         "%zu requests (%zu distinct queries) on %zu workers in %.1f ms "
         "=> %.0f qps; %zu ok, %zu failed\n",
-        total, history_.size(), service.num_workers(), elapsed_ms,
+        total, history_.size(), service->num_workers(), elapsed_ms,
         elapsed_ms > 0 ? 1000.0 * static_cast<double>(total) / elapsed_ms
                        : 0.0,
         ok.load(), errors.load());
-    std::printf("%s", service.stats().ToString().c_str());
+    std::printf("%s", service->stats().ToString().c_str());
   }
 
   void Query(const std::string& text) {
@@ -643,6 +820,14 @@ class Shell {
   bool finished_ = false;
   bool trace_enabled_ = false;          // .trace on|off
   std::unique_ptr<TraceRecorder> trace_;  // last traced query's spans
+  /// Ops plane (`.admin`): a shell-owned flight recorder feeding a
+  /// persistent QueryService, exposed over the embedded HTTP server.
+  /// Declaration order matters — members destroy in reverse, so the server
+  /// (whose handlers read the service) goes down first, then the service,
+  /// then the recorder it writes into.
+  std::unique_ptr<FlightRecorder> flight_recorder_;
+  std::unique_ptr<QueryService> admin_service_;
+  std::unique_ptr<AdminServer> admin_server_;
   bool interactive_ = isatty(0);
 };
 

@@ -1,0 +1,284 @@
+#include "net/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace omega {
+
+namespace {
+
+/// Writes the whole buffer; MSG_NOSIGNAL so a peer that closed early gives
+/// EPIPE instead of killing the process. Best-effort: the admin plane never
+/// retries a failed response.
+void SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {
+  options_.num_handlers = std::max<size_t>(options_.num_handlers, 1);
+  options_.max_pending = std::max<size_t>(options_.max_pending, 1);
+  options_.max_request_bytes =
+      std::max<size_t>(options_.max_request_bytes, 256);
+  options_.io_timeout_ms = std::max(options_.io_timeout_ms, 10);
+}
+
+AdminServer::~AdminServer() { Shutdown(); }
+
+void AdminServer::Route(std::string path, std::string description,
+                        Handler handler) {
+  {
+    MutexLock lock(mu_);
+    // Routes freeze at Start() so Dispatch() can read them without a lock.
+    assert(!started_ && "Route() after Start()");
+  }
+  for (auto& [info, existing] : routes_) {
+    if (info.path == path) {
+      info.description = std::move(description);
+      existing = std::move(handler);
+      return;
+    }
+  }
+  routes_.emplace_back(RouteInfo{std::move(path), std::move(description)},
+                       std::move(handler));
+}
+
+Status AdminServer::Start() {
+  {
+    MutexLock lock(mu_);
+    if (started_) {
+      return Status::FailedPrecondition(
+          "admin server already started (one Start per instance)");
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status::Internal("bind(" + options_.bind_address + ":" +
+                           std::to_string(options_.port) +
+                           ") failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("listen() failed: ") +
+                           std::strerror(errno));
+  }
+  // Resolve the ephemeral port before any thread (or caller) can ask.
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+
+  MetricsRegistry* registry = options_.metrics != nullptr
+                                  ? options_.metrics
+                                  : MetricsRegistry::Global();
+  requests_counter_ = registry->GetCounter("omega_admin_requests_total",
+                                           "Admin HTTP requests answered");
+  connections_counter_ = registry->GetCounter(
+      "omega_admin_connections_total", "Admin HTTP connections accepted");
+  http_errors_counter_ = registry->GetCounter(
+      "omega_admin_http_errors_total", "Admin responses with status >= 400");
+  handler_threads_gauge_ = registry->GetGauge(
+      "omega_admin_handler_threads", "Admin handler pool size");
+  handler_threads_gauge_->Set(static_cast<int64_t>(options_.num_handlers));
+
+  {
+    MutexLock lock(mu_);
+    started_ = true;
+    stopping_ = false;
+  }
+  draining_.Store(false);
+  listener_ = std::thread(&AdminServer::ListenerLoop, this);
+  handlers_.reserve(options_.num_handlers);
+  for (size_t i = 0; i < options_.num_handlers; ++i) {
+    handlers_.emplace_back(&AdminServer::HandlerLoop, this);
+  }
+  return Status::OK();
+}
+
+void AdminServer::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  // Readiness flips first: a /readyz answered while we join reports 503.
+  draining_.Store(true);
+  conn_cv_.NotifyAll();
+  if (listener_.joinable()) listener_.join();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
+  // Connections accepted but never picked up: close without a response
+  // (handlers only drain the request they were already serving).
+  std::deque<int> orphans;
+  {
+    MutexLock lock(mu_);
+    orphans.swap(pending_);
+    started_ = false;
+  }
+  for (int fd : orphans) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool AdminServer::running() const {
+  MutexLock lock(mu_);
+  return started_ && !stopping_;
+}
+
+std::vector<AdminServer::RouteInfo> AdminServer::routes() const {
+  std::vector<RouteInfo> out;
+  out.reserve(routes_.size());
+  for (const auto& [info, handler] : routes_) out.push_back(info);
+  return out;
+}
+
+void AdminServer::ListenerLoop() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return;
+    }
+    // Poll with a short timeout instead of blocking in accept(): shutdown
+    // latency is bounded by one poll tick, with no cross-platform
+    // close()/shutdown()-wakes-accept subtleties.
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_counter_->Increment();
+    SetIoTimeout(fd, options_.io_timeout_ms);
+    bool enqueued = false;
+    {
+      MutexLock lock(mu_);
+      if (!stopping_ && pending_.size() < options_.max_pending) {
+        pending_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      conn_cv_.NotifyOne();
+    } else {
+      // Overloaded (or already draining): answer 503 inline and move on —
+      // the listener must never block behind a slow handler.
+      http_errors_counter_->Increment();
+      SendAll(fd, SerializeHttpResponse(
+                      TextResponse(503, "admin server overloaded")));
+      ::close(fd);
+    }
+  }
+}
+
+void AdminServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      while (!stopping_ && pending_.empty()) conn_cv_.Wait(mu_);
+      if (stopping_) return;  // unserved fds are closed by Shutdown()
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  // Read until the end of the header block (we ignore headers, but must
+  // consume the request line) or the size cap. A request line alone
+  // terminated by CRLF is enough to dispatch.
+  std::string data;
+  while (data.find("\r\n") == std::string::npos &&
+         data.size() < options_.max_request_bytes) {
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // timeout or peer closed before a full line
+    data.append(buf, static_cast<size_t>(n));
+  }
+  HttpResponse response;
+  const size_t line_end = data.find("\r\n");
+  if (line_end == std::string::npos) {
+    response = data.size() >= options_.max_request_bytes
+                   ? TextResponse(431, "request line too large")
+                   : TextResponse(400, "malformed request");
+  } else {
+    const Result<HttpRequest> request =
+        ParseRequestLine(std::string_view(data).substr(0, line_end));
+    if (!request.ok()) {
+      response = TextResponse(400, request.status().message());
+    } else if (request->method != "GET") {
+      response = TextResponse(405, "admin server is GET-only");
+      response.extra_headers.emplace_back("Allow", "GET");
+    } else {
+      response = Dispatch(*request);
+    }
+  }
+  requests_.FetchAdd(1);
+  requests_counter_->Increment();
+  if (response.status >= 400) http_errors_counter_->Increment();
+  SendAll(fd, SerializeHttpResponse(response));
+  ::close(fd);
+}
+
+HttpResponse AdminServer::Dispatch(const HttpRequest& request) const {
+  for (const auto& [info, handler] : routes_) {
+    if (info.path == request.path) return handler(request);
+  }
+  return TextResponse(404, "no such route: " + request.path);
+}
+
+}  // namespace omega

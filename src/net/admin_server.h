@@ -1,0 +1,148 @@
+// Embedded HTTP/1.1 admin server: a minimal-dependency (plain POSIX
+// sockets, no third-party HTTP stack) listener for the ops plane. One
+// listener thread accepts connections and hands them to a small handler
+// pool through a bounded queue; every request is GET, every response closes
+// the connection. This is deliberately the first slice of the network front
+// end — the listener/queue/drain scaffolding here is what the query-serving
+// RPC layer will reuse.
+//
+// Concurrency (annotated lock layer — src/net is in the linter's
+// annotated-locking scope):
+//  - `mu_` guards the pending-connection queue and the lifecycle flags;
+//    handler threads block on `conn_cv_`.
+//  - `draining_` is a justified RelaxedAtomic: an advisory flag /readyz
+//    polls so readiness flips the moment shutdown begins, ahead of the
+//    joins. No ordering is implied — the authoritative stop signal is
+//    `stopping_` under `mu_`.
+//  - Routes are registered before Start() and immutable afterwards
+//    (asserted), so Dispatch() reads them without a lock.
+//
+// Graceful shutdown: Shutdown() flips draining_, stops the listener (poll
+// loop observes the flag), wakes the handlers and joins them — a handler
+// that is mid-request finishes writing its response first (bounded by the
+// socket timeouts). Connections still queued but not yet picked up are
+// closed without a response.
+#ifndef OMEGA_NET_ADMIN_SERVER_H_
+#define OMEGA_NET_ADMIN_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomics.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "net/http.h"
+
+namespace omega {
+
+class MetricsRegistry;
+class Counter;
+class Gauge;
+
+struct AdminServerOptions {
+  /// Bind address. Loopback by default: the admin plane is an operator
+  /// surface, exposing it beyond the host is an explicit decision.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back via port() after Start()).
+  uint16_t port = 0;
+  /// Handler pool size (min 1). Scrapes are cheap; two is plenty.
+  size_t num_handlers = 2;
+  /// Request line + headers larger than this are rejected with 431.
+  size_t max_request_bytes = 8192;
+  /// Socket receive/send timeout: bounds how long a stuck client can hold
+  /// a handler (and therefore how long Shutdown() can block).
+  int io_timeout_ms = 5000;
+  /// Accepted-but-unhandled connections beyond this are answered 503.
+  size_t max_pending = 64;
+  /// Registry for the server's own instruments; nullptr selects
+  /// MetricsRegistry::Global().
+  MetricsRegistry* metrics = nullptr;
+};
+
+class AdminServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct RouteInfo {
+    std::string path;
+    std::string description;
+  };
+
+  explicit AdminServer(AdminServerOptions options = {});
+  /// Calls Shutdown().
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers a GET route for an exact path. Must be called before
+  /// Start(); handlers run on handler-pool threads and must be
+  /// thread-safe. Re-registering a path replaces its handler.
+  void Route(std::string path, std::string description, Handler handler)
+      OMEGA_EXCLUDES(mu_);
+
+  /// Binds, listens, and starts the listener + handler threads. Fails with
+  /// kFailedPrecondition if already started (one Start per instance) and
+  /// kInternal on socket/bind failures.
+  Status Start() OMEGA_EXCLUDES(mu_);
+
+  /// Graceful shutdown: stops accepting, lets in-flight responses finish,
+  /// joins all threads, closes queued-but-unserved connections.
+  /// Idempotent.
+  void Shutdown() OMEGA_EXCLUDES(mu_);
+
+  bool running() const OMEGA_EXCLUDES(mu_);
+  /// True from the moment Shutdown() begins (readiness probes go 503).
+  bool draining() const { return draining_.Load(); }
+  /// Bound port (the resolved one when options.port was 0); 0 before Start.
+  uint16_t port() const { return port_; }
+  const std::string& bind_address() const { return options_.bind_address; }
+  std::vector<RouteInfo> routes() const OMEGA_EXCLUDES(mu_);
+  uint64_t requests_served() const { return requests_.Load(); }
+
+ private:
+  void ListenerLoop() OMEGA_EXCLUDES(mu_);
+  void HandlerLoop() OMEGA_EXCLUDES(mu_);
+  /// Reads, parses, dispatches and answers one connection, then closes it.
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  AdminServerOptions options_;  // clamped at construction, then immutable
+
+  /// Registration-ordered; frozen once `started_` flips (Route asserts),
+  /// after which listener/handler threads read it lock-free.
+  std::vector<std::pair<RouteInfo, Handler>> routes_;
+
+  mutable Mutex mu_;
+  CondVar conn_cv_;
+  /// Accepted fds awaiting a handler.
+  std::deque<int> pending_ OMEGA_GUARDED_BY(mu_);
+  bool started_ OMEGA_GUARDED_BY(mu_) = false;
+  bool stopping_ OMEGA_GUARDED_BY(mu_) = false;
+
+  // RelaxedAtomic: advisory readiness/drain flag and monotonic tallies —
+  // readers tolerate staleness; lifecycle ordering comes from mu_.
+  RelaxedAtomic<bool> draining_;
+  RelaxedAtomic<uint64_t> requests_;
+
+  int listen_fd_ = -1;   ///< owned; valid between a successful Start and
+                         ///< the end of Shutdown
+  uint16_t port_ = 0;    ///< written by Start() before threads exist
+  std::thread listener_;
+  std::vector<std::thread> handlers_;
+
+  /// Cached instruments (resolved at Start): request/connection tallies and
+  /// the handler-pool size, so `/metrics` shows the ops plane itself.
+  Counter* requests_counter_ = nullptr;
+  Counter* connections_counter_ = nullptr;
+  Counter* http_errors_counter_ = nullptr;
+  Gauge* handler_threads_gauge_ = nullptr;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_NET_ADMIN_SERVER_H_

@@ -1,0 +1,92 @@
+#include "net/http.h"
+
+namespace omega {
+
+Result<HttpRequest> ParseRequestLine(std::string_view line) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  if (line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  HttpRequest request;
+  request.method = std::string(line.substr(0, sp1));
+  request.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(line.substr(sp2 + 1));
+  if (request.version.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("unsupported HTTP version: " +
+                                   request.version);
+  }
+  // Admin routes are origin-form only ("/path?query").
+  if (request.target.empty() || request.target[0] != '/') {
+    return Status::InvalidArgument("unsupported request target: " +
+                                   request.target);
+  }
+  const size_t qmark = request.target.find('?');
+  if (qmark == std::string::npos) {
+    request.path = request.target;
+  } else {
+    request.path = request.target.substr(0, qmark);
+    request.query = request.target.substr(qmark + 1);
+  }
+  return request;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 ";
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(HttpReasonPhrase(response.status));
+  out.append("\r\nContent-Type: ");
+  out.append(response.content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\nConnection: close\r\n");
+  for (const auto& [name, value] : response.extra_headers) {
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+    out.append("\r\n");
+  }
+  out.append("\r\n");
+  out.append(response.body);
+  return out;
+}
+
+HttpResponse TextResponse(int status, std::string_view body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::string(body);
+  if (response.body.empty() || response.body.back() != '\n') {
+    response.body.push_back('\n');
+  }
+  return response;
+}
+
+}  // namespace omega

@@ -1,0 +1,51 @@
+// Minimal HTTP/1.1 primitives for the embedded admin server: a request-line
+// parser and a response serialiser. Deliberately tiny — the admin plane is
+// GET-only, close-per-request, and carries no bodies inbound — but split
+// from the socket code so the parsing rules are unit-testable without a
+// listener. The upcoming query-serving RPC layer reuses these types.
+#ifndef OMEGA_NET_HTTP_H_
+#define OMEGA_NET_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace omega {
+
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET"
+  std::string target;   ///< request target as sent, e.g. "/metrics?x=1"
+  std::string path;     ///< target up to '?', e.g. "/metrics"
+  std::string query;    ///< after '?', empty when absent
+  std::string version;  ///< e.g. "HTTP/1.1"
+};
+
+/// Parses `METHOD SP TARGET SP VERSION` (no trailing CRLF). Fails with
+/// kInvalidArgument on malformed lines, non-origin-form targets or
+/// non-HTTP/1.x versions.
+Result<HttpRequest> ParseRequestLine(std::string_view line);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra response headers (e.g. {"Allow", "GET"} on 405).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// "OK", "Not Found", ... ("Unknown" for unmapped codes).
+const char* HttpReasonPhrase(int status);
+
+/// Full wire form: status line, Content-Type/Content-Length/Connection:
+/// close plus extra_headers, blank line, body.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// Convenience plain-text response (body gets a trailing newline).
+HttpResponse TextResponse(int status, std::string_view body);
+
+}  // namespace omega
+
+#endif  // OMEGA_NET_HTTP_H_

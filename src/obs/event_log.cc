@@ -1,0 +1,159 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace omega {
+
+namespace {
+
+void AppendEventJson(std::string& out, const LogEvent& e) {
+  out.append("{\"seq\":");
+  out.append(std::to_string(e.seq));
+  out.append(",\"t_us\":");
+  out.append(std::to_string(static_cast<uint64_t>(e.t_us)));
+  out.append(",\"severity\":");
+  AppendJsonString(out, EventSeverityToString(e.severity));
+  out.append(",\"component\":");
+  AppendJsonString(out, e.component);
+  out.append(",\"message\":");
+  AppendJsonString(out, e.message);
+  out.push_back('}');
+}
+
+}  // namespace
+
+const char* EventSeverityToString(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kInfo:
+      return "info";
+    case EventSeverity::kWarn:
+      return "warn";
+    case EventSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  MutexLock lock(mu_);
+  ring_.reserve(capacity_);
+}
+
+EventLog::~EventLog() { DetachJsonlSink(); }
+
+EventLog* EventLog::Global() {
+  // Never destroyed: epoch-drain deleters may record events while static
+  // teardown is already running (same contract as MetricsRegistry::Global).
+  static EventLog* const global = new EventLog();
+  return global;
+}
+
+void EventLog::Record(EventSeverity severity, std::string_view component,
+                      std::string message) {
+  const double now_us = timer_.ElapsedUs();
+  MutexLock lock(mu_);
+  LogEvent event;
+  event.seq = seq_++;
+  event.t_us = now_us;
+  event.severity = severity;
+  event.component = std::string(component);
+  event.message = std::move(message);
+  if (sink_ != nullptr) {
+    std::string line;
+    AppendEventJson(line, event);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+Status EventLog::AttachJsonlSink(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open event sink: " + path);
+  }
+  MutexLock lock(mu_);
+  if (sink_ != nullptr) std::fclose(sink_);
+  sink_ = file;
+  return Status::OK();
+}
+
+void EventLog::DetachJsonlSink() {
+  MutexLock lock(mu_);
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+std::vector<LogEvent> EventLog::SnapshotLocked(size_t max_events) const {
+  std::vector<LogEvent> out;
+  out.reserve(ring_.size());
+  // Oldest-first: once wrapped, `next_` is the oldest slot.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  if (max_events > 0 && out.size() > max_events) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<ptrdiff_t>(out.size() - max_events));
+  }
+  return out;
+}
+
+std::vector<LogEvent> EventLog::Snapshot(size_t max_events) const {
+  MutexLock lock(mu_);
+  return SnapshotLocked(max_events);
+}
+
+std::string EventLog::ToJson(size_t max_events) const {
+  std::vector<LogEvent> events;
+  uint64_t total = 0;
+  {
+    MutexLock lock(mu_);
+    events = SnapshotLocked(max_events);
+    total = seq_;
+  }
+  std::string out = "{\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendEventJson(out, events[i]);
+  }
+  out.append("],\"recorded_total\":");
+  out.append(std::to_string(total));
+  out.append(",\"capacity\":");
+  out.append(std::to_string(capacity_));
+  out.push_back('}');
+  return out;
+}
+
+std::string EventLog::ToText(size_t max_events) const {
+  const std::vector<LogEvent> events = Snapshot(max_events);
+  std::string out;
+  for (const LogEvent& e : events) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%8.3fs] %-5s %-9s ", e.t_us / 1e6,
+                  EventSeverityToString(e.severity), e.component.c_str());
+    out.append(head);
+    out.append(e.message);
+    out.push_back('\n');
+  }
+  if (events.empty()) out = "(no events recorded)\n";
+  return out;
+}
+
+uint64_t EventLog::recorded_total() const {
+  MutexLock lock(mu_);
+  return seq_;
+}
+
+}  // namespace omega

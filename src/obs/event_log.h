@@ -1,0 +1,102 @@
+// Structured event journal for lifecycle events: a bounded in-memory ring
+// (always on, allocation per event is one small struct) plus an optional
+// JSONL file sink for durable ops logs. Unlike the MetricsRegistry — which
+// aggregates — the EventLog answers "what happened, in order": snapshot
+// open/verify outcomes, dataset swaps, epoch retire/drain, admission
+// rejections, cancellations. Rendered at the admin server's /eventz and by
+// the shell's `.events`.
+//
+// Concurrency: one Mutex guards the ring, the sequence counter and the
+// sink. Record() is called from lifecycle paths (swap, rejection,
+// completion-with-cancel, snapshot open) — none of them are per-answer hot
+// paths, so a single short critical section is the right trade against the
+// lock-free complexity a ring of strings would otherwise need.
+#ifndef OMEGA_OBS_EVENT_LOG_H_
+#define OMEGA_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+
+namespace omega {
+
+enum class EventSeverity : uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+const char* EventSeverityToString(EventSeverity severity);
+
+/// One journal entry. `t_us` is steady-clock microseconds since the log was
+/// constructed (the journal orders events; wall-clock stamping, if wanted,
+/// belongs to the JSONL consumer).
+struct LogEvent {
+  uint64_t seq = 0;
+  double t_us = 0;
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string component;
+  std::string message;
+};
+
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Process-global journal (never destroyed: lifecycle events may be
+  /// recorded by epoch deleters draining after static teardown begins).
+  static EventLog* Global();
+
+  /// Appends an event; overwrites the oldest entry once `capacity` is
+  /// reached. When a JSONL sink is attached the event is also written (and
+  /// flushed) as one JSON object per line.
+  void Record(EventSeverity severity, std::string_view component,
+              std::string message) OMEGA_EXCLUDES(mu_);
+
+  /// Opens `path` for appending and mirrors every subsequent event to it.
+  /// Replaces any previously attached sink.
+  Status AttachJsonlSink(const std::string& path) OMEGA_EXCLUDES(mu_);
+  void DetachJsonlSink() OMEGA_EXCLUDES(mu_);
+
+  /// Oldest-first copy of the retained events (the most recent
+  /// `max_events` when non-zero).
+  std::vector<LogEvent> Snapshot(size_t max_events = 0) const
+      OMEGA_EXCLUDES(mu_);
+
+  /// `{"events":[...],"recorded_total":N,"capacity":C}`.
+  std::string ToJson(size_t max_events = 0) const OMEGA_EXCLUDES(mu_);
+
+  /// One human-readable line per event (shell `.events`).
+  std::string ToText(size_t max_events = 0) const OMEGA_EXCLUDES(mu_);
+
+  /// Events ever recorded (>= retained count once the ring wraps).
+  uint64_t recorded_total() const OMEGA_EXCLUDES(mu_);
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::vector<LogEvent> SnapshotLocked(size_t max_events) const
+      OMEGA_REQUIRES(mu_);
+
+  const size_t capacity_;  // immutable after construction (min 1)
+  const Timer timer_;      // steady-clock origin for t_us
+
+  mutable Mutex mu_;
+  /// Ring storage: grows to `capacity_` then overwrites at `next_`.
+  std::vector<LogEvent> ring_ OMEGA_GUARDED_BY(mu_);
+  size_t next_ OMEGA_GUARDED_BY(mu_) = 0;
+  uint64_t seq_ OMEGA_GUARDED_BY(mu_) = 0;
+  std::FILE* sink_ OMEGA_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_OBS_EVENT_LOG_H_

@@ -1,0 +1,194 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace omega {
+
+namespace {
+
+void AppendRecordJson(std::string& out, const QueryFlightRecord& r) {
+  out.append("{\"seq\":");
+  out.append(std::to_string(r.seq));
+  out.append(",\"t_us\":");
+  out.append(std::to_string(static_cast<uint64_t>(r.t_us)));
+  out.append(",\"class\":");
+  AppendJsonString(out, r.query_class);
+  out.append(",\"status\":");
+  AppendJsonString(out, StatusCodeToString(r.status));
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(r.key_hash));
+  out.append(",\"key_hash\":");
+  AppendJsonString(out, hash);
+  out.append(",\"queue_us\":");
+  out.append(std::to_string(r.queue_us));
+  out.append(",\"exec_us\":");
+  out.append(std::to_string(r.exec_us));
+  out.append(",\"epoch\":");
+  out.append(std::to_string(r.epoch));
+  out.append(",\"answers\":");
+  out.append(std::to_string(r.answers));
+  out.append(",\"cache_hit\":");
+  out.append(r.cache_hit ? "true" : "false");
+  out.push_back('}');
+}
+
+template <typename T>
+std::vector<T> CopyRingOldestFirst(const std::vector<T>& ring, size_t next,
+                                   size_t max) {
+  std::vector<T> out;
+  out.reserve(ring.size());
+  for (size_t i = 0; i < ring.size(); ++i) {
+    out.push_back(ring[(next + i) % ring.size()]);
+  }
+  if (max > 0 && out.size() > max) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<ptrdiff_t>(out.size() - max));
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_([&] {
+        options.capacity = std::max<size_t>(options.capacity, 1);
+        options.slow_capacity = std::max<size_t>(options.slow_capacity, 1);
+        return options;
+      }()) {
+  MutexLock lock(mu_);
+  ring_.reserve(options_.capacity);
+  slow_.reserve(options_.slow_capacity);
+}
+
+uint64_t FlightRecorder::HashKey(std::string_view key) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a 64-bit offset basis
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void FlightRecorder::Record(QueryFlightRecord record,
+                            const TraceRecorder* trace) {
+  record.t_us = timer_.ElapsedUs();
+  const bool slow =
+      record.queue_us + record.exec_us >= options_.slow_threshold_us;
+  // Serialise the trace before taking the lock: a slow query is rare and
+  // already expensive, and the fast path must stay one flat-struct append.
+  std::string trace_json;
+  if (slow && trace != nullptr) trace_json = trace->ToJson();
+  MutexLock lock(mu_);
+  record.seq = seq_++;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+    next_ = (next_ + 1) % options_.capacity;
+  }
+  if (slow) {
+    ++slow_seen_;
+    SlowQuery entry{record, std::move(trace_json)};
+    if (slow_.size() < options_.slow_capacity) {
+      slow_.push_back(std::move(entry));
+    } else {
+      slow_[slow_next_] = std::move(entry);
+      slow_next_ = (slow_next_ + 1) % options_.slow_capacity;
+    }
+  }
+}
+
+std::vector<QueryFlightRecord> FlightRecorder::Recent(size_t max) const {
+  MutexLock lock(mu_);
+  return CopyRingOldestFirst(ring_, next_, max);
+}
+
+std::vector<FlightRecorder::SlowQuery> FlightRecorder::Slow(
+    size_t max) const {
+  MutexLock lock(mu_);
+  return CopyRingOldestFirst(slow_, slow_next_, max);
+}
+
+uint64_t FlightRecorder::recorded_total() const {
+  MutexLock lock(mu_);
+  return seq_;
+}
+
+uint64_t FlightRecorder::slow_total() const {
+  MutexLock lock(mu_);
+  return slow_seen_;
+}
+
+std::string FlightRecorder::ToJson(size_t max_recent, size_t max_slow) const {
+  std::vector<QueryFlightRecord> recent;
+  std::vector<SlowQuery> slow;
+  uint64_t total = 0;
+  uint64_t slow_total_count = 0;
+  {
+    MutexLock lock(mu_);
+    recent = CopyRingOldestFirst(ring_, next_, max_recent);
+    slow = CopyRingOldestFirst(slow_, slow_next_, max_slow);
+    total = seq_;
+    slow_total_count = slow_seen_;
+  }
+  std::string out = "{\"recent\":[";
+  for (size_t i = 0; i < recent.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendRecordJson(out, recent[i]);
+  }
+  out.append("],\"slow\":[");
+  for (size_t i = 0; i < slow.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append("{\"summary\":");
+    AppendRecordJson(out, slow[i].summary);
+    out.append(",\"trace\":");
+    // trace_json is itself a JSON object; splice it in verbatim.
+    out.append(slow[i].trace_json.empty() ? "null" : slow[i].trace_json);
+    out.push_back('}');
+  }
+  out.append("],\"recorded_total\":");
+  out.append(std::to_string(total));
+  out.append(",\"slow_total\":");
+  out.append(std::to_string(slow_total_count));
+  out.append(",\"slow_threshold_us\":");
+  out.append(std::to_string(options_.slow_threshold_us));
+  out.push_back('}');
+  return out;
+}
+
+std::string FlightRecorder::SlowLogText(size_t max) const {
+  const std::vector<SlowQuery> slow = Slow(max);
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "slow queries (threshold %llu us):\n",
+                static_cast<unsigned long long>(options_.slow_threshold_us));
+  out.append(line);
+  if (slow.empty()) {
+    out.append("  (none)\n");
+    return out;
+  }
+  for (const SlowQuery& s : slow) {
+    const QueryFlightRecord& r = s.summary;
+    std::snprintf(line, sizeof(line),
+                  "  #%llu %-6s %-10s key=%016llx queue=%lluus exec=%lluus "
+                  "epoch=%llu answers=%u%s%s\n",
+                  static_cast<unsigned long long>(r.seq), r.query_class,
+                  StatusCodeToString(r.status),
+                  static_cast<unsigned long long>(r.key_hash),
+                  static_cast<unsigned long long>(r.queue_us),
+                  static_cast<unsigned long long>(r.exec_us),
+                  static_cast<unsigned long long>(r.epoch), r.answers,
+                  r.cache_hit ? " hit" : "",
+                  s.trace_json.empty() ? "" : " [traced]");
+    out.append(line);
+  }
+  return out;
+}
+
+}  // namespace omega

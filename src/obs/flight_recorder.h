@@ -1,0 +1,112 @@
+// Always-on query flight recorder: a fixed-capacity ring buffer retaining a
+// compact, allocation-free summary of every completed query (class, status,
+// canonical-key hash, queue/exec micros, epoch, answer count), plus a
+// threshold-gated slow-query reservoir that keeps the full TraceRecorder
+// span JSON for requests whose queue+exec time crosses the configured
+// threshold. This is the "reconstruct the worst query after the fact" tool:
+// /tracez and the shell's `.slowlog` render it.
+//
+// Cost contract (proven by the bench_obs `_RecorderOn` / `_RecorderOff`
+// gate pair): the per-completion Record() is one mutex-guarded append of a
+// flat struct — no allocation, no string building — unless the query is
+// slow, in which case serialising its trace happens before the lock and is
+// paid only on the (by definition rare and already-expensive) slow path.
+#ifndef OMEGA_OBS_FLIGHT_RECORDER_H_
+#define OMEGA_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/timer.h"
+
+namespace omega {
+
+class TraceRecorder;  // obs/trace.h
+
+struct FlightRecorderOptions {
+  /// Completed-query summaries retained (ring; oldest overwritten).
+  size_t capacity = 512;
+  /// Slow-query reservoir entries retained (ring; oldest overwritten).
+  size_t slow_capacity = 32;
+  /// A completion with queue_us + exec_us >= this enters the reservoir.
+  uint64_t slow_threshold_us = 10'000;
+};
+
+/// Compact completion summary. `query_class` and the status code map to
+/// static strings (QueryClassToString / StatusCodeToString), so the record
+/// itself owns no memory and a ring append never allocates.
+struct QueryFlightRecord {
+  uint64_t seq = 0;            ///< assigned by Record()
+  double t_us = 0;             ///< completion time since recorder birth
+  const char* query_class = "";
+  StatusCode status = StatusCode::kOk;
+  uint64_t key_hash = 0;       ///< FNV-1a of the canonical cache key
+  uint64_t queue_us = 0;
+  uint64_t exec_us = 0;
+  uint64_t epoch = 0;
+  uint32_t answers = 0;
+  bool cache_hit = false;
+};
+
+class FlightRecorder {
+ public:
+  struct SlowQuery {
+    QueryFlightRecord summary;
+    /// Full TraceRecorder::ToJson() when the request was traced; empty for
+    /// slow-but-untraced requests (the summary still lands here).
+    std::string trace_json;
+  };
+
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one completion. `trace` (nullable) is only consulted when the
+  /// record crosses the slow threshold. seq/t_us are stamped here.
+  void Record(QueryFlightRecord record, const TraceRecorder* trace)
+      OMEGA_EXCLUDES(mu_);
+
+  /// Oldest-first summaries (the most recent `max` when non-zero).
+  std::vector<QueryFlightRecord> Recent(size_t max = 0) const
+      OMEGA_EXCLUDES(mu_);
+  /// Oldest-first slow entries (the most recent `max` when non-zero).
+  std::vector<SlowQuery> Slow(size_t max = 0) const OMEGA_EXCLUDES(mu_);
+
+  uint64_t recorded_total() const OMEGA_EXCLUDES(mu_);
+  uint64_t slow_total() const OMEGA_EXCLUDES(mu_);
+  uint64_t slow_threshold_us() const { return options_.slow_threshold_us; }
+  size_t capacity() const { return options_.capacity; }
+
+  /// `{"recent":[...],"slow":[...],"recorded_total":N,"slow_total":M,
+  ///   "slow_threshold_us":T}` — the /tracez body.
+  std::string ToJson(size_t max_recent = 0, size_t max_slow = 0) const
+      OMEGA_EXCLUDES(mu_);
+
+  /// Human-readable slow-query table (shell `.slowlog`).
+  std::string SlowLogText(size_t max = 0) const OMEGA_EXCLUDES(mu_);
+
+  /// FNV-1a 64-bit over `key` (canonical cache keys are hashed so the
+  /// recorder never retains query text).
+  static uint64_t HashKey(std::string_view key);
+
+ private:
+  const FlightRecorderOptions options_;  // clamped, immutable
+  const Timer timer_;                    // steady-clock origin for t_us
+
+  mutable Mutex mu_;
+  std::vector<QueryFlightRecord> ring_ OMEGA_GUARDED_BY(mu_);
+  size_t next_ OMEGA_GUARDED_BY(mu_) = 0;
+  std::vector<SlowQuery> slow_ OMEGA_GUARDED_BY(mu_);
+  size_t slow_next_ OMEGA_GUARDED_BY(mu_) = 0;
+  uint64_t seq_ OMEGA_GUARDED_BY(mu_) = 0;
+  uint64_t slow_seen_ OMEGA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace omega
+
+#endif  // OMEGA_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,51 @@
+// Minimal JSON string escaping shared by the observability emitters
+// (TraceRecorder::ToJson, FlightRecorder::ToJson, EventLog). This is an
+// output-only helper: the ops plane renders JSON, it never parses it.
+#ifndef OMEGA_OBS_JSON_H_
+#define OMEGA_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace omega {
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslash,
+/// control characters). Callers supply the surrounding quotes.
+inline void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+/// Appends `"s"` (quoted and escaped).
+inline void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  AppendJsonEscaped(out, s);
+  out.push_back('"');
+}
+
+}  // namespace omega
+
+#endif  // OMEGA_OBS_JSON_H_

@@ -1,0 +1,67 @@
+#include "obs/process_metrics.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace omega {
+
+namespace {
+
+// Initialised during static construction, so ElapsedMs() approximates time
+// since process start (exactly: since this TU was initialised).
+const Timer g_process_timer;
+
+/// Resident set size in bytes from /proc/self/statm (field 2, pages).
+/// Returns 0 when /proc is unavailable (non-Linux).
+int64_t ReadRssBytes() {
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return 0;
+  long long size_pages = 0;
+  long long rss_pages = 0;
+  const int matched =
+      std::fscanf(file, "%lld %lld", &size_pages, &rss_pages);
+  std::fclose(file);
+  if (matched != 2) return 0;
+  return static_cast<int64_t>(rss_pages) *
+         static_cast<int64_t>(sysconf(_SC_PAGESIZE));
+}
+
+/// Thread count from /proc/self/status ("Threads:\tN"). 0 when unavailable.
+int64_t ReadThreadCount() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  long long threads = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "Threads:", 8) == 0) {
+      std::sscanf(line + 8, "%lld", &threads);
+      break;
+    }
+  }
+  std::fclose(file);
+  return static_cast<int64_t>(threads);
+}
+
+}  // namespace
+
+double ProcessUptimeSeconds() { return g_process_timer.ElapsedMs() / 1000.0; }
+
+void UpdateProcessSelfMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = MetricsRegistry::Global();
+  Gauge* uptime = registry->GetGauge("omega_process_uptime_seconds",
+                                     "Process uptime (steady clock)");
+  Gauge* rss = registry->GetGauge("omega_process_rss_bytes",
+                                  "Resident set size (/proc/self/statm)");
+  Gauge* threads = registry->GetGauge("omega_process_threads",
+                                      "OS threads in this process");
+  uptime->Set(static_cast<int64_t>(g_process_timer.ElapsedMs() / 1000.0));
+  rss->Set(ReadRssBytes());
+  threads->Set(ReadThreadCount());
+}
+
+}  // namespace omega

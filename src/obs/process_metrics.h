@@ -1,0 +1,30 @@
+// Process self-metrics: uptime, resident set size and thread count exported
+// as gauges so every scrape of /metrics (or the shell's `.metrics`) carries
+// basic process health next to the service instruments.
+//
+// Gauges have no callback hook in this registry by design (hot paths push;
+// nothing polls), so self-metrics are refreshed by the scrape itself:
+// UpdateProcessSelfMetrics() is called by the /metrics handler and by the
+// shell immediately before RenderText(). The registry lookups inside are
+// acceptable there — scraping is a cold path.
+#ifndef OMEGA_OBS_PROCESS_METRICS_H_
+#define OMEGA_OBS_PROCESS_METRICS_H_
+
+namespace omega {
+
+class MetricsRegistry;
+
+/// Registers (idempotently) and refreshes in `registry` (nullptr selects
+/// MetricsRegistry::Global()):
+///  - omega_process_uptime_seconds  (steady-clock, from process start)
+///  - omega_process_rss_bytes      (/proc/self/statm; 0 where /proc absent)
+///  - omega_process_threads        (/proc/self/status; 0 where /proc absent)
+void UpdateProcessSelfMetrics(MetricsRegistry* registry);
+
+/// Steady-clock seconds since process start (same origin as the uptime
+/// gauge); /statusz renders it without touching a registry.
+double ProcessUptimeSeconds();
+
+}  // namespace omega
+
+#endif  // OMEGA_OBS_PROCESS_METRICS_H_

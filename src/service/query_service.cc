@@ -1,11 +1,14 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <span>
 #include <type_traits>
 
 #include "common/timer.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/plan_node.h"
@@ -31,6 +34,10 @@ struct EpochDrainTracker {
   /// service construction, before any epoch exists; the histogram's cells
   /// are relaxed-atomic, so observing outside `mu` would also be safe.
   Histogram* drain_us = nullptr;
+  /// Lifecycle journal for drain events. Written once at construction;
+  /// never null afterwards (defaults to EventLog::Global(), which outlives
+  /// any detached epoch deleter).
+  EventLog* events = nullptr;
 };
 
 /// Cached instrument pointers, resolved once at construction: hot paths
@@ -77,6 +84,8 @@ struct QueryService::ServiceMetrics {
     cache_evictions = registry->GetCounter(
         "omega_cache_evictions_total",
         "Result-cache evictions (LRU pressure + invalidations)");
+    workers = registry->GetGauge("omega_service_workers",
+                                 "Query worker pool size");
     swaps = registry->GetCounter("omega_service_swaps_total",
                                  "Dataset hot-swaps published");
     swap_us = registry->GetHistogram("omega_service_swap_us",
@@ -100,6 +109,7 @@ struct QueryService::ServiceMetrics {
   Counter* cache_misses;
   Counter* cache_insertions;
   Counter* cache_evictions;
+  Gauge* workers;
   Counter* swaps;
   Histogram* swap_us;
   Histogram* epoch_drain_us;
@@ -124,6 +134,12 @@ void RecordEpochDrained(EpochDrainTracker& tracker, uint64_t epoch_id) {
       tracker.drain_us->Observe(static_cast<uint64_t>(ms * 1000.0));
     }
     tracker.retired_at.erase(it);
+    if (tracker.events != nullptr) {
+      char msg[96];
+      std::snprintf(msg, sizeof(msg), "epoch %llu drained after %.1f ms",
+                    static_cast<unsigned long long>(epoch_id), ms);
+      tracker.events->Record(EventSeverity::kInfo, "service", msg);
+    }
     return;
   }
 }
@@ -215,14 +231,17 @@ QueryService::QueryService(const GraphStore* graph, const Ontology* ontology,
   }
   options_.max_queue = std::max<size_t>(options_.max_queue, 1);
   if (options_.enable_metrics) {
-    MetricsRegistry* registry = options_.metrics != nullptr
-                                    ? options_.metrics
-                                    : MetricsRegistry::Global();
-    metrics_ = std::make_unique<const ServiceMetrics>(registry);
+    registry_ = options_.metrics != nullptr ? options_.metrics
+                                            : MetricsRegistry::Global();
+    metrics_ = std::make_unique<const ServiceMetrics>(registry_);
+    metrics_->workers->Set(static_cast<int64_t>(options_.num_workers));
   }
+  events_ =
+      options_.events != nullptr ? options_.events : EventLog::Global();
   drain_tracker_ = std::make_shared<EpochDrainTracker>();
   drain_tracker_->drain_us =
       metrics_ != nullptr ? metrics_->epoch_drain_us : nullptr;
+  drain_tracker_->events = events_;
   epoch_ = MakeEpoch(/*id=*/0, std::move(dataset), graph, ontology);
   running_.resize(options_.num_workers);
   workers_.reserve(options_.num_workers);
@@ -298,6 +317,7 @@ Status QueryService::SwapDataset(std::shared_ptr<const Dataset> dataset) {
     epoch_ = std::move(next);
   }
   const double swap_ms = swap_timer.ElapsedMs();
+  const uint64_t retired_id = retired->id;
   // Record the retirement *before* dropping our reference: if no query has
   // the old epoch pinned, reset() runs the drain deleter immediately and it
   // must find the retire timestamp already in place.
@@ -315,6 +335,14 @@ Status QueryService::SwapDataset(std::shared_ptr<const Dataset> dataset) {
   if (metrics_ != nullptr) {
     metrics_->swaps->Increment();
     metrics_->swap_us->Observe(static_cast<uint64_t>(swap_ms * 1000.0));
+  }
+  {
+    char msg[112];
+    std::snprintf(msg, sizeof(msg),
+                  "dataset swap published: epoch %llu -> %llu (%.1f ms)",
+                  static_cast<unsigned long long>(retired_id),
+                  static_cast<unsigned long long>(retired_id + 1), swap_ms);
+    events_->Record(EventSeverity::kInfo, "service", msg);
   }
   {
     MutexLock lock(stats_mu_);
@@ -381,12 +409,16 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
   const bool use_cache =
       ticket->epoch_->cache != nullptr && !ticket->request_.bypass_cache;
   ticket->used_cache_ = use_cache;
-  if (use_cache) {
+  if (use_cache || options_.flight_recorder != nullptr) {
     // Canonical query text + k identifies the artifact: the engine options
     // (the other input that shapes the answer sequence) are fixed for this
-    // service's lifetime, and the cache dies with its epoch.
+    // service's lifetime, and the cache dies with its epoch. The flight
+    // recorder needs it even on cache-bypass requests — its records key on
+    // the hash of this string.
     ticket->cache_key_ = ticket->request_.query.CanonicalKey() + "|k=" +
                          std::to_string(ticket->request_.top_k);
+  }
+  if (use_cache) {
     // Fresh hits are served synchronously on the submitting thread: no
     // queueing, no worker hand-off — this is the latency the cache exists
     // to buy.
@@ -448,8 +480,13 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
   }
   if (!admitted) {
     if (metrics_ != nullptr) metrics_->rejected->Increment();
-    MutexLock lock(stats_mu_);
-    ++stats_.rejected;
+    {
+      MutexLock lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    events_->Record(EventSeverity::kWarn, "service",
+                    "admission rejected: queue full (max_queue=" +
+                        std::to_string(options_.max_queue) + ")");
     return Status::ResourceExhausted(
         "admission queue is full (max_queue=" +
         std::to_string(options_.max_queue) + ")");
@@ -524,6 +561,15 @@ ServiceStats QueryService::stats() const {
 size_t QueryService::queue_depth() const {
   MutexLock lock(mu_);
   return queue_.size();
+}
+
+bool QueryService::accepting() const {
+  MutexLock lock(mu_);
+  return !stopping_;
+}
+
+FlightRecorder* QueryService::flight_recorder() const {
+  return options_.flight_recorder;
 }
 
 std::vector<std::shared_ptr<QueryTicket>> QueryService::PurgeDeadLocked() {
@@ -701,6 +747,30 @@ void QueryService::ServeHit(const std::shared_ptr<QueryTicket>& ticket,
 void QueryService::Complete(const std::shared_ptr<QueryTicket>& ticket,
                             QueryResponse response,
                             const ExecutionStats* exec) {
+  if (options_.flight_recorder != nullptr) {
+    // One mutex-guarded flat append per completion (near-free: see the
+    // bench_obs _RecorderOn/_RecorderOff gate pair). Trace JSON is captured
+    // inside only for completions over the slow threshold.
+    QueryFlightRecord record;
+    record.query_class = QueryClassToString(ticket->query_class_);
+    record.status = response.status.code();
+    record.key_hash = ticket->cache_key_.empty()
+                          ? 0
+                          : FlightRecorder::HashKey(ticket->cache_key_);
+    record.queue_us = static_cast<uint64_t>(response.queue_ms * 1000.0);
+    record.exec_us = static_cast<uint64_t>(response.exec_ms * 1000.0);
+    record.epoch = response.epoch;
+    record.answers = static_cast<uint32_t>(response.answers.size());
+    record.cache_hit = response.cache_hit;
+    options_.flight_recorder->Record(record, ticket->request_.trace);
+  }
+  if (response.status.IsCancelled() || response.status.IsDeadlineExceeded()) {
+    // Lifecycle journal: cancellations and deadline expiries are the
+    // completions an operator reconstructs after the fact.
+    events_->Record(EventSeverity::kWarn, "service",
+                    std::string(StatusCodeToString(response.status.code())) +
+                        ": " + response.status.message());
+  }
   if (metrics_ != nullptr) {
     switch (response.status.code()) {
       case StatusCode::kOk:

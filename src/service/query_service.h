@@ -54,6 +54,8 @@
 namespace omega {
 
 class MetricsRegistry;      // obs/metrics.h
+class FlightRecorder;       // obs/flight_recorder.h
+class EventLog;             // obs/event_log.h
 struct EpochDrainTracker;   // query_service.cc: epoch retire/drain timing
 
 /// One serving generation of the dataset: the frozen substrate, the engine
@@ -124,6 +126,19 @@ struct QueryServiceOptions {
   /// TraceRecorders attached via QueryRequest::trace work either way, and
   /// ServiceStats accounting is unaffected.
   bool enable_metrics = true;
+
+  /// Flight recorder (obs/flight_recorder.h) appended to at every
+  /// completion: one mutex-guarded flat-struct append, plus trace-JSON
+  /// capture for completions over the slow threshold. nullptr disables
+  /// recording entirely (the bench_obs `_RecorderOff` baseline). Not
+  /// owned; must outlive the service.
+  FlightRecorder* flight_recorder = nullptr;
+
+  /// Lifecycle event journal (obs/event_log.h): dataset swaps, epoch
+  /// retire/drain, admission rejections, cancelled/expired completions.
+  /// nullptr selects EventLog::Global(). Must outlive the service and
+  /// every epoch it published (drains are journaled as epochs die).
+  EventLog* events = nullptr;
 };
 
 struct QueryRequest {
@@ -273,6 +288,21 @@ class QueryService {
   /// Id of the epoch new admissions currently pin (0 until the first swap).
   uint64_t dataset_epoch() const OMEGA_EXCLUDES(epoch_mu_);
 
+  /// True while the service accepts submissions; false once destruction has
+  /// begun. The ops plane's /readyz readiness derives from this.
+  bool accepting() const OMEGA_EXCLUDES(mu_);
+
+  /// The registry this service exports instruments into — the injected one
+  /// when QueryServiceOptions::metrics was supplied, else the process
+  /// global; null when enable_metrics is false. The shell's `.metrics` and
+  /// the ops plane resolve through this so an injected registry is the one
+  /// actually rendered.
+  MetricsRegistry* metrics_registry() const { return registry_; }
+  /// The attached flight recorder (null when disabled).
+  FlightRecorder* flight_recorder() const;
+  /// The journal lifecycle events go to (never null).
+  EventLog* event_log() const { return events_; }
+
  private:
   /// Per-execution counters folded into the per-class aggregates: the
   /// result stream's merged EvaluatorStats plus the rank-join operators'
@@ -328,6 +358,11 @@ class QueryService {
   /// every instrument cell is internally relaxed-atomic.
   struct ServiceMetrics;
   std::unique_ptr<const ServiceMetrics> metrics_;
+
+  /// Resolved observability surfaces (see the accessors above): written at
+  /// construction, immutable afterwards. events_ is never null.
+  MetricsRegistry* registry_ = nullptr;
+  EventLog* events_ = nullptr;
 
   /// Epoch retire/drain bookkeeping, shared with every published epoch's
   /// deleter. A shared_ptr because drains outlive the service: the last

@@ -9,6 +9,7 @@
 #include "common/lifetime_annotations.h"
 #include "common/timer.h"
 #include "index/distance_sketch.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "index/index_manager.h"
 #include "index/reachability_index.h"
@@ -477,6 +478,19 @@ Result<std::shared_ptr<const Dataset>> SnapshotReader::Open(
                                                     ? "outcome=\"ok\""
                                                     : "outcome=\"error\"")
       ->Increment();
+  // Lifecycle journal: open/verify outcomes are exactly the events an
+  // operator correlates with a swap that did (or did not) happen.
+  {
+    const char* mode = (options.verify_checksums || options.deep_validate)
+                           ? "verified open"
+                           : "open";
+    std::string msg = std::string("snapshot ") + mode + " '" + path + "': " +
+                      (dataset.ok() ? "ok" : dataset.status().ToString()) +
+                      " (" + std::to_string(elapsed_us) + " us)";
+    EventLog::Global()->Record(
+        dataset.ok() ? EventSeverity::kInfo : EventSeverity::kError,
+        "snapshot", std::move(msg));
+  }
   return dataset;
 }
 

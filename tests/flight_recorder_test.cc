@@ -1,0 +1,217 @@
+// FlightRecorder and EventLog unit tests: ring wraparound keeps the newest
+// entries, the slow-query reservoir gates on the queue+exec threshold and
+// retains trace JSON, ToJson renders the documented shape, and the event
+// journal's ring / JSONL sink / severity rendering behave.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+
+namespace omega {
+namespace {
+
+QueryFlightRecord MakeRecord(uint64_t queue_us, uint64_t exec_us,
+                             uint64_t key_hash = 0) {
+  QueryFlightRecord record;
+  record.query_class = "EXACT";
+  record.status = StatusCode::kOk;
+  record.key_hash = key_hash;
+  record.queue_us = queue_us;
+  record.exec_us = exec_us;
+  record.epoch = 7;
+  record.answers = 3;
+  return record;
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewest) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  options.slow_threshold_us = 1'000'000;  // nothing is slow here
+  FlightRecorder recorder(options);
+
+  for (uint64_t i = 0; i < 10; ++i) {
+    recorder.Record(MakeRecord(/*queue_us=*/i, /*exec_us=*/0), nullptr);
+  }
+  EXPECT_EQ(recorder.recorded_total(), 10u);
+  EXPECT_EQ(recorder.slow_total(), 0u);
+
+  // Oldest-first: the four retained records are #6..#9.
+  const std::vector<QueryFlightRecord> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].seq, 6 + i);
+    EXPECT_EQ(recent[i].queue_us, 6 + i);
+  }
+  // A max below the retained count returns the most recent entries only.
+  const std::vector<QueryFlightRecord> last_two = recorder.Recent(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].seq, 8u);
+  EXPECT_EQ(last_two[1].seq, 9u);
+}
+
+TEST(FlightRecorderTest, SlowThresholdGatesTheReservoir) {
+  FlightRecorderOptions options;
+  options.slow_threshold_us = 100;
+  FlightRecorder recorder(options);
+
+  recorder.Record(MakeRecord(/*queue_us=*/10, /*exec_us=*/89), nullptr);
+  EXPECT_EQ(recorder.slow_total(), 0u);  // 99 < 100
+  recorder.Record(MakeRecord(/*queue_us=*/10, /*exec_us=*/90), nullptr);
+  EXPECT_EQ(recorder.slow_total(), 1u);  // 100 >= 100 (queue counts too)
+  recorder.Record(MakeRecord(/*queue_us=*/0, /*exec_us=*/500), nullptr);
+  EXPECT_EQ(recorder.slow_total(), 2u);
+  EXPECT_EQ(recorder.recorded_total(), 3u);
+
+  const std::vector<FlightRecorder::SlowQuery> slow = recorder.Slow();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].summary.exec_us, 90u);
+  EXPECT_EQ(slow[1].summary.exec_us, 500u);
+  EXPECT_TRUE(slow[0].trace_json.empty());  // no trace attached
+}
+
+TEST(FlightRecorderTest, SlowReservoirKeepsTraceJsonAndWraps) {
+  FlightRecorderOptions options;
+  options.slow_capacity = 2;
+  options.slow_threshold_us = 1;
+  FlightRecorder recorder(options);
+
+  for (int i = 0; i < 5; ++i) {
+    TraceRecorder trace;
+    trace.RecordComplete("execute", /*dur_us=*/i + 1);
+    recorder.Record(MakeRecord(/*queue_us=*/0, /*exec_us=*/100 + i),
+                    &trace);
+  }
+  EXPECT_EQ(recorder.slow_total(), 5u);
+  const std::vector<FlightRecorder::SlowQuery> slow = recorder.Slow();
+  ASSERT_EQ(slow.size(), 2u);  // reservoir wrapped, newest retained
+  EXPECT_EQ(slow[0].summary.exec_us, 103u);
+  EXPECT_EQ(slow[1].summary.exec_us, 104u);
+  EXPECT_NE(slow[1].trace_json.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(slow[1].trace_json.find("execute"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, FastPathNeverSerialisesTheTrace) {
+  FlightRecorderOptions options;
+  options.slow_threshold_us = 1'000'000;
+  FlightRecorder recorder(options);
+  TraceRecorder trace;
+  trace.RecordComplete("execute", /*dur_us=*/5);
+  recorder.Record(MakeRecord(/*queue_us=*/1, /*exec_us=*/2), &trace);
+  EXPECT_EQ(recorder.slow_total(), 0u);
+  EXPECT_TRUE(recorder.Slow().empty());
+}
+
+TEST(FlightRecorderTest, ToJsonRendersDocumentedShape) {
+  FlightRecorderOptions options;
+  options.slow_threshold_us = 50;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(/*queue_us=*/2, /*exec_us=*/3,
+                             /*key_hash=*/0xabcdef0123456789ull),
+                  nullptr);
+  recorder.Record(MakeRecord(/*queue_us=*/40, /*exec_us=*/60), nullptr);
+
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"recent\":["), std::string::npos);
+  EXPECT_NE(json.find("\"slow\":["), std::string::npos);
+  EXPECT_NE(json.find("\"recorded_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_threshold_us\":50"), std::string::npos);
+  // Key hashes render as fixed-width hex strings.
+  EXPECT_NE(json.find("\"key_hash\":\"abcdef0123456789\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"EXACT\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"OK\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, HashKeyIsStableFnv1a) {
+  // FNV-1a 64 reference values: the hash must stay stable across builds
+  // (operators correlate /tracez key hashes across restarts).
+  EXPECT_EQ(FlightRecorder::HashKey(""), 14695981039346656037ull);
+  EXPECT_EQ(FlightRecorder::HashKey("a"), 12638187200555641996ull);
+  EXPECT_NE(FlightRecorder::HashKey("EXACT|x"),
+            FlightRecorder::HashKey("EXACT|y"));
+}
+
+TEST(EventLogTest, RingWrapsKeepingNewestAndCountsTotal) {
+  EventLog log(/*capacity=*/3);
+  for (int i = 0; i < 7; ++i) {
+    log.Record(EventSeverity::kInfo, "test",
+               "event " + std::to_string(i));
+  }
+  EXPECT_EQ(log.recorded_total(), 7u);
+  EXPECT_EQ(log.capacity(), 3u);
+  const std::vector<LogEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].message, "event 4");
+  EXPECT_EQ(events[2].message, "event 6");
+  EXPECT_EQ(events[2].seq, 6u);
+  // Snapshot(max) trims to the most recent entries.
+  const std::vector<LogEvent> last = log.Snapshot(1);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].message, "event 6");
+}
+
+TEST(EventLogTest, ToJsonAndToTextRenderSeverities) {
+  EventLog log;
+  log.Record(EventSeverity::kWarn, "service", "admission rejected");
+  log.Record(EventSeverity::kError, "snapshot", "open failed: \"x\"");
+  const std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"events\":["), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"warn\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  // The quote inside the message must be escaped.
+  EXPECT_NE(json.find("open failed: \\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded_total\":2"), std::string::npos);
+  const std::string text = log.ToText();
+  EXPECT_NE(text.find("warn"), std::string::npos);
+  EXPECT_NE(text.find("admission rejected"), std::string::npos);
+}
+
+TEST(EventLogTest, JsonlSinkMirrorsEvents) {
+  const std::string path =
+      ::testing::TempDir() + "/omega_event_log_test.jsonl";
+  std::remove(path.c_str());
+  EventLog log;
+  log.Record(EventSeverity::kInfo, "test", "before sink");
+  ASSERT_TRUE(log.AttachJsonlSink(path).ok());
+  log.Record(EventSeverity::kInfo, "test", "first sunk");
+  log.Record(EventSeverity::kWarn, "test", "second sunk");
+  log.DetachJsonlSink();
+  log.Record(EventSeverity::kInfo, "test", "after detach");
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[512];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  // Only the events recorded while the sink was attached, one per line.
+  EXPECT_EQ(contents.find("before sink"), std::string::npos);
+  EXPECT_NE(contents.find("first sunk"), std::string::npos);
+  EXPECT_NE(contents.find("second sunk"), std::string::npos);
+  EXPECT_EQ(contents.find("after detach"), std::string::npos);
+  size_t lines = 0;
+  for (char c : contents) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(EventLogTest, AttachSinkFailsOnUnwritablePath) {
+  EventLog log;
+  EXPECT_FALSE(
+      log.AttachJsonlSink("/no/such/directory/events.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace omega

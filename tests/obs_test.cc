@@ -16,6 +16,9 @@
 
 #include "common/timer.h"
 #include "eval/query_engine.h"
+#include "net/ops_routes.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpq/query_parser.h"
@@ -387,6 +390,96 @@ TEST(ObsServiceTest, PerQueryTraceCoversServiceAndEngine) {
     }
   }
   EXPECT_TRUE(saw_hit);
+}
+
+// --- Injected observability surfaces ----------------------------------------
+
+// Regression for the shell's `.metrics` / `.trace save` routing: a service
+// constructed with injected surfaces must expose exactly those through its
+// accessors, and the Effective* helpers must resolve injected-or-global the
+// way every consumer (shell, ops routes) does.
+TEST(ObsServiceTest, InjectedSurfacesResolveThroughAccessors) {
+  MetricsRegistry registry;
+  FlightRecorder recorder;
+  EventLog events;
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.metrics = &registry;
+  options.flight_recorder = &recorder;
+  options.events = &events;
+  QueryService service(&ServiceGraph(), nullptr, options);
+
+  EXPECT_EQ(service.metrics_registry(), &registry);
+  EXPECT_EQ(service.flight_recorder(), &recorder);
+  EXPECT_EQ(service.event_log(), &events);
+  EXPECT_EQ(EffectiveMetricsRegistry(&service), &registry);
+  EXPECT_EQ(EffectiveFlightRecorder(&service), &recorder);
+
+  // No service at all -> the process-global registry, no recorder.
+  EXPECT_EQ(EffectiveMetricsRegistry(nullptr), MetricsRegistry::Global());
+  EXPECT_EQ(EffectiveFlightRecorder(nullptr), nullptr);
+
+  // A service without injected surfaces resolves to the global registry
+  // and reports no flight recorder.
+  QueryServiceOptions plain;
+  plain.num_workers = 1;
+  plain.enable_metrics = false;
+  QueryService bare(&ServiceGraph(), nullptr, plain);
+  EXPECT_EQ(EffectiveMetricsRegistry(&bare), MetricsRegistry::Global());
+  EXPECT_EQ(EffectiveFlightRecorder(&bare), nullptr);
+}
+
+TEST(ObsServiceTest, FlightRecorderCapturesEveryCompletion) {
+  FlightRecorder recorder;
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.enable_metrics = false;
+  options.flight_recorder = &recorder;
+  QueryService service(&ServiceGraph(), nullptr, options);
+
+  EXPECT_TRUE(service.Execute(Req("(?X) <- (?X, knows, ?Y)")).status.ok());
+  EXPECT_TRUE(service.Execute(Req("(?X) <- (?X, knows, ?Y)")).status.ok());
+  EXPECT_TRUE(
+      service.Execute(Req("(?X) <- (?X, likes, ?Y)", /*bypass_cache=*/true))
+          .status.ok());
+
+  EXPECT_EQ(recorder.recorded_total(), 3u);
+  const std::vector<QueryFlightRecord> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_STREQ(recent[0].query_class, "EXACT");
+  EXPECT_EQ(recent[0].status, StatusCode::kOk);
+  // The repeat of the first query served from cache, same canonical key.
+  EXPECT_TRUE(recent[1].cache_hit);
+  EXPECT_EQ(recent[1].key_hash, recent[0].key_hash);
+  EXPECT_NE(recent[0].key_hash, 0u);
+  // Cache-bypass requests still get a key hash (recorder needs it even
+  // though the cache never saw the request).
+  EXPECT_FALSE(recent[2].cache_hit);
+  EXPECT_NE(recent[2].key_hash, 0u);
+  EXPECT_NE(recent[2].key_hash, recent[0].key_hash);
+}
+
+TEST(ObsServiceTest, SwapRecordsAnEventInTheInjectedJournal) {
+  EventLog events;
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.enable_metrics = false;
+  options.events = &events;
+  std::shared_ptr<const Dataset> initial = Dataset::FromParts(
+      MakeGraph({{"a", "knows", "b"}}), std::nullopt);
+  std::shared_ptr<const Dataset> next = Dataset::FromParts(
+      MakeGraph({{"c", "knows", "d"}}), std::nullopt);
+  QueryService service(initial, options);
+  ASSERT_TRUE(service.SwapDataset(next).ok());
+
+  bool saw_swap = false;
+  for (const LogEvent& event : events.Snapshot()) {
+    if (event.component == "service" &&
+        event.message.find("dataset swap published") != std::string::npos) {
+      saw_swap = true;
+    }
+  }
+  EXPECT_TRUE(saw_swap);
 }
 
 // --- Snapshot layer ----------------------------------------------------------

@@ -48,6 +48,10 @@ PAIRINGS = {
     # instrument live vs enable_metrics=false. No MIN_SPEEDUP — the claim is
     # that instrumentation is near-free, i.e. within the plain tolerance.
     "_MetricsOn": "_MetricsOff",
+    # Ops plane (PR 10): the same mix with the always-on flight recorder
+    # appending a flat completion summary per request vs no recorder wired.
+    # Same near-free claim as _MetricsOn.
+    "_RecorderOn": "_RecorderOff",
 }
 
 # Pairs that must not merely avoid regressing but beat their baseline by a
@@ -80,7 +84,8 @@ MIN_SPEEDUP = {
 # Pairs whose work accrues on service worker threads while the driving
 # thread blocks: compared on wall-clock (real_time) instead of cpu_time,
 # which would only see the driver.
-REAL_TIME_PAIRS = {"_CacheHit", "_ServiceParallel", "_MetricsOn"}
+REAL_TIME_PAIRS = {"_CacheHit", "_ServiceParallel", "_MetricsOn",
+                   "_RecorderOn"}
 
 # Generous noise floor so the gate trips on real regressions, not scheduler
 # jitter; the structures win by integer factors when healthy.

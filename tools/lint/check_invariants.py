@@ -65,6 +65,12 @@ Checks
     tells nobody anything. The field parser is exercised by a
     seeded-violation self-test in main() so a silently broken parser
     cannot turn this check into a no-op PASS.
+11. endpoint-docs: every admin HTTP route registered in src/net (a
+    `Route("/path", ...)` call) is documented in README.md by its literal
+    path. An endpoint that exists but is documented nowhere is invisible
+    to operators — exactly the failure mode an ops plane exists to
+    prevent. The route extractor is covered by the same seeded-violation
+    self-test discipline as check 10.
 """
 from __future__ import annotations
 
@@ -113,8 +119,11 @@ FROZEN_READ_API = {
 # annotated wrappers in common/mutex.h + common/atomics.h replace them).
 # src/obs joined the scope in PR 9: the metrics registry and trace recorder
 # sit on every hot path, so their locking must be visible to
-# -Wthread-safety like the service's.
-ANNOTATED_LOCKING_SCOPE = ["src/service", "src/common/cancel.h", "src/obs"]
+# -Wthread-safety like the service's. src/net joined in PR 10: the admin
+# server's listener/handler-pool handoff is lock-and-condvar machinery of
+# exactly the kind the capability analysis exists to check.
+ANNOTATED_LOCKING_SCOPE = ["src/service", "src/common/cancel.h", "src/obs",
+                           "src/net"]
 RAW_PRIMITIVE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
     r"unique_lock|shared_lock|scoped_lock|condition_variable(?:_any)?|"
@@ -670,6 +679,38 @@ def check_dark_counters(root: Path):
                          "delete it")
 
 
+# --- check 11: endpoint docs -------------------------------------------------
+
+# A route registration in the net layer: Route("/path", ...). \s* lets the
+# string literal sit on the next line.
+ROUTE_REGISTRATION = re.compile(r'\bRoute\(\s*"(/[\w.-]*)"')
+
+
+def undocumented_routes(stripped: str, readme: str):
+    """Yields (line, path) for each registered route whose literal path
+    does not appear in the README text."""
+    for m in ROUTE_REGISTRATION.finditer(stripped):
+        path = m.group(1)
+        if path not in readme:
+            yield stripped.count("\n", 0, m.start()) + 1, path
+
+
+def check_endpoint_docs(root: Path):
+    readme_path = root / "README.md"
+    if not readme_path.exists():
+        fail("README.md", 1, "missing README.md (endpoint-docs needs it)")
+        return
+    readme = readme_path.read_text()
+    for src in sorted((root / "src/net").glob("**/*.cc")):
+        rel = src.relative_to(root)
+        stripped = strip_comments(src.read_text())
+        for line_no, path in undocumented_routes(stripped, readme):
+            fail(rel, line_no,
+                 f"admin route {path} is registered but its path appears "
+                 "nowhere in README.md — document every operator-facing "
+                 "endpoint (see the Ops plane section)")
+
+
 def self_test() -> bool:
     """Seeded-violation self-test for check 10: the field parser must pull
     the data members out of a synthetic struct and flag exactly the one
@@ -694,7 +735,21 @@ def self_test() -> bool:
     render_text = ("out += std::to_string(rendered_field);\n"
                    "for (auto& c : per_class) Render(c);\n")
     tokens = set(re.findall(r"\w+", render_text))
-    return [f for f in fields if f not in tokens] == ["dark_field"]
+    if [f for f in fields if f not in tokens] != ["dark_field"]:
+        return False
+
+    # Seeded violation for check 11: the route extractor must find the
+    # registration split across lines, skip the commented-out one, and
+    # flag exactly the path missing from the synthetic README.
+    route_source = strip_comments(
+        'server->Route("/documented", "d", handler);\n'
+        '// server->Route("/commented-out", "c", handler);\n'
+        "server->Route(\n"
+        '    "/dark-endpoint", "seeded violation", handler);\n')
+    fake_readme = "Endpoints: `/documented` only.\n"
+    flagged = list(undocumented_routes(route_source, fake_readme))
+    return [path for _, path in flagged] == ["/dark-endpoint"] and (
+        flagged[0][0] == 3)
 
 
 # --- main --------------------------------------------------------------------
@@ -727,6 +782,7 @@ def main() -> int:
     check_borrow_justification(root)
     check_steady_clock(root)
     check_dark_counters(root)
+    check_endpoint_docs(root)
 
     if ERRORS:
         for err in ERRORS:
@@ -737,7 +793,7 @@ def main() -> int:
     print("PASS: cmake-registration, gate-pairs, hot-path-containers, "
           "frozen-api-const, annotated-locking, lifetime-bound-coverage, "
           "mapped-file-ownership, borrow-justification, steady-clock-only, "
-          "no-dark-counters")
+          "no-dark-counters, endpoint-docs")
     return 0
 
 
